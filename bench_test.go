@@ -1,0 +1,221 @@
+// Benchmarks: one per paper table/figure (regenerating the artifact end
+// to end, so ns/op measures the cost of a full reproduction at bench
+// budget) plus micro-benchmarks of the hot substrate paths.
+package memqlat_test
+
+import (
+	"fmt"
+	"testing"
+
+	"memqlat/internal/cache"
+	"memqlat/internal/client"
+	"memqlat/internal/core"
+	"memqlat/internal/dist"
+	"memqlat/internal/experiments"
+	"memqlat/internal/protocol"
+	"memqlat/internal/queueing"
+	"memqlat/internal/sim"
+	"memqlat/internal/stats"
+	"memqlat/internal/workload"
+
+	"bufio"
+	"strings"
+)
+
+// benchBudget keeps each experiment iteration around a second.
+var benchBudget = experiments.Budget{Requests: 500, KeysPerServer: 30000, Seed: 1}
+
+func runExperiment(b *testing.B, run func(experiments.Budget) (*experiments.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		report, err := run(benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(report.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTable3BasicValidation(b *testing.B)  { runExperiment(b, experiments.Table3) }
+func BenchmarkFig4QuantileBounds(b *testing.B)     { runExperiment(b, experiments.Fig4) }
+func BenchmarkFig5ConcurrencySweep(b *testing.B)   { runExperiment(b, experiments.Fig5) }
+func BenchmarkFig6BurstSweep(b *testing.B)         { runExperiment(b, experiments.Fig6) }
+func BenchmarkFig7ArrivalRateSweep(b *testing.B)   { runExperiment(b, experiments.Fig7) }
+func BenchmarkFig8TheoryByBurst(b *testing.B)      { runExperiment(b, experiments.Fig8) }
+func BenchmarkFig9ServiceRateSweep(b *testing.B)   { runExperiment(b, experiments.Fig9) }
+func BenchmarkFig10LoadImbalance(b *testing.B)     { runExperiment(b, experiments.Fig10) }
+func BenchmarkFig11MissRatioSweep(b *testing.B)    { runExperiment(b, experiments.Fig11) }
+func BenchmarkFig12KeysPerRequestTS(b *testing.B)  { runExperiment(b, experiments.Fig12) }
+func BenchmarkFig13KeysPerRequestTD(b *testing.B)  { runExperiment(b, experiments.Fig13) }
+func BenchmarkTable4CliffUtilization(b *testing.B) { runExperiment(b, experiments.Table4) }
+func BenchmarkProp1Bounds(b *testing.B)            { runExperiment(b, experiments.Prop1) }
+func BenchmarkProp2ScaleInvariance(b *testing.B)   { runExperiment(b, experiments.Prop2) }
+func BenchmarkExtTailQuantiles(b *testing.B)       { runExperiment(b, experiments.ExtTails) }
+func BenchmarkExtArrivalFamilies(b *testing.B)     { runExperiment(b, experiments.ExtArrivals) }
+func BenchmarkExtEq6Ablation(b *testing.B)         { runExperiment(b, experiments.ExtEq6Ablation) }
+func BenchmarkExtRedundancy(b *testing.B)          { runExperiment(b, experiments.ExtRedundancy) }
+func BenchmarkExtIntegrated(b *testing.B)          { runExperiment(b, experiments.ExtIntegrated) }
+func BenchmarkExtElasticity(b *testing.B)          { runExperiment(b, experiments.ExtElasticity) }
+func BenchmarkLiveStack(b *testing.B)              { runExperiment(b, experiments.Live) }
+
+// ---- micro-benchmarks of the substrate hot paths ----
+
+func BenchmarkDeltaSolverGP(b *testing.B) {
+	gp, err := dist.NewGeneralizedPareto(workload.FacebookXi, 56250)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bq, err := queueing.NewBatchQueue(gp, 0.1, 80000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bq.Delta(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTheorem1Estimate(b *testing.B) {
+	model := workload.Facebook()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Estimate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCliffUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CliffUtilization(0.15, 0.1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerSimLindley(b *testing.B) {
+	gp, err := dist.NewGeneralizedPareto(0.15, 56250)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.SimulateServer(sim.ServerConfig{
+			Interarrival: gp, Q: 0.1, MuS: 80000, Keys: 10000, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Mean()
+	}
+}
+
+func BenchmarkCacheSet(b *testing.B) {
+	c, err := cache.New(cache.Options{MaxBytes: 256 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-key-%d", i)
+	}
+	value := []byte(strings.Repeat("v", 100))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Set(keys[i%len(keys)], value, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	c, err := cache.New(cache.Options{MaxBytes: 256 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 1024)
+	value := []byte(strings.Repeat("v", 100))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-key-%d", i)
+		if err := c.Set(keys[i], value, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Get(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProtocolParseSet(b *testing.B) {
+	raw := "set somekey 42 0 100\r\n" + strings.Repeat("v", 100) + "\r\n"
+	big := strings.Repeat(raw, 64)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bufio.NewReader(strings.NewReader(big))
+		for j := 0; j < 64; j++ {
+			if _, err := protocol.ReadCommand(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		i += 63
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := stats.NewHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(float64(i%1000) * 1e-6)
+	}
+}
+
+func BenchmarkRingSelectorPick(b *testing.B) {
+	ring, err := client.NewRingSelector(16, 160)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("pick-key-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ring.Pick(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkGeneralizedParetoSample(b *testing.B) {
+	gp, err := dist.NewGeneralizedPareto(0.15, 62500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := dist.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gp.Sample(rng)
+	}
+}
+
+func BenchmarkLaplaceTransformGP(b *testing.B) {
+	gp, err := dist.NewGeneralizedPareto(0.15, 62500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gp.LaplaceTransform(20000)
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultsMatchPaper(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// The default flags are the Facebook workload: Table 3 values.
+	for _, want := range []string{"836µs", "cliff utilization", "T_S(N)", "T_D(N)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFactors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-factors"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Latency factors") {
+		t.Errorf("factors missing:\n%s", out.String())
+	}
+}
+
+func TestRunUnbalanced(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-p1", "0.7", "-lambda", "20000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "max ρS=70.0%") {
+		t.Errorf("unbalanced utilization missing:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-lambda", "100000"}, &out); err == nil {
+		t.Error("overloaded config accepted")
+	}
+	if err := run([]string{"-p1", "0.1"}, &out); err == nil {
+		t.Error("invalid p1 accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunElasticity(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-elasticity"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Factor leverage") {
+		t.Errorf("elasticity section missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,138 @@
+// Command mcbench is the mutilate-like load generator CLI: it drives a
+// memcached cluster with the paper's workload shape (Generalized Pareto
+// inter-arrival gaps, geometric batch concurrency, Zipf popularity) and
+// reports the per-key latency distribution.
+//
+// Example against two local servers:
+//
+//	mcbench -servers 127.0.0.1:11211,127.0.0.1:11212 \
+//	        -lambda 2000 -xi 0.15 -q 0.1 -ops 20000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"memqlat/internal/backend"
+	"memqlat/internal/client"
+	"memqlat/internal/loadgen"
+	"memqlat/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mcbench", flag.ContinueOnError)
+	var (
+		servers   = fs.String("servers", "127.0.0.1:11211", "comma-separated server addresses")
+		keys      = fs.Int("keys", 10000, "keyspace size")
+		valueSize = fs.Int("value-size", 100, "value size in bytes")
+		zipfS     = fs.Float64("zipf", 0, "Zipf popularity exponent (0 = uniform)")
+		lambda    = fs.Float64("lambda", 2000, "target aggregate key rate (keys/s)")
+		xi        = fs.Float64("xi", 0.15, "burst degree of batch gaps")
+		q         = fs.Float64("q", 0.1, "concurrent probability (batching)")
+		missRatio = fs.Float64("miss-ratio", 0, "fraction of gets forced to miss")
+		ops       = fs.Int("ops", 10000, "operations to issue")
+		workers   = fs.Int("workers", 32, "max in-flight operations")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		fill      = fs.Bool("fill-misses", false, "relay misses to a simulated database")
+		mud       = fs.Float64("mud", 1000, "simulated database service rate for -fill-misses")
+		timeout   = fs.Duration("timeout", 10*time.Minute, "overall run timeout")
+		traceOut  = fs.String("trace", "", "journal the issued key stream to this file (mrc/replay input)")
+		closed    = fs.Bool("closed-loop", false, "closed-loop mode (fixed concurrency + think time) instead of open-loop pacing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := strings.Split(*servers, ",")
+	clOpts := client.Options{Servers: addrs, PoolSize: *workers}
+	if *fill {
+		db, err := backend.New(backend.Options{MuD: *mud, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		clOpts.Filler = db
+	}
+	cl, err := client.New(clOpts)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cl.Close() }()
+
+	lgOpts := loadgen.Options{
+		Client:        cl,
+		Keys:          *keys,
+		ValueSize:     *valueSize,
+		ZipfS:         *zipfS,
+		Lambda:        *lambda,
+		Xi:            *xi,
+		Q:             *q,
+		MissRatio:     *missRatio,
+		Ops:           *ops,
+		Workers:       *workers,
+		Seed:          *seed,
+		UseGetThrough: *fill,
+		ClosedLoop:    *closed,
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		journal := trace.NewWriter(f)
+		defer func() {
+			if err := journal.Flush(); err != nil {
+				fmt.Fprintln(out, "trace flush failed:", err)
+			}
+		}()
+		traceFailed := false
+		lgOpts.Observer = func(offset time.Duration, key string) {
+			// The pacer is single-threaded; journaling inline is safe.
+			// Trace-write failures must not abort the measurement run.
+			if traceFailed {
+				return
+			}
+			if err := journal.Write(trace.Record{Offset: offset, Key: key}); err != nil {
+				fmt.Fprintln(out, "trace write failed:", err)
+				traceFailed = true
+			}
+		}
+	}
+	fmt.Fprintf(out, "populating %d keys...\n", *keys)
+	if err := loadgen.Populate(lgOpts); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "running %d ops at %g keys/s (ξ=%g, q=%g)...\n", *ops, *lambda, *xi, *q)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	res, err := loadgen.Run(ctx, lgOpts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "\nissued      %d ops in %v (%.0f keys/s achieved)\n",
+		res.Issued, res.Elapsed.Round(time.Millisecond), res.AchievedRate())
+	fmt.Fprintf(out, "outcomes    %d hits, %d misses, %d errors\n",
+		res.Hits, res.Misses, res.Errors)
+	fmt.Fprintf(out, "latency     mean %v\n", secs(res.Latency.Mean()))
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		fmt.Fprintf(out, "            p%-5g %v\n", p*100, secs(res.Latency.MustQuantile(p)))
+	}
+	return nil
+}
+
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond)
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"testing"
+
+	"memqlat/internal/cache"
+	"memqlat/internal/server"
+	"memqlat/internal/trace"
+)
+
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	c, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Options{Cache: c, Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return l.Addr().String()
+}
+
+func TestRunAgainstLiveServer(t *testing.T) {
+	addr := startTestServer(t)
+	var out bytes.Buffer
+	args := []string{
+		"-servers", addr,
+		"-keys", "200",
+		"-ops", "500",
+		"-lambda", "50000",
+		"-workers", "8",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"issued", "500 ops", "hits", "latency", "p99"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, " 0 hits") {
+		t.Errorf("no hits recorded:\n%s", s)
+	}
+}
+
+func TestRunWithFillMisses(t *testing.T) {
+	addr := startTestServer(t)
+	var out bytes.Buffer
+	args := []string{
+		"-servers", addr,
+		"-keys", "100",
+		"-ops", "300",
+		"-lambda", "50000",
+		"-miss-ratio", "0.3",
+		"-fill-misses",
+		"-mud", "100000",
+		"-workers", "8",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "misses") {
+		t.Errorf("output missing miss accounting:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+	// Unreachable server: Populate must fail with an error, not hang.
+	if err := run([]string{"-servers", "127.0.0.1:1", "-ops", "10", "-keys", "5"}, &out); err == nil {
+		t.Error("dead server accepted")
+	}
+}
+
+func TestRunWithTraceJournal(t *testing.T) {
+	addr := startTestServer(t)
+	dir := t.TempDir()
+	path := dir + "/run.trace"
+	var out bytes.Buffer
+	args := []string{
+		"-servers", addr,
+		"-keys", "50",
+		"-ops", "200",
+		"-lambda", "50000",
+		"-workers", "4",
+		"-trace", path,
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := trace.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 200 {
+		t.Errorf("journaled %d records, want 200", len(records))
+	}
+	for i := 1; i < len(records); i++ {
+		if records[i].Offset < records[i-1].Offset {
+			t.Fatal("trace offsets not monotone")
+		}
+	}
+}

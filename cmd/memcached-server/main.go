@@ -1,0 +1,84 @@
+// Command memcached-server runs the memqlat cache server: an in-memory
+// LRU key-value store speaking the memcached text protocol over TCP.
+//
+// Example:
+//
+//	memcached-server -addr :11211 -memory-mb 256 -shards 16
+//
+// The optional -service-rate flag shapes per-command service times to
+// an exponential distribution (one service channel per process), which
+// turns the server into a physical realization of the paper's GI^X/M/1
+// model for latency experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"memqlat/internal/cache"
+	"memqlat/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "memcached-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("memcached-server", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:11211", "listen address")
+		memoryMB    = fs.Int64("memory-mb", 64, "cache memory budget in MiB")
+		shards      = fs.Int("shards", 16, "number of cache shards (lock domains)")
+		maxItemKB   = fs.Int("max-item-kb", 1024, "maximum item size in KiB")
+		maxConns    = fs.Int("max-conns", 1024, "maximum concurrent connections")
+		serviceRate = fs.Float64("service-rate", 0, "optional exponential service-rate shaping (ops/s, 0 = off)")
+		seed        = fs.Uint64("seed", 1, "seed for service-time shaping")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, err := cache.New(cache.Options{
+		MaxBytes:    *memoryMB << 20,
+		Shards:      *shards,
+		MaxItemSize: *maxItemKB << 10,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Options{
+		Cache:       c,
+		MaxConns:    *maxConns,
+		ServiceRate: *serviceRate,
+		Seed:        *seed,
+		Logger:      log.New(os.Stderr, "memcached-server: ", log.LstdFlags),
+	})
+	if err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+	log.Printf("memcached-server: listening on %s (memory %d MiB, shards %d)",
+		*addr, *memoryMB, *shards)
+
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("memcached-server: %v, shutting down", s)
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		return <-errCh
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBareKeysFromStdin(t *testing.T) {
+	in := strings.NewReader("a\nb\na\nb\na\n")
+	var out bytes.Buffer
+	if err := run([]string{"-capacities", "1,2"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "accesses: 5") || !strings.Contains(s, "distinct keys: 2") {
+		t.Errorf("summary wrong:\n%s", s)
+	}
+	// Capacity 2 holds both keys: only the 2 cold misses -> 40%.
+	if !strings.Contains(s, "40.000%") {
+		t.Errorf("capacity-2 miss ratio missing:\n%s", s)
+	}
+}
+
+func TestRunTraceFormatFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.txt")
+	var sb strings.Builder
+	sb.WriteString("# recorded by mcbench\n")
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&sb, "%d key-%d\n", i*1000, i%10)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-target-miss", "0.2"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "capacity >= ") {
+		t.Errorf("target capacity missing:\n%s", out.String())
+	}
+}
+
+func TestRunLatencyColumn(t *testing.T) {
+	in := strings.NewReader(strings.Repeat("x\ny\nz\n", 50))
+	var out bytes.Buffer
+	if err := run([]string{"-capacities", "3", "-latency"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E[TD(N)]") {
+		t.Errorf("latency column missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := run(nil, strings.NewReader("a b c\n"), &out); err == nil {
+		t.Error("three-field line accepted")
+	}
+	if err := run(nil, strings.NewReader("notanumber key\n"), &out); err == nil {
+		t.Error("bad offset accepted")
+	}
+	if err := run([]string{"-capacities", "x"}, strings.NewReader("a\n"), &out); err == nil {
+		t.Error("bad capacity list accepted")
+	}
+	if err := run([]string{"-in", "/does/not/exist"}, nil, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-bogus"}, nil, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunUnreachableTarget(t *testing.T) {
+	// All-distinct keys: floor is 100%, so any target is unreachable —
+	// reported in output, not an error.
+	in := strings.NewReader("a\nb\nc\n")
+	var out bytes.Buffer
+	if err := run([]string{"-target-miss", "0.01"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "below compulsory floor") {
+		t.Errorf("floor message missing:\n%s", out.String())
+	}
+}

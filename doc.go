@@ -1,0 +1,24 @@
+// Package memqlat is a Go reproduction of "Modeling and Analyzing
+// Latency in the Memcached system" (Cheng, Ren, Jiang, Zhang —
+// ICDCS 2017): an analytical latency model for Memcached (fork-join
+// with unbalanced load, GI^X/M/1 cache servers, an M/M/1 miss stage)
+// together with every substrate its evaluation needs — a working
+// memcached server/client/protocol stack, a simulated database, a
+// mutilate-like load generator, and a discrete-event simulator — plus a
+// harness that regenerates every table and figure of the paper.
+//
+// Packages (under internal/):
+//
+//   - core:        the paper's model — Theorem 1, Propositions 1–2,
+//     cliff analysis (Table 4), asymptotic laws
+//   - queueing:    GI^X/M/1 and M/M/1 theory (δ root, quantiles)
+//   - dist:        distributions incl. Generalized Pareto (eq. 24)
+//   - sim:         the virtual-time measurement testbed
+//   - cache, protocol, server, client, backend, loadgen: the live stack
+//   - workload:    the paper's §5.1 Facebook configuration and sweeps
+//   - experiments: one runner per paper table/figure
+//
+// Entry points: cmd/repro (regenerate all results), cmd/latency-model
+// (Theorem 1 calculator), cmd/memcached-server and cmd/mcbench (live
+// stack), and the runnable walkthroughs under examples/.
+package memqlat

@@ -1,0 +1,81 @@
+// Cliff exploration: reproduce the paper's headline finding — the
+// Memcached-server latency cliff at a burst-dependent utilization
+// (Proposition 2 / Table 4) — and print capacity-planning guidance.
+// Run with:
+//
+//	go run ./examples/cliff [-xi 0.15] [-q 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memqlat/internal/core"
+	"memqlat/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cliff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	xi := flag.Float64("xi", workload.FacebookXi, "burst degree of key arrivals")
+	q := flag.Float64("q", workload.FacebookQ, "concurrent probability")
+	flag.Parse()
+
+	// 1. The latency-vs-utilization curve at this burst degree.
+	fmt.Printf("E[TS(N)] vs utilization (ξ=%.2f, q=%.2f, N=%d, µS=%.0fK):\n\n",
+		*xi, *q, workload.FacebookN, workload.FacebookMuS/1000)
+	var curve []struct {
+		rho float64
+		ts  float64
+	}
+	maxTS := 0.0
+	for rho := 0.1; rho <= 0.951; rho += 0.05 {
+		m := workload.WithLambda(rho * workload.FacebookMuS)
+		m.Xi = *xi
+		m.Q = *q
+		ts, err := m.ExpectedTSPoint()
+		if err != nil {
+			return err
+		}
+		curve = append(curve, struct{ rho, ts float64 }{rho, ts})
+		if ts > maxTS {
+			maxTS = ts
+		}
+	}
+	for _, pt := range curve {
+		bar := strings.Repeat("#", int(50*pt.ts/maxTS))
+		fmt.Printf("  ρS=%4.0f%%  %8.0fµs  %s\n", pt.rho*100, pt.ts*1e6, bar)
+	}
+
+	// 2. Where is the cliff?
+	cliff, err := core.CliffUtilization(*xi, *q, nil)
+	if err != nil {
+		return err
+	}
+	slope, err := core.CliffUtilization(*xi, *q, &core.CliffOptions{Method: core.CliffSlope})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncliff utilization: %.0f%% (δ-threshold), %.0f%% (slope detector)\n",
+		cliff*100, slope*100)
+	fmt.Printf("recommendation: keep every Memcached server below ~%.0f%% utilization;\n", cliff*100)
+	fmt.Println("engage load balancing only when the busiest server crosses that line (paper §5.3).")
+
+	// 3. Table 4: how the cliff collapses with burstiness.
+	fmt.Println("\ncliff vs burst degree (paper Table 4):")
+	rows, err := core.CliffTable([]float64{0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9}, *q, nil)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		fmt.Printf("  ξ=%.2f -> ρS %.0f%%\n", row.Xi, row.Utilization*100)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Facebook-workload walkthrough: evaluate Theorem 1 on the paper's §5.1
+// configuration, run the discrete-event simulation of the same system,
+// and print the Table 3-style comparison. Run with:
+//
+//	go run ./examples/facebook
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"memqlat/internal/sim"
+	"memqlat/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "facebook:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	model := workload.Facebook()
+	fmt.Println("Facebook workload (paper §5.1):")
+	fmt.Printf("  %d servers, λ=%.1fK keys/s each, ξ=%.2f, q=%.1f, µS=%.0fK\n",
+		model.M(), workload.FacebookLambda/1000, model.Xi, model.Q, model.MuS/1000)
+	fmt.Printf("  N=%d keys/request, r=%.0f%% misses, µD=%.0f/s, net=%.0fµs\n",
+		model.N, model.MissRatio*100, model.MuD, model.NetworkLatency*1e6)
+
+	// Theory.
+	est, err := model.Estimate()
+	if err != nil {
+		return err
+	}
+	us := func(s float64) string { return fmt.Sprintf("%.0fµs", s*1e6) }
+	fmt.Println("\nTheorem 1:")
+	fmt.Printf("  δ=%.4f, per-key tail decay rate %.0f/s\n", est.Delta, est.DecayRate)
+	fmt.Printf("  T_S(N) ∈ [%s, %s]   T_D(N) ≈ %s   T(N) ∈ [%s, %s]\n",
+		us(est.TS.Lo), us(est.TS.Hi), us(est.TD), us(est.Total.Lo), us(est.Total.Hi))
+
+	// Experiment (virtual-time discrete-event simulation).
+	fmt.Println("\nsimulating 20000 end-user requests (3M keys)...")
+	res, err := sim.SimulateRequests(sim.RequestConfig{
+		Model:         model,
+		Requests:      20000,
+		KeysPerServer: 300000,
+		Seed:          7,
+	})
+	if err != nil {
+		return err
+	}
+	tsEst, err := res.TSQuantileEstimate(model)
+	if err != nil {
+		return err
+	}
+	tdEst, err := res.TDQuantileEstimate()
+	if err != nil {
+		return err
+	}
+	fmt.Println("measured (paper §4.5 estimators):")
+	fmt.Printf("  T_S(N) = %s   T_D(N) = %s   T(N) = %s\n",
+		us(tsEst), us(tdEst), us(res.TN+tsEst+tdEst))
+	fmt.Println("measured (mean of per-request maxima):")
+	fmt.Printf("  T_S(N) = %s   T_D(N) = %s   T(N) = %s\n",
+		us(res.TS.Mean()), us(res.TD.Mean()), us(res.Total.Mean()))
+	fmt.Printf("  per-request tail: p99 = %s, p99.9 = %s\n",
+		us(res.Total.MustQuantile(0.99)), us(res.Total.MustQuantile(0.999)))
+	fmt.Printf("  misses: %d of %d keys (%.2f%%)\n",
+		res.MissCount, res.KeyCount, 100*float64(res.MissCount)/float64(res.KeyCount))
+
+	fmt.Println("\npaper Table 3 reference: TS 351~366µs (exp 368µs), TD 836µs (exp 867µs), T 836~1222µs (exp 1144µs)")
+	return nil
+}

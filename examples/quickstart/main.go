@@ -1,0 +1,119 @@
+// Quickstart: embed a memqlat memcached server, talk to it with the
+// client — set/get/multiget/cas/incr — and read its stats. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"memqlat/internal/cache"
+	"memqlat/internal/client"
+	"memqlat/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. An in-process cache server on a random loopback port.
+	store, err := cache.New(cache.Options{MaxBytes: 32 << 20})
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Options{Cache: store, Logger: log.Default()})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			log.Printf("serve: %v", err)
+		}
+	}()
+	defer func() { _ = srv.Close() }()
+	fmt.Println("server listening on", l.Addr())
+
+	// 2. A client pointed at it.
+	cl, err := client.New(client.Options{Servers: []string{l.Addr().String()}})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cl.Close() }()
+
+	// 3. The basics.
+	if err := cl.Set("greeting", []byte("hello, memqlat"), 0, time.Hour); err != nil {
+		return err
+	}
+	item, err := cl.Get("greeting")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("get greeting     -> %q\n", item.Value)
+
+	// Counters.
+	if err := cl.Set("visits", []byte("0"), 0, 0); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		n, err := cl.Incr("visits", 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("incr visits      -> %d\n", n)
+	}
+
+	// Optimistic concurrency with CAS.
+	tagged, err := cl.Gets("greeting")
+	if err != nil {
+		return err
+	}
+	if err := cl.CompareAndSwap("greeting", []byte("hello again"), 0, 0, tagged.CAS); err != nil {
+		return err
+	}
+	fmt.Println("cas greeting     -> swapped with fresh token")
+	if err := cl.CompareAndSwap("greeting", []byte("nope"), 0, 0, tagged.CAS); err != nil {
+		fmt.Println("cas stale token  ->", err)
+	}
+
+	// Fork-join multiget (the access pattern the paper models).
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("page:%d", i)
+		if err := cl.Set(key, []byte(fmt.Sprintf("content-%d", i)), 0, 0); err != nil {
+			return err
+		}
+	}
+	items, err := cl.MultiGet([]string{"page:0", "page:1", "page:2", "page:3", "page:4", "page:404"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("multiget         -> %d/6 keys found\n", len(items))
+
+	// Get-and-touch: read a key while refreshing its TTL in one round
+	// trip (sessions, leases).
+	touched, err := cl.GetAndTouch("greeting", 2*time.Hour)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gat greeting     -> %q with TTL refreshed\n", touched.Value)
+
+	// Server stats.
+	stats, err := cl.ServerStats(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stats            -> %s gets, %s hits, %s items\n",
+		stats["cmd_get"], stats["get_hits"], stats["curr_items"])
+	return nil
+}

@@ -1,0 +1,3 @@
+module memqlat
+
+go 1.22

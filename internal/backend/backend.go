@@ -1,0 +1,216 @@
+// Package backend simulates the back-end database of the Memcached
+// architecture (paper Fig. 1): the store of record that missed keys are
+// relayed to. Per the paper's §4.4 model it services each lookup with
+// an exponential delay of mean 1/µ_D; two disciplines are provided —
+// the model's effectively-unqueued stage (ρ_D ≈ 0) and a bounded
+// single-queue server for overload experiments.
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memqlat/internal/dist"
+)
+
+// Mode selects the service discipline.
+type Mode int
+
+const (
+	// ModeInfiniteServer delays each lookup independently — the paper's
+	// ρ_D ≈ 0 database stage (default).
+	ModeInfiniteServer Mode = iota + 1
+	// ModeSingleQueue serializes lookups through one worker with a
+	// bounded queue; overflow returns ErrOverloaded.
+	ModeSingleQueue
+)
+
+// ErrOverloaded reports a full single-queue backend.
+var ErrOverloaded = errors.New("backend: queue full")
+
+// ErrClosed reports use after Close.
+var ErrClosed = errors.New("backend: closed")
+
+// Options configures a DB.
+type Options struct {
+	// MuD is the service rate (lookups per second, default 1000).
+	MuD float64
+	// Mode selects the discipline (default ModeInfiniteServer).
+	Mode Mode
+	// QueueDepth bounds the single-queue backlog (default 1024).
+	QueueDepth int
+	// Seed makes delays deterministic.
+	Seed uint64
+	// ValueSize is the size of synthesized values (default 100 bytes).
+	ValueSize int
+}
+
+// DB is the simulated database. Lookups never miss: the database is the
+// store of record, so any key has a deterministically synthesized value.
+type DB struct {
+	muD       float64
+	mode      Mode
+	valueSize int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	queue   chan *job
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	lookups atomic.Int64
+	dropped atomic.Int64
+}
+
+type job struct {
+	service time.Duration
+	ready   chan struct{}
+}
+
+// New constructs a DB.
+func New(opts Options) (*DB, error) {
+	if opts.MuD == 0 {
+		opts.MuD = 1000
+	}
+	if !(opts.MuD > 0) {
+		return nil, fmt.Errorf("backend: MuD=%v must be positive", opts.MuD)
+	}
+	if opts.Mode == 0 {
+		opts.Mode = ModeInfiniteServer
+	}
+	if opts.QueueDepth == 0 {
+		opts.QueueDepth = 1024
+	}
+	if opts.QueueDepth < 0 {
+		return nil, fmt.Errorf("backend: QueueDepth=%d must be positive", opts.QueueDepth)
+	}
+	if opts.ValueSize == 0 {
+		opts.ValueSize = 100
+	}
+	if opts.ValueSize < 0 {
+		return nil, fmt.Errorf("backend: ValueSize=%d must be positive", opts.ValueSize)
+	}
+	db := &DB{
+		muD:       opts.MuD,
+		mode:      opts.Mode,
+		valueSize: opts.ValueSize,
+		rng:       dist.SubRand(opts.Seed, 0xdb),
+		done:      make(chan struct{}),
+	}
+	if opts.Mode == ModeSingleQueue {
+		db.queue = make(chan *job, opts.QueueDepth)
+		db.wg.Add(1)
+		go db.worker()
+	}
+	return db, nil
+}
+
+func (db *DB) worker() {
+	defer db.wg.Done()
+	for {
+		select {
+		case j := <-db.queue:
+			time.Sleep(j.service)
+			close(j.ready)
+		case <-db.done:
+			// Drain pending jobs so callers unblock.
+			for {
+				select {
+				case j := <-db.queue:
+					close(j.ready)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// serviceTime draws an exponential delay.
+func (db *DB) serviceTime() time.Duration {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return time.Duration(db.rng.ExpFloat64() / db.muD * float64(time.Second))
+}
+
+// Get fetches the value of key, experiencing the modeled service delay.
+// It honors ctx cancellation while waiting.
+func (db *DB) Get(ctx context.Context, key string) ([]byte, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	if key == "" {
+		return nil, fmt.Errorf("backend: empty key")
+	}
+	db.lookups.Add(1)
+	service := db.serviceTime()
+	switch db.mode {
+	case ModeSingleQueue:
+		j := &job{service: service, ready: make(chan struct{})}
+		select {
+		case db.queue <- j:
+		default:
+			db.dropped.Add(1)
+			return nil, ErrOverloaded
+		}
+		select {
+		case <-j.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	default:
+		timer := time.NewTimer(service)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return db.ValueFor(key), nil
+}
+
+// ValueFor deterministically synthesizes the record for key (no delay) —
+// the content a real database would hold.
+func (db *DB) ValueFor(key string) []byte {
+	out := make([]byte, db.valueSize)
+	// Simple key-dependent fill so distinct keys are distinguishable.
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	for i := range out {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		out[i] = 'a' + byte(h%26)
+	}
+	return out
+}
+
+// Stats reports lookup counters.
+type Stats struct {
+	Lookups int64
+	Dropped int64
+}
+
+// Stats snapshots counters.
+func (db *DB) Stats() Stats {
+	return Stats{Lookups: db.lookups.Load(), Dropped: db.dropped.Load()}
+}
+
+// Close stops the worker (single-queue mode) and fails future lookups.
+func (db *DB) Close() {
+	if db.closed.Swap(true) {
+		return
+	}
+	close(db.done)
+	db.wg.Wait()
+}

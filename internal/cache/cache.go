@@ -1,0 +1,628 @@
+// Package cache is the in-memory key-value store at the heart of the
+// Memcached-server substrate: a sharded hash table with per-shard LRU
+// eviction, item TTLs, CAS tokens, byte-budget memory accounting and
+// memcached-compatible mutation semantics (set/add/replace/append/
+// prepend/cas/incr/decr/touch/delete/flush_all).
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Common result errors, matching the memcached protocol's reply taxonomy.
+var (
+	// ErrNotFound: the key does not exist (or is expired).
+	ErrNotFound = errors.New("cache: not found")
+	// ErrExists: a cas operation lost the race (token mismatch).
+	ErrExists = errors.New("cache: cas token mismatch")
+	// ErrNotStored: an add/replace/append/prepend precondition failed.
+	ErrNotStored = errors.New("cache: not stored")
+	// ErrNotNumeric: incr/decr on a non-numeric value.
+	ErrNotNumeric = errors.New("cache: value is not a number")
+	// ErrValueTooLarge: the value exceeds the per-item limit.
+	ErrValueTooLarge = errors.New("cache: value too large")
+	// ErrKeyInvalid: empty or oversized key.
+	ErrKeyInvalid = errors.New("cache: invalid key")
+)
+
+// MaxKeyLen mirrors memcached's 250-byte key limit.
+const MaxKeyLen = 250
+
+// DefaultMaxItemSize mirrors memcached's default 1 MiB item limit.
+const DefaultMaxItemSize = 1 << 20
+
+// itemOverhead approximates per-item bookkeeping cost for the byte
+// budget (entry struct, map bucket share, LRU links).
+const itemOverhead = 64
+
+// Item is a stored value returned by Get.
+type Item struct {
+	Value   []byte
+	Flags   uint32
+	CAS     uint64
+	Expires time.Time // zero when the item never expires
+}
+
+// Options configures a Cache.
+type Options struct {
+	// MaxBytes caps the total memory budget across shards
+	// (default 64 MiB). The cap is enforced per shard as MaxBytes/shards.
+	MaxBytes int64
+	// Shards is the number of independent lock domains (default 16,
+	// rounded up to a power of two).
+	Shards int
+	// MaxItemSize caps a single value (default DefaultMaxItemSize).
+	MaxItemSize int
+	// Clock substitutes the time source for tests (default time.Now).
+	Clock func() time.Time
+}
+
+// Cache is a sharded LRU key-value store. All methods are safe for
+// concurrent use.
+type Cache struct {
+	shards      []*shard
+	shardMask   uint64
+	maxItemSize int
+	clock       func() time.Time
+	casCounter  atomic.Uint64
+
+	gets        atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	sets        atomic.Int64
+	deletes     atomic.Int64
+	evictions   atomic.Int64
+	expirations atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of cache counters.
+type Stats struct {
+	Items       int64
+	Bytes       int64
+	MaxBytes    int64
+	Gets        int64
+	Hits        int64
+	Misses      int64
+	Sets        int64
+	Deletes     int64
+	Evictions   int64
+	Expirations int64
+}
+
+// HitRatio returns Hits/Gets (0 when no gets were served).
+func (s Stats) HitRatio() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// New constructs a cache with the given options.
+func New(opts Options) (*Cache, error) {
+	if opts.MaxBytes == 0 {
+		opts.MaxBytes = 64 << 20
+	}
+	if opts.MaxBytes < 0 {
+		return nil, fmt.Errorf("cache: MaxBytes=%d must be positive", opts.MaxBytes)
+	}
+	if opts.Shards == 0 {
+		opts.Shards = 16
+	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("cache: Shards=%d must be positive", opts.Shards)
+	}
+	if opts.MaxItemSize == 0 {
+		opts.MaxItemSize = DefaultMaxItemSize
+	}
+	if opts.MaxItemSize < 0 {
+		return nil, fmt.Errorf("cache: MaxItemSize=%d must be positive", opts.MaxItemSize)
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	n := nextPow2(opts.Shards)
+	perShard := opts.MaxBytes / int64(n)
+	if perShard < int64(opts.MaxItemSize)+itemOverhead {
+		perShard = int64(opts.MaxItemSize) + itemOverhead
+	}
+	c := &Cache{
+		shards:      make([]*shard, n),
+		shardMask:   uint64(n - 1),
+		maxItemSize: opts.MaxItemSize,
+		clock:       opts.Clock,
+	}
+	for i := range c.shards {
+		c.shards[i] = newShard(perShard)
+	}
+	return c, nil
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New64a()
+	// Writing to fnv's hash cannot fail.
+	_, _ = h.Write([]byte(key))
+	return c.shards[h.Sum64()&c.shardMask]
+}
+
+func (c *Cache) nextCAS() uint64 { return c.casCounter.Add(1) }
+
+func validateKey(key string) error {
+	if key == "" || len(key) > MaxKeyLen {
+		return ErrKeyInvalid
+	}
+	for i := 0; i < len(key); i++ {
+		// memcached forbids whitespace and control characters in keys.
+		if key[i] <= ' ' || key[i] == 0x7f {
+			return ErrKeyInvalid
+		}
+	}
+	return nil
+}
+
+func (c *Cache) validateValue(value []byte) error {
+	if len(value) > c.maxItemSize {
+		return ErrValueTooLarge
+	}
+	return nil
+}
+
+// expiryFrom converts a TTL to an absolute deadline: ttl == 0 means no
+// expiry; ttl < 0 means already expired (memcached's negative-exptime
+// semantics — the item is stored but never retrievable).
+func (c *Cache) expiryFrom(ttl time.Duration) time.Time {
+	switch {
+	case ttl == 0:
+		return time.Time{}
+	case ttl < 0:
+		return c.clock()
+	default:
+		return c.clock().Add(ttl)
+	}
+}
+
+// Get returns the item stored at key.
+func (c *Cache) Get(key string) (Item, error) {
+	if err := validateKey(key); err != nil {
+		return Item{}, err
+	}
+	c.gets.Add(1)
+	s := c.shardFor(key)
+	now := c.clock()
+	s.mu.Lock()
+	e := s.lookup(key, now, &c.expirations)
+	if e == nil {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return Item{}, ErrNotFound
+	}
+	s.touch(e)
+	it := Item{
+		Value:   append([]byte(nil), e.value...),
+		Flags:   e.flags,
+		CAS:     e.cas,
+		Expires: e.expires,
+	}
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return it, nil
+}
+
+// GetAndTouch atomically fetches the item at key and replaces its
+// expiry (the protocol's gat/gats command).
+func (c *Cache) GetAndTouch(key string, ttl time.Duration) (Item, error) {
+	if err := validateKey(key); err != nil {
+		return Item{}, err
+	}
+	c.gets.Add(1)
+	s := c.shardFor(key)
+	now := c.clock()
+	s.mu.Lock()
+	e := s.lookup(key, now, &c.expirations)
+	if e == nil {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return Item{}, ErrNotFound
+	}
+	e.expires = c.expiryFrom(ttl)
+	s.touch(e)
+	it := Item{
+		Value:   append([]byte(nil), e.value...),
+		Flags:   e.flags,
+		CAS:     e.cas,
+		Expires: e.expires,
+	}
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return it, nil
+}
+
+// Set unconditionally stores value at key.
+func (c *Cache) Set(key string, value []byte, flags uint32, ttl time.Duration) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	if err := c.validateValue(value); err != nil {
+		return err
+	}
+	s := c.shardFor(key)
+	now := c.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store(key, value, flags, c.expiryFrom(ttl), c.nextCAS(), now, &c.evictions, &c.expirations)
+	c.sets.Add(1)
+	return nil
+}
+
+// Add stores only if the key is absent.
+func (c *Cache) Add(key string, value []byte, flags uint32, ttl time.Duration) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	if err := c.validateValue(value); err != nil {
+		return err
+	}
+	s := c.shardFor(key)
+	now := c.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lookup(key, now, &c.expirations) != nil {
+		return ErrNotStored
+	}
+	s.store(key, value, flags, c.expiryFrom(ttl), c.nextCAS(), now, &c.evictions, &c.expirations)
+	c.sets.Add(1)
+	return nil
+}
+
+// Replace stores only if the key is present.
+func (c *Cache) Replace(key string, value []byte, flags uint32, ttl time.Duration) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	if err := c.validateValue(value); err != nil {
+		return err
+	}
+	s := c.shardFor(key)
+	now := c.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lookup(key, now, &c.expirations) == nil {
+		return ErrNotStored
+	}
+	s.store(key, value, flags, c.expiryFrom(ttl), c.nextCAS(), now, &c.evictions, &c.expirations)
+	c.sets.Add(1)
+	return nil
+}
+
+// Append concatenates value after the existing value. Flags and expiry
+// are preserved (memcached semantics).
+func (c *Cache) Append(key string, value []byte) error {
+	return c.concat(key, value, true)
+}
+
+// Prepend concatenates value before the existing value.
+func (c *Cache) Prepend(key string, value []byte) error {
+	return c.concat(key, value, false)
+}
+
+func (c *Cache) concat(key string, value []byte, after bool) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	s := c.shardFor(key)
+	now := c.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.lookup(key, now, &c.expirations)
+	if e == nil {
+		return ErrNotStored
+	}
+	var combined []byte
+	if after {
+		combined = append(append(make([]byte, 0, len(e.value)+len(value)), e.value...), value...)
+	} else {
+		combined = append(append(make([]byte, 0, len(e.value)+len(value)), value...), e.value...)
+	}
+	if err := c.validateValue(combined); err != nil {
+		return err
+	}
+	s.store(key, combined, e.flags, e.expires, c.nextCAS(), now, &c.evictions, &c.expirations)
+	c.sets.Add(1)
+	return nil
+}
+
+// CompareAndSwap stores value only if the caller's token matches the
+// item's current CAS.
+func (c *Cache) CompareAndSwap(key string, value []byte, flags uint32, ttl time.Duration, casToken uint64) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	if err := c.validateValue(value); err != nil {
+		return err
+	}
+	s := c.shardFor(key)
+	now := c.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.lookup(key, now, &c.expirations)
+	if e == nil {
+		return ErrNotFound
+	}
+	if e.cas != casToken {
+		return ErrExists
+	}
+	s.store(key, value, flags, c.expiryFrom(ttl), c.nextCAS(), now, &c.evictions, &c.expirations)
+	c.sets.Add(1)
+	return nil
+}
+
+// Delete removes the key.
+func (c *Cache) Delete(key string) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	s := c.shardFor(key)
+	now := c.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lookup(key, now, &c.expirations) == nil {
+		return ErrNotFound
+	}
+	s.remove(key)
+	c.deletes.Add(1)
+	return nil
+}
+
+// Touch updates the expiry of an existing key.
+func (c *Cache) Touch(key string, ttl time.Duration) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	s := c.shardFor(key)
+	now := c.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.lookup(key, now, &c.expirations)
+	if e == nil {
+		return ErrNotFound
+	}
+	e.expires = c.expiryFrom(ttl)
+	return nil
+}
+
+// IncrDecr adjusts a decimal uint64 value by delta (negative for decr).
+// Decrement saturates at zero (memcached semantics); increment wraps.
+// The new value is returned.
+func (c *Cache) IncrDecr(key string, delta int64) (uint64, error) {
+	if err := validateKey(key); err != nil {
+		return 0, err
+	}
+	s := c.shardFor(key)
+	now := c.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.lookup(key, now, &c.expirations)
+	if e == nil {
+		return 0, ErrNotFound
+	}
+	cur, err := strconv.ParseUint(string(e.value), 10, 64)
+	if err != nil {
+		return 0, ErrNotNumeric
+	}
+	var next uint64
+	if delta >= 0 {
+		next = cur + uint64(delta)
+	} else {
+		dec := uint64(-delta)
+		if dec > cur {
+			next = 0
+		} else {
+			next = cur - dec
+		}
+	}
+	s.store(key, []byte(strconv.FormatUint(next, 10)), e.flags, e.expires,
+		c.nextCAS(), now, &c.evictions, &c.expirations)
+	return next, nil
+}
+
+// FlushAll discards every item.
+func (c *Cache) FlushAll() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.clear()
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the number of live items (expired-but-unreaped items
+// included until their next access).
+func (c *Cache) Len() int64 {
+	var n int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += int64(len(s.items))
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the accounted memory usage.
+func (c *Cache) Bytes() int64 {
+	var n int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	var maxBytes int64
+	for _, s := range c.shards {
+		maxBytes += s.maxBytes
+	}
+	return Stats{
+		Items:       c.Len(),
+		Bytes:       c.Bytes(),
+		MaxBytes:    maxBytes,
+		Gets:        c.gets.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Sets:        c.sets.Load(),
+		Deletes:     c.deletes.Load(),
+		Evictions:   c.evictions.Load(),
+		Expirations: c.expirations.Load(),
+	}
+}
+
+// entry is one stored item plus its LRU links (intrusive list).
+type entry struct {
+	key        string
+	value      []byte
+	flags      uint32
+	cas        uint64
+	expires    time.Time
+	prev, next *entry
+}
+
+func (e *entry) cost() int64 {
+	return int64(len(e.key)) + int64(len(e.value)) + itemOverhead
+}
+
+func (e *entry) expired(now time.Time) bool {
+	return !e.expires.IsZero() && !now.Before(e.expires)
+}
+
+// shard is one lock domain: hash map + LRU list + byte budget.
+type shard struct {
+	mu       sync.Mutex
+	items    map[string]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	bytes    int64
+	maxBytes int64
+}
+
+func newShard(maxBytes int64) *shard {
+	return &shard{
+		items:    make(map[string]*entry),
+		maxBytes: maxBytes,
+	}
+}
+
+// lookup returns the live entry for key, reaping it if expired.
+// Caller holds mu.
+func (s *shard) lookup(key string, now time.Time, expirations *atomic.Int64) *entry {
+	e, ok := s.items[key]
+	if !ok {
+		return nil
+	}
+	if e.expired(now) {
+		s.remove(key)
+		expirations.Add(1)
+		return nil
+	}
+	return e
+}
+
+// touch moves e to the MRU position. Caller holds mu.
+func (s *shard) touch(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.next = s.head
+	e.prev = nil
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// store inserts or replaces key, evicting LRU entries to fit the budget.
+// Caller holds mu.
+func (s *shard) store(key string, value []byte, flags uint32, expires time.Time,
+	cas uint64, now time.Time, evictions, expirations *atomic.Int64) {
+	if old, ok := s.items[key]; ok {
+		s.bytes -= old.cost()
+		s.unlink(old)
+		delete(s.items, key)
+	}
+	e := &entry{key: key, value: value, flags: flags, cas: cas, expires: expires}
+	need := e.cost()
+	// Evict expired items first, then LRU, until the new entry fits.
+	for s.bytes+need > s.maxBytes && s.tail != nil {
+		victim := s.tail
+		s.remove(victim.key)
+		if victim.expired(now) {
+			expirations.Add(1)
+		} else {
+			evictions.Add(1)
+		}
+	}
+	s.items[key] = e
+	s.pushFront(e)
+	s.bytes += need
+}
+
+// remove deletes key if present. Caller holds mu.
+func (s *shard) remove(key string) {
+	e, ok := s.items[key]
+	if !ok {
+		return
+	}
+	s.bytes -= e.cost()
+	s.unlink(e)
+	delete(s.items, key)
+}
+
+func (s *shard) clear() {
+	s.items = make(map[string]*entry)
+	s.head, s.tail = nil, nil
+	s.bytes = 0
+}
+
+// sanity guards against accidental arithmetic regressions in cost().
+var _ = func() struct{} {
+	if itemOverhead <= 0 || itemOverhead > math.MaxInt32 {
+		panic("cache: invalid itemOverhead")
+	}
+	return struct{}{}
+}()

@@ -1,0 +1,419 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fakeClock is a controllable time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+func newTestCache(t *testing.T, opts Options) (*Cache, *fakeClock) {
+	t.Helper()
+	clk := newFakeClock()
+	if opts.Clock == nil {
+		opts.Clock = clk.Now
+	}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, clk
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{MaxBytes: -1}); err == nil {
+		t.Error("negative MaxBytes accepted")
+	}
+	if _, err := New(Options{Shards: -1}); err == nil {
+		t.Error("negative Shards accepted")
+	}
+	if _, err := New(Options{MaxItemSize: -1}); err == nil {
+		t.Error("negative MaxItemSize accepted")
+	}
+	c, err := New(Options{})
+	if err != nil || c == nil {
+		t.Fatalf("default options rejected: %v", err)
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	c, _ := newTestCache(t, Options{})
+	if err := c.Set("k", []byte("v"), 42, 0); err != nil {
+		t.Fatal(err)
+	}
+	it, err := c.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(it.Value) != "v" || it.Flags != 42 {
+		t.Errorf("item = %+v", it)
+	}
+	if it.CAS == 0 {
+		t.Error("zero CAS token")
+	}
+	if !it.Expires.IsZero() {
+		t.Error("unexpected expiry")
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	c, _ := newTestCache(t, Options{})
+	if _, err := c.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 0 || st.Gets != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	c, _ := newTestCache(t, Options{})
+	bad := []string{"", strings.Repeat("x", 251), "has space", "has\ttab", "has\nnl", "del\x7f"}
+	for _, k := range bad {
+		if err := c.Set(k, []byte("v"), 0, 0); !errors.Is(err, ErrKeyInvalid) {
+			t.Errorf("key %q: err = %v", k, err)
+		}
+		if _, err := c.Get(k); !errors.Is(err, ErrKeyInvalid) {
+			t.Errorf("get key %q: err = %v", k, err)
+		}
+	}
+	// 250 bytes is legal.
+	if err := c.Set(strings.Repeat("k", 250), []byte("v"), 0, 0); err != nil {
+		t.Errorf("250-byte key rejected: %v", err)
+	}
+}
+
+func TestValueSizeLimit(t *testing.T) {
+	c, _ := newTestCache(t, Options{MaxItemSize: 10})
+	if err := c.Set("k", make([]byte, 11), 0, 0); !errors.Is(err, ErrValueTooLarge) {
+		t.Errorf("err = %v", err)
+	}
+	if err := c.Set("k", make([]byte, 10), 0, 0); err != nil {
+		t.Errorf("at-limit value rejected: %v", err)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c, clk := newTestCache(t, Options{})
+	if err := c.Set("k", []byte("v"), 0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); err != nil {
+		t.Fatalf("fresh item missing: %v", err)
+	}
+	clk.Advance(2 * time.Second)
+	if _, err := c.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("expired item err = %v", err)
+	}
+	if got := c.Stats().Expirations; got != 1 {
+		t.Errorf("expirations = %d", got)
+	}
+}
+
+func TestTouchExtendsLife(t *testing.T) {
+	c, clk := newTestCache(t, Options{})
+	_ = c.Set("k", []byte("v"), 0, time.Second)
+	if err := c.Touch("k", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	if _, err := c.Get("k"); err != nil {
+		t.Errorf("touched item gone: %v", err)
+	}
+	if err := c.Touch("absent", time.Hour); !errors.Is(err, ErrNotFound) {
+		t.Errorf("touch absent err = %v", err)
+	}
+}
+
+func TestAddReplaceSemantics(t *testing.T) {
+	c, _ := newTestCache(t, Options{})
+	if err := c.Replace("k", []byte("v"), 0, 0); !errors.Is(err, ErrNotStored) {
+		t.Errorf("replace absent: %v", err)
+	}
+	if err := c.Add("k", []byte("v1"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("k", []byte("v2"), 0, 0); !errors.Is(err, ErrNotStored) {
+		t.Errorf("add existing: %v", err)
+	}
+	if err := c.Replace("k", []byte("v3"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	it, _ := c.Get("k")
+	if string(it.Value) != "v3" {
+		t.Errorf("value = %q", it.Value)
+	}
+}
+
+func TestAppendPrepend(t *testing.T) {
+	c, _ := newTestCache(t, Options{})
+	if err := c.Append("k", []byte("x")); !errors.Is(err, ErrNotStored) {
+		t.Errorf("append absent: %v", err)
+	}
+	_ = c.Set("k", []byte("mid"), 7, 0)
+	if err := c.Append("k", []byte("-end")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prepend("k", []byte("start-")); err != nil {
+		t.Fatal(err)
+	}
+	it, _ := c.Get("k")
+	if string(it.Value) != "start-mid-end" {
+		t.Errorf("value = %q", it.Value)
+	}
+	if it.Flags != 7 {
+		t.Errorf("flags not preserved: %d", it.Flags)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	c, _ := newTestCache(t, Options{})
+	_ = c.Set("k", []byte("v1"), 0, 0)
+	it, _ := c.Get("k")
+	if err := c.CompareAndSwap("k", []byte("v2"), 0, 0, it.CAS); err != nil {
+		t.Fatal(err)
+	}
+	// Stale token now fails.
+	if err := c.CompareAndSwap("k", []byte("v3"), 0, 0, it.CAS); !errors.Is(err, ErrExists) {
+		t.Errorf("stale cas err = %v", err)
+	}
+	if err := c.CompareAndSwap("absent", []byte("v"), 0, 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("cas absent err = %v", err)
+	}
+	it2, _ := c.Get("k")
+	if string(it2.Value) != "v2" {
+		t.Errorf("value = %q", it2.Value)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c, _ := newTestCache(t, Options{})
+	_ = c.Set("k", []byte("v"), 0, 0)
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err = %v", err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Error("deleted key still present")
+	}
+}
+
+func TestIncrDecr(t *testing.T) {
+	c, _ := newTestCache(t, Options{})
+	_ = c.Set("n", []byte("10"), 0, 0)
+	got, err := c.IncrDecr("n", 5)
+	if err != nil || got != 15 {
+		t.Fatalf("incr: %v %v", got, err)
+	}
+	got, err = c.IncrDecr("n", -20) // saturates at 0
+	if err != nil || got != 0 {
+		t.Fatalf("decr: %v %v", got, err)
+	}
+	_ = c.Set("s", []byte("abc"), 0, 0)
+	if _, err := c.IncrDecr("s", 1); !errors.Is(err, ErrNotNumeric) {
+		t.Errorf("non-numeric err = %v", err)
+	}
+	if _, err := c.IncrDecr("absent", 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("absent err = %v", err)
+	}
+	it, _ := c.Get("n")
+	if string(it.Value) != "0" {
+		t.Errorf("stored value = %q", it.Value)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// One shard, budget for ~3 small items.
+	c, _ := newTestCache(t, Options{Shards: 1, MaxBytes: 3 * (2 + 1 + itemOverhead), MaxItemSize: 100})
+	_ = c.Set("k1", []byte("a"), 0, 0)
+	_ = c.Set("k2", []byte("b"), 0, 0)
+	_ = c.Set("k3", []byte("c"), 0, 0)
+	// Touch k1 so k2 is LRU, then insert k4 -> k2 evicted.
+	if _, err := c.Get("k1"); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Set("k4", []byte("d"), 0, 0)
+	if _, err := c.Get("k2"); !errors.Is(err, ErrNotFound) {
+		t.Error("LRU victim k2 survived")
+	}
+	for _, k := range []string{"k1", "k3", "k4"} {
+		if _, err := c.Get(k); err != nil {
+			t.Errorf("%s evicted unexpectedly: %v", k, err)
+		}
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Errorf("evictions = %d", got)
+	}
+}
+
+func TestEvictionRespectsBudget(t *testing.T) {
+	c, _ := newTestCache(t, Options{Shards: 1, MaxBytes: 1000, MaxItemSize: 100})
+	for i := 0; i < 100; i++ {
+		_ = c.Set(fmt.Sprintf("key-%03d", i), bytes.Repeat([]byte("x"), 50), 0, 0)
+	}
+	if got := c.Bytes(); got > 1000+100+itemOverhead {
+		t.Errorf("bytes = %d exceeds budget", got)
+	}
+	if c.Len() == 0 {
+		t.Error("everything evicted")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c, _ := newTestCache(t, Options{})
+	for i := 0; i < 10; i++ {
+		_ = c.Set(fmt.Sprintf("k%d", i), []byte("v"), 0, 0)
+	}
+	c.FlushAll()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("len=%d bytes=%d after flush", c.Len(), c.Bytes())
+	}
+	if _, err := c.Get("k0"); !errors.Is(err, ErrNotFound) {
+		t.Error("item survived flush")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c, _ := newTestCache(t, Options{})
+	_ = c.Set("a", []byte("1"), 0, 0)
+	_, _ = c.Get("a")
+	_, _ = c.Get("b")
+	_ = c.Delete("a")
+	st := c.Stats()
+	if st.Sets != 1 || st.Gets != 2 || st.Hits != 1 || st.Misses != 1 || st.Deletes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.HitRatio(); got != 0.5 {
+		t.Errorf("hit ratio = %v", got)
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Error("empty hit ratio != 0")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	c, _ := newTestCache(t, Options{})
+	_ = c.Set("k", []byte("abc"), 0, 0)
+	it, _ := c.Get("k")
+	it.Value[0] = 'X'
+	it2, _ := c.Get("k")
+	if string(it2.Value) != "abc" {
+		t.Error("Get exposed internal buffer")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, _ := newTestCache(t, Options{Shards: 8, MaxBytes: 1 << 20})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("w%d-%d", w, i%50)
+				_ = c.Set(k, []byte("v"), 0, 0)
+				_, _ = c.Get(k)
+				if i%10 == 0 {
+					_ = c.Delete(k)
+				}
+				if i%25 == 0 {
+					_, _ = c.IncrDecr("ctr", 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Property: after Set(k, v), Get(k) returns v (until expiry/eviction
+// pressure, absent here).
+func TestPropertyGetAfterSet(t *testing.T) {
+	c, _ := newTestCache(t, Options{MaxBytes: 64 << 20})
+	f := func(rawKey []byte, value []byte) bool {
+		key := sanitizeKey(rawKey)
+		if key == "" {
+			return true
+		}
+		if err := c.Set(key, value, 3, 0); err != nil {
+			return false
+		}
+		it, err := c.Get(key)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(it.Value, value) && it.Flags == 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Len() and Bytes() never go negative and bytes stay within
+// budget plus one item of slack.
+func TestPropertyAccountingInvariants(t *testing.T) {
+	c, _ := newTestCache(t, Options{Shards: 2, MaxBytes: 4096, MaxItemSize: 256})
+	f := func(ops []uint8) bool {
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", int(op)%17)
+			switch op % 4 {
+			case 0:
+				_ = c.Set(key, bytes.Repeat([]byte("v"), int(op)%200), 0, 0)
+			case 1:
+				_, _ = c.Get(key)
+			case 2:
+				_ = c.Delete(key)
+			case 3:
+				_ = c.Set(key, []byte{byte(i)}, 0, 0)
+			}
+			if c.Len() < 0 || c.Bytes() < 0 {
+				return false
+			}
+		}
+		// Per-shard budget is MaxBytes/shards but never below one item;
+		// 2 shards * (256+64) slack.
+		return c.Bytes() <= 4096+2*(256+itemOverhead)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeKey(raw []byte) string {
+	var b strings.Builder
+	for _, ch := range raw {
+		if ch > ' ' && ch != 0x7f && b.Len() < MaxKeyLen {
+			b.WriteByte(ch)
+		}
+	}
+	return b.String()
+}

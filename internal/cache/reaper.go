@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Reaper proactively removes expired items in the background, bounding
+// the memory held by dead items between accesses (the cache otherwise
+// reaps lazily, on lookup). Modeled on memcached's crawler: each tick it
+// samples a bounded number of items per shard, so a tick's cost is
+// constant regardless of cache size.
+type Reaper struct {
+	cache    *Cache
+	interval time.Duration
+	sample   int
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewReaper creates (but does not start) a reaper that wakes every
+// interval and examines up to samplePerShard items in each shard.
+func NewReaper(c *Cache, interval time.Duration, samplePerShard int) (*Reaper, error) {
+	if c == nil {
+		return nil, fmt.Errorf("cache: reaper needs a cache")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("cache: reaper interval %v must be positive", interval)
+	}
+	if samplePerShard < 1 {
+		return nil, fmt.Errorf("cache: reaper sample %d must be >= 1", samplePerShard)
+	}
+	return &Reaper{
+		cache:    c,
+		interval: interval,
+		sample:   samplePerShard,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Start launches the background goroutine. It may be called once.
+func (r *Reaper) Start() {
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(r.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				r.cache.ReapExpired(r.sample)
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop signals the goroutine to exit and waits for it.
+func (r *Reaper) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// ReapExpired makes one reaping pass over every shard, examining up to
+// samplePerShard items each (map iteration order provides the random
+// sample) and removing the expired ones. It returns the number reaped
+// and is safe to call directly (the Reaper just calls it on a timer).
+func (c *Cache) ReapExpired(samplePerShard int) int {
+	if samplePerShard < 1 {
+		return 0
+	}
+	now := c.clock()
+	reaped := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		examined := 0
+		var victims []string
+		for key, e := range s.items {
+			if examined >= samplePerShard {
+				break
+			}
+			examined++
+			if e.expired(now) {
+				victims = append(victims, key)
+			}
+		}
+		for _, key := range victims {
+			s.remove(key)
+			c.expirations.Add(1)
+			reaped++
+		}
+		s.mu.Unlock()
+	}
+	return reaped
+}

@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestReaperValidation(t *testing.T) {
+	c, _ := newTestCache(t, Options{})
+	if _, err := NewReaper(nil, time.Second, 10); err == nil {
+		t.Error("nil cache accepted")
+	}
+	if _, err := NewReaper(c, 0, 10); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewReaper(c, time.Second, 0); err == nil {
+		t.Error("zero sample accepted")
+	}
+}
+
+func TestReapExpiredRemovesDeadItems(t *testing.T) {
+	c, clk := newTestCache(t, Options{Shards: 2})
+	for i := 0; i < 20; i++ {
+		_ = c.Set(fmt.Sprintf("dead-%d", i), []byte("v"), 0, time.Second)
+	}
+	for i := 0; i < 20; i++ {
+		_ = c.Set(fmt.Sprintf("live-%d", i), []byte("v"), 0, time.Hour)
+	}
+	clk.Advance(2 * time.Second)
+	// Several passes with a large sample reap everything expired.
+	total := 0
+	for i := 0; i < 5; i++ {
+		total += c.ReapExpired(100)
+	}
+	if total != 20 {
+		t.Errorf("reaped %d, want 20", total)
+	}
+	if got := c.Len(); got != 20 {
+		t.Errorf("len = %d, want 20 live items", got)
+	}
+	if got := c.Stats().Expirations; got != 20 {
+		t.Errorf("expirations = %d", got)
+	}
+	if c.ReapExpired(0) != 0 {
+		t.Error("zero sample should be a no-op")
+	}
+}
+
+func TestReapExpiredBoundedWork(t *testing.T) {
+	c, clk := newTestCache(t, Options{Shards: 1})
+	for i := 0; i < 100; i++ {
+		_ = c.Set(fmt.Sprintf("k-%d", i), []byte("v"), 0, time.Second)
+	}
+	clk.Advance(2 * time.Second)
+	// One pass with sample 10 examines at most 10 items in the shard.
+	if got := c.ReapExpired(10); got > 10 {
+		t.Errorf("one bounded pass reaped %d > 10", got)
+	}
+}
+
+func TestReaperBackgroundLoop(t *testing.T) {
+	clk := newFakeClock()
+	c, err := New(Options{Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		_ = c.Set(fmt.Sprintf("k-%d", i), []byte("v"), 0, time.Second)
+	}
+	clk.Advance(2 * time.Second)
+	r, err := NewReaper(c, time.Millisecond, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	r.Stop()
+	r.Stop() // idempotent
+	if got := c.Len(); got != 0 {
+		t.Errorf("len = %d after reaping", got)
+	}
+}
+
+func TestSlabClasses(t *testing.T) {
+	c, _ := newTestCache(t, Options{MaxBytes: 16 << 20, MaxItemSize: 1 << 20})
+	// Tiny items (cost ~70B -> class 128) and big items (cost ~4KiB+).
+	for i := 0; i < 5; i++ {
+		_ = c.Set(fmt.Sprintf("small-%d", i), []byte("v"), 0, 0)
+	}
+	big := make([]byte, 4000)
+	for i := 0; i < 3; i++ {
+		_ = c.Set(fmt.Sprintf("big-%d", i), big, 0, 0)
+	}
+	classes := c.SlabClasses()
+	if len(classes) < 2 {
+		t.Fatalf("classes = %d, want >= 2", len(classes))
+	}
+	var totalItems, totalBytes int64
+	for i, sc := range classes {
+		if i > 0 && sc.ChunkSize <= classes[i-1].ChunkSize {
+			t.Error("classes not sorted ascending")
+		}
+		if sc.ChunkSize&(sc.ChunkSize-1) != 0 {
+			t.Errorf("chunk size %d not a power of two", sc.ChunkSize)
+		}
+		totalItems += sc.Items
+		totalBytes += sc.Bytes
+	}
+	if totalItems != 8 {
+		t.Errorf("total items = %d", totalItems)
+	}
+	if totalBytes != c.Bytes() {
+		t.Errorf("class bytes %d != cache bytes %d", totalBytes, c.Bytes())
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	tests := []struct {
+		give int64
+		want int64
+	}{
+		{1, 64}, {64, 64}, {65, 128}, {128, 128}, {129, 256}, {4096, 4096}, {4097, 8192},
+	}
+	for _, tt := range tests {
+		if got := classFor(tt.give); got != tt.want {
+			t.Errorf("classFor(%d) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestGetAndTouch(t *testing.T) {
+	c, clk := newTestCache(t, Options{})
+	_ = c.Set("k", []byte("v"), 9, time.Second)
+	it, err := c.GetAndTouch("k", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(it.Value) != "v" || it.Flags != 9 {
+		t.Errorf("item = %+v", it)
+	}
+	clk.Advance(10 * time.Second) // would have expired without the touch
+	if _, err := c.Get("k"); err != nil {
+		t.Errorf("gat did not extend life: %v", err)
+	}
+	if _, err := c.GetAndTouch("absent", time.Hour); err != ErrNotFound {
+		t.Errorf("gat absent: %v", err)
+	}
+	if _, err := c.GetAndTouch("", time.Hour); err != ErrKeyInvalid {
+		t.Errorf("gat invalid key: %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package cache
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// SlabClass summarizes the items whose per-item cost falls into one
+// power-of-two size class — the accounting view memcached exposes via
+// "stats slabs"/"stats items". memqlat does not allocate from real
+// slabs (Go's allocator does the pooling), but class-level accounting
+// is what operators use to reason about eviction pressure per item
+// size, so the view is preserved.
+type SlabClass struct {
+	// ChunkSize is the class upper bound in bytes (power of two).
+	ChunkSize int64
+	// Items is the number of live items in the class.
+	Items int64
+	// Bytes is the accounted cost of those items.
+	Bytes int64
+}
+
+// classFor buckets a cost into its power-of-two class, minimum 64.
+func classFor(cost int64) int64 {
+	if cost <= 64 {
+		return 64
+	}
+	return 1 << bits.Len64(uint64(cost-1))
+}
+
+// SlabClasses walks every shard and aggregates per-class item counts
+// and byte totals, returned in ascending chunk-size order. The walk
+// holds each shard lock briefly; counts are a consistent snapshot per
+// shard but not across shards (same as memcached).
+func (c *Cache) SlabClasses() []SlabClass {
+	acc := make(map[int64]*SlabClass)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, e := range s.items {
+			cost := e.cost()
+			cls := classFor(cost)
+			sc, ok := acc[cls]
+			if !ok {
+				sc = &SlabClass{ChunkSize: cls}
+				acc[cls] = sc
+			}
+			sc.Items++
+			sc.Bytes += cost
+		}
+		s.mu.Unlock()
+	}
+	out := make([]SlabClass, 0, len(acc))
+	for _, sc := range acc {
+		out = append(out, *sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ChunkSize < out[j].ChunkSize })
+	return out
+}

@@ -1,0 +1,587 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"memqlat/internal/protocol"
+)
+
+// Common errors.
+var (
+	// ErrCacheMiss: the key was not in the cache.
+	ErrCacheMiss = errors.New("client: cache miss")
+	// ErrNotStored: a conditional store's precondition failed.
+	ErrNotStored = errors.New("client: not stored")
+	// ErrCASConflict: a CompareAndSwap lost the race.
+	ErrCASConflict = errors.New("client: cas conflict")
+	// ErrClosed: the client was closed.
+	ErrClosed = errors.New("client: closed")
+)
+
+// Item is a cached value.
+type Item struct {
+	Key   string
+	Value []byte
+	Flags uint32
+	CAS   uint64
+}
+
+// Filler fetches a missed key from the store of record (the back-end
+// database): the cache-miss relay path of the paper's model.
+type Filler interface {
+	Get(ctx context.Context, key string) ([]byte, error)
+}
+
+// Options configures a Client.
+type Options struct {
+	// Servers lists memcached server addresses (required).
+	Servers []string
+	// Selector maps keys to servers (default: ketama ring).
+	Selector Selector
+	// PoolSize caps idle connections per server (default 4).
+	PoolSize int
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// OpTimeout bounds one round trip (default 2s).
+	OpTimeout time.Duration
+	// Filler, when set, is consulted on Get misses via GetThrough and
+	// the fetched value is written back to the cache.
+	Filler Filler
+	// FillTTL is the expiry used for filled values (default 0 = none).
+	FillTTL time.Duration
+}
+
+// Client is a connection-pooled memcached client.
+type Client struct {
+	opts     Options
+	selector Selector
+
+	mu     sync.Mutex
+	pools  []chan *conn
+	closed bool
+}
+
+// conn is one pooled connection.
+type conn struct {
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+}
+
+// New validates options and constructs a Client.
+func New(opts Options) (*Client, error) {
+	if len(opts.Servers) == 0 {
+		return nil, errors.New("client: at least one server required")
+	}
+	if opts.Selector == nil {
+		ring, err := NewRingSelector(len(opts.Servers), 0)
+		if err != nil {
+			return nil, err
+		}
+		opts.Selector = ring
+	}
+	if opts.Selector.N() != len(opts.Servers) {
+		return nil, fmt.Errorf("client: selector covers %d servers, have %d",
+			opts.Selector.N(), len(opts.Servers))
+	}
+	if opts.PoolSize == 0 {
+		opts.PoolSize = 4
+	}
+	if opts.PoolSize < 0 {
+		return nil, fmt.Errorf("client: PoolSize=%d must be positive", opts.PoolSize)
+	}
+	if opts.DialTimeout == 0 {
+		opts.DialTimeout = 2 * time.Second
+	}
+	if opts.OpTimeout == 0 {
+		opts.OpTimeout = 2 * time.Second
+	}
+	c := &Client{opts: opts, selector: opts.Selector}
+	c.pools = make([]chan *conn, len(opts.Servers))
+	for i := range c.pools {
+		c.pools[i] = make(chan *conn, opts.PoolSize)
+	}
+	return c, nil
+}
+
+// Close releases all pooled connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, pool := range c.pools {
+		for {
+			select {
+			case cn := <-pool:
+				_ = cn.nc.Close()
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+	return nil
+}
+
+// acquire returns a pooled or fresh connection to server idx.
+func (c *Client) acquire(idx int) (*conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	pool := c.pools[idx]
+	c.mu.Unlock()
+	select {
+	case cn := <-pool:
+		return cn, nil
+	default:
+	}
+	nc, err := net.DialTimeout("tcp", c.opts.Servers[idx], c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", c.opts.Servers[idx], err)
+	}
+	return &conn{
+		nc: nc,
+		r:  bufio.NewReader(nc),
+		w:  bufio.NewWriter(nc),
+	}, nil
+}
+
+// release returns a healthy connection to the pool (or closes it when
+// the pool is full or the client closed).
+func (c *Client) release(idx int, cn *conn, healthy bool) {
+	if !healthy {
+		_ = cn.nc.Close()
+		return
+	}
+	c.mu.Lock()
+	closed := c.closed
+	pool := c.pools[idx]
+	c.mu.Unlock()
+	if closed {
+		_ = cn.nc.Close()
+		return
+	}
+	select {
+	case pool <- cn:
+	default:
+		_ = cn.nc.Close()
+	}
+}
+
+// roundTrip runs fn on a connection to server idx with the op deadline
+// applied, recycling the connection on success.
+func (c *Client) roundTrip(idx int, fn func(*conn) error) error {
+	cn, err := c.acquire(idx)
+	if err != nil {
+		return err
+	}
+	if err := cn.nc.SetDeadline(time.Now().Add(c.opts.OpTimeout)); err != nil {
+		c.release(idx, cn, false)
+		return fmt.Errorf("client: set deadline: %w", err)
+	}
+	if err := fn(cn); err != nil {
+		// Protocol-level outcomes (miss, not-stored, cas conflict,
+		// server error lines) leave the stream positioned at a command
+		// boundary and the connection reusable; only transport/parse
+		// errors poison it.
+		c.release(idx, cn, isProtocolOutcome(err))
+		return err
+	}
+	c.release(idx, cn, true)
+	return nil
+}
+
+// isProtocolOutcome reports whether err is an application-level reply
+// rather than a broken connection.
+func isProtocolOutcome(err error) bool {
+	var se *protocol.ServerError
+	return errors.Is(err, ErrCacheMiss) ||
+		errors.Is(err, ErrNotStored) ||
+		errors.Is(err, ErrCASConflict) ||
+		errors.As(err, &se)
+}
+
+// pickServer exposes the key-to-server mapping (used by the load
+// generator to steer per-server load).
+func (c *Client) pickServer(key string) int { return c.selector.Pick(key) }
+
+// ServerFor returns the address that owns key.
+func (c *Client) ServerFor(key string) string {
+	return c.opts.Servers[c.pickServer(key)]
+}
+
+// Get fetches one key, returning ErrCacheMiss when absent.
+func (c *Client) Get(key string) (Item, error) {
+	items, err := c.getFromServer(c.pickServer(key), []string{key}, false)
+	if err != nil {
+		return Item{}, err
+	}
+	if len(items) == 0 {
+		return Item{}, ErrCacheMiss
+	}
+	return items[0], nil
+}
+
+// Gets fetches one key with its CAS token.
+func (c *Client) Gets(key string) (Item, error) {
+	items, err := c.getFromServer(c.pickServer(key), []string{key}, true)
+	if err != nil {
+		return Item{}, err
+	}
+	if len(items) == 0 {
+		return Item{}, ErrCacheMiss
+	}
+	return items[0], nil
+}
+
+func (c *Client) getFromServer(idx int, keys []string, withCAS bool) ([]Item, error) {
+	verb := "get"
+	if withCAS {
+		verb = "gets"
+	}
+	var out []Item
+	err := c.roundTrip(idx, func(cn *conn) error {
+		if _, err := cn.w.WriteString(verb); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := cn.w.WriteString(" " + k); err != nil {
+				return err
+			}
+		}
+		if _, err := cn.w.WriteString("\r\n"); err != nil {
+			return err
+		}
+		if err := cn.w.Flush(); err != nil {
+			return err
+		}
+		items, err := protocol.ReadRetrieval(cn.r)
+		if err != nil {
+			return err
+		}
+		out = make([]Item, len(items))
+		for i, it := range items {
+			out[i] = Item{Key: it.Key, Value: it.Value, Flags: it.Flags, CAS: it.CAS}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetThrough fetches key from the cache, falling back to the configured
+// Filler (the database) on a miss and writing the value back — the
+// paper's two-stage read path. The returned bool reports whether the
+// read hit the cache.
+func (c *Client) GetThrough(ctx context.Context, key string) (Item, bool, error) {
+	it, err := c.Get(key)
+	if err == nil {
+		return it, true, nil
+	}
+	if !errors.Is(err, ErrCacheMiss) {
+		return Item{}, false, err
+	}
+	if c.opts.Filler == nil {
+		return Item{}, false, ErrCacheMiss
+	}
+	value, err := c.opts.Filler.Get(ctx, key)
+	if err != nil {
+		return Item{}, false, fmt.Errorf("client: fill %q: %w", key, err)
+	}
+	// Write-back is best-effort: a racing eviction must not fail the read.
+	_ = c.Set(key, value, 0, c.opts.FillTTL)
+	return Item{Key: key, Value: value}, false, nil
+}
+
+// MultiGet fetches many keys with fork-join fan-out: keys are grouped by
+// owning server, the groups are issued in parallel, and the call returns
+// when the slowest server answers — exactly the request/N-keys join the
+// model analyzes. Missing keys are absent from the result map.
+func (c *Client) MultiGet(keys []string) (map[string]Item, error) {
+	groups := make(map[int][]string)
+	for _, k := range keys {
+		idx := c.pickServer(k)
+		groups[idx] = append(groups[idx], k)
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		out      = make(map[string]Item, len(keys))
+		wg       sync.WaitGroup
+	)
+	for idx, group := range groups {
+		idx, group := idx, group
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			items, err := c.getFromServer(idx, group, false)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for _, it := range items {
+				out[it.Key] = it
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// storage runs one storage-class command.
+func (c *Client) storage(verb, key string, value []byte, flags uint32, ttl time.Duration, cas uint64) error {
+	exptime := exptimeFromTTL(ttl)
+	return c.roundTrip(c.pickServer(key), func(cn *conn) error {
+		var header string
+		if verb == "cas" {
+			header = fmt.Sprintf("cas %s %d %d %d %d\r\n", key, flags, exptime, len(value), cas)
+		} else {
+			header = fmt.Sprintf("%s %s %d %d %d\r\n", verb, key, flags, exptime, len(value))
+		}
+		if _, err := cn.w.WriteString(header); err != nil {
+			return err
+		}
+		if _, err := cn.w.Write(value); err != nil {
+			return err
+		}
+		if _, err := cn.w.WriteString("\r\n"); err != nil {
+			return err
+		}
+		if err := cn.w.Flush(); err != nil {
+			return err
+		}
+		line, err := protocol.ReadLineReply(cn.r)
+		if err != nil {
+			return err
+		}
+		switch line {
+		case protocol.RespStored:
+			return nil
+		case protocol.RespNotStored:
+			return ErrNotStored
+		case protocol.RespExists:
+			return ErrCASConflict
+		case protocol.RespNotFound:
+			return ErrCacheMiss
+		default:
+			return fmt.Errorf("client: unexpected reply %q", line)
+		}
+	})
+}
+
+func exptimeFromTTL(ttl time.Duration) int64 {
+	if ttl <= 0 {
+		return 0
+	}
+	secs := int64(ttl / time.Second)
+	if secs == 0 {
+		secs = 1
+	}
+	return secs
+}
+
+// Set stores a value unconditionally.
+func (c *Client) Set(key string, value []byte, flags uint32, ttl time.Duration) error {
+	return c.storage("set", key, value, flags, ttl, 0)
+}
+
+// Add stores a value only if absent.
+func (c *Client) Add(key string, value []byte, flags uint32, ttl time.Duration) error {
+	return c.storage("add", key, value, flags, ttl, 0)
+}
+
+// Replace stores a value only if present.
+func (c *Client) Replace(key string, value []byte, flags uint32, ttl time.Duration) error {
+	return c.storage("replace", key, value, flags, ttl, 0)
+}
+
+// CompareAndSwap stores a value if the CAS token still matches.
+func (c *Client) CompareAndSwap(key string, value []byte, flags uint32, ttl time.Duration, cas uint64) error {
+	return c.storage("cas", key, value, flags, ttl, cas)
+}
+
+// Delete removes a key; ErrCacheMiss when absent.
+func (c *Client) Delete(key string) error {
+	return c.roundTrip(c.pickServer(key), func(cn *conn) error {
+		if _, err := fmt.Fprintf(cn.w, "delete %s\r\n", key); err != nil {
+			return err
+		}
+		if err := cn.w.Flush(); err != nil {
+			return err
+		}
+		line, err := protocol.ReadLineReply(cn.r)
+		if err != nil {
+			return err
+		}
+		switch line {
+		case protocol.RespDeleted:
+			return nil
+		case protocol.RespNotFound:
+			return ErrCacheMiss
+		default:
+			return fmt.Errorf("client: unexpected reply %q", line)
+		}
+	})
+}
+
+// Incr atomically adds delta to a numeric value.
+func (c *Client) Incr(key string, delta uint64) (uint64, error) {
+	return c.incrDecr("incr", key, delta)
+}
+
+// Decr atomically subtracts delta (floored at zero).
+func (c *Client) Decr(key string, delta uint64) (uint64, error) {
+	return c.incrDecr("decr", key, delta)
+}
+
+func (c *Client) incrDecr(verb, key string, delta uint64) (uint64, error) {
+	var result uint64
+	err := c.roundTrip(c.pickServer(key), func(cn *conn) error {
+		if _, err := fmt.Fprintf(cn.w, "%s %s %d\r\n", verb, key, delta); err != nil {
+			return err
+		}
+		if err := cn.w.Flush(); err != nil {
+			return err
+		}
+		line, err := protocol.ReadLineReply(cn.r)
+		if err != nil {
+			return err
+		}
+		if line == protocol.RespNotFound {
+			return ErrCacheMiss
+		}
+		n, err := strconv.ParseUint(line, 10, 64)
+		if err != nil {
+			return fmt.Errorf("client: unexpected reply %q", line)
+		}
+		result = n
+		return nil
+	})
+	return result, err
+}
+
+// GetAndTouch atomically fetches a key and refreshes its TTL (the
+// protocol's gat command); ErrCacheMiss when absent.
+func (c *Client) GetAndTouch(key string, ttl time.Duration) (Item, error) {
+	var out Item
+	err := c.roundTrip(c.pickServer(key), func(cn *conn) error {
+		if _, err := fmt.Fprintf(cn.w, "gat %d %s\r\n", exptimeFromTTL(ttl), key); err != nil {
+			return err
+		}
+		if err := cn.w.Flush(); err != nil {
+			return err
+		}
+		items, err := protocol.ReadRetrieval(cn.r)
+		if err != nil {
+			return err
+		}
+		if len(items) == 0 {
+			return ErrCacheMiss
+		}
+		out = Item{
+			Key:   items[0].Key,
+			Value: items[0].Value,
+			Flags: items[0].Flags,
+			CAS:   items[0].CAS,
+		}
+		return nil
+	})
+	if err != nil {
+		return Item{}, err
+	}
+	return out, nil
+}
+
+// Touch refreshes a key's TTL.
+func (c *Client) Touch(key string, ttl time.Duration) error {
+	return c.roundTrip(c.pickServer(key), func(cn *conn) error {
+		if _, err := fmt.Fprintf(cn.w, "touch %s %d\r\n", key, exptimeFromTTL(ttl)); err != nil {
+			return err
+		}
+		if err := cn.w.Flush(); err != nil {
+			return err
+		}
+		line, err := protocol.ReadLineReply(cn.r)
+		if err != nil {
+			return err
+		}
+		switch line {
+		case protocol.RespTouched:
+			return nil
+		case protocol.RespNotFound:
+			return ErrCacheMiss
+		default:
+			return fmt.Errorf("client: unexpected reply %q", line)
+		}
+	})
+}
+
+// ServerStats fetches the stats table from server idx.
+func (c *Client) ServerStats(idx int) (map[string]string, error) {
+	if idx < 0 || idx >= len(c.opts.Servers) {
+		return nil, fmt.Errorf("client: server index %d out of range", idx)
+	}
+	var out map[string]string
+	err := c.roundTrip(idx, func(cn *conn) error {
+		if _, err := cn.w.WriteString("stats\r\n"); err != nil {
+			return err
+		}
+		if err := cn.w.Flush(); err != nil {
+			return err
+		}
+		m, err := protocol.ReadStats(cn.r)
+		if err != nil {
+			return err
+		}
+		out = m
+		return nil
+	})
+	return out, err
+}
+
+// FlushAll clears every server.
+func (c *Client) FlushAll() error {
+	for idx := range c.opts.Servers {
+		err := c.roundTrip(idx, func(cn *conn) error {
+			if _, err := cn.w.WriteString("flush_all\r\n"); err != nil {
+				return err
+			}
+			if err := cn.w.Flush(); err != nil {
+				return err
+			}
+			line, err := protocol.ReadLineReply(cn.r)
+			if err != nil {
+				return err
+			}
+			if line != protocol.RespOK {
+				return fmt.Errorf("client: unexpected reply %q", line)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"testing"
+	"time"
+
+	"memqlat/internal/backend"
+	"memqlat/internal/cache"
+	"memqlat/internal/server"
+)
+
+// startCluster launches n memcached servers on loopback and returns
+// their addresses.
+func startCluster(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		c, err := cache.New(cache.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Options{Cache: c, Logger: log.New(io.Discard, "", 0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = srv.Serve(l)
+		}()
+		t.Cleanup(func() {
+			_ = srv.Close()
+			<-done
+		})
+	}
+	return addrs
+}
+
+func newClient(t *testing.T, addrs []string, mutate func(*Options)) *Client {
+	t.Helper()
+	opts := Options{Servers: addrs}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("no servers accepted")
+	}
+	sel, _ := NewModuloSelector(2)
+	if _, err := New(Options{Servers: []string{"a"}, Selector: sel}); err == nil {
+		t.Error("selector/server count mismatch accepted")
+	}
+	if _, err := New(Options{Servers: []string{"a"}, PoolSize: -1}); err == nil {
+		t.Error("negative pool accepted")
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	addrs := startCluster(t, 2)
+	c := newClient(t, addrs, nil)
+	if err := c.Set("k", []byte("v"), 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	it, err := c.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(it.Value) != "v" || it.Flags != 7 {
+		t.Errorf("item = %+v", it)
+	}
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrCacheMiss) {
+		t.Errorf("err = %v", err)
+	}
+	if err := c.Delete("k"); !errors.Is(err, ErrCacheMiss) {
+		t.Errorf("double delete err = %v", err)
+	}
+}
+
+func TestConditionalStores(t *testing.T) {
+	addrs := startCluster(t, 1)
+	c := newClient(t, addrs, nil)
+	if err := c.Replace("k", []byte("v"), 0, 0); !errors.Is(err, ErrNotStored) {
+		t.Errorf("replace absent: %v", err)
+	}
+	if err := c.Add("k", []byte("v"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("k", []byte("v2"), 0, 0); !errors.Is(err, ErrNotStored) {
+		t.Errorf("add present: %v", err)
+	}
+	if err := c.Replace("k", []byte("v3"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCASFlow(t *testing.T) {
+	addrs := startCluster(t, 1)
+	c := newClient(t, addrs, nil)
+	_ = c.Set("k", []byte("v1"), 0, 0)
+	it, err := c.Gets("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.CAS == 0 {
+		t.Fatal("zero cas")
+	}
+	if err := c.CompareAndSwap("k", []byte("v2"), 0, 0, it.CAS); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompareAndSwap("k", []byte("v3"), 0, 0, it.CAS); !errors.Is(err, ErrCASConflict) {
+		t.Errorf("stale cas err = %v", err)
+	}
+}
+
+func TestIncrDecrTouch(t *testing.T) {
+	addrs := startCluster(t, 1)
+	c := newClient(t, addrs, nil)
+	_ = c.Set("n", []byte("41"), 0, 0)
+	n, err := c.Incr("n", 1)
+	if err != nil || n != 42 {
+		t.Fatalf("incr: %v %v", n, err)
+	}
+	n, err = c.Decr("n", 2)
+	if err != nil || n != 40 {
+		t.Fatalf("decr: %v %v", n, err)
+	}
+	if _, err := c.Incr("missing", 1); !errors.Is(err, ErrCacheMiss) {
+		t.Errorf("incr missing: %v", err)
+	}
+	if err := c.Touch("n", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Touch("missing", time.Hour); !errors.Is(err, ErrCacheMiss) {
+		t.Errorf("touch missing: %v", err)
+	}
+}
+
+func TestMultiGetForkJoin(t *testing.T) {
+	addrs := startCluster(t, 4)
+	c := newClient(t, addrs, nil)
+	var keys []string
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		keys = append(keys, k)
+		if err := c.Set(k, []byte(fmt.Sprintf("val-%d", i)), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys = append(keys, "absent-1", "absent-2")
+	out, err := c.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 50 {
+		t.Fatalf("got %d items", len(out))
+	}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if string(out[k].Value) != fmt.Sprintf("val-%d", i) {
+			t.Errorf("%s = %q", k, out[k].Value)
+		}
+	}
+	if _, ok := out["absent-1"]; ok {
+		t.Error("absent key present")
+	}
+	// The 50 keys must actually spread over all 4 servers.
+	seen := make(map[int]bool)
+	for _, k := range keys {
+		seen[c.pickServer(k)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("keys hit only %d servers", len(seen))
+	}
+}
+
+func TestGetThroughFillsOnMiss(t *testing.T) {
+	addrs := startCluster(t, 2)
+	db, err := backend.New(backend.Options{MuD: 1e6, ValueSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	c := newClient(t, addrs, func(o *Options) { o.Filler = db })
+
+	it, hit, err := c.GetThrough(context.Background(), "warm-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first read reported a hit")
+	}
+	if !bytes.Equal(it.Value, db.ValueFor("warm-me")) {
+		t.Error("filled value mismatch")
+	}
+	// Second read hits the cache.
+	it2, hit2, err := c.GetThrough(context.Background(), "warm-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit2 {
+		t.Error("second read missed")
+	}
+	if !bytes.Equal(it2.Value, it.Value) {
+		t.Error("cached value differs from filled value")
+	}
+}
+
+func TestGetThroughWithoutFiller(t *testing.T) {
+	addrs := startCluster(t, 1)
+	c := newClient(t, addrs, nil)
+	if _, _, err := c.GetThrough(context.Background(), "nope"); !errors.Is(err, ErrCacheMiss) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFlushAllAndStats(t *testing.T) {
+	addrs := startCluster(t, 2)
+	c := newClient(t, addrs, nil)
+	_ = c.Set("a", []byte("1"), 0, 0)
+	_ = c.Set("b", []byte("2"), 0, 0)
+	st, err := c.ServerStats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["version"] == "" {
+		t.Error("missing version stat")
+	}
+	if _, err := c.ServerStats(5); err == nil {
+		t.Error("bad index accepted")
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("a"); !errors.Is(err, ErrCacheMiss) {
+		t.Error("item survived flush")
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	addrs := startCluster(t, 1)
+	c := newClient(t, addrs, nil)
+	_ = c.Close()
+	_ = c.Close() // idempotent
+	if err := c.Set("k", []byte("v"), 0, 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDeadServerSurfacesError(t *testing.T) {
+	c := newClient(t, []string{"127.0.0.1:1"}, func(o *Options) {
+		o.DialTimeout = 200 * time.Millisecond
+	})
+	if _, err := c.Get("k"); err == nil {
+		t.Error("dead server did not error")
+	}
+}
+
+func TestConnectionReuse(t *testing.T) {
+	addrs := startCluster(t, 1)
+	c := newClient(t, addrs, func(o *Options) { o.PoolSize = 1 })
+	for i := 0; i < 20; i++ {
+		if err := c.Set("k", []byte("v"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Get("k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All 40 ops over one pooled connection: the server should report
+	// few total connections.
+	st, err := c.ServerStats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["total_connections"] > "3" { // string compare fine for single digit
+		t.Errorf("total_connections = %s", st["total_connections"])
+	}
+}
+
+func TestGetAndTouch(t *testing.T) {
+	addrs := startCluster(t, 1)
+	c := newClient(t, addrs, nil)
+	if err := c.Set("k", []byte("v"), 3, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	it, err := c.GetAndTouch("k", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(it.Value) != "v" || it.Flags != 3 {
+		t.Errorf("item = %+v", it)
+	}
+	if _, err := c.GetAndTouch("missing", time.Hour); !errors.Is(err, ErrCacheMiss) {
+		t.Errorf("gat missing: %v", err)
+	}
+}
+
+func TestMissDoesNotPoisonConnection(t *testing.T) {
+	addrs := startCluster(t, 1)
+	c := newClient(t, addrs, func(o *Options) { o.PoolSize = 1 })
+	// Interleave misses and hits on the single pooled connection: a miss
+	// must not discard the connection.
+	_ = c.Set("k", []byte("v"), 0, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Get("missing"); !errors.Is(err, ErrCacheMiss) {
+			t.Fatalf("miss %d: %v", i, err)
+		}
+		if _, err := c.Get("k"); err != nil {
+			t.Fatalf("hit %d: %v", i, err)
+		}
+	}
+	st, err := c.ServerStats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["total_connections"] > "3" {
+		t.Errorf("misses churned connections: total_connections = %s", st["total_connections"])
+	}
+}

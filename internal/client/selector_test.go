@@ -1,0 +1,136 @@
+package client
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestModuloSelector(t *testing.T) {
+	if _, err := NewModuloSelector(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	m, err := NewModuloSelector(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 4 {
+		t.Errorf("N = %d", m.N())
+	}
+	for i := 0; i < 100; i++ {
+		idx := m.Pick(fmt.Sprintf("key-%d", i))
+		if idx < 0 || idx >= 4 {
+			t.Fatalf("pick out of range: %d", idx)
+		}
+	}
+}
+
+func TestRingSelectorValidation(t *testing.T) {
+	if _, err := NewRingSelector(0, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestRingSelectorBalance(t *testing.T) {
+	r, err := NewRingSelector(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(fmt.Sprintf("key-%d", i))]++
+	}
+	for s, c := range counts {
+		share := float64(c) / n
+		if share < 0.15 || share > 0.35 {
+			t.Errorf("server %d share = %v, want ~0.25", s, share)
+		}
+	}
+}
+
+func TestRingSelectorStability(t *testing.T) {
+	// Removing one server moves only ~1/n of the keys.
+	r4, _ := NewRingSelector(4, 0)
+	r3, _ := NewRingSelector(3, 0)
+	moved := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		a, b := r4.Pick(key), r3.Pick(key)
+		// Keys on servers 0-2 should mostly stay put.
+		if a < 3 && a != b {
+			moved++
+		}
+	}
+	if frac := float64(moved) / n; frac > 0.25 {
+		t.Errorf("consistent hashing moved %v of stable keys", frac)
+	}
+}
+
+func TestRingSelectorDeterministic(t *testing.T) {
+	a, _ := NewRingSelector(5, 100)
+	b, _ := NewRingSelector(5, 100)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Pick(key) != b.Pick(key) {
+			t.Fatal("ring not deterministic")
+		}
+	}
+}
+
+func TestWeightedSelectorValidation(t *testing.T) {
+	if _, err := NewWeightedSelector(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewWeightedSelector([]float64{-1, 2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestWeightedSelectorProportions(t *testing.T) {
+	w, err := NewWeightedSelector([]float64{0.7, 0.1, 0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != 4 {
+		t.Errorf("N = %d", w.N())
+	}
+	counts := make([]int, 4)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[w.Pick(fmt.Sprintf("key-%d", i))]++
+	}
+	if share := float64(counts[0]) / n; math.Abs(share-0.7) > 0.03 {
+		t.Errorf("heavy server share = %v, want ~0.7", share)
+	}
+	for s := 1; s < 4; s++ {
+		if share := float64(counts[s]) / n; math.Abs(share-0.1) > 0.02 {
+			t.Errorf("light server %d share = %v, want ~0.1", s, share)
+		}
+	}
+}
+
+// Property: every selector is deterministic per key and in range.
+func TestPropertySelectorsDeterministicInRange(t *testing.T) {
+	mod, _ := NewModuloSelector(7)
+	ring, _ := NewRingSelector(7, 40)
+	wt, _ := NewWeightedSelector([]float64{1, 2, 3, 4, 5, 6, 7})
+	sels := []Selector{mod, ring, wt}
+	f := func(key string) bool {
+		for _, s := range sels {
+			a := s.Pick(key)
+			if a != s.Pick(key) {
+				return false
+			}
+			if a < 0 || a >= s.N() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

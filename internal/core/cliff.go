@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"memqlat/internal/dist"
+	"memqlat/internal/queueing"
+)
+
+// CliffMethod selects how the latency cliff point is operationalized.
+// Proposition 2 proves the cliff utilization depends only on the burst
+// degree ξ; the paper does not pin down a formula, so we provide two
+// complementary detectors (see DESIGN.md §4.2).
+type CliffMethod int
+
+const (
+	// CliffDeltaThreshold (the default, used for Table 4) reports the
+	// utilization at which the GI/M/1 root δ reaches a calibrated level
+	// δ* (0.77, chosen so that ξ=0 reproduces the paper's 77%: for
+	// Poisson arrivals δ = ρ exactly).
+	CliffDeltaThreshold CliffMethod = iota + 1
+	// CliffSlope reports the utilization at which the relative latency
+	// sensitivity d ln E[T_S]/dρ reaches a calibrated threshold s*
+	// (1/(1−0.77) ≈ 4.35 per unit ρ, i.e. a 1 pp utilization increase
+	// raising latency by >4.3%; the calibration again anchors ξ=0 at
+	// the paper's 77%). A cross-check for the δ-threshold detector.
+	CliffSlope
+)
+
+// DefaultDeltaStar calibrates CliffDeltaThreshold to the paper's ξ=0 row.
+const DefaultDeltaStar = 0.77
+
+// DefaultSlopeStar calibrates CliffSlope to the paper's ξ=0 row:
+// for M/M/1, d ln(1/(1−ρ))/dρ = 1/(1−ρ) = 1/(1−0.77) at ρ = 0.77.
+const DefaultSlopeStar = 1 / (1 - DefaultDeltaStar)
+
+// CliffOptions tunes the cliff detectors.
+type CliffOptions struct {
+	Method CliffMethod
+	// DeltaStar is the δ level for CliffDeltaThreshold
+	// (DefaultDeltaStar when zero).
+	DeltaStar float64
+	// SlopeStar is the relative-sensitivity threshold for CliffSlope
+	// (DefaultSlopeStar when zero).
+	SlopeStar float64
+}
+
+func (o *CliffOptions) withDefaults() CliffOptions {
+	out := CliffOptions{
+		Method:    CliffDeltaThreshold,
+		DeltaStar: DefaultDeltaStar,
+		SlopeStar: DefaultSlopeStar,
+	}
+	if o == nil {
+		return out
+	}
+	if o.Method != 0 {
+		out.Method = o.Method
+	}
+	if o.DeltaStar > 0 {
+		out.DeltaStar = o.DeltaStar
+	}
+	if o.SlopeStar > 0 {
+		out.SlopeStar = o.SlopeStar
+	}
+	return out
+}
+
+// deltaAt solves the GI/M/1 root for Generalized Pareto arrivals with
+// burst degree xi and concurrency q at utilization rho. The result is
+// scale-free in µ_S (Proposition 2), so a normalized µ_S = 1 is used.
+func deltaAt(xi, q, rho float64) (float64, error) {
+	const muS = 1.0
+	arr, err := dist.NewGeneralizedPareto(xi, (1-q)*rho*muS)
+	if err != nil {
+		return 0, err
+	}
+	bq, err := queueing.NewBatchQueue(arr, q, muS)
+	if err != nil {
+		return 0, err
+	}
+	return bq.Delta()
+}
+
+// CliffUtilization returns the utilization ρ_S(ξ) at which the
+// Memcached-server processing latency reaches its cliff, for burst
+// degree xi and concurrent probability q (Proposition 2 / Table 4).
+func CliffUtilization(xi, q float64, opts *CliffOptions) (float64, error) {
+	if xi < 0 || xi >= 1 || math.IsNaN(xi) {
+		return 0, fmt.Errorf("core: cliff xi=%v must be in [0, 1)", xi)
+	}
+	if q < 0 || q >= 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("core: cliff q=%v must be in [0, 1)", q)
+	}
+	o := opts.withDefaults()
+	switch o.Method {
+	case CliffSlope:
+		return cliffSlope(xi, q, o.SlopeStar)
+	case CliffDeltaThreshold:
+		return cliffDeltaThreshold(xi, q, o.DeltaStar)
+	default:
+		return 0, fmt.Errorf("core: unknown cliff method %d", o.Method)
+	}
+}
+
+// cliffSlope bisects for the ρ at which d ln E[T_S]/dρ = slopeStar,
+// where E[T_S] ∝ 1/(1−δ(ρ)). The sensitivity δ'(ρ)/(1−δ(ρ)) is
+// increasing in ρ (latency is log-convex in utilization), so bisection
+// applies; the derivative is taken by central difference.
+func cliffSlope(xi, q, slopeStar float64) (float64, error) {
+	if !(slopeStar > 0) {
+		return 0, fmt.Errorf("core: slopeStar=%v must be positive", slopeStar)
+	}
+	sens := func(rho float64) (float64, error) {
+		const h = 1e-4
+		dPlus, err := deltaAt(xi, q, rho+h)
+		if err != nil {
+			return 0, err
+		}
+		dMinus, err := deltaAt(xi, q, rho-h)
+		if err != nil {
+			return 0, err
+		}
+		d0, err := deltaAt(xi, q, rho)
+		if err != nil {
+			return 0, err
+		}
+		return (dPlus - dMinus) / (2 * h) / (1 - d0), nil
+	}
+	lo, hi := 1e-3, 1-1e-3
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		s, err := sens(mid)
+		if err != nil {
+			return 0, err
+		}
+		if s < slopeStar {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-6 {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+func cliffDeltaThreshold(xi, q, deltaStar float64) (float64, error) {
+	if deltaStar <= 0 || deltaStar >= 1 {
+		return 0, fmt.Errorf("core: deltaStar=%v must be in (0, 1)", deltaStar)
+	}
+	// δ(ρ) is strictly increasing in ρ with δ(0+) = 0 and δ(1-) = 1:
+	// bisection.
+	lo, hi := 1e-6, 1-1e-6
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		d, err := deltaAt(xi, q, mid)
+		if err != nil {
+			return 0, err
+		}
+		if d < deltaStar {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// CliffRow is one row of Table 4.
+type CliffRow struct {
+	Xi          float64
+	Utilization float64
+}
+
+// CliffTable reproduces Table 4: the cliff utilization for each burst
+// degree, at concurrent probability q.
+func CliffTable(xis []float64, q float64, opts *CliffOptions) ([]CliffRow, error) {
+	rows := make([]CliffRow, 0, len(xis))
+	for _, xi := range xis {
+		u, err := CliffUtilization(xi, q, opts)
+		if err != nil {
+			return nil, fmt.Errorf("xi=%v: %w", xi, err)
+		}
+		rows = append(rows, CliffRow{Xi: xi, Utilization: u})
+	}
+	return rows, nil
+}
+
+// PaperTable4Xis lists the ξ values of the paper's Table 4.
+func PaperTable4Xis() []float64 {
+	xis := make([]float64, 0, 20)
+	for xi := 0.0; xi < 0.951; xi += 0.05 {
+		xis = append(xis, math.Round(xi*100)/100)
+	}
+	return xis
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Elasticity answers the paper's motivating question — "which factor
+// has the most significant impact on the latency" (§1) — numerically:
+// the elasticity of the end-user latency bound with respect to factor x
+// is d ln T / d ln x, i.e. the % latency change per % factor change at
+// the configured operating point. |E| ranks the factors; sign says
+// which direction helps.
+type Elasticity struct {
+	// Factor is the paper's symbol for the knob (Table 2).
+	Factor string
+	// Description says what was perturbed.
+	Description string
+	// Value is d ln T / d ln x at the operating point.
+	Value float64
+}
+
+// totalUpper evaluates the Theorem 1 upper bound on E[T(N)].
+func (c *Config) totalUpper() (float64, error) {
+	est, err := c.Estimate()
+	if err != nil {
+		return 0, err
+	}
+	return est.Total.Hi, nil
+}
+
+// Elasticities evaluates every Table 2 factor's elasticity by central
+// log-difference at the configured operating point, returned sorted by
+// |elasticity| descending (the paper's "most significant" first).
+func (c *Config) Elasticities() ([]Elasticity, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const h = 0.02 // ±2% multiplicative perturbation
+	perturb := func(apply func(*Config, float64)) (float64, error) {
+		up := *c
+		apply(&up, 1+h)
+		tUp, err := up.totalUpper()
+		if err != nil {
+			return 0, err
+		}
+		down := *c
+		apply(&down, 1-h)
+		tDown, err := down.totalUpper()
+		if err != nil {
+			return 0, err
+		}
+		return (math.Log(tUp) - math.Log(tDown)) / (math.Log(1+h) - math.Log(1-h)), nil
+	}
+
+	factors := []struct {
+		symbol string
+		desc   string
+		apply  func(*Config, float64)
+	}{
+		{"λ", "key arrival rate", func(t *Config, f float64) { t.TotalKeyRate *= f }},
+		{"µS", "server service rate", func(t *Config, f float64) { t.MuS *= f }},
+		{"q", "concurrent probability", func(t *Config, f float64) { t.Q *= f }},
+		{"ξ", "burst degree", func(t *Config, f float64) { t.Xi *= f }},
+		{"r", "cache miss ratio", func(t *Config, f float64) { t.MissRatio *= f }},
+		{"µD", "database service rate", func(t *Config, f float64) { t.MuD *= f }},
+		{"N", "keys per request", func(t *Config, f float64) {
+			n := int(math.Round(float64(t.N) * f))
+			if n < 1 {
+				n = 1
+			}
+			t.N = n
+		}},
+	}
+	out := make([]Elasticity, 0, len(factors))
+	for _, f := range factors {
+		v, err := perturb(f.apply)
+		if err != nil {
+			return nil, fmt.Errorf("factor %s: %w", f.symbol, err)
+		}
+		out = append(out, Elasticity{Factor: f.symbol, Description: f.desc, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return math.Abs(out[i].Value) > math.Abs(out[j].Value)
+	})
+	return out, nil
+}

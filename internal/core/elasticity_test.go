@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestElasticitiesFacebookWorkload(t *testing.T) {
+	c := facebook()
+	es, err := c.Elasticities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 7 {
+		t.Fatalf("factors = %d", len(es))
+	}
+	byFactor := make(map[string]float64, len(es))
+	for i, e := range es {
+		byFactor[e.Factor] = e.Value
+		if e.Description == "" {
+			t.Errorf("factor %s missing description", e.Factor)
+		}
+		// Sorted by magnitude descending.
+		if i > 0 && math.Abs(e.Value) > math.Abs(es[i-1].Value)+1e-12 {
+			t.Errorf("ranking not sorted at %d", i)
+		}
+	}
+	// Signs: more load / burst / concurrency / misses / keys hurt;
+	// faster servers and database help.
+	for _, positive := range []string{"λ", "q", "ξ", "r", "N"} {
+		if byFactor[positive] <= 0 {
+			t.Errorf("elasticity of %s = %v, want > 0", positive, byFactor[positive])
+		}
+	}
+	for _, negative := range []string{"µS", "µD"} {
+		if byFactor[negative] >= 0 {
+			t.Errorf("elasticity of %s = %v, want < 0", negative, byFactor[negative])
+		}
+	}
+	// At ρS=78% (past-ish the cliff shoulder) the service-rate and
+	// arrival-rate knobs must dominate the miss ratio, matching the
+	// paper's recommendation hierarchy.
+	if math.Abs(byFactor["µS"]) <= math.Abs(byFactor["r"]) {
+		t.Errorf("µS (%v) should outrank r (%v) at high utilization",
+			byFactor["µS"], byFactor["r"])
+	}
+	// µS helps more than µD: the cache stage is the bottleneck... at
+	// this config TD dominates T, so µD can outrank µS; just require
+	// both to be materially nonzero.
+	if math.Abs(byFactor["µD"]) < 0.1 {
+		t.Errorf("µD elasticity %v unexpectedly tiny", byFactor["µD"])
+	}
+}
+
+func TestElasticitiesLowLoad(t *testing.T) {
+	// At low utilization the λ elasticity shrinks (flat part of the
+	// curve) relative to its high-load value.
+	high := facebook()
+	esHigh, err := high.Elasticities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := facebook()
+	low.TotalKeyRate = 4 * 20000 // rho = 0.25
+	esLow, err := low.Elasticities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(es []Elasticity, f string) float64 {
+		for _, e := range es {
+			if e.Factor == f {
+				return e.Value
+			}
+		}
+		t.Fatalf("factor %s missing", f)
+		return 0
+	}
+	if get(esLow, "λ") >= get(esHigh, "λ") {
+		t.Errorf("λ elasticity low=%v not below high=%v",
+			get(esLow, "λ"), get(esHigh, "λ"))
+	}
+}
+
+func TestElasticitiesInvalidConfig(t *testing.T) {
+	bad := facebook()
+	bad.N = 0
+	if _, err := bad.Elasticities(); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

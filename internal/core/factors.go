@@ -1,0 +1,51 @@
+package core
+
+// Factor describes one latency factor from the paper's Table 2 together
+// with the qualitative law derived in §5.2.
+type Factor struct {
+	Symbol string
+	Name   string
+	Law    string
+}
+
+// Factors returns the paper's Table 2 with the quantitative findings of
+// §5.2/§5.3 attached; cmd/latency-model prints it as a cheat sheet.
+func Factors() []Factor {
+	return []Factor{
+		{
+			Symbol: "q",
+			Name:   "Concurrent probability of keys per Memcached server",
+			Law:    "E[TS(N)] = Θ(1/(1-q)): linear in the mean batch size",
+		},
+		{
+			Symbol: "ξ",
+			Name:   "Burst degree of key arrivals (Generalized Pareto shape)",
+			Law:    "enters through δ; lowers the utilization cliff ρS(ξ) (Table 4)",
+		},
+		{
+			Symbol: "λ",
+			Name:   "Average key arrival rate per Memcached server",
+			Law:    "latency has a cliff at ρS = λ/µS ≈ ρS(ξ) (75% for Facebook workload)",
+		},
+		{
+			Symbol: "µS",
+			Name:   "Average service rate at each Memcached server",
+			Law:    "same cliff in ρS; raising µS past the cliff yields diminishing returns",
+		},
+		{
+			Symbol: "p1",
+			Name:   "Largest load ratio among Memcached servers",
+			Law:    "latency tracks the heaviest server; balance only matters past the cliff",
+		},
+		{
+			Symbol: "r",
+			Name:   "Cache miss ratio",
+			Law:    "E[TD(N)] = Θ(r) for small N, Θ(log r) for large N (eq. 25)",
+		},
+		{
+			Symbol: "N",
+			Name:   "Keys generated per end-user request",
+			Law:    "E[TS(N)] and E[TD(N)] both grow Θ(log N)",
+		},
+	}
+}

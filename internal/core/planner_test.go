@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestMaxTotalKeyRateInvertsTheorem1(t *testing.T) {
+	c := facebook()
+	// The Facebook workload's own TS upper bound (~367µs) should invert
+	// back to (approximately) its own aggregate rate.
+	ts, err := c.ExpectedTSPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := c.MaxTotalKeyRate(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(rate, c.TotalKeyRate, 0.01) {
+		t.Errorf("inverted rate %v vs configured %v", rate, c.TotalKeyRate)
+	}
+	// The returned rate's latency must respect the budget.
+	trial := *c
+	trial.TotalKeyRate = rate
+	got, err := trial.ExpectedTSPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > ts*1.001 {
+		t.Errorf("latency at admitted rate %v exceeds budget %v", got, ts)
+	}
+}
+
+func TestMaxTotalKeyRateMonotoneInBudget(t *testing.T) {
+	c := facebook()
+	prev := 0.0
+	for _, budget := range []float64{150e-6, 300e-6, 600e-6, 1200e-6} {
+		rate, err := c.MaxTotalKeyRate(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate <= prev {
+			t.Errorf("budget %v: rate %v not increasing", budget, rate)
+		}
+		prev = rate
+	}
+}
+
+func TestMaxTotalKeyRateErrors(t *testing.T) {
+	c := facebook()
+	if _, err := c.MaxTotalKeyRate(0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := c.MaxTotalKeyRate(1e-9); err == nil {
+		t.Error("budget below the zero-load floor accepted")
+	}
+	bad := facebook()
+	bad.N = 0
+	if _, err := bad.MaxTotalKeyRate(1e-3); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestCheckNetworkPaperNumbers(t *testing.T) {
+	// The paper's §2.2 arithmetic: 10 Gbps, keys <= 200 B at up to
+	// 10^5/s per server -> network utilization under 10%.
+	c := facebook()
+	c.TotalKeyRate = 4 * 100000
+	check, err := c.CheckNetwork(10e9, 200, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.RequestUtilization > 0.1 {
+		t.Errorf("request utilization %v, paper says <10%%", check.RequestUtilization)
+	}
+	if !check.Negligible {
+		t.Error("paper's configuration should pass the negligibility check")
+	}
+	// A 100 Mbps link at the same rate is NOT negligible.
+	check2, err := c.CheckNetwork(100e6, 200, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check2.Negligible {
+		t.Errorf("overloaded link reported negligible: %+v", check2)
+	}
+}
+
+func TestCheckNetworkValidation(t *testing.T) {
+	c := facebook()
+	if _, err := c.CheckNetwork(0, 200, 1000); err == nil {
+		t.Error("zero link accepted")
+	}
+	if _, err := c.CheckNetwork(1e9, 0, 1000); err == nil {
+		t.Error("zero key size accepted")
+	}
+	if _, err := c.CheckNetwork(1e9, 200, -1); err == nil {
+		t.Error("negative value size accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestRedundantD1EqualsBaseline(t *testing.T) {
+	c := facebook()
+	base, err := c.ExpectedTSPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := c.ExpectedTSPointRedundant(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(base, red, 1e-9) {
+		t.Errorf("d=1 %v != baseline %v", red, base)
+	}
+}
+
+func TestRedundancyFreeReplicasAlwaysHelp(t *testing.T) {
+	c := facebook()
+	base, err := c.ExpectedTSPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := base
+	for _, d := range []int{2, 3, 4} {
+		red, err := c.ExpectedTSPointRedundant(d, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red >= prev {
+			t.Errorf("d=%d: free-replica latency %v not below %v", d, red, prev)
+		}
+		prev = red
+	}
+}
+
+func TestRedundancyWithLoadHurtsAtHighUtilization(t *testing.T) {
+	// At the Facebook workload's 78% utilization, 2x load saturates the
+	// servers: redundancy must fail or hurt.
+	c := facebook()
+	if _, err := c.ExpectedTSPointRedundant(2, true); err == nil {
+		t.Error("2x duplication at rho=0.78 should be unstable")
+	}
+	// At rho=0.3 it should help.
+	low := facebook()
+	low.TotalKeyRate = 4 * 24000 // rho = 0.3
+	base, err := low.ExpectedTSPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := low.ExpectedTSPointRedundant(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red >= base {
+		t.Errorf("at rho=0.3, redundancy %v not below baseline %v", red, base)
+	}
+}
+
+func TestRedundancyCrossoverExists(t *testing.T) {
+	c := facebook()
+	rho, err := c.RedundancyCrossover(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho <= 0.05 || rho >= 0.5 {
+		t.Fatalf("crossover = %v, expected inside (0.05, 0.5)", rho)
+	}
+	// Just below the crossover redundancy helps; just above it hurts.
+	check := func(r float64) (base, red float64) {
+		trial := facebook()
+		trial.TotalKeyRate = r * trial.MuS / 0.25
+		b, err := trial.ExpectedTSPoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := trial.ExpectedTSPointRedundant(2, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, d
+	}
+	b1, r1 := check(rho * 0.9)
+	if r1 >= b1 {
+		t.Errorf("below crossover: red %v >= base %v", r1, b1)
+	}
+	b2, r2 := check(rho * 1.1)
+	if r2 <= b2 {
+		t.Errorf("above crossover: red %v <= base %v", r2, b2)
+	}
+}
+
+func TestRedundancyValidation(t *testing.T) {
+	c := facebook()
+	if _, err := c.ExpectedTSPointRedundant(0, true); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := c.RedundancyCrossover(1); err == nil {
+		t.Error("crossover with d=1 accepted")
+	}
+	bad := facebook()
+	bad.N = 0
+	if _, err := bad.RedundancyCrossover(2); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

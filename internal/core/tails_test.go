@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTSQuantileBoundsOrderedAndMonotone(t *testing.T) {
+	c := facebook()
+	prevHi := 0.0
+	for _, k := range []float64{0.5, 0.9, 0.99, 0.999} {
+		b, err := c.TSQuantileBounds(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Lo < 0 || b.Hi < b.Lo {
+			t.Errorf("k=%v: bounds %+v", k, b)
+		}
+		if b.Hi <= prevHi {
+			t.Errorf("k=%v: upper bound not increasing", k)
+		}
+		prevHi = b.Hi
+	}
+	for _, k := range []float64{0, 1, -0.5, math.NaN()} {
+		if _, err := c.TSQuantileBounds(k); err == nil {
+			t.Errorf("level %v accepted", k)
+		}
+	}
+}
+
+// The median of TS(N) should be near the mean-of-max scale: both are
+// set by ln(N)/rate.
+func TestTSQuantileMedianNearMean(t *testing.T) {
+	c := facebook()
+	med, err := c.TSQuantileBounds(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := c.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.Hi < est.TS.Hi*0.5 || med.Hi > est.TS.Hi*1.5 {
+		t.Errorf("median %v vs mean-scale %v", med.Hi, est.TS.Hi)
+	}
+}
+
+func TestTDQuantileClosedForm(t *testing.T) {
+	c := facebook()
+	// CDF(quantile(k)) == k for levels above P{K=0}.
+	pNoMiss := math.Pow(1-c.MissRatio, float64(c.N)) // ≈ 0.2215
+	for _, k := range []float64{0.5, 0.9, 0.99, 0.999} {
+		q, err := c.TDQuantile(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k <= pNoMiss {
+			if q != 0 {
+				t.Errorf("k=%v below no-miss mass: q=%v", k, q)
+			}
+			continue
+		}
+		if got := c.TDCDF(q); !almostEqual(got, k, 1e-9) {
+			t.Errorf("CDF(quantile(%v)) = %v", k, got)
+		}
+	}
+	// Below the no-miss mass the quantile is exactly 0.
+	q, err := c.TDQuantile(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 0 {
+		t.Errorf("quantile below P{K=0} = %v, want 0", q)
+	}
+}
+
+func TestTDQuantileZeroMiss(t *testing.T) {
+	c := facebook()
+	c.MissRatio = 0
+	q, err := c.TDQuantile(0.99)
+	if err != nil || q != 0 {
+		t.Errorf("q=%v err=%v", q, err)
+	}
+	if c.TDCDF(0) != 1 {
+		t.Error("no-miss CDF should be 1 everywhere")
+	}
+}
+
+func TestTDCDFProperties(t *testing.T) {
+	c := facebook()
+	if c.TDCDF(-1) != 0 {
+		t.Error("CDF(-1) != 0")
+	}
+	prev := 0.0
+	for x := 0.0; x < 0.02; x += 0.0005 {
+		v := c.TDCDF(x)
+		if v < prev-1e-12 || v < 0 || v > 1 {
+			t.Fatalf("CDF not monotone in [0,1] at %v: %v", x, v)
+		}
+		prev = v
+	}
+	if prev < 0.999 {
+		t.Errorf("CDF(20ms) = %v, should be ~1", prev)
+	}
+}
+
+func TestTailsReport(t *testing.T) {
+	c := facebook()
+	reports, err := c.Tails([]float64{0.5, 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[1].TS.Hi <= reports[0].TS.Hi {
+		t.Error("p99 not above p50")
+	}
+	if reports[1].TD <= reports[0].TD {
+		t.Error("TD p99 not above p50")
+	}
+	if _, err := c.Tails([]float64{2}); err == nil {
+		t.Error("invalid level accepted")
+	}
+	bad := facebook()
+	bad.N = 0
+	if _, err := bad.Tails([]float64{0.5}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// The exact TD(N) mean implied by the closed-form CDF should be close
+// to the eq. 23 estimate (which approximates the same distribution).
+func TestTDClosedFormConsistentWithEq23(t *testing.T) {
+	c := facebook()
+	// E[TD] = ∫ (1 - CDF) dt via trapezoid on a fine grid.
+	var mean float64
+	const dt = 1e-5
+	for x := 0.0; x < 0.05; x += dt {
+		mean += (1 - c.TDCDF(x)) * dt
+	}
+	est, err := c.ExpectedTD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eq. 23 approximates the quantile form; expect agreement within the
+	// maximal-statistics bias (~30%).
+	if mean < est*0.9 || mean > est*1.45 {
+		t.Errorf("closed-form mean %v vs eq. 23 %v", mean, est)
+	}
+}

@@ -1,0 +1,51 @@
+// Package dist provides the probability distributions used by the
+// memqlat model, simulator and load generator: samplers, CDFs, means, and
+// Laplace–Stieltjes transforms (needed for the GI/M/1 δ root of the
+// paper's eq. 6).
+package dist
+
+import (
+	"math/rand/v2"
+)
+
+// Sampler draws pseudo-random variates.
+type Sampler interface {
+	// Sample returns one draw from the distribution.
+	Sample(rng *rand.Rand) float64
+}
+
+// Interarrival is a non-negative continuous distribution suitable for
+// modeling inter-arrival gaps: it exposes everything the GI/M/1 analysis
+// needs.
+type Interarrival interface {
+	Sampler
+
+	// Mean returns E[T].
+	Mean() float64
+
+	// CDF evaluates P{T <= t}. It must be 0 for t < 0 and non-decreasing.
+	CDF(t float64) float64
+
+	// LaplaceTransform evaluates the Laplace–Stieltjes transform
+	// L(s) = E[e^{-sT}] for s >= 0.
+	LaplaceTransform(s float64) float64
+}
+
+// NewRand returns a deterministic PRNG for the given seed, suitable for
+// reproducible simulations. Distinct streams for sub-entities should be
+// derived with SubRand.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// SubRand derives an independent deterministic stream for entity id from
+// a base seed (SplitMix-style avalanche so that nearby ids decorrelate).
+func SubRand(seed, id uint64) *rand.Rand {
+	x := seed + 0x9e3779b97f4a7c15*(id+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return rand.New(rand.NewPCG(x, x^0xda942042e4dd58b5))
+}

@@ -1,0 +1,57 @@
+package dist
+
+import "math"
+
+// adaptiveSimpson integrates f over [a, b] with adaptive Simpson
+// quadrature to the requested absolute tolerance. maxDepth bounds the
+// recursion so pathological integrands terminate.
+func adaptiveSimpson(f func(float64) float64, a, b, tol float64, maxDepth int) float64 {
+	c := (a + b) / 2
+	fa, fb, fc := f(a), f(b), f(c)
+	whole := simpson(a, b, fa, fc, fb)
+	return adaptiveSimpsonAux(f, a, b, fa, fb, fc, whole, tol, maxDepth)
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptiveSimpsonAux(f func(float64) float64, a, b, fa, fb, fc, whole, tol float64, depth int) float64 {
+	c := (a + b) / 2
+	d, e := (a+c)/2, (c+b)/2
+	fd, fe := f(d), f(e)
+	left := simpson(a, c, fa, fd, fc)
+	right := simpson(c, b, fc, fe, fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return adaptiveSimpsonAux(f, a, c, fa, fc, fd, left, tol/2, depth-1) +
+		adaptiveSimpsonAux(f, c, b, fc, fb, fe, right, tol/2, depth-1)
+}
+
+// laplaceFromSurvival computes L(s) = E[e^{-sT}] for a non-negative
+// random variable from its survival function S(t) = 1 - CDF(t) using
+//
+//	E[e^{-sT}] = 1 - s ∫₀^∞ e^{-st} S(t) dt = 1 - ∫₀^∞ e^{-u} S(u/s) du.
+//
+// The substitution u = s·t bounds the integrand by e^{-u}, so truncating
+// at u = 60 (e^{-60} ≈ 9e-27) is exact to double precision.
+func laplaceFromSurvival(survival func(float64) float64, s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	const uMax = 60.0
+	integrand := func(u float64) float64 {
+		return math.Exp(-u) * survival(u/s)
+	}
+	v := adaptiveSimpson(integrand, 0, uMax, 1e-12, 40)
+	l := 1 - v
+	// Clamp tiny numerical overshoot: a Laplace transform lies in [0, 1].
+	if l < 0 {
+		return 0
+	}
+	if l > 1 {
+		return 1
+	}
+	return l
+}

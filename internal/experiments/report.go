@@ -1,0 +1,191 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§5): each runner sweeps the configured factor,
+// computes the Theorem 1 prediction via internal/core and the
+// "Experiment" measurement via internal/sim (using the paper's §4.5
+// estimators), and renders rows in the units the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	// ID is the experiment identifier (e.g. "table3", "fig7").
+	ID string
+	// Title describes what the paper artifact shows.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, pre-formatted.
+	Rows [][]string
+	// Notes carry paper reference values and caveats.
+	Notes []string
+	// Elapsed is the runner's wall time.
+	Elapsed time.Duration
+}
+
+// CSV renders the report as RFC-4180 CSV (header + rows), the input a
+// plotting tool needs to regenerate the paper's figures graphically.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, r.Columns)
+	for _, row := range r.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, cell := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(cell, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(cell)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Render formats the report as an aligned text table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s (ran in %v)\n", r.ID, r.Title, r.Elapsed.Round(time.Millisecond))
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Budget scales the measurement effort of every runner.
+type Budget struct {
+	// Requests is the per-point fork-join sample size.
+	Requests int
+	// KeysPerServer is the per-server key-stream sample size.
+	KeysPerServer int
+	// Seed roots all randomness.
+	Seed uint64
+}
+
+// Quick is sized for CI (seconds per experiment).
+var Quick = Budget{Requests: 4000, KeysPerServer: 120000, Seed: 1}
+
+// Full approaches the paper's 10-minute testbed runs.
+var Full = Budget{Requests: 40000, KeysPerServer: 1000000, Seed: 1}
+
+// us renders a seconds quantity in microseconds like the paper's tables.
+func us(seconds float64) string {
+	return fmt.Sprintf("%.0fµs", seconds*1e6)
+}
+
+// ms renders a seconds quantity in milliseconds.
+func ms(seconds float64) string {
+	return fmt.Sprintf("%.3fms", seconds*1e3)
+}
+
+// lat renders a latency adaptively (ns/µs/ms) with three significant
+// digits so that sweeps spanning decades stay readable and parseable.
+func lat(seconds float64) string {
+	switch {
+	case seconds == 0:
+		return "0µs"
+	case seconds < 1e-6:
+		return fmt.Sprintf("%.3gns", seconds*1e9)
+	case seconds < 1e-3:
+		return fmt.Sprintf("%.3gµs", seconds*1e6)
+	default:
+		return fmt.Sprintf("%.3gms", seconds*1e3)
+	}
+}
+
+// pct renders a fraction as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.0f%%", x*100) }
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Budget) (*Report, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table3", "Basic validation under the Facebook workload", Table3},
+		{"fig4", "k-th quantile of per-key server latency vs eq. 9 bounds", Fig4},
+		{"fig5", "E[TS(N)] vs concurrent probability q", Fig5},
+		{"fig6", "E[TS(N)] vs burst degree ξ", Fig6},
+		{"fig7", "E[TS(N)] vs arrival rate λ (latency cliff)", Fig7},
+		{"fig8", "Theory: E[TS(N)] vs λ for ξ∈{0,0.6,0.8}", Fig8},
+		{"fig9", "Theory: E[TS(N)] vs µS for ξ∈{0,0.6,0.8}", Fig9},
+		{"fig10", "E[TS(N)] vs largest load ratio p1", Fig10},
+		{"fig11", "E[TD(N)] vs cache miss ratio r", Fig11},
+		{"fig12", "E[TS(N)] vs keys per request N", Fig12},
+		{"fig13", "E[TD(N)] vs keys per request N", Fig13},
+		{"table4", "Cliff utilization ρS(ξ)", Table4},
+		{"prop1", "Proposition 1 bound check on random load splits", Prop1},
+		{"prop2", "Proposition 2 scale invariance", Prop2},
+		{"ext-tails", "Extension: tail quantiles of TS(N)/TD(N)", ExtTails},
+		{"ext-arrivals", "Extension: arrival-family ablation at fixed ρS", ExtArrivals},
+		{"ext-eq6", "Extension: eq. 6 (1−q) factor ablation", ExtEq6Ablation},
+		{"ext-redundancy", "Extension: hedged reads inside the model", ExtRedundancy},
+		{"ext-integrated", "Extension: independence-assumption ablation", ExtIntegrated},
+		{"ext-elasticity", "Extension: factor elasticities (the §1 question)", ExtElasticity},
+		{"live", "Live TCP stack end-to-end check", Live},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var known []string
+	for _, e := range All() {
+		known = append(known, e.ID)
+	}
+	sort.Strings(known)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %s)",
+		id, strings.Join(known, ", "))
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"memqlat/internal/sim"
+	"memqlat/internal/stats"
+	"memqlat/internal/workload"
+)
+
+// Table3 reproduces the paper's Table 3: the Theorem 1 decomposition vs
+// the measured decomposition under the Facebook workload, with 95%
+// confidence intervals on the measured means.
+func Table3(b Budget) (*Report, error) {
+	start := time.Now()
+	model := workload.Facebook()
+	est, err := model.Estimate()
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.SimulateRequests(sim.RequestConfig{
+		Model:         model,
+		Requests:      b.Requests,
+		KeysPerServer: b.KeysPerServer,
+		Seed:          b.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tsEst, err := res.TSQuantileEstimate(model)
+	if err != nil {
+		return nil, err
+	}
+	tdEst, err := res.TDQuantileEstimate()
+	if err != nil {
+		return nil, err
+	}
+	ciTS := stats.HistMeanCI(res.TS, 0.95)
+	ciTD := stats.HistMeanCI(res.TD, 0.95)
+	ciT := stats.HistMeanCI(res.Total, 0.95)
+	totalEst := res.TN + tsEst + tdEst
+
+	rows := [][]string{
+		{"TN(N)", us(est.TN), us(res.TN), "exact (constant)"},
+		{
+			"TS(N)",
+			fmt.Sprintf("%s ~ %s", us(est.TS.Lo), us(est.TS.Hi)),
+			us(tsEst),
+			fmt.Sprintf("mean-of-max %s [%s, %s]", us(res.TS.Mean()), us(ciTS.Lo), us(ciTS.Hi)),
+		},
+		{
+			"TD(N)",
+			us(est.TD),
+			us(tdEst),
+			fmt.Sprintf("mean-of-max %s [%s, %s]", us(res.TD.Mean()), us(ciTD.Lo), us(ciTD.Hi)),
+		},
+		{
+			"T(N)",
+			fmt.Sprintf("%s ~ %s", us(est.Total.Lo), us(est.Total.Hi)),
+			us(totalEst),
+			fmt.Sprintf("mean-of-max %s [%s, %s]", us(res.Total.Mean()), us(ciT.Lo), us(ciT.Hi)),
+		},
+	}
+	return &Report{
+		ID:      "table3",
+		Title:   "Theorem 1 vs experiment, Facebook workload (λ=62.5K ξ=0.15 q=0.1 µS=80K N=150 r=1% µD=1K)",
+		Columns: []string{"latency", "Theorem 1", "Experiment (§4.5 estimator)", "mean-of-max (95% CI)"},
+		Rows:    rows,
+		Notes: []string{
+			"paper Table 3: TN 20µs, TS 351~366µs (exp 368µs), TD 836µs (exp 867µs), T 836~1222µs (exp 1144µs)",
+			"the mean of per-request maxima exceeds the §4.5 quantile estimator by the " +
+				"maximal-statistics (Euler–Mascheroni) bias; both are reported",
+		},
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// Fig4 reproduces the paper's Fig. 4: the k-th quantile of per-key
+// Memcached-server latency against the eq. 9 bounds.
+func Fig4(b Budget) (*Report, error) {
+	start := time.Now()
+	model := workload.Facebook()
+	bq, err := model.ServerQueue(0)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.SimulateRequests(sim.RequestConfig{
+		Model:         model,
+		Requests:      1, // only the per-server streams matter here
+		KeysPerServer: b.KeysPerServer,
+		Seed:          b.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := res.Servers[0]
+	var rows [][]string
+	for _, k := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99} {
+		lo, hi, err := bq.KeyLatencyBounds(k)
+		if err != nil {
+			return nil, err
+		}
+		got, err := srv.Quantile(k)
+		if err != nil {
+			return nil, err
+		}
+		within := "yes"
+		if got < lo*0.9 || got > hi*1.1 {
+			within = "NO"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", k), us(lo), us(got), us(hi), within,
+		})
+	}
+	return &Report{
+		ID:      "fig4",
+		Title:   "per-key TS quantiles vs eq. 9 bounds (Facebook workload)",
+		Columns: []string{"k", "lower (TQ)k", "experiment", "upper (TC)k", "within"},
+		Rows:    rows,
+		Notes: []string{
+			"paper Fig. 4 shows the measured curve hugging the bound band up to ~300µs",
+			"high quantiles can sit a few percent ABOVE (TC)k: per-key sampling is " +
+				"size-biased toward large batches, which eq. 9's batch-stationary derivation ignores",
+		},
+		Elapsed: time.Since(start),
+	}, nil
+}

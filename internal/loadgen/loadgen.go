@@ -1,0 +1,359 @@
+// Package loadgen is the mutilate-like workload driver for the live TCP
+// stack (the paper uses mutilate, §5.1): it generates an open-loop key
+// stream with Generalized Pareto inter-arrival gaps (burst degree ξ),
+// geometric batch concurrency (probability q), and Zipf key popularity,
+// issues the gets through the client, and records per-key latency.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memqlat/internal/client"
+	"memqlat/internal/dist"
+	"memqlat/internal/stats"
+)
+
+// Options configures a run.
+type Options struct {
+	// Client issues the operations (required).
+	Client *client.Client
+	// Keys is the keyspace size (default 10_000).
+	Keys int
+	// KeyPrefix namespaces the keyspace (default "mq:").
+	KeyPrefix string
+	// ValueSize is the stored value size in bytes (default 100).
+	ValueSize int
+	// ZipfS skews key popularity (0 = uniform; the Facebook trace is
+	// heavily skewed, ~1).
+	ZipfS float64
+	// Lambda is the target aggregate key rate per second (default 2000;
+	// real-time sleeping cannot sustain the paper's 62.5 Kps per server
+	// on one box — the virtual-time simulator covers that regime).
+	Lambda float64
+	// Xi is the burst degree of batch inter-arrival gaps.
+	Xi float64
+	// Q is the concurrent probability (geometric batch sizes).
+	Q float64
+	// MissRatio is the fraction of gets aimed at keys that were never
+	// stored, forcing cache misses (relayed to the Filler if the client
+	// has one).
+	MissRatio float64
+	// Ops is the number of key operations to issue (default 10_000).
+	Ops int
+	// Workers bounds in-flight operations (default 32).
+	Workers int
+	// Seed makes the key/gap streams deterministic.
+	Seed uint64
+	// UseGetThrough routes reads through Client.GetThrough so that
+	// misses hit the backend (requires a Filler on the client).
+	UseGetThrough bool
+	// Observer, when set, is called from the pacer goroutine for every
+	// issued key with its offset from run start — e.g. a trace.Writer
+	// journaling the stream for later MRC analysis or replay.
+	Observer func(offset time.Duration, key string)
+	// ClosedLoop switches from open-loop pacing (arrivals at the target
+	// rate regardless of completions — the paper's/mutilate's model) to
+	// closed-loop: Workers outstanding requests, each issued as soon as
+	// the previous completes, with an exponential think time of mean
+	// 1/Lambda·Workers between a worker's operations. Closed loops
+	// cannot observe queueing collapse (coordinated omission), which is
+	// exactly why the paper's methodology is open-loop — this mode
+	// exists to demonstrate the difference.
+	ClosedLoop bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Latency is the per-key end-to-end latency histogram.
+	Latency *stats.Histogram
+	// Hits / Misses / Errors count operation outcomes.
+	Hits   int64
+	Misses int64
+	Errors int64
+	// Issued is the number of operations attempted.
+	Issued int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// AchievedRate returns issued ops per second.
+func (r *Result) AchievedRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Issued) / r.Elapsed.Seconds()
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	out := *o
+	if out.Client == nil {
+		return out, errors.New("loadgen: Client is required")
+	}
+	if out.Keys == 0 {
+		out.Keys = 10000
+	}
+	if out.Keys < 1 {
+		return out, fmt.Errorf("loadgen: Keys=%d must be >= 1", out.Keys)
+	}
+	if out.KeyPrefix == "" {
+		out.KeyPrefix = "mq:"
+	}
+	if out.ValueSize == 0 {
+		out.ValueSize = 100
+	}
+	if out.ValueSize < 0 {
+		return out, fmt.Errorf("loadgen: ValueSize=%d must be >= 0", out.ValueSize)
+	}
+	if out.ZipfS < 0 {
+		return out, fmt.Errorf("loadgen: ZipfS=%v must be >= 0", out.ZipfS)
+	}
+	if out.Lambda == 0 {
+		out.Lambda = 2000
+	}
+	if !(out.Lambda > 0) {
+		return out, fmt.Errorf("loadgen: Lambda=%v must be positive", out.Lambda)
+	}
+	if out.Xi < 0 || out.Xi >= 1 {
+		return out, fmt.Errorf("loadgen: Xi=%v must be in [0, 1)", out.Xi)
+	}
+	if out.Q < 0 || out.Q >= 1 {
+		return out, fmt.Errorf("loadgen: Q=%v must be in [0, 1)", out.Q)
+	}
+	if out.MissRatio < 0 || out.MissRatio > 1 {
+		return out, fmt.Errorf("loadgen: MissRatio=%v must be in [0, 1]", out.MissRatio)
+	}
+	if out.Ops == 0 {
+		out.Ops = 10000
+	}
+	if out.Ops < 1 {
+		return out, fmt.Errorf("loadgen: Ops=%d must be >= 1", out.Ops)
+	}
+	if out.Workers == 0 {
+		out.Workers = 32
+	}
+	if out.Workers < 1 {
+		return out, fmt.Errorf("loadgen: Workers=%d must be >= 1", out.Workers)
+	}
+	return out, nil
+}
+
+// keyName formats the i-th keyspace member.
+func keyName(prefix string, i int) string {
+	return prefix + strconv.Itoa(i)
+}
+
+// missKeyName formats a key that Populate never stores.
+func missKeyName(prefix string, i int) string {
+	return prefix + "miss:" + strconv.Itoa(i)
+}
+
+// Populate stores the whole keyspace through the client so that a
+// subsequent Run observes the configured hit ratio.
+func Populate(opts Options) error {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return err
+	}
+	rng := dist.SubRand(o.Seed, 1)
+	value := make([]byte, o.ValueSize)
+	for i := range value {
+		value[i] = 'a' + byte(rng.IntN(26))
+	}
+	for i := 0; i < o.Keys; i++ {
+		if err := o.Client.Set(keyName(o.KeyPrefix, i), value, 0, 0); err != nil {
+			return fmt.Errorf("loadgen: populate key %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Run executes the open-loop workload until Ops operations are issued
+// or ctx is canceled.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	gap, err := dist.NewGeneralizedPareto(o.Xi, (1-o.Q)*o.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := dist.NewGeometricBatch(o.Q)
+	if err != nil {
+		return nil, err
+	}
+	popularity, err := dist.NewZipf(o.Keys, o.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		rngGap   = dist.SubRand(o.Seed, 11)
+		rngBatch = dist.SubRand(o.Seed, 12)
+		rngKey   = dist.SubRand(o.Seed, 13)
+		rngMiss  = dist.SubRand(o.Seed, 14)
+	)
+	res := &Result{Latency: stats.NewHistogram()}
+	var (
+		mu      sync.Mutex // guards res.Latency (and Observer in closed loop)
+		hits    atomic.Int64
+		misses  atomic.Int64
+		errs    atomic.Int64
+		issued  atomic.Int64
+		wg      sync.WaitGroup
+		started = time.Now()
+	)
+	execute := func(key string) {
+		t0 := time.Now()
+		var err error
+		var hit bool
+		if o.UseGetThrough {
+			_, hit, err = o.Client.GetThrough(ctx, key)
+		} else {
+			_, err = o.Client.Get(key)
+			hit = err == nil
+		}
+		lat := time.Since(t0).Seconds()
+		switch {
+		case err == nil:
+			if hit {
+				hits.Add(1)
+			} else {
+				misses.Add(1)
+			}
+		case errors.Is(err, client.ErrCacheMiss):
+			misses.Add(1)
+		default:
+			errs.Add(1)
+		}
+		mu.Lock()
+		res.Latency.Record(lat)
+		mu.Unlock()
+	}
+
+	if o.ClosedLoop {
+		runClosedLoop(ctx, &o, execute, &issued, &mu, started)
+		res.Elapsed = time.Since(started)
+		res.Hits = hits.Load()
+		res.Misses = misses.Load()
+		res.Errors = errs.Load()
+		res.Issued = issued.Load()
+		return res, nil
+	}
+
+	work := make(chan string, o.Workers)
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for key := range work {
+				execute(key)
+			}
+		}()
+	}
+
+	// Pacer: open-loop batch arrivals on an absolute schedule. Sleeping
+	// until cumulative deadlines (rather than per-gap) keeps the average
+	// rate exact despite timer granularity and avoids busy-waiting,
+	// which would starve the workers on small machines.
+	sent := 0
+	next := time.Now()
+pacing:
+	for sent < o.Ops {
+		select {
+		case <-ctx.Done():
+			break pacing
+		default:
+		}
+		next = next.Add(time.Duration(gap.Sample(rngGap) * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		n := batch.SampleInt(rngBatch)
+		for i := 0; i < n && sent < o.Ops; i++ {
+			var key string
+			if o.MissRatio > 0 && rngMiss.Float64() < o.MissRatio {
+				key = missKeyName(o.KeyPrefix, popularity.SampleInt(rngKey))
+			} else {
+				key = keyName(o.KeyPrefix, popularity.SampleInt(rngKey))
+			}
+			select {
+			case work <- key:
+				sent++
+				issued.Add(1)
+				if o.Observer != nil {
+					o.Observer(time.Since(started), key)
+				}
+			case <-ctx.Done():
+				break pacing
+			}
+		}
+	}
+	close(work)
+	wg.Wait()
+	res.Elapsed = time.Since(started)
+	res.Hits = hits.Load()
+	res.Misses = misses.Load()
+	res.Errors = errs.Load()
+	res.Issued = issued.Load()
+	return res, nil
+}
+
+// runClosedLoop issues ops from Workers independent closed loops, each
+// waiting an exponential think time between its operations so the
+// aggregate target rate is approximately Lambda.
+func runClosedLoop(ctx context.Context, o *Options, execute func(string),
+	issued *atomic.Int64, mu *sync.Mutex, started time.Time) {
+	popularity, err := dist.NewZipf(o.Keys, o.ZipfS)
+	if err != nil {
+		return // options were validated upstream; unreachable
+	}
+	perWorkerRate := o.Lambda / float64(o.Workers)
+	var wg sync.WaitGroup
+	var quota atomic.Int64
+	for w := 0; w < o.Workers; w++ {
+		id := uint64(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var (
+				rngThink = dist.SubRand(o.Seed, 2000+id)
+				rngKey   = dist.SubRand(o.Seed, 3000+id)
+				rngMiss  = dist.SubRand(o.Seed, 4000+id)
+			)
+			for {
+				if quota.Add(1) > int64(o.Ops) {
+					return
+				}
+				think := time.Duration(rngThink.ExpFloat64() / perWorkerRate * float64(time.Second))
+				timer := time.NewTimer(think)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					return
+				}
+				var key string
+				if o.MissRatio > 0 && rngMiss.Float64() < o.MissRatio {
+					key = missKeyName(o.KeyPrefix, popularity.SampleInt(rngKey))
+				} else {
+					key = keyName(o.KeyPrefix, popularity.SampleInt(rngKey))
+				}
+				issued.Add(1)
+				if o.Observer != nil {
+					mu.Lock()
+					o.Observer(time.Since(started), key)
+					mu.Unlock()
+				}
+				execute(key)
+			}
+		}()
+	}
+	wg.Wait()
+}

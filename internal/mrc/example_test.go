@@ -1,0 +1,45 @@
+package mrc_test
+
+import (
+	"fmt"
+
+	"memqlat/internal/mrc"
+)
+
+// A cyclic trace over 3 keys shows the classic LRU cliff: capacity 2
+// thrashes (every access misses), capacity 3 leaves only the 3
+// compulsory misses.
+func ExampleCompute() {
+	trace := []string{
+		"a", "b", "c",
+		"a", "b", "c",
+		"a", "b", "c",
+	}
+	curve, err := mrc.Compute(trace)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("capacity 2: %.0f%% miss\n", curve.MissRatio(2)*100)
+	fmt.Printf("capacity 3: %.0f%% miss\n", curve.MissRatio(3)*100)
+	// Output:
+	// capacity 2: 100% miss
+	// capacity 3: 33% miss
+}
+
+// How much cache does a 40% miss-ratio target need on this trace?
+func ExampleCurve_CapacityForMissRatio() {
+	curve, err := mrc.Compute([]string{"x", "y", "x", "y", "z", "x", "y", "z"})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	capacity, err := curve.CapacityForMissRatio(0.4)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("need %d items\n", capacity)
+	// Output:
+	// need 3 items
+}

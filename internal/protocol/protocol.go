@@ -1,0 +1,354 @@
+// Package protocol implements the memcached ASCII (text) protocol:
+// server-side command parsing, server-side response writing, and
+// client-side response parsing. It covers the commands the paper's
+// workload exercises (get/gets/set and friends) plus the common
+// management commands, with noreply support.
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Op enumerates protocol commands.
+type Op int
+
+// Supported operations.
+const (
+	OpGet Op = iota + 1
+	OpGets
+	OpSet
+	OpAdd
+	OpReplace
+	OpAppend
+	OpPrepend
+	OpCas
+	OpDelete
+	OpIncr
+	OpDecr
+	OpTouch
+	OpGat
+	OpGats
+	OpStats
+	OpFlushAll
+	OpVersion
+	OpVerbosity
+	OpQuit
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	names := map[Op]string{
+		OpGet: "get", OpGets: "gets", OpSet: "set", OpAdd: "add",
+		OpReplace: "replace", OpAppend: "append", OpPrepend: "prepend",
+		OpCas: "cas", OpDelete: "delete", OpIncr: "incr", OpDecr: "decr",
+		OpTouch: "touch", OpGat: "gat", OpGats: "gats",
+		OpStats: "stats", OpFlushAll: "flush_all",
+		OpVersion: "version", OpVerbosity: "verbosity", OpQuit: "quit",
+	}
+	if s, ok := names[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// MaxValueBytes bounds the data block a parser will accept (matches the
+// cache's 1 MiB default item limit).
+const MaxValueBytes = 1 << 20
+
+// MaxLineBytes bounds a single command line (multi-get of many keys).
+const MaxLineBytes = 8 << 10
+
+// ClientError is a malformed-request error; servers report it as
+// CLIENT_ERROR and keep the connection open.
+type ClientError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *ClientError) Error() string { return "protocol: client error: " + e.Msg }
+
+// ErrQuit is returned by ReadCommand when the peer sent quit.
+var ErrQuit = errors.New("protocol: quit")
+
+// Command is one parsed request.
+type Command struct {
+	Op      Op
+	Key     string
+	Keys    []string // get/gets
+	Flags   uint32
+	Exptime int64 // raw exptime token (memcached semantics)
+	Value   []byte
+	CAS     uint64
+	Delta   uint64 // incr/decr amount
+	Noreply bool
+	Level   int // verbosity
+}
+
+// ReadCommand parses one request from r. Malformed requests yield a
+// *ClientError (recoverable); I/O failures yield the underlying error;
+// a quit command yields ErrQuit.
+func ReadCommand(r *bufio.Reader) (*Command, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	fields := bytes.Fields(line)
+	if len(fields) == 0 {
+		return nil, &ClientError{Msg: "empty command"}
+	}
+	op := string(fields[0])
+	args := fields[1:]
+	switch op {
+	case "get", "gets":
+		return parseGet(op, args)
+	case "set", "add", "replace", "append", "prepend":
+		return parseStorage(op, args, r)
+	case "cas":
+		return parseCas(args, r)
+	case "delete":
+		return parseDelete(args)
+	case "incr", "decr":
+		return parseIncrDecr(op, args)
+	case "touch":
+		return parseTouch(args)
+	case "gat", "gats":
+		return parseGat(op, args)
+	case "stats":
+		cmd := &Command{Op: OpStats}
+		if len(args) >= 1 {
+			cmd.Key = string(args[0]) // sub-statistic: "items", "slabs", ...
+		}
+		return cmd, nil
+	case "flush_all":
+		return parseFlushAll(args)
+	case "version":
+		return &Command{Op: OpVersion}, nil
+	case "verbosity":
+		return parseVerbosity(args)
+	case "quit":
+		return nil, ErrQuit
+	default:
+		return nil, &ClientError{Msg: "unknown command " + op}
+	}
+}
+
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if errors.Is(err, bufio.ErrBufferFull) {
+		// Drain the oversized line, then report a client error.
+		for errors.Is(err, bufio.ErrBufferFull) {
+			_, err = r.ReadSlice('\n')
+		}
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, err
+		}
+		return nil, &ClientError{Msg: "line too long"}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(line, "\r\n"), nil
+}
+
+func parseGet(op string, args [][]byte) (*Command, error) {
+	if len(args) == 0 {
+		return nil, &ClientError{Msg: op + " requires at least one key"}
+	}
+	cmd := &Command{Op: OpGet, Keys: make([]string, len(args))}
+	if op == "gets" {
+		cmd.Op = OpGets
+	}
+	for i, a := range args {
+		cmd.Keys[i] = string(a)
+	}
+	return cmd, nil
+}
+
+// parseStorageHeader parses "<key> <flags> <exptime> <bytes>" and the
+// optional trailing noreply, returning the value length.
+func parseStorageHeader(op string, args [][]byte, extra int) (cmd *Command, length int, err error) {
+	want := 4 + extra
+	noreply := false
+	if len(args) == want+1 && string(args[want]) == "noreply" {
+		noreply = true
+		args = args[:want]
+	}
+	if len(args) != want {
+		return nil, 0, &ClientError{Msg: "bad " + op + " argument count"}
+	}
+	flags, err := strconv.ParseUint(string(args[1]), 10, 32)
+	if err != nil {
+		return nil, 0, &ClientError{Msg: "bad flags"}
+	}
+	exptime, err := strconv.ParseInt(string(args[2]), 10, 64)
+	if err != nil {
+		return nil, 0, &ClientError{Msg: "bad exptime"}
+	}
+	length64, err := strconv.ParseUint(string(args[3]), 10, 31)
+	if err != nil || length64 > MaxValueBytes {
+		return nil, 0, &ClientError{Msg: "bad data length"}
+	}
+	cmd = &Command{
+		Key:     string(args[0]),
+		Flags:   uint32(flags),
+		Exptime: exptime,
+		Noreply: noreply,
+	}
+	return cmd, int(length64), nil
+}
+
+func readDataBlock(r *bufio.Reader, length int) ([]byte, error) {
+	buf := make([]byte, length+2)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	if !bytes.HasSuffix(buf, []byte("\r\n")) {
+		return nil, &ClientError{Msg: "bad data chunk terminator"}
+	}
+	return buf[:length], nil
+}
+
+func parseStorage(op string, args [][]byte, r *bufio.Reader) (*Command, error) {
+	cmd, length, err := parseStorageHeader(op, args, 0)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "set":
+		cmd.Op = OpSet
+	case "add":
+		cmd.Op = OpAdd
+	case "replace":
+		cmd.Op = OpReplace
+	case "append":
+		cmd.Op = OpAppend
+	case "prepend":
+		cmd.Op = OpPrepend
+	}
+	cmd.Value, err = readDataBlock(r, length)
+	if err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+func parseCas(args [][]byte, r *bufio.Reader) (*Command, error) {
+	cmd, length, err := parseStorageHeader("cas", args, 1)
+	if err != nil {
+		return nil, err
+	}
+	cas, err := strconv.ParseUint(string(args[4]), 10, 64)
+	if err != nil {
+		return nil, &ClientError{Msg: "bad cas token"}
+	}
+	cmd.Op = OpCas
+	cmd.CAS = cas
+	cmd.Value, err = readDataBlock(r, length)
+	if err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+func parseDelete(args [][]byte) (*Command, error) {
+	noreply := false
+	if len(args) == 2 && string(args[1]) == "noreply" {
+		noreply = true
+		args = args[:1]
+	}
+	if len(args) != 1 {
+		return nil, &ClientError{Msg: "bad delete argument count"}
+	}
+	return &Command{Op: OpDelete, Key: string(args[0]), Noreply: noreply}, nil
+}
+
+func parseIncrDecr(op string, args [][]byte) (*Command, error) {
+	noreply := false
+	if len(args) == 3 && string(args[2]) == "noreply" {
+		noreply = true
+		args = args[:2]
+	}
+	if len(args) != 2 {
+		return nil, &ClientError{Msg: "bad " + op + " argument count"}
+	}
+	delta, err := strconv.ParseUint(string(args[1]), 10, 64)
+	if err != nil {
+		return nil, &ClientError{Msg: "invalid numeric delta argument"}
+	}
+	cmd := &Command{Op: OpIncr, Key: string(args[0]), Delta: delta, Noreply: noreply}
+	if op == "decr" {
+		cmd.Op = OpDecr
+	}
+	return cmd, nil
+}
+
+func parseTouch(args [][]byte) (*Command, error) {
+	noreply := false
+	if len(args) == 3 && string(args[2]) == "noreply" {
+		noreply = true
+		args = args[:2]
+	}
+	if len(args) != 2 {
+		return nil, &ClientError{Msg: "bad touch argument count"}
+	}
+	exptime, err := strconv.ParseInt(string(args[1]), 10, 64)
+	if err != nil {
+		return nil, &ClientError{Msg: "bad exptime"}
+	}
+	return &Command{Op: OpTouch, Key: string(args[0]), Exptime: exptime, Noreply: noreply}, nil
+}
+
+// parseGat parses "gat <exptime> <key>+" (get-and-touch).
+func parseGat(op string, args [][]byte) (*Command, error) {
+	if len(args) < 2 {
+		return nil, &ClientError{Msg: op + " requires an exptime and at least one key"}
+	}
+	exptime, err := strconv.ParseInt(string(args[0]), 10, 64)
+	if err != nil {
+		return nil, &ClientError{Msg: "bad exptime"}
+	}
+	cmd := &Command{Op: OpGat, Exptime: exptime, Keys: make([]string, len(args)-1)}
+	if op == "gats" {
+		cmd.Op = OpGats
+	}
+	for i, a := range args[1:] {
+		cmd.Keys[i] = string(a)
+	}
+	return cmd, nil
+}
+
+func parseFlushAll(args [][]byte) (*Command, error) {
+	cmd := &Command{Op: OpFlushAll}
+	for _, a := range args {
+		if string(a) == "noreply" {
+			cmd.Noreply = true
+			continue
+		}
+		delay, err := strconv.ParseInt(string(a), 10, 64)
+		if err != nil {
+			return nil, &ClientError{Msg: "bad flush_all delay"}
+		}
+		cmd.Exptime = delay
+	}
+	return cmd, nil
+}
+
+func parseVerbosity(args [][]byte) (*Command, error) {
+	cmd := &Command{Op: OpVerbosity}
+	if len(args) >= 1 {
+		lvl, err := strconv.Atoi(string(args[0]))
+		if err != nil {
+			return nil, &ClientError{Msg: "bad verbosity level"}
+		}
+		cmd.Level = lvl
+	}
+	if len(args) == 2 && string(args[1]) == "noreply" {
+		cmd.Noreply = true
+	}
+	return cmd, nil
+}

@@ -1,0 +1,449 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func reader(s string) *bufio.Reader {
+	return bufio.NewReader(strings.NewReader(s))
+}
+
+func TestParseGet(t *testing.T) {
+	cmd, err := ReadCommand(reader("get foo\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Op != OpGet || len(cmd.Keys) != 1 || cmd.Keys[0] != "foo" {
+		t.Errorf("cmd = %+v", cmd)
+	}
+}
+
+func TestParseMultiGet(t *testing.T) {
+	cmd, err := ReadCommand(reader("gets a b c\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Op != OpGets || len(cmd.Keys) != 3 || cmd.Keys[2] != "c" {
+		t.Errorf("cmd = %+v", cmd)
+	}
+}
+
+func TestParseGetNoKeys(t *testing.T) {
+	_, err := ReadCommand(reader("get\r\n"))
+	var ce *ClientError
+	if !errors.As(err, &ce) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	cmd, err := ReadCommand(reader("set foo 42 100 5\r\nhello\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Op != OpSet || cmd.Key != "foo" || cmd.Flags != 42 ||
+		cmd.Exptime != 100 || string(cmd.Value) != "hello" || cmd.Noreply {
+		t.Errorf("cmd = %+v", cmd)
+	}
+}
+
+func TestParseSetNoreply(t *testing.T) {
+	cmd, err := ReadCommand(reader("set foo 0 0 2 noreply\r\nhi\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmd.Noreply {
+		t.Error("noreply not parsed")
+	}
+}
+
+func TestParseSetBinaryValue(t *testing.T) {
+	// Values may contain \r\n bytes; only the length delimits them.
+	raw := "set k 0 0 4\r\na\r\nb\r\n" // value is "a\r\nb"... wait, 4 bytes: 'a','\r','\n','b'
+	cmd, err := ReadCommand(reader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cmd.Value, []byte("a\r\nb")) {
+		t.Errorf("value = %q", cmd.Value)
+	}
+}
+
+func TestParseStorageVariants(t *testing.T) {
+	tests := []struct {
+		give string
+		want Op
+	}{
+		{"add k 0 0 1\r\nx\r\n", OpAdd},
+		{"replace k 0 0 1\r\nx\r\n", OpReplace},
+		{"append k 0 0 1\r\nx\r\n", OpAppend},
+		{"prepend k 0 0 1\r\nx\r\n", OpPrepend},
+	}
+	for _, tt := range tests {
+		cmd, err := ReadCommand(reader(tt.give))
+		if err != nil {
+			t.Fatalf("%q: %v", tt.give, err)
+		}
+		if cmd.Op != tt.want {
+			t.Errorf("%q: op = %v", tt.give, cmd.Op)
+		}
+	}
+}
+
+func TestParseCas(t *testing.T) {
+	cmd, err := ReadCommand(reader("cas k 1 2 3 99\r\nabc\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Op != OpCas || cmd.CAS != 99 || string(cmd.Value) != "abc" {
+		t.Errorf("cmd = %+v", cmd)
+	}
+	cmd, err = ReadCommand(reader("cas k 1 2 3 99 noreply\r\nabc\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmd.Noreply {
+		t.Error("cas noreply not parsed")
+	}
+}
+
+func TestParseStorageErrors(t *testing.T) {
+	bad := []string{
+		"set k 0 0\r\n",              // missing length
+		"set k x 0 5\r\nhello\r\n",   // bad flags
+		"set k 0 x 5\r\nhello\r\n",   // bad exptime
+		"set k 0 0 x\r\nhello\r\n",   // bad length
+		"set k 0 0 -1\r\nhello\r\n",  // negative length
+		"set k 0 0 5 extra junk\r\n", // too many args
+		"cas k 0 0 3 xx\r\nabc\r\n",  // bad cas token
+		"set k 0 0 1048577\r\n",      // over MaxValueBytes
+	}
+	for _, give := range bad {
+		_, err := ReadCommand(reader(give))
+		var ce *ClientError
+		if !errors.As(err, &ce) {
+			t.Errorf("%q: err = %v, want ClientError", give, err)
+		}
+	}
+}
+
+func TestParseBadTerminator(t *testing.T) {
+	_, err := ReadCommand(reader("set k 0 0 5\r\nhelloXX"))
+	var ce *ClientError
+	if !errors.As(err, &ce) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	cmd, err := ReadCommand(reader("delete k\r\n"))
+	if err != nil || cmd.Op != OpDelete || cmd.Key != "k" {
+		t.Fatalf("cmd=%+v err=%v", cmd, err)
+	}
+	cmd, _ = ReadCommand(reader("delete k noreply\r\n"))
+	if !cmd.Noreply {
+		t.Error("delete noreply")
+	}
+	if _, err := ReadCommand(reader("delete\r\n")); err == nil {
+		t.Error("delete without key accepted")
+	}
+	if _, err := ReadCommand(reader("delete a b\r\n")); err == nil {
+		t.Error("delete extra arg accepted")
+	}
+}
+
+func TestParseIncrDecr(t *testing.T) {
+	cmd, err := ReadCommand(reader("incr n 5\r\n"))
+	if err != nil || cmd.Op != OpIncr || cmd.Delta != 5 {
+		t.Fatalf("cmd=%+v err=%v", cmd, err)
+	}
+	cmd, err = ReadCommand(reader("decr n 3 noreply\r\n"))
+	if err != nil || cmd.Op != OpDecr || cmd.Delta != 3 || !cmd.Noreply {
+		t.Fatalf("cmd=%+v err=%v", cmd, err)
+	}
+	if _, err := ReadCommand(reader("incr n abc\r\n")); err == nil {
+		t.Error("non-numeric delta accepted")
+	}
+	if _, err := ReadCommand(reader("incr n\r\n")); err == nil {
+		t.Error("missing delta accepted")
+	}
+}
+
+func TestParseTouch(t *testing.T) {
+	cmd, err := ReadCommand(reader("touch k 60\r\n"))
+	if err != nil || cmd.Op != OpTouch || cmd.Exptime != 60 {
+		t.Fatalf("cmd=%+v err=%v", cmd, err)
+	}
+	if _, err := ReadCommand(reader("touch k abc\r\n")); err == nil {
+		t.Error("bad exptime accepted")
+	}
+}
+
+func TestParseManagement(t *testing.T) {
+	cmd, err := ReadCommand(reader("stats\r\n"))
+	if err != nil || cmd.Op != OpStats {
+		t.Fatalf("stats: %+v %v", cmd, err)
+	}
+	cmd, err = ReadCommand(reader("version\r\n"))
+	if err != nil || cmd.Op != OpVersion {
+		t.Fatalf("version: %+v %v", cmd, err)
+	}
+	cmd, err = ReadCommand(reader("flush_all\r\n"))
+	if err != nil || cmd.Op != OpFlushAll {
+		t.Fatalf("flush_all: %+v %v", cmd, err)
+	}
+	cmd, err = ReadCommand(reader("flush_all 10 noreply\r\n"))
+	if err != nil || cmd.Exptime != 10 || !cmd.Noreply {
+		t.Fatalf("flush_all args: %+v %v", cmd, err)
+	}
+	cmd, err = ReadCommand(reader("verbosity 2\r\n"))
+	if err != nil || cmd.Op != OpVerbosity || cmd.Level != 2 {
+		t.Fatalf("verbosity: %+v %v", cmd, err)
+	}
+	if _, err := ReadCommand(reader("verbosity abc\r\n")); err == nil {
+		t.Error("bad verbosity accepted")
+	}
+}
+
+func TestParseQuit(t *testing.T) {
+	if _, err := ReadCommand(reader("quit\r\n")); !errors.Is(err, ErrQuit) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParseUnknownCommand(t *testing.T) {
+	_, err := ReadCommand(reader("bogus\r\n"))
+	var ce *ClientError
+	if !errors.As(err, &ce) {
+		t.Errorf("err = %v", err)
+	}
+	if !IsRecoverable(err) {
+		t.Error("client error not recoverable")
+	}
+}
+
+func TestParseOversizedLine(t *testing.T) {
+	long := "get " + strings.Repeat("k ", MaxLineBytes) + "\r\n"
+	r := bufio.NewReaderSize(strings.NewReader(long+"get ok\r\n"), 4096)
+	_, err := ReadCommand(r)
+	var ce *ClientError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v", err)
+	}
+	// The stream recovers: the next command parses.
+	cmd, err := ReadCommand(r)
+	if err != nil || cmd.Keys[0] != "ok" {
+		t.Errorf("recovery failed: %+v %v", cmd, err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpGet.String() != "get" || OpCas.String() != "cas" {
+		t.Error("op names wrong")
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op empty")
+	}
+}
+
+// Round trip: server writes a response, client parses it back.
+func TestValueRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(bufio.NewWriter(&buf))
+	if err := w.Value("k1", 7, 99, []byte("hello"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Value("k2", 0, 0, []byte("x\r\ny"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	items, err := ReadRetrieval(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if items[0].Key != "k1" || items[0].Flags != 7 || items[0].CAS != 99 ||
+		string(items[0].Value) != "hello" {
+		t.Errorf("item0 = %+v", items[0])
+	}
+	if string(items[1].Value) != "x\r\ny" || items[1].CAS != 0 {
+		t.Errorf("item1 = %+v", items[1])
+	}
+}
+
+func TestReadRetrievalErrors(t *testing.T) {
+	if _, err := ReadRetrieval(reader("SERVER_ERROR out of memory\r\n")); err == nil {
+		t.Error("server error not surfaced")
+	}
+	var se *ServerError
+	_, err := ReadRetrieval(reader("CLIENT_ERROR bad\r\n"))
+	if !errors.As(err, &se) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := ReadRetrieval(reader("GARBAGE\r\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadRetrieval(reader("VALUE k x 5\r\nhello\r\nEND\r\n")); err == nil {
+		t.Error("bad flags accepted")
+	}
+	if _, err := ReadRetrieval(reader("VALUE k 0 xx\r\n")); err == nil {
+		t.Error("bad length accepted")
+	}
+}
+
+func TestReadLineReply(t *testing.T) {
+	got, err := ReadLineReply(reader("STORED\r\n"))
+	if err != nil || got != RespStored {
+		t.Fatalf("%q %v", got, err)
+	}
+	if _, err := ReadLineReply(reader("ERROR\r\n")); err == nil {
+		t.Error("ERROR not surfaced")
+	}
+	var se *ServerError
+	_, err = ReadLineReply(reader("SERVER_ERROR boom\r\n"))
+	if !errors.As(err, &se) || !strings.Contains(se.Error(), "boom") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(bufio.NewWriter(&buf))
+	_ = w.Stat("hits", "10")
+	_ = w.Stat("misses", "2")
+	_ = w.End()
+	_ = w.Flush()
+	m, err := ReadStats(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["hits"] != "10" || m["misses"] != "2" {
+		t.Errorf("stats = %v", m)
+	}
+	if _, err := ReadStats(reader("JUNK\r\n")); err == nil {
+		t.Error("junk stats accepted")
+	}
+	if _, err := ReadStats(reader("SERVER_ERROR x\r\n")); err == nil {
+		t.Error("error stats accepted")
+	}
+}
+
+func TestWriterHelpers(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(bufio.NewWriter(&buf))
+	_ = w.Number(42)
+	_ = w.Version("memqlat-1.0")
+	_ = w.ClientErrorf("bad %s", "thing")
+	_ = w.ServerErrorf("oops %d", 3)
+	_ = w.Flush()
+	out := buf.String()
+	for _, want := range []string{"42\r\n", "VERSION memqlat-1.0\r\n",
+		"CLIENT_ERROR bad thing\r\n", "SERVER_ERROR oops 3\r\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q: %q", want, out)
+		}
+	}
+}
+
+// Property: any set command round-trips its value byte-for-byte.
+func TestPropertySetValueRoundTrip(t *testing.T) {
+	f := func(value []byte) bool {
+		if len(value) > 1024 {
+			value = value[:1024]
+		}
+		var req bytes.Buffer
+		req.WriteString("set k 0 0 ")
+		req.WriteString(itoa(len(value)))
+		req.WriteString("\r\n")
+		req.Write(value)
+		req.WriteString("\r\n")
+		cmd, err := ReadCommand(bufio.NewReader(&req))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(cmd.Value, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parser never panics on arbitrary input bytes.
+func TestPropertyParserNoPanic(t *testing.T) {
+	f := func(junk []byte) bool {
+		r := bufio.NewReader(bytes.NewReader(junk))
+		for i := 0; i < 10; i++ {
+			if _, err := ReadCommand(r); err != nil {
+				if IsRecoverable(err) {
+					continue
+				}
+				return true // stream-level stop is fine
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestParseGat(t *testing.T) {
+	cmd, err := ReadCommand(reader("gat 60 k1 k2\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Op != OpGat || cmd.Exptime != 60 || len(cmd.Keys) != 2 || cmd.Keys[1] != "k2" {
+		t.Errorf("cmd = %+v", cmd)
+	}
+	cmd, err = ReadCommand(reader("gats 0 k\r\n"))
+	if err != nil || cmd.Op != OpGats {
+		t.Fatalf("gats: %+v %v", cmd, err)
+	}
+	if _, err := ReadCommand(reader("gat 60\r\n")); err == nil {
+		t.Error("gat without keys accepted")
+	}
+	if _, err := ReadCommand(reader("gat abc k\r\n")); err == nil {
+		t.Error("gat bad exptime accepted")
+	}
+	if OpGat.String() != "gat" || OpGats.String() != "gats" {
+		t.Error("gat op names wrong")
+	}
+}
+
+func TestParseStatsSection(t *testing.T) {
+	cmd, err := ReadCommand(reader("stats items\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Op != OpStats || cmd.Key != "items" {
+		t.Errorf("cmd = %+v", cmd)
+	}
+	cmd, err = ReadCommand(reader("stats\r\n"))
+	if err != nil || cmd.Key != "" {
+		t.Fatalf("bare stats: %+v %v", cmd, err)
+	}
+}

@@ -1,0 +1,210 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Canonical one-line replies.
+const (
+	RespStored    = "STORED"
+	RespNotStored = "NOT_STORED"
+	RespExists    = "EXISTS"
+	RespNotFound  = "NOT_FOUND"
+	RespDeleted   = "DELETED"
+	RespTouched   = "TOUCHED"
+	RespOK        = "OK"
+	RespEnd       = "END"
+	RespError     = "ERROR"
+)
+
+var crlf = []byte("\r\n")
+
+// Writer emits protocol responses to a buffered stream.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w *bufio.Writer) *Writer { return &Writer{w: w} }
+
+// Line writes a bare reply line (one of the Resp* constants or a
+// numeric incr/decr result).
+func (w *Writer) Line(s string) error {
+	if _, err := w.w.WriteString(s); err != nil {
+		return err
+	}
+	_, err := w.w.Write(crlf)
+	return err
+}
+
+// Value writes one VALUE block; pass withCAS for gets responses.
+func (w *Writer) Value(key string, flags uint32, cas uint64, value []byte, withCAS bool) error {
+	if withCAS {
+		if _, err := fmt.Fprintf(w.w, "VALUE %s %d %d %d\r\n", key, flags, len(value), cas); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w.w, "VALUE %s %d %d\r\n", key, flags, len(value)); err != nil {
+			return err
+		}
+	}
+	if _, err := w.w.Write(value); err != nil {
+		return err
+	}
+	_, err := w.w.Write(crlf)
+	return err
+}
+
+// End terminates a retrieval response.
+func (w *Writer) End() error { return w.Line(RespEnd) }
+
+// Number writes an incr/decr result.
+func (w *Writer) Number(n uint64) error { return w.Line(strconv.FormatUint(n, 10)) }
+
+// Stat writes one STAT line.
+func (w *Writer) Stat(name, value string) error {
+	_, err := fmt.Fprintf(w.w, "STAT %s %s\r\n", name, value)
+	return err
+}
+
+// Version writes a VERSION line.
+func (w *Writer) Version(v string) error { return w.Line("VERSION " + v) }
+
+// ClientErrorf reports a malformed request without closing the stream.
+func (w *Writer) ClientErrorf(format string, args ...any) error {
+	_, err := fmt.Fprintf(w.w, "CLIENT_ERROR "+format+"\r\n", args...)
+	return err
+}
+
+// ServerErrorf reports an internal failure.
+func (w *Writer) ServerErrorf(format string, args ...any) error {
+	_, err := fmt.Fprintf(w.w, "SERVER_ERROR "+format+"\r\n", args...)
+	return err
+}
+
+// Flush pushes buffered output to the connection.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// ---- Client-side response parsing ----
+
+// ValueItem is one VALUE block of a retrieval response.
+type ValueItem struct {
+	Key   string
+	Flags uint32
+	CAS   uint64
+	Value []byte
+}
+
+// ServerError is an error reply from the server (ERROR, CLIENT_ERROR or
+// SERVER_ERROR).
+type ServerError struct {
+	Line string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string { return "protocol: server replied " + e.Line }
+
+// ReadRetrieval parses a get/gets response: zero or more VALUE blocks
+// terminated by END.
+func ReadRetrieval(r *bufio.Reader) ([]ValueItem, error) {
+	var items []ValueItem
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		if string(line) == RespEnd {
+			return items, nil
+		}
+		if isErrorLine(line) {
+			return nil, &ServerError{Line: string(line)}
+		}
+		fields := bytes.Fields(line)
+		if len(fields) < 4 || string(fields[0]) != "VALUE" {
+			return nil, fmt.Errorf("protocol: unexpected retrieval line %q", line)
+		}
+		flags, err := strconv.ParseUint(string(fields[2]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: bad flags in %q", line)
+		}
+		length, err := strconv.ParseUint(string(fields[3]), 10, 31)
+		if err != nil || length > MaxValueBytes {
+			return nil, fmt.Errorf("protocol: bad length in %q", line)
+		}
+		item := ValueItem{Key: string(fields[1]), Flags: uint32(flags)}
+		if len(fields) >= 5 {
+			cas, err := strconv.ParseUint(string(fields[4]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: bad cas in %q", line)
+			}
+			item.CAS = cas
+		}
+		item.Value, err = readDataBlock(r, int(length))
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+	}
+}
+
+// ReadLineReply reads a one-line reply (STORED, DELETED, a number, ...).
+// Error replies surface as *ServerError.
+func ReadLineReply(r *bufio.Reader) (string, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return "", err
+	}
+	if isErrorLine(line) {
+		return "", &ServerError{Line: string(line)}
+	}
+	return string(line), nil
+}
+
+// ReadStats parses a stats response: STAT lines until END.
+func ReadStats(r *bufio.Reader) (map[string]string, error) {
+	out := make(map[string]string)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		if string(line) == RespEnd {
+			return out, nil
+		}
+		if isErrorLine(line) {
+			return nil, &ServerError{Line: string(line)}
+		}
+		fields := bytes.SplitN(line, []byte(" "), 3)
+		if len(fields) != 3 || string(fields[0]) != "STAT" {
+			return nil, fmt.Errorf("protocol: unexpected stats line %q", line)
+		}
+		out[string(fields[1])] = string(fields[2])
+	}
+}
+
+func isErrorLine(line []byte) bool {
+	return bytes.Equal(line, []byte(RespError)) ||
+		bytes.HasPrefix(line, []byte("CLIENT_ERROR ")) ||
+		bytes.HasPrefix(line, []byte("SERVER_ERROR "))
+}
+
+// IsRecoverable reports whether err allows the server loop to continue
+// the connection (malformed request) rather than closing it (I/O error).
+func IsRecoverable(err error) bool {
+	var ce *ClientError
+	return errors.As(err, &ce)
+}
+
+// EOFOrNil normalizes a clean peer close: io.EOF becomes nil so callers
+// can distinguish orderly shutdown from failures.
+func EOFOrNil(err error) error {
+	if errors.Is(err, io.EOF) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,234 @@
+// Package queueing implements the queueing-theoretic machinery of the
+// paper: the GI^X/M/1 batch queue that models a Memcached server
+// (§3, §4.3) and the M/M/1 queue that models the back-end database
+// (§4.4).
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"memqlat/internal/dist"
+)
+
+// ErrUnstable is returned when the offered load meets or exceeds
+// capacity (ρ >= 1), in which case δ and all latency quantities diverge.
+var ErrUnstable = errors.New("queueing: utilization >= 1, queue unstable")
+
+// BatchQueue is the paper's GI^X/M/1 model of one Memcached server:
+//
+//   - batches arrive with general i.i.d. inter-arrival gaps TX,
+//   - each batch carries X keys, X ~ Geometric: P{X=n} = q^{n-1}(1-q),
+//   - each key's service time is exponential with rate µ_S.
+//
+// The geometric sum of exponentials is exponential, so batches are
+// served at rate µ_B = (1-q)·µ_S and the system is analyzed as a GI/M/1
+// queue on batches (paper §4.3.1).
+type BatchQueue struct {
+	// Interarrival is the distribution of the gap between batches.
+	Interarrival dist.Interarrival
+	// Q is the concurrent probability (geometric batch parameter).
+	Q float64
+	// MuS is the per-key service rate at the server.
+	MuS float64
+}
+
+// NewBatchQueue validates the parameters.
+func NewBatchQueue(interarrival dist.Interarrival, q, muS float64) (*BatchQueue, error) {
+	if interarrival == nil {
+		return nil, errors.New("queueing: nil interarrival distribution")
+	}
+	if q < 0 || q >= 1 || math.IsNaN(q) {
+		return nil, fmt.Errorf("queueing: concurrent probability q=%v must be in [0, 1)", q)
+	}
+	if !(muS > 0) {
+		return nil, fmt.Errorf("queueing: service rate muS=%v must be positive", muS)
+	}
+	if !(interarrival.Mean() > 0) {
+		return nil, fmt.Errorf("queueing: interarrival mean %v must be positive", interarrival.Mean())
+	}
+	return &BatchQueue{Interarrival: interarrival, Q: q, MuS: muS}, nil
+}
+
+// BatchServiceRate returns µ_B = (1-q)·µ_S.
+func (b *BatchQueue) BatchServiceRate() float64 { return (1 - b.Q) * b.MuS }
+
+// BatchArrivalRate returns 1/E[TX].
+func (b *BatchQueue) BatchArrivalRate() float64 { return 1 / b.Interarrival.Mean() }
+
+// KeyArrivalRate returns λ = E[X]/E[TX] = 1/((1-q)·E[TX]).
+func (b *BatchQueue) KeyArrivalRate() float64 {
+	return b.BatchArrivalRate() / (1 - b.Q)
+}
+
+// Utilization returns ρ_S = λ/µ_S (equivalently batch-rate/µ_B).
+func (b *BatchQueue) Utilization() float64 { return b.KeyArrivalRate() / b.MuS }
+
+// Stable reports whether ρ_S < 1.
+func (b *BatchQueue) Stable() bool { return b.Utilization() < 1 }
+
+// Delta solves the paper's eq. 6 (Table 1 form):
+//
+//	δ = L_TX((1-δ)·(1-q)·µ_S),  δ ∈ (0, 1),
+//
+// by bisection on h(δ) = δ − L_TX((1−δ)µ_B). The root is unique in (0,1)
+// for a stable queue. Returns ErrUnstable when ρ >= 1.
+func (b *BatchQueue) Delta() (float64, error) {
+	if !b.Stable() {
+		return 0, fmt.Errorf("%w (rho=%.4f)", ErrUnstable, b.Utilization())
+	}
+	muB := b.BatchServiceRate()
+	h := func(delta float64) float64 {
+		return delta - b.Interarrival.LaplaceTransform((1-delta)*muB)
+	}
+	lo, hi := 0.0, 1-1e-12
+	// h(0) = -L(µ_B) < 0 always. h near 1 must be > 0 when stable; guard
+	// against numerical transforms that barely miss it.
+	if h(hi) <= 0 {
+		return 0, fmt.Errorf("%w (no interior root; rho=%.6f)", ErrUnstable, b.Utilization())
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if h(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-14 {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// decayRate returns (1−δ)(1−q)µ_S, the exponential decay rate shared by
+// eqs. 4–5, computing δ on demand.
+func (b *BatchQueue) decayRate() (delta, rate float64, err error) {
+	delta, err = b.Delta()
+	if err != nil {
+		return 0, 0, err
+	}
+	return delta, (1 - delta) * b.BatchServiceRate(), nil
+}
+
+// WaitingCDF evaluates the batch queueing-time distribution (eq. 4):
+//
+//	T_Q(t) = 1 − δ·e^{−(1−δ)(1−q)µ_S·t}.
+func (b *BatchQueue) WaitingCDF(t float64) (float64, error) {
+	delta, rate, err := b.decayRate()
+	if err != nil {
+		return 0, err
+	}
+	if t < 0 {
+		return 0, nil
+	}
+	return 1 - delta*math.Exp(-rate*t), nil
+}
+
+// SojournCDF evaluates the batch completion-time distribution (eq. 5):
+//
+//	T_C(t) = 1 − e^{−(1−δ)(1−q)µ_S·t}.
+func (b *BatchQueue) SojournCDF(t float64) (float64, error) {
+	_, rate, err := b.decayRate()
+	if err != nil {
+		return 0, err
+	}
+	if t < 0 {
+		return 0, nil
+	}
+	return 1 - math.Exp(-rate*t), nil
+}
+
+// WaitingQuantile evaluates eq. 7, the k-th quantile of the batch
+// queueing time:
+//
+//	(T_Q)_k = max{ (ln δ − ln(1−k)) / ((1−δ)(1−q)µ_S), 0 }.
+func (b *BatchQueue) WaitingQuantile(k float64) (float64, error) {
+	if err := checkQuantile(k); err != nil {
+		return 0, err
+	}
+	delta, rate, err := b.decayRate()
+	if err != nil {
+		return 0, err
+	}
+	v := (math.Log(delta) - math.Log(1-k)) / rate
+	if v < 0 {
+		return 0, nil
+	}
+	return v, nil
+}
+
+// SojournQuantile evaluates eq. 8, the k-th quantile of the batch
+// completion time:
+//
+//	(T_C)_k = −ln(1−k) / ((1−δ)(1−q)µ_S).
+func (b *BatchQueue) SojournQuantile(k float64) (float64, error) {
+	if err := checkQuantile(k); err != nil {
+		return 0, err
+	}
+	_, rate, err := b.decayRate()
+	if err != nil {
+		return 0, err
+	}
+	return -math.Log(1-k) / rate, nil
+}
+
+// KeyLatencyBounds evaluates eq. 9: the k-th quantile of the
+// per-key processing latency T_S at the server is bounded by the batch
+// queueing-time quantile below and the batch completion-time quantile
+// above:
+//
+//	(T_Q)_k < (T_S)_k <= (T_C)_k.
+func (b *BatchQueue) KeyLatencyBounds(k float64) (lo, hi float64, err error) {
+	lo, err = b.WaitingQuantile(k)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = b.SojournQuantile(k)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+// MeanSojourn returns the mean batch completion time 1/((1−δ)(1−q)µ_S).
+func (b *BatchQueue) MeanSojourn() (float64, error) {
+	_, rate, err := b.decayRate()
+	if err != nil {
+		return 0, err
+	}
+	return 1 / rate, nil
+}
+
+// ArrivalQueueLengthPMF returns P{L = n}: the probability that an
+// arriving batch finds n batches in the system. For GI/M/1 this is the
+// geometric law (1−δ)·δ^n — δ's operational meaning, and a second,
+// independent handle for validating the root against simulation.
+func (b *BatchQueue) ArrivalQueueLengthPMF(n int) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("queueing: queue length %d must be >= 0", n)
+	}
+	delta, err := b.Delta()
+	if err != nil {
+		return 0, err
+	}
+	return (1 - delta) * math.Pow(delta, float64(n)), nil
+}
+
+// MeanArrivalQueueLength returns E[L] = δ/(1−δ), the mean number of
+// batches an arrival finds in the system.
+func (b *BatchQueue) MeanArrivalQueueLength() (float64, error) {
+	delta, err := b.Delta()
+	if err != nil {
+		return 0, err
+	}
+	return delta / (1 - delta), nil
+}
+
+func checkQuantile(k float64) error {
+	if math.IsNaN(k) || k < 0 || k >= 1 {
+		return fmt.Errorf("queueing: quantile level %v must be in [0, 1)", k)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1 is the classic M/M/1 queue used by the paper to model the back-end
+// database stage (§4.4): Poisson arrivals at rate Lambda, exponential
+// service at rate Mu, one server, FIFO.
+type MM1 struct {
+	// Lambda is the arrival rate.
+	Lambda float64
+	// Mu is the service rate.
+	Mu float64
+}
+
+// NewMM1 validates lambda >= 0 and mu > 0.
+func NewMM1(lambda, mu float64) (*MM1, error) {
+	if lambda < 0 || math.IsNaN(lambda) {
+		return nil, fmt.Errorf("queueing: mm1 lambda=%v must be >= 0", lambda)
+	}
+	if !(mu > 0) {
+		return nil, fmt.Errorf("queueing: mm1 mu=%v must be positive", mu)
+	}
+	return &MM1{Lambda: lambda, Mu: mu}, nil
+}
+
+// Utilization returns ρ = λ/µ.
+func (m *MM1) Utilization() float64 { return m.Lambda / m.Mu }
+
+// Stable reports ρ < 1.
+func (m *MM1) Stable() bool { return m.Utilization() < 1 }
+
+// SojournCDF evaluates the response-time distribution (paper eq. 19):
+//
+//	T_D(t) = 1 − e^{−(1−ρ)µ·t}.
+func (m *MM1) SojournCDF(t float64) (float64, error) {
+	if !m.Stable() {
+		return 0, fmt.Errorf("%w (rho=%.4f)", ErrUnstable, m.Utilization())
+	}
+	if t < 0 {
+		return 0, nil
+	}
+	return 1 - math.Exp(-(1-m.Utilization())*m.Mu*t), nil
+}
+
+// MeanSojourn returns 1/((1−ρ)µ) = 1/(µ−λ).
+func (m *MM1) MeanSojourn() (float64, error) {
+	if !m.Stable() {
+		return 0, fmt.Errorf("%w (rho=%.4f)", ErrUnstable, m.Utilization())
+	}
+	return 1 / (m.Mu - m.Lambda), nil
+}
+
+// SojournQuantile returns the k-th quantile of the response time,
+// −ln(1−k)/((1−ρ)µ).
+func (m *MM1) SojournQuantile(k float64) (float64, error) {
+	if err := checkQuantile(k); err != nil {
+		return 0, err
+	}
+	if !m.Stable() {
+		return 0, fmt.Errorf("%w (rho=%.4f)", ErrUnstable, m.Utilization())
+	}
+	return -math.Log(1-k) / ((1 - m.Utilization()) * m.Mu), nil
+}
+
+// MeanQueueLength returns the mean number in system, ρ/(1−ρ).
+func (m *MM1) MeanQueueLength() (float64, error) {
+	if !m.Stable() {
+		return 0, fmt.Errorf("%w (rho=%.4f)", ErrUnstable, m.Utilization())
+	}
+	rho := m.Utilization()
+	return rho / (1 - rho), nil
+}

@@ -1,0 +1,98 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewMM1Validation(t *testing.T) {
+	if _, err := NewMM1(-1, 1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := NewMM1(1, 0); err == nil {
+		t.Error("mu=0 accepted")
+	}
+	if _, err := NewMM1(math.NaN(), 1); err == nil {
+		t.Error("NaN lambda accepted")
+	}
+}
+
+func TestMM1KnownValues(t *testing.T) {
+	// Paper's worked example flavour: muD = 1000/s (1ms mean service),
+	// light load.
+	m, err := NewMM1(100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.Utilization(), 0.1, 1e-12) {
+		t.Errorf("rho = %v", m.Utilization())
+	}
+	got, err := m.MeanSojourn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1.0/900, 1e-12) {
+		t.Errorf("mean sojourn = %v, want %v", got, 1.0/900)
+	}
+	ql, err := m.MeanQueueLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ql, 0.1/0.9, 1e-12) {
+		t.Errorf("queue length = %v", ql)
+	}
+}
+
+func TestMM1SojournCDFAndQuantile(t *testing.T) {
+	m, _ := NewMM1(0, 1000) // idle: pure exponential service
+	cdf, err := m.SojournCDF(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(cdf, 1-1/math.E, 1e-9) {
+		t.Errorf("CDF(mean) = %v", cdf)
+	}
+	if v, _ := m.SojournCDF(-1); v != 0 {
+		t.Error("CDF(-1) != 0")
+	}
+	qv, err := m.SojournQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(qv, math.Ln2/1000, 1e-9) {
+		t.Errorf("median = %v", qv)
+	}
+	c2, _ := m.SojournCDF(qv)
+	if !almostEqual(c2, 0.5, 1e-9) {
+		t.Errorf("CDF(median) = %v", c2)
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	m, _ := NewMM1(1000, 1000)
+	if m.Stable() {
+		t.Error("rho=1 reported stable")
+	}
+	if _, err := m.MeanSojourn(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("MeanSojourn err = %v", err)
+	}
+	if _, err := m.SojournCDF(1); !errors.Is(err, ErrUnstable) {
+		t.Errorf("SojournCDF err = %v", err)
+	}
+	if _, err := m.SojournQuantile(0.5); !errors.Is(err, ErrUnstable) {
+		t.Errorf("SojournQuantile err = %v", err)
+	}
+	if _, err := m.MeanQueueLength(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("MeanQueueLength err = %v", err)
+	}
+}
+
+func TestMM1QuantileValidation(t *testing.T) {
+	m, _ := NewMM1(1, 10)
+	for _, k := range []float64{-0.5, 1, math.NaN()} {
+		if _, err := m.SojournQuantile(k); err == nil {
+			t.Errorf("quantile %v accepted", k)
+		}
+	}
+}

@@ -1,0 +1,539 @@
+// Package server hosts the cache behind the memcached text protocol
+// over TCP: accept loop, one goroutine per connection, pipelining-aware
+// buffered I/O, graceful shutdown, connection limits and a stats
+// surface. An optional service-time shaper reproduces the paper's
+// exponential per-key service model (rate µ_S) so that live runs
+// exercise the same dynamics the theory describes.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memqlat/internal/cache"
+	"memqlat/internal/dist"
+	"memqlat/internal/protocol"
+	"memqlat/internal/stats"
+)
+
+// Version is reported by the version command.
+const Version = "memqlat-0.9"
+
+// thirtyDays is memcached's threshold separating relative exptimes from
+// absolute unix timestamps.
+const thirtyDays = 60 * 60 * 24 * 30
+
+// Options configures a Server.
+type Options struct {
+	// Cache is the backing store (required).
+	Cache *cache.Cache
+	// MaxConns caps concurrent connections (default 1024).
+	MaxConns int
+	// ServiceRate, when positive, delays every command by an
+	// exponential draw of mean 1/ServiceRate, emulating a Memcached
+	// server with service rate µ_S (paper §5.1 measures 80 Kps).
+	ServiceRate float64
+	// Seed feeds the service-time shaper.
+	Seed uint64
+	// Logger receives connection-level errors (default log.Default()).
+	Logger *log.Logger
+	// ReadBuffer / WriteBuffer size the per-connection buffers
+	// (default 16 KiB).
+	ReadBuffer  int
+	WriteBuffer int
+	// IdleTimeout closes connections that send no command for this
+	// long (0 = never).
+	IdleTimeout time.Duration
+}
+
+// Server is a memcached-protocol TCP server.
+type Server struct {
+	opts   Options
+	logger *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	totalConns   atomic.Int64
+	currConns    atomic.Int64
+	rejectedConn atomic.Int64
+	cmdCount     atomic.Int64
+	startTime    time.Time
+
+	// serviceMu serializes shaped service across connections so that a
+	// shaped server behaves as ONE queueing server (the model's single
+	// service channel), not one per connection.
+	serviceMu sync.Mutex
+
+	// latency tracks per-command handling time, served by "stats
+	// latency" (a memqlat observability extension).
+	latency latencyTracker
+}
+
+// latencyTracker is a mutex-guarded latency histogram.
+type latencyTracker struct {
+	mu   sync.Mutex
+	hist *stats.Histogram
+}
+
+func (l *latencyTracker) record(seconds float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hist == nil {
+		l.hist = stats.NewHistogram()
+	}
+	l.hist.Record(seconds)
+}
+
+type statRow struct{ k, v string }
+
+func (l *latencyTracker) snapshot() []statRow {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hist == nil || l.hist.Count() == 0 {
+		return []statRow{{"latency:count", "0"}}
+	}
+	rows := []statRow{
+		{"latency:count", fmt.Sprintf("%d", l.hist.Count())},
+		{"latency:mean_us", fmt.Sprintf("%.1f", l.hist.Mean()*1e6)},
+	}
+	for _, q := range []struct {
+		name  string
+		level float64
+	}{{"p50", 0.5}, {"p90", 0.9}, {"p99", 0.99}, {"p999", 0.999}} {
+		rows = append(rows, statRow{
+			"latency:" + q.name + "_us",
+			fmt.Sprintf("%.1f", l.hist.MustQuantile(q.level)*1e6),
+		})
+	}
+	return rows
+}
+
+// New validates options and constructs a Server.
+func New(opts Options) (*Server, error) {
+	if opts.Cache == nil {
+		return nil, errors.New("server: Cache is required")
+	}
+	if opts.MaxConns == 0 {
+		opts.MaxConns = 1024
+	}
+	if opts.MaxConns < 0 {
+		return nil, fmt.Errorf("server: MaxConns=%d must be positive", opts.MaxConns)
+	}
+	if opts.ServiceRate < 0 {
+		return nil, fmt.Errorf("server: ServiceRate=%v must be >= 0", opts.ServiceRate)
+	}
+	if opts.ReadBuffer == 0 {
+		opts.ReadBuffer = 16 << 10
+	}
+	if opts.WriteBuffer == 0 {
+		opts.WriteBuffer = 16 << 10
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	return &Server{
+		opts:      opts,
+		logger:    logger,
+		conns:     make(map[net.Conn]struct{}),
+		startTime: time.Now(),
+	}, nil
+}
+
+// Serve accepts connections on l until Close. It returns nil after a
+// clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: already closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	var connID uint64
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		if s.currConns.Load() >= int64(s.opts.MaxConns) {
+			s.rejectedConn.Add(1)
+			_ = conn.Close()
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.totalConns.Add(1)
+		s.currConns.Add(1)
+		connID++
+		id := connID
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				s.currConns.Add(-1)
+				_ = conn.Close()
+			}()
+			if err := s.handleConn(conn, id); err != nil && !errors.Is(err, net.ErrClosed) {
+				s.logger.Printf("server: conn %d: %v", id, err)
+			}
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	return s.Serve(l)
+}
+
+// Addr returns the bound address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close stops accepting, closes all connections and waits for handler
+// goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handleConn runs the request loop for one connection.
+func (s *Server) handleConn(conn net.Conn, id uint64) error {
+	r := bufio.NewReaderSize(conn, s.opts.ReadBuffer)
+	w := protocol.NewWriter(bufio.NewWriterSize(conn, s.opts.WriteBuffer))
+	var shaper *rand.Rand
+	if s.opts.ServiceRate > 0 {
+		shaper = dist.SubRand(s.opts.Seed, id)
+	}
+	for {
+		if s.opts.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
+				return fmt.Errorf("set idle deadline: %w", err)
+			}
+		}
+		cmd, err := protocol.ReadCommand(r)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// Idle connection: close it quietly.
+				_ = w.Flush()
+				return nil
+			}
+			switch {
+			case errors.Is(err, protocol.ErrQuit):
+				return w.Flush()
+			case protocol.IsRecoverable(err):
+				if werr := w.ClientErrorf("%v", err); werr != nil {
+					return werr
+				}
+				if werr := w.Flush(); werr != nil {
+					return werr
+				}
+				continue
+			default:
+				_ = w.Flush()
+				return protocol.EOFOrNil(err)
+			}
+		}
+		s.cmdCount.Add(1)
+		began := time.Now()
+		if shaper != nil {
+			service := time.Duration(shaper.ExpFloat64() / s.opts.ServiceRate * float64(time.Second))
+			s.serviceMu.Lock()
+			time.Sleep(service)
+			s.serviceMu.Unlock()
+		}
+		if err := s.dispatch(w, cmd); err != nil {
+			return err
+		}
+		s.latency.record(time.Since(began).Seconds())
+		// Flush when the pipeline is drained (no buffered next command).
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ttlFromExptime applies memcached exptime semantics: 0 = never,
+// negative = immediately expired, <= 30 days = relative seconds,
+// > 30 days = absolute unix timestamp.
+func ttlFromExptime(exptime int64, now time.Time) time.Duration {
+	switch {
+	case exptime == 0:
+		return 0
+	case exptime < 0:
+		return -time.Second
+	case exptime <= thirtyDays:
+		return time.Duration(exptime) * time.Second
+	default:
+		d := time.Unix(exptime, 0).Sub(now)
+		if d <= 0 {
+			return -time.Second
+		}
+		return d
+	}
+}
+
+// reply writes a one-line response unless the command asked noreply.
+func reply(w *protocol.Writer, cmd *protocol.Command, line string) error {
+	if cmd.Noreply {
+		return nil
+	}
+	return w.Line(line)
+}
+
+func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command) error {
+	c := s.opts.Cache
+	now := time.Now()
+	switch cmd.Op {
+	case protocol.OpGet, protocol.OpGets:
+		withCAS := cmd.Op == protocol.OpGets
+		for _, key := range cmd.Keys {
+			it, err := c.Get(key)
+			if err != nil {
+				continue // missing keys are silently omitted
+			}
+			if err := w.Value(key, it.Flags, it.CAS, it.Value, withCAS); err != nil {
+				return err
+			}
+		}
+		return w.End()
+
+	case protocol.OpSet:
+		return s.storageReply(w, cmd, c.Set(cmd.Key, cmd.Value, cmd.Flags, ttlFromExptime(cmd.Exptime, now)))
+	case protocol.OpAdd:
+		return s.storageReply(w, cmd, c.Add(cmd.Key, cmd.Value, cmd.Flags, ttlFromExptime(cmd.Exptime, now)))
+	case protocol.OpReplace:
+		return s.storageReply(w, cmd, c.Replace(cmd.Key, cmd.Value, cmd.Flags, ttlFromExptime(cmd.Exptime, now)))
+	case protocol.OpAppend:
+		return s.storageReply(w, cmd, c.Append(cmd.Key, cmd.Value))
+	case protocol.OpPrepend:
+		return s.storageReply(w, cmd, c.Prepend(cmd.Key, cmd.Value))
+	case protocol.OpCas:
+		return s.storageReply(w, cmd,
+			c.CompareAndSwap(cmd.Key, cmd.Value, cmd.Flags, ttlFromExptime(cmd.Exptime, now), cmd.CAS))
+
+	case protocol.OpDelete:
+		err := c.Delete(cmd.Key)
+		switch {
+		case err == nil:
+			return reply(w, cmd, protocol.RespDeleted)
+		case errors.Is(err, cache.ErrNotFound):
+			return reply(w, cmd, protocol.RespNotFound)
+		default:
+			return s.cacheError(w, cmd, err)
+		}
+
+	case protocol.OpIncr, protocol.OpDecr:
+		delta := int64(cmd.Delta)
+		if cmd.Op == protocol.OpDecr {
+			delta = -delta
+		}
+		n, err := c.IncrDecr(cmd.Key, delta)
+		switch {
+		case err == nil:
+			if cmd.Noreply {
+				return nil
+			}
+			return w.Number(n)
+		case errors.Is(err, cache.ErrNotFound):
+			return reply(w, cmd, protocol.RespNotFound)
+		case errors.Is(err, cache.ErrNotNumeric):
+			if cmd.Noreply {
+				return nil
+			}
+			return w.ClientErrorf("cannot increment or decrement non-numeric value")
+		default:
+			return s.cacheError(w, cmd, err)
+		}
+
+	case protocol.OpTouch:
+		err := c.Touch(cmd.Key, ttlFromExptime(cmd.Exptime, now))
+		switch {
+		case err == nil:
+			return reply(w, cmd, protocol.RespTouched)
+		case errors.Is(err, cache.ErrNotFound):
+			return reply(w, cmd, protocol.RespNotFound)
+		default:
+			return s.cacheError(w, cmd, err)
+		}
+
+	case protocol.OpGat, protocol.OpGats:
+		withCAS := cmd.Op == protocol.OpGats
+		ttl := ttlFromExptime(cmd.Exptime, now)
+		for _, key := range cmd.Keys {
+			it, err := c.GetAndTouch(key, ttl)
+			if err != nil {
+				continue
+			}
+			if err := w.Value(key, it.Flags, it.CAS, it.Value, withCAS); err != nil {
+				return err
+			}
+		}
+		return w.End()
+
+	case protocol.OpStats:
+		return s.writeStats(w, cmd.Key)
+
+	case protocol.OpFlushAll:
+		c.FlushAll()
+		return reply(w, cmd, protocol.RespOK)
+
+	case protocol.OpVersion:
+		return w.Version(Version)
+
+	case protocol.OpVerbosity:
+		return reply(w, cmd, protocol.RespOK)
+
+	default:
+		return w.Line(protocol.RespError)
+	}
+}
+
+// storageReply maps cache errors of storage commands to protocol lines.
+func (s *Server) storageReply(w *protocol.Writer, cmd *protocol.Command, err error) error {
+	switch {
+	case err == nil:
+		return reply(w, cmd, protocol.RespStored)
+	case errors.Is(err, cache.ErrNotStored):
+		return reply(w, cmd, protocol.RespNotStored)
+	case errors.Is(err, cache.ErrExists):
+		return reply(w, cmd, protocol.RespExists)
+	case errors.Is(err, cache.ErrNotFound):
+		return reply(w, cmd, protocol.RespNotFound)
+	default:
+		return s.cacheError(w, cmd, err)
+	}
+}
+
+// cacheError reports validation failures as CLIENT_ERROR.
+func (s *Server) cacheError(w *protocol.Writer, cmd *protocol.Command, err error) error {
+	if cmd.Noreply {
+		return nil
+	}
+	switch {
+	case errors.Is(err, cache.ErrKeyInvalid), errors.Is(err, cache.ErrValueTooLarge):
+		return w.ClientErrorf("%v", err)
+	default:
+		return w.ServerErrorf("%v", err)
+	}
+}
+
+func (s *Server) writeStats(w *protocol.Writer, section string) error {
+	switch section {
+	case "items", "slabs":
+		// Per-size-class accounting, in the spirit of memcached's
+		// "stats items"/"stats slabs" output.
+		for i, sc := range s.opts.Cache.SlabClasses() {
+			cls := i + 1
+			if err := w.Stat(fmt.Sprintf("items:%d:chunk_size", cls),
+				fmt.Sprintf("%d", sc.ChunkSize)); err != nil {
+				return err
+			}
+			if err := w.Stat(fmt.Sprintf("items:%d:number", cls),
+				fmt.Sprintf("%d", sc.Items)); err != nil {
+				return err
+			}
+			if err := w.Stat(fmt.Sprintf("items:%d:bytes", cls),
+				fmt.Sprintf("%d", sc.Bytes)); err != nil {
+				return err
+			}
+		}
+		return w.End()
+	case "latency":
+		// memqlat extension: server-side per-command latency quantiles.
+		snap := s.latency.snapshot()
+		for _, row := range snap {
+			if err := w.Stat(row.k, row.v); err != nil {
+				return err
+			}
+		}
+		return w.End()
+	case "":
+		// fall through to the general table below
+	default:
+		return w.ClientErrorf("unknown stats section %q", section)
+	}
+	st := s.opts.Cache.Stats()
+	rows := []struct{ k, v string }{
+		{"version", Version},
+		{"uptime", fmt.Sprintf("%d", int64(time.Since(s.startTime).Seconds()))},
+		{"curr_connections", fmt.Sprintf("%d", s.currConns.Load())},
+		{"total_connections", fmt.Sprintf("%d", s.totalConns.Load())},
+		{"rejected_connections", fmt.Sprintf("%d", s.rejectedConn.Load())},
+		{"cmd_total", fmt.Sprintf("%d", s.cmdCount.Load())},
+		{"curr_items", fmt.Sprintf("%d", st.Items)},
+		{"bytes", fmt.Sprintf("%d", st.Bytes)},
+		{"limit_maxbytes", fmt.Sprintf("%d", st.MaxBytes)},
+		{"cmd_get", fmt.Sprintf("%d", st.Gets)},
+		{"cmd_set", fmt.Sprintf("%d", st.Sets)},
+		{"get_hits", fmt.Sprintf("%d", st.Hits)},
+		{"get_misses", fmt.Sprintf("%d", st.Misses)},
+		{"evictions", fmt.Sprintf("%d", st.Evictions)},
+		{"expired_unfetched", fmt.Sprintf("%d", st.Expirations)},
+	}
+	for _, row := range rows {
+		if err := w.Stat(row.k, row.v); err != nil {
+			return err
+		}
+	}
+	return w.End()
+}

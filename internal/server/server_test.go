@@ -1,0 +1,494 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memqlat/internal/cache"
+)
+
+// startServer launches a server on a loopback listener and returns its
+// address plus a cleanup-registered shutdown.
+func startServer(t *testing.T, opts Options) (*Server, string) {
+	t.Helper()
+	if opts.Cache == nil {
+		c, err := cache.New(cache.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Cache = c
+	}
+	if opts.Logger == nil {
+		opts.Logger = log.New(io.Discard, "", 0)
+	}
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, l.Addr().String()
+}
+
+// dial opens a raw protocol session.
+func dial(t *testing.T, addr string) (*bufio.Reader, *bufio.Writer, net.Conn) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return bufio.NewReader(conn), bufio.NewWriter(conn), conn
+}
+
+func send(t *testing.T, w *bufio.Writer, s string) {
+	t.Helper()
+	if _, err := w.WriteString(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readLine(t *testing.T, r *bufio.Reader) string {
+	t.Helper()
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("nil cache accepted")
+	}
+	c, _ := cache.New(cache.Options{})
+	if _, err := New(Options{Cache: c, MaxConns: -1}); err == nil {
+		t.Error("negative MaxConns accepted")
+	}
+	if _, err := New(Options{Cache: c, ServiceRate: -1}); err == nil {
+		t.Error("negative ServiceRate accepted")
+	}
+}
+
+func TestSetGetEndToEnd(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	send(t, w, "set hello 42 0 5\r\nworld\r\n")
+	if got := readLine(t, r); got != "STORED" {
+		t.Fatalf("set reply = %q", got)
+	}
+	send(t, w, "get hello\r\n")
+	if got := readLine(t, r); got != "VALUE hello 42 5" {
+		t.Fatalf("value header = %q", got)
+	}
+	if got := readLine(t, r); got != "world" {
+		t.Fatalf("value body = %q", got)
+	}
+	if got := readLine(t, r); got != "END" {
+		t.Fatalf("end = %q", got)
+	}
+}
+
+func TestGetMissOmitted(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	send(t, w, "get nope\r\n")
+	if got := readLine(t, r); got != "END" {
+		t.Fatalf("reply = %q", got)
+	}
+}
+
+func TestMultiGetPartial(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	send(t, w, "set a 0 0 1\r\nx\r\n")
+	readLine(t, r)
+	send(t, w, "set b 0 0 1\r\ny\r\n")
+	readLine(t, r)
+	send(t, w, "get a missing b\r\n")
+	var lines []string
+	for {
+		line := readLine(t, r)
+		lines = append(lines, line)
+		if line == "END" {
+			break
+		}
+	}
+	joined := strings.Join(lines, "|")
+	if !strings.Contains(joined, "VALUE a 0 1|x") || !strings.Contains(joined, "VALUE b 0 1|y") {
+		t.Errorf("multiget = %q", joined)
+	}
+	if strings.Contains(joined, "missing") {
+		t.Errorf("missing key leaked: %q", joined)
+	}
+}
+
+func TestGetsReturnsCAS(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	send(t, w, "set k 0 0 1\r\nv\r\n")
+	readLine(t, r)
+	send(t, w, "gets k\r\n")
+	header := readLine(t, r)
+	var key string
+	var flags, length int
+	var cas uint64
+	if _, err := fmt.Sscanf(header, "VALUE %s %d %d %d", &key, &flags, &length, &cas); err != nil {
+		t.Fatalf("header %q: %v", header, err)
+	}
+	if cas == 0 {
+		t.Error("zero cas token")
+	}
+	readLine(t, r) // body
+	readLine(t, r) // END
+
+	// cas with the right token succeeds, with a stale token returns EXISTS.
+	send(t, w, fmt.Sprintf("cas k 0 0 2 %d\r\nv2\r\n", cas))
+	if got := readLine(t, r); got != "STORED" {
+		t.Fatalf("cas reply = %q", got)
+	}
+	send(t, w, fmt.Sprintf("cas k 0 0 2 %d\r\nv3\r\n", cas))
+	if got := readLine(t, r); got != "EXISTS" {
+		t.Fatalf("stale cas reply = %q", got)
+	}
+}
+
+func TestStorageCommandFamily(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	steps := []struct{ give, want string }{
+		{"replace k 0 0 1\r\nx\r\n", "NOT_STORED"},
+		{"add k 0 0 1\r\nx\r\n", "STORED"},
+		{"add k 0 0 1\r\ny\r\n", "NOT_STORED"},
+		{"append k 0 0 2\r\nyz\r\n", "STORED"},
+		{"prepend k 0 0 2\r\nwv\r\n", "STORED"},
+		{"delete k\r\n", "DELETED"},
+		{"delete k\r\n", "NOT_FOUND"},
+		{"cas k 0 0 1 5\r\nx\r\n", "NOT_FOUND"},
+	}
+	for _, s := range steps {
+		send(t, w, s.give)
+		if got := readLine(t, r); got != s.want {
+			t.Errorf("%q -> %q, want %q", s.give, got, s.want)
+		}
+	}
+}
+
+func TestIncrDecrEndToEnd(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	send(t, w, "set n 0 0 2\r\n10\r\n")
+	readLine(t, r)
+	send(t, w, "incr n 5\r\n")
+	if got := readLine(t, r); got != "15" {
+		t.Errorf("incr = %q", got)
+	}
+	send(t, w, "decr n 100\r\n")
+	if got := readLine(t, r); got != "0" {
+		t.Errorf("decr = %q", got)
+	}
+	send(t, w, "incr missing 1\r\n")
+	if got := readLine(t, r); got != "NOT_FOUND" {
+		t.Errorf("incr missing = %q", got)
+	}
+	send(t, w, "set s 0 0 3\r\nabc\r\n")
+	readLine(t, r)
+	send(t, w, "incr s 1\r\n")
+	if got := readLine(t, r); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Errorf("incr non-numeric = %q", got)
+	}
+}
+
+func TestTouchAndExpiry(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	send(t, w, "set k 0 0 1\r\nv\r\n")
+	readLine(t, r)
+	send(t, w, "touch k 100\r\n")
+	if got := readLine(t, r); got != "TOUCHED" {
+		t.Errorf("touch = %q", got)
+	}
+	send(t, w, "touch missing 100\r\n")
+	if got := readLine(t, r); got != "NOT_FOUND" {
+		t.Errorf("touch missing = %q", got)
+	}
+	// Negative exptime stores an immediately-expired item.
+	send(t, w, "set dead 0 -1 1\r\nv\r\n")
+	readLine(t, r)
+	send(t, w, "get dead\r\n")
+	if got := readLine(t, r); got != "END" {
+		t.Errorf("expired item served: %q", got)
+	}
+}
+
+func TestNoreplySuppressesResponses(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	send(t, w, "set k 0 0 1 noreply\r\nv\r\nget k\r\n")
+	// First reply must be the get's VALUE, not STORED.
+	if got := readLine(t, r); got != "VALUE k 0 1" {
+		t.Fatalf("first reply = %q", got)
+	}
+}
+
+func TestStatsVersionFlush(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	send(t, w, "version\r\n")
+	if got := readLine(t, r); !strings.HasPrefix(got, "VERSION ") {
+		t.Errorf("version = %q", got)
+	}
+	send(t, w, "set k 0 0 1\r\nv\r\n")
+	readLine(t, r)
+	send(t, w, "stats\r\n")
+	stats := make(map[string]string)
+	for {
+		line := readLine(t, r)
+		if line == "END" {
+			break
+		}
+		var k, v string
+		if _, err := fmt.Sscanf(line, "STAT %s %s", &k, &v); err != nil {
+			t.Fatalf("stat line %q: %v", line, err)
+		}
+		stats[k] = v
+	}
+	if stats["cmd_set"] != "1" || stats["curr_items"] != "1" {
+		t.Errorf("stats = %v", stats)
+	}
+	send(t, w, "flush_all\r\n")
+	if got := readLine(t, r); got != "OK" {
+		t.Errorf("flush = %q", got)
+	}
+	send(t, w, "get k\r\n")
+	if got := readLine(t, r); got != "END" {
+		t.Errorf("item survived flush: %q", got)
+	}
+	send(t, w, "verbosity 1\r\n")
+	if got := readLine(t, r); got != "OK" {
+		t.Errorf("verbosity = %q", got)
+	}
+}
+
+func TestMalformedCommandKeepsConnection(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	send(t, w, "bogus\r\n")
+	if got := readLine(t, r); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("reply = %q", got)
+	}
+	// Connection still works.
+	send(t, w, "version\r\n")
+	if got := readLine(t, r); !strings.HasPrefix(got, "VERSION") {
+		t.Fatalf("post-error reply = %q", got)
+	}
+}
+
+func TestQuitClosesConnection(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, conn := dial(t, addr)
+	send(t, w, "quit\r\n")
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := r.ReadByte(); err != io.EOF {
+		t.Errorf("expected EOF after quit, got %v", err)
+	}
+}
+
+func TestMaxConnsRejectsExcess(t *testing.T) {
+	srv, addr := startServer(t, Options{MaxConns: 1})
+	r1, w1, _ := dial(t, addr)
+	send(t, w1, "version\r\n")
+	readLine(t, r1) // first connection is live
+
+	// Second connection gets closed immediately.
+	conn2, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	_ = conn2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn2.Read(buf); err == nil {
+		t.Error("excess connection not closed")
+	}
+	if srv.rejectedConn.Load() == 0 {
+		t.Error("rejection not counted")
+	}
+}
+
+func TestServiceRateShaping(t *testing.T) {
+	// ServiceRate 200/s -> mean 5ms per op; 20 ops should take >= ~50ms.
+	_, addr := startServer(t, Options{ServiceRate: 200, Seed: 1})
+	r, w, _ := dial(t, addr)
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		send(t, w, "version\r\n")
+		readLine(t, r)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("20 shaped ops took only %v", elapsed)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.DialTimeout("tcp", addr, time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			w := bufio.NewWriter(conn)
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k-%d-%d", g, i)
+				fmt.Fprintf(w, "set %s 0 0 1\r\nv\r\n", key)
+				_ = w.Flush()
+				line, err := r.ReadString('\n')
+				if err != nil || !strings.HasPrefix(line, "STORED") {
+					t.Errorf("set %s: %q %v", key, line, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTTLFromExptime(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	tests := []struct {
+		give int64
+		want time.Duration
+	}{
+		{0, 0},
+		{-5, -time.Second},
+		{60, time.Minute},
+		{thirtyDays, time.Duration(thirtyDays) * time.Second},
+		{now.Unix() + 3600, time.Hour},
+		{now.Unix() - 100, -time.Second}, // absolute timestamp in the past
+	}
+	for _, tt := range tests {
+		if got := ttlFromExptime(tt.give, now); got != tt.want {
+			t.Errorf("ttlFromExptime(%d) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestGatEndToEnd(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	send(t, w, "set k 5 0 3\r\nabc\r\n")
+	readLine(t, r)
+	send(t, w, "gat 3600 k missing\r\n")
+	if got := readLine(t, r); got != "VALUE k 5 3" {
+		t.Fatalf("gat header = %q", got)
+	}
+	if got := readLine(t, r); got != "abc" {
+		t.Fatalf("gat body = %q", got)
+	}
+	if got := readLine(t, r); got != "END" {
+		t.Fatalf("gat end = %q", got)
+	}
+	// gats returns a CAS token.
+	send(t, w, "gats 3600 k\r\n")
+	header := readLine(t, r)
+	var key string
+	var flags, length int
+	var cas uint64
+	if _, err := fmt.Sscanf(header, "VALUE %s %d %d %d", &key, &flags, &length, &cas); err != nil {
+		t.Fatalf("gats header %q: %v", header, err)
+	}
+	if cas == 0 {
+		t.Error("gats returned zero cas")
+	}
+	readLine(t, r)
+	readLine(t, r)
+}
+
+func TestStatsSections(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	send(t, w, "set k 0 0 5\r\nhello\r\n")
+	readLine(t, r)
+	send(t, w, "get k\r\n")
+	readLine(t, r)
+	readLine(t, r)
+	readLine(t, r)
+
+	send(t, w, "stats items\r\n")
+	sawChunk := false
+	for {
+		line := readLine(t, r)
+		if line == "END" {
+			break
+		}
+		if strings.Contains(line, "chunk_size") {
+			sawChunk = true
+		}
+	}
+	if !sawChunk {
+		t.Error("stats items missing chunk_size rows")
+	}
+
+	send(t, w, "stats latency\r\n")
+	sawCount := false
+	for {
+		line := readLine(t, r)
+		if line == "END" {
+			break
+		}
+		if strings.HasPrefix(line, "STAT latency:count") {
+			sawCount = true
+		}
+	}
+	if !sawCount {
+		t.Error("stats latency missing count")
+	}
+
+	send(t, w, "stats bogus\r\n")
+	if got := readLine(t, r); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Errorf("unknown section reply = %q", got)
+	}
+}
+
+func TestIdleTimeoutClosesConnection(t *testing.T) {
+	_, addr := startServer(t, Options{IdleTimeout: 50 * time.Millisecond})
+	r, w, conn := dial(t, addr)
+	send(t, w, "version\r\n")
+	readLine(t, r)
+	// Go silent: the server should close the connection.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("idle connection not closed")
+	}
+}

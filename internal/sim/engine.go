@@ -1,0 +1,110 @@
+// Package sim is the measurement testbed of the reproduction: a
+// deterministic, seedable discrete-event simulator of the Memcached
+// system exactly as the paper models it — GI^X/M/1 key queues at each
+// Memcached server, an exponential-service database stage for misses,
+// constant network delay, and fork-join composition of a request's N
+// keys (paper §3, Fig. 3).
+//
+// Two complementary simulation modes are provided:
+//
+//   - ServerSim + RequestSim mirror the paper's testbed methodology:
+//     per-server key streams are generated (Generalized Pareto gaps,
+//     geometric batches) and request latency is composed from sampled
+//     key latencies (the paper's mutilate + statistical composition).
+//     ServerSim uses the Lindley recursion, the exact event-by-event
+//     evolution of a FIFO single-server queue, so it is a discrete-event
+//     simulation computed without a scheduler.
+//
+//   - IntegratedSim drives the full system from a request stream through
+//     an event scheduler: requests fork into keys, keys queue at
+//     servers, misses visit the database, and the request joins when its
+//     last key completes. It validates the model's independence
+//     assumptions end-to-end.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback in virtual time.
+type event struct {
+	at  float64
+	seq uint64 // tie-break so simultaneous events run FIFO
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a minimal discrete-event scheduler in virtual seconds.
+// The zero value is ready to use.
+type Engine struct {
+	now    float64
+	lastAt float64
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// LastEventAt returns the timestamp of the most recently executed
+// event (0 if none ran). Unlike Now it does not advance to the Run
+// horizon when the queue drains early.
+func (e *Engine) LastEventAt() float64 { return e.lastAt }
+
+// Schedule runs fn after delay seconds of virtual time. Negative delays
+// are clamped to zero (run "now", after currently pending events at the
+// same timestamp).
+func (e *Engine) Schedule(delay float64, fn func()) error {
+	if math.IsNaN(delay) {
+		return fmt.Errorf("sim: NaN delay scheduled")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now + delay, seq: e.seq, fn: fn})
+	return nil
+}
+
+// Run executes events in timestamp order until the queue drains or
+// virtual time passes until. Events scheduled exactly at the horizon
+// still run.
+func (e *Engine) Run(until float64) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.lastAt = next.at
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }

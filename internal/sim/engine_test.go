@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEngineRunsInTimestampOrder(t *testing.T) {
+	var eng Engine
+	var order []int
+	if err := eng.Schedule(3, func() { order = append(order, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Schedule(1, func() { order = append(order, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Schedule(2, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if eng.Now() != 10 {
+		t.Errorf("now = %v, want horizon 10", eng.Now())
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	var eng Engine
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := eng.Schedule(1, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var eng Engine
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			_ = eng.Schedule(1, tick)
+		}
+	}
+	if err := eng.Schedule(0, tick); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(100)
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("pending = %d", eng.Pending())
+	}
+}
+
+func TestEngineHorizonStopsEarly(t *testing.T) {
+	var eng Engine
+	ran := false
+	_ = eng.Schedule(5, func() { ran = true })
+	eng.Run(4)
+	if ran {
+		t.Error("event past horizon ran")
+	}
+	if eng.Pending() != 1 {
+		t.Errorf("pending = %d", eng.Pending())
+	}
+	eng.Run(5) // inclusive horizon
+	if !ran {
+		t.Error("event at horizon did not run")
+	}
+}
+
+func TestEngineNegativeAndNaNDelay(t *testing.T) {
+	var eng Engine
+	ran := false
+	if err := eng.Schedule(-1, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(0)
+	if !ran {
+		t.Error("clamped negative delay did not run at now")
+	}
+	if err := eng.Schedule(math.NaN(), func() {}); err == nil {
+		t.Error("NaN delay accepted")
+	}
+}

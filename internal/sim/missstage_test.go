@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateMissStageValidation(t *testing.T) {
+	bad := []MissStageConfig{
+		{N: 0, MissRatio: 0.1, MuD: 1000, Requests: 10},
+		{N: 10, MissRatio: -0.1, MuD: 1000, Requests: 10},
+		{N: 10, MissRatio: 1.5, MuD: 1000, Requests: 10},
+		{N: 10, MissRatio: 0.1, MuD: 0, Requests: 10},
+		{N: 10, MissRatio: 0.1, MuD: 1000, Requests: 0},
+	}
+	for i, c := range bad {
+		if _, err := SimulateMissStage(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// The miss-stage fast path must reproduce eq. 23 for the Facebook
+// workload (theory 836µs).
+func TestMissStageMatchesEq23(t *testing.T) {
+	res, err := SimulateMissStage(MissStageConfig{
+		N: 150, MissRatio: 0.01, MuD: 1000, Requests: 100000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.TDQuantileEstimate(1000)
+	if !almostEqual(got, 836e-6, 0.03) {
+		t.Errorf("TD estimate = %v, want ~836µs", got)
+	}
+	// Mean of maxima carries the maximal-statistics bias upward.
+	if res.TD.Mean() < got {
+		t.Errorf("mean %v below quantile estimate %v", res.TD.Mean(), got)
+	}
+}
+
+func TestMissStageZeroMiss(t *testing.T) {
+	res, err := SimulateMissStage(MissStageConfig{
+		N: 100, MissRatio: 0, MuD: 1000, Requests: 1000, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RequestsWithMiss != 0 || res.TDQuantileEstimate(1000) != 0 {
+		t.Errorf("zero-miss result: %+v", res)
+	}
+}
+
+// Large-N regime: E[TD(N)] -> ln(N r + 1)/muD (paper §5.2.4).
+func TestMissStageLargeNLogLaw(t *testing.T) {
+	res, err := SimulateMissStage(MissStageConfig{
+		N: 1000000, MissRatio: 0.01, MuD: 1000, Requests: 20000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(1000000*0.01+1) / 1000
+	if !almostEqual(res.TDQuantileEstimate(1000), want, 0.03) {
+		t.Errorf("TD estimate = %v, want ~%v", res.TDQuantileEstimate(1000), want)
+	}
+}
+
+// Small-N regime: TD is linear in r (doubling r doubles the estimate).
+func TestMissStageSmallNLinearLaw(t *testing.T) {
+	run := func(r float64) float64 {
+		res, err := SimulateMissStage(MissStageConfig{
+			N: 1, MissRatio: r, MuD: 1000, Requests: 400000, Seed: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TDQuantileEstimate(1000)
+	}
+	ratio := run(0.02) / run(0.01)
+	if !almostEqual(ratio, 2, 0.1) {
+		t.Errorf("small-N ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestMissStageDeterministic(t *testing.T) {
+	cfg := MissStageConfig{N: 150, MissRatio: 0.01, MuD: 1000, Requests: 1000, Seed: 5}
+	a, _ := SimulateMissStage(cfg)
+	b, _ := SimulateMissStage(cfg)
+	if a.TD.Mean() != b.TD.Mean() || a.MissKeys != b.MissKeys {
+		t.Error("same seed, different results")
+	}
+}

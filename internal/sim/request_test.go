@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"memqlat/internal/core"
+)
+
+func facebookModel() *core.Config {
+	return &core.Config{
+		N:              150,
+		LoadRatios:     core.BalancedLoad(4),
+		TotalKeyRate:   4 * 62500,
+		Q:              0.1,
+		Xi:             0.15,
+		MuS:            80000,
+		MissRatio:      0.01,
+		MuD:            1000,
+		NetworkLatency: 20e-6,
+	}
+}
+
+func TestSimulateRequestsValidation(t *testing.T) {
+	if _, err := SimulateRequests(RequestConfig{Model: nil, Requests: 10}); err == nil {
+		t.Error("nil model accepted")
+	}
+	bad := facebookModel()
+	bad.N = 0
+	if _, err := SimulateRequests(RequestConfig{Model: bad, Requests: 10}); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := SimulateRequests(RequestConfig{Model: facebookModel(), Requests: 0}); err == nil {
+		t.Error("zero requests accepted")
+	}
+}
+
+// The headline validation (paper Table 3): the simulated Facebook
+// workload must land inside the Theorem 1 bounds.
+func TestSimulateRequestsMatchesTheorem1(t *testing.T) {
+	model := facebookModel()
+	res, err := SimulateRequests(RequestConfig{
+		Model:         model,
+		Requests:      20000,
+		KeysPerServer: 300000,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := model.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[TS(N)] with the paper's §4.5 estimator (composite N/(N+1)
+	// quantile): paper experiment 368µs within [351µs, 366µs] ±.
+	gotTS, err := res.TSQuantileEstimate(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.TS.Contains(gotTS, 0.08) {
+		t.Errorf("E[TS(N)] quantile estimate = %v, theorem bounds [%v, %v]",
+			gotTS, est.TS.Lo, est.TS.Hi)
+	}
+	// The mean of per-request maxima exceeds the quantile approximation
+	// by the Euler–Mascheroni bias (~gamma/rate), but stays within ~25%
+	// of the theorem interval.
+	meanMax := res.TS.Mean()
+	if meanMax < gotTS {
+		t.Errorf("mean of maxima %v below quantile estimate %v", meanMax, gotTS)
+	}
+	if meanMax > est.TS.Hi*1.25 {
+		t.Errorf("mean of maxima %v too far above theorem upper %v", meanMax, est.TS.Hi)
+	}
+	// E[TD(N)] with the paper's eq. 21–23 estimator: paper experiment
+	// 867µs vs theory 836µs (~4% off).
+	gotTD, err := res.TDQuantileEstimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(gotTD, est.TD, 0.08) {
+		t.Errorf("E[TD(N)] quantile estimate = %v, theorem %v", gotTD, est.TD)
+	}
+	// The mean of per-request maxima again exceeds the quantile
+	// estimate by the maximal-statistics bias (E[H_K]/µD vs
+	// ln(K̄+1)/µD ≈ +30% here), but by no more than ~40%.
+	if res.TD.Mean() < gotTD || res.TD.Mean() > est.TD*1.45 {
+		t.Errorf("TD mean of maxima = %v vs estimate %v, theory %v",
+			res.TD.Mean(), gotTD, est.TD)
+	}
+	// Total within [max, sum] with headroom for the mean-of-max bias on
+	// both the TS and TD components (paper experiment: 1144µs in
+	// [836µs, 1222µs]).
+	gotT := res.Total.Mean()
+	if gotT < est.Total.Lo*0.95 || gotT > est.Total.Hi*1.30 {
+		t.Errorf("E[T(N)] = %v outside [%v, %v]", gotT, est.Total.Lo, est.Total.Hi)
+	}
+	// Network latency constant.
+	if res.TN != 20e-6 {
+		t.Errorf("TN = %v", res.TN)
+	}
+	// Miss accounting: ~1% of keys.
+	missRate := float64(res.MissCount) / float64(res.KeyCount)
+	if !almostEqual(missRate, 0.01, 0.1) {
+		t.Errorf("miss rate = %v", missRate)
+	}
+}
+
+func TestSimulateRequestsZeroMiss(t *testing.T) {
+	model := facebookModel()
+	model.MissRatio = 0
+	res, err := SimulateRequests(RequestConfig{
+		Model: model, Requests: 2000, KeysPerServer: 50000, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissCount != 0 {
+		t.Errorf("misses = %d", res.MissCount)
+	}
+	if res.TD.Mean() != 0 {
+		t.Errorf("TD mean = %v", res.TD.Mean())
+	}
+}
+
+func TestSimulateRequestsUnbalancedSkipsZeroServers(t *testing.T) {
+	model := facebookModel()
+	model.LoadRatios = []float64{1, 0, 0, 0}
+	model.TotalKeyRate = 62500
+	res, err := SimulateRequests(RequestConfig{
+		Model: model, Requests: 1000, KeysPerServer: 50000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Servers[1] != nil || res.Servers[2] != nil {
+		t.Error("zero-load servers were simulated")
+	}
+	if res.Servers[0] == nil {
+		t.Error("loaded server missing")
+	}
+}
+
+func TestSimulateRequestsDeterministic(t *testing.T) {
+	cfg := RequestConfig{Model: facebookModel(), Requests: 500, KeysPerServer: 20000, Seed: 9}
+	a, err := SimulateRequests(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateRequests(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total.Mean() != b.Total.Mean() || a.TS.Mean() != b.TS.Mean() {
+		t.Error("same seed, different results")
+	}
+}
+
+// Growing N must grow E[TS(N)] roughly logarithmically (Fig. 12 shape).
+func TestSimulateRequestsLogNGrowth(t *testing.T) {
+	means := make([]float64, 0, 3)
+	for _, n := range []int{10, 100, 1000} {
+		model := facebookModel()
+		model.N = n
+		model.MissRatio = 0
+		res, err := SimulateRequests(RequestConfig{
+			Model: model, Requests: 4000, KeysPerServer: 150000, Seed: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		means = append(means, res.TS.Mean())
+	}
+	inc1 := means[1] - means[0]
+	inc2 := means[2] - means[1]
+	if inc1 <= 0 || inc2 <= 0 {
+		t.Fatalf("TS not increasing with N: %v", means)
+	}
+	// Log growth: equal per-decade increments within 35%.
+	if math.Abs(inc2-inc1)/inc1 > 0.35 {
+		t.Errorf("increments %v vs %v not log-like", inc1, inc2)
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"memqlat/internal/dist"
+	"memqlat/internal/stats"
+)
+
+// ServerConfig parameterizes the GI^X/M/1 key stream at one simulated
+// Memcached server.
+type ServerConfig struct {
+	// Interarrival is the batch inter-arrival gap distribution.
+	Interarrival dist.Interarrival
+	// Q is the concurrent probability (geometric batch sizes).
+	Q float64
+	// MuS is the per-key exponential service rate.
+	MuS float64
+	// Keys is the number of keys to simulate after warmup.
+	Keys int
+	// WarmupKeys are discarded to let the queue reach steady state
+	// (default: 10% of Keys).
+	WarmupKeys int
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+// ServerResult holds the per-key processing-latency sample of one
+// simulated server.
+type ServerResult struct {
+	// Sojourns are the recorded per-key latencies (queueing + service),
+	// in arrival order.
+	Sojourns []float64
+	// Hist is the same sample as a quantile-queryable histogram.
+	Hist *stats.Histogram
+	// Batches is the number of batches simulated (post-warmup).
+	Batches int
+}
+
+// Mean returns the sample mean per-key latency.
+func (r *ServerResult) Mean() float64 { return r.Hist.Mean() }
+
+// Quantile returns the k-th per-key latency quantile.
+func (r *ServerResult) Quantile(k float64) (float64, error) { return r.Hist.Quantile(k) }
+
+// Sample draws one recorded sojourn uniformly at random — the
+// statistical composition step of RequestSim.
+func (r *ServerResult) Sample(rng *rand.Rand) float64 {
+	return r.Sojourns[rng.IntN(len(r.Sojourns))]
+}
+
+// SimulateServer runs the GI^X/M/1 queue with the Lindley recursion:
+// the unfinished-work process of a FIFO single-server queue evolves as
+//
+//	U ← max(0, U − gap) at each batch arrival,
+//	sojourn(key) = U + Σ service of keys ahead in the batch + own service,
+//
+// which is the exact discrete-event dynamics of the modeled server.
+func SimulateServer(cfg ServerConfig) (*ServerResult, error) {
+	if cfg.Interarrival == nil {
+		return nil, fmt.Errorf("sim: nil interarrival")
+	}
+	if cfg.Q < 0 || cfg.Q >= 1 {
+		return nil, fmt.Errorf("sim: q=%v out of [0,1)", cfg.Q)
+	}
+	if !(cfg.MuS > 0) {
+		return nil, fmt.Errorf("sim: muS=%v must be positive", cfg.MuS)
+	}
+	if cfg.Keys < 1 {
+		return nil, fmt.Errorf("sim: keys=%d must be >= 1", cfg.Keys)
+	}
+	warmup := cfg.WarmupKeys
+	if warmup == 0 {
+		warmup = cfg.Keys / 10
+	}
+	batch, err := dist.NewGeometricBatch(cfg.Q)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		rngArrival = dist.SubRand(cfg.Seed, 1)
+		rngBatch   = dist.SubRand(cfg.Seed, 2)
+		rngService = dist.SubRand(cfg.Seed, 3)
+	)
+	res := &ServerResult{
+		Sojourns: make([]float64, 0, cfg.Keys),
+		Hist:     stats.NewHistogram(),
+	}
+	var (
+		backlog   float64 // unfinished work at the current arrival instant
+		seenKeys  int
+		totalKeys = warmup + cfg.Keys
+	)
+	for seenKeys < totalKeys {
+		gap := cfg.Interarrival.Sample(rngArrival)
+		backlog -= gap
+		if backlog < 0 {
+			backlog = 0
+		}
+		n := batch.SampleInt(rngBatch)
+		for i := 0; i < n && seenKeys < totalKeys; i++ {
+			service := rngService.ExpFloat64() / cfg.MuS
+			backlog += service
+			seenKeys++
+			if seenKeys > warmup {
+				res.Sojourns = append(res.Sojourns, backlog)
+				res.Hist.Record(backlog)
+			}
+		}
+		if seenKeys > warmup {
+			res.Batches++
+		}
+	}
+	return res, nil
+}

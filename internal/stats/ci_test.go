@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNormQuantileKnownValues(t *testing.T) {
+	tests := []struct {
+		give float64
+		want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.025, -1.959964},
+		{0.84134, 1.0},
+	}
+	for _, tt := range tests {
+		got := normQuantile(tt.give)
+		if !almostEqual(got, tt.want, 1e-3) {
+			t.Errorf("normQuantile(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+	if !math.IsInf(normQuantile(0), -1) || !math.IsInf(normQuantile(1), 1) {
+		t.Error("edge quantiles should be infinite")
+	}
+}
+
+func TestNormQuantileInvertsCDF(t *testing.T) {
+	for p := 0.001; p < 1; p += 0.037 {
+		x := normQuantile(p)
+		if !almostEqual(NormCDF(x), p, 1e-6) {
+			t.Errorf("CDF(quantile(%v)) = %v", p, NormCDF(x))
+		}
+	}
+}
+
+func TestZQuantile(t *testing.T) {
+	if got := zQuantile(0.95); !almostEqual(got, 1.96, 1e-2) {
+		t.Errorf("z(0.95) = %v", got)
+	}
+	if got := zQuantile(0.99); !almostEqual(got, 2.576, 1e-2) {
+		t.Errorf("z(0.99) = %v", got)
+	}
+	if zQuantile(0) != 0 || zQuantile(1) != 0 {
+		t.Error("invalid levels should give 0")
+	}
+}
+
+func TestMeanCICoverage(t *testing.T) {
+	// Over many resamples of a known-mean population, the 95% CI should
+	// contain the true mean roughly 95% of the time.
+	rng := rand.New(rand.NewPCG(21, 22))
+	const trueMean = 10.0
+	hits, trials := 0, 400
+	for i := 0; i < trials; i++ {
+		var m Moments
+		for j := 0; j < 200; j++ {
+			m.Add(trueMean + rng.NormFloat64()*4)
+		}
+		if MeanCI(&m, 0.95).Contains(trueMean) {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(trials)
+	if rate < 0.90 || rate > 0.99 {
+		t.Errorf("CI coverage = %v, want ~0.95", rate)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Point: 5, Lo: 4, Hi: 6, Level: 0.95}
+	if iv.Width() != 2 {
+		t.Errorf("width = %v", iv.Width())
+	}
+	if !iv.Contains(4) || !iv.Contains(6) || iv.Contains(3.9) {
+		t.Error("contains semantics wrong")
+	}
+	if iv.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMeanCISingleSample(t *testing.T) {
+	var m Moments
+	m.Add(3)
+	iv := MeanCI(&m, 0.95)
+	if iv.Lo != 3 || iv.Hi != 3 {
+		t.Errorf("single-sample CI should collapse: %v", iv)
+	}
+}
+
+func TestKneeFindsCliff(t *testing.T) {
+	// y = 1/(1-x): the kneedle knee of this curve on (0, 0.99) is in the
+	// 0.7-0.9 range (where growth turns explosive).
+	var xs, ys []float64
+	for x := 0.01; x <= 0.99; x += 0.01 {
+		xs = append(xs, x)
+		ys = append(ys, 1/(1-x))
+	}
+	knee, err := Knee(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee < 0.6 || knee > 0.95 {
+		t.Errorf("knee = %v, want in [0.6, 0.95]", knee)
+	}
+}
+
+func TestKneeErrors(t *testing.T) {
+	if _, err := Knee([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Knee([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("too few points accepted")
+	}
+	if _, err := Knee([]float64{1, 1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("non-increasing xs accepted")
+	}
+	if _, err := Knee([]float64{1, 2, 3}, []float64{5, 5, 5}); err == nil {
+		t.Error("flat curve accepted")
+	}
+}

@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a log-bucketed latency histogram in the spirit of
+// HdrHistogram: values are bucketed with bounded relative error so that
+// quantiles over many orders of magnitude stay accurate while memory use
+// stays constant. Values are non-negative float64 (typically seconds).
+//
+// The zero value is not usable; construct with NewHistogram.
+type Histogram struct {
+	// growth is the per-bucket geometric growth factor (> 1).
+	growth float64
+	// logGrowth caches math.Log(growth).
+	logGrowth float64
+	// smallest is the lower bound of bucket index 1. Values in
+	// [0, smallest) land in bucket 0.
+	smallest float64
+	counts   []int64
+	moments  Moments
+}
+
+// Default bucketing: 1% relative error starting at 1 nanosecond
+// (expressed in seconds), which covers sub-ns to years in ~4600 buckets.
+const (
+	defaultGrowth   = 1.02
+	defaultSmallest = 1e-9
+)
+
+// NewHistogram returns a histogram with ~1% quantile resolution for
+// values >= 1 ns (values in seconds).
+func NewHistogram() *Histogram {
+	h, err := NewHistogramWith(defaultSmallest, defaultGrowth)
+	if err != nil {
+		// Static parameters are known-valid; this cannot happen.
+		panic(err)
+	}
+	return h
+}
+
+// NewHistogramWith returns a histogram whose bucket boundaries grow
+// geometrically by growth starting at smallest. growth must exceed 1 and
+// smallest must be positive.
+func NewHistogramWith(smallest, growth float64) (*Histogram, error) {
+	if !(growth > 1) {
+		return nil, fmt.Errorf("stats: histogram growth %v must be > 1", growth)
+	}
+	if !(smallest > 0) {
+		return nil, fmt.Errorf("stats: histogram smallest %v must be > 0", smallest)
+	}
+	return &Histogram{
+		growth:    growth,
+		logGrowth: math.Log(growth),
+		smallest:  smallest,
+	}, nil
+}
+
+// bucketIndex maps a value to its bucket.
+func (h *Histogram) bucketIndex(v float64) int {
+	if v < h.smallest {
+		return 0
+	}
+	return 1 + int(math.Log(v/h.smallest)/h.logGrowth)
+}
+
+// bucketUpper returns the (exclusive) upper boundary of bucket i.
+func (h *Histogram) bucketUpper(i int) float64 {
+	if i == 0 {
+		return h.smallest
+	}
+	return h.smallest * math.Pow(h.growth, float64(i))
+}
+
+// bucketMid returns a representative value for bucket i (geometric
+// midpoint for i > 0).
+func (h *Histogram) bucketMid(i int) float64 {
+	if i == 0 {
+		return h.smallest / 2
+	}
+	lo := h.bucketUpper(i - 1)
+	hi := h.bucketUpper(i)
+	return math.Sqrt(lo * hi)
+}
+
+// Record adds a single non-negative observation. Negative or NaN values
+// are recorded as zero so that corrupted inputs cannot poison quantiles.
+func (h *Histogram) Record(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		v = 0
+	}
+	i := h.bucketIndex(v)
+	if i >= len(h.counts) {
+		grown := make([]int64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	h.moments.Add(v)
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.moments.Count() }
+
+// Mean reports the exact (not bucketed) mean of recorded observations.
+func (h *Histogram) Mean() float64 { return h.moments.Mean() }
+
+// StdDev reports the exact sample standard deviation.
+func (h *Histogram) StdDev() float64 { return h.moments.StdDev() }
+
+// Min reports the smallest recorded observation.
+func (h *Histogram) Min() float64 { return h.moments.Min() }
+
+// Max reports the largest recorded observation.
+func (h *Histogram) Max() float64 { return h.moments.Max() }
+
+// Quantile returns an estimate of the q-th quantile, q in [0, 1].
+// It returns ErrNoSamples when the histogram is empty and an error for
+// q outside [0, 1].
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0, ErrNoSamples
+	}
+	// Rank of the desired observation, 1-based, ceil(q*n) clamped to [1,n].
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := h.bucketMid(i)
+			// Clamp to the observed range: exact min/max beat bucket
+			// midpoints at the extremes.
+			return clamp(v, h.Min(), h.Max()), nil
+		}
+	}
+	return h.Max(), nil
+}
+
+// MustQuantile is Quantile for static q known to be valid; it returns 0
+// for an empty histogram.
+func (h *Histogram) MustQuantile(q float64) float64 {
+	v, err := h.Quantile(q)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Merge folds other's observations into h. The histograms must share
+// bucketing parameters.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if h.growth != other.growth || h.smallest != other.smallest {
+		return fmt.Errorf("stats: merging histograms with different bucketing")
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]int64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.moments.Merge(other.moments)
+	return nil
+}
+
+// Reset discards all recorded observations, keeping bucketing parameters.
+func (h *Histogram) Reset() {
+	h.counts = h.counts[:0]
+	h.moments.Reset()
+}
+
+// CDF evaluates the empirical cumulative distribution at v.
+func (h *Histogram) CDF(v float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	idx := h.bucketIndex(v)
+	var cum int64
+	for i, c := range h.counts {
+		if i > idx {
+			break
+		}
+		cum += c
+	}
+	return float64(cum) / float64(total)
+}
+
+// Summary renders a short human-readable digest.
+func (h *Histogram) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.4g", h.Count(), h.Mean())
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		fmt.Fprintf(&b, " p%g=%.4g", q*100, h.MustQuantile(q))
+	}
+	return b.String()
+}
+
+// Quantiles evaluates several quantiles at once, more cheaply than
+// repeated Quantile calls. qs must be sorted ascending in [0,1].
+func (h *Histogram) Quantiles(qs []float64) ([]float64, error) {
+	if !sort.Float64sAreSorted(qs) {
+		return nil, fmt.Errorf("stats: quantiles must be sorted")
+	}
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		v, err := h.Quantile(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 {
+		t.Fatalf("empty histogram count %d", h.Count())
+	}
+	if _, err := h.Quantile(0.5); err != ErrNoSamples {
+		t.Fatalf("quantile of empty histogram: err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestHistogramInvalidParams(t *testing.T) {
+	if _, err := NewHistogramWith(0, 1.5); err == nil {
+		t.Error("smallest=0 accepted")
+	}
+	if _, err := NewHistogramWith(1e-9, 1.0); err == nil {
+		t.Error("growth=1 accepted")
+	}
+	if _, err := NewHistogramWith(-1, 0.5); err == nil {
+		t.Error("negative params accepted")
+	}
+}
+
+func TestHistogramQuantileArgRange(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := h.Quantile(q); err == nil {
+			t.Errorf("quantile(%v) accepted", q)
+		}
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Record(0.001)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.MustQuantile(q)
+		if !almostEqual(got, 0.001, 0.02) {
+			t.Errorf("quantile(%v) = %v, want ~0.001", q, got)
+		}
+	}
+	if h.Mean() != 0.001 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Uniform values over [1ms, 100ms]: the p-quantile should be within a
+	// few percent of the exact empirical quantile.
+	rng := rand.New(rand.NewPCG(7, 7))
+	h := NewHistogram()
+	var raw []float64
+	for i := 0; i < 50000; i++ {
+		v := 0.001 + 0.099*rng.Float64()
+		raw = append(raw, v)
+		h.Record(v)
+	}
+	sort.Float64s(raw)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		exact := raw[int(q*float64(len(raw)-1))]
+		got := h.MustQuantile(q)
+		if !almostEqual(got, exact, 0.03) {
+			t.Errorf("q=%v: got %v, exact %v", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramExponentialTail(t *testing.T) {
+	// Exponential(rate 1e4): p99 should be near ln(100)/1e4 = 460µs.
+	rng := rand.New(rand.NewPCG(3, 9))
+	h := NewHistogram()
+	for i := 0; i < 200000; i++ {
+		h.Record(rng.ExpFloat64() / 1e4)
+	}
+	want := math.Log(100) / 1e4
+	got := h.MustQuantile(0.99)
+	if !almostEqual(got, want, 0.05) {
+		t.Errorf("p99 = %v, want ~%v", got, want)
+	}
+}
+
+func TestHistogramNegativeAndNaN(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	h.Record(math.NaN())
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if got := h.MustQuantile(1); got != 0 {
+		t.Errorf("max quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	all := NewHistogram()
+	rng := rand.New(rand.NewPCG(11, 13))
+	for i := 0; i < 10000; i++ {
+		v := rng.ExpFloat64() / 5e4
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), all.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if !almostEqual(a.MustQuantile(q), all.MustQuantile(q), 1e-9) {
+			t.Errorf("q=%v: merged %v != direct %v", q, a.MustQuantile(q), all.MustQuantile(q))
+		}
+	}
+}
+
+func TestHistogramMergeIncompatible(t *testing.T) {
+	a := NewHistogram()
+	b, err := NewHistogramWith(1e-6, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err == nil {
+		t.Error("merge of incompatible histograms accepted")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merge nil: %v", err)
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{0.001, 0.002, 0.003, 0.004} {
+		h.Record(v)
+	}
+	if got := h.CDF(0.0025); !almostEqual(got, 0.5, 0.01) {
+		t.Errorf("CDF(0.0025) = %v, want 0.5", got)
+	}
+	if got := h.CDF(1); got != 1 {
+		t.Errorf("CDF(1) = %v, want 1", got)
+	}
+	if got := h.CDF(1e-12); got != 0 {
+		t.Errorf("CDF(~0) = %v, want 0", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1)
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	h.Record(2) // still usable
+	if h.Count() != 1 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestHistogramQuantilesBatch(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(float64(i) / 1000)
+	}
+	out, err := h.Quantiles([]float64{0.1, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(out) {
+		t.Errorf("batch quantiles not monotone: %v", out)
+	}
+	if _, err := h.Quantiles([]float64{0.9, 0.1}); err == nil {
+		t.Error("unsorted quantile request accepted")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [Min, Max].
+func TestHistogramPropertyQuantileMonotone(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		h := NewHistogram()
+		count := int(n)%200 + 1
+		for i := 0; i < count; i++ {
+			h.Record(rng.ExpFloat64() / 1e3)
+		}
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.MustQuantile(q)
+			if v < prev-1e-12 {
+				return false
+			}
+			if v < h.Min()-1e-12 || v > h.Max()+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF is monotone non-decreasing.
+func TestHistogramPropertyCDFMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 42))
+		h := NewHistogram()
+		for i := 0; i < 100; i++ {
+			h.Record(rng.Float64())
+		}
+		prev := 0.0
+		for x := 0.0; x < 1.2; x += 0.01 {
+			c := h.CDF(x)
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return prev == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedMax(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 100000; i++ {
+		h.Record(rng.ExpFloat64() / 1e3)
+	}
+	// E[max of N exp(µ)] = H_N/µ ≈ (ln N + γ)/µ; the quantile approximation
+	// gives ln(N+1)/µ. Both should agree within ~10%.
+	got, err := ExpectedMax(h, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(151) / 1e3
+	if !almostEqual(got, want, 0.1) {
+		t.Errorf("expected max = %v, want ~%v", got, want)
+	}
+	if _, err := ExpectedMax(h, 0); err == nil {
+		t.Error("ExpectedMax(0) accepted")
+	}
+}
+
+func TestMaxOrderQuantile(t *testing.T) {
+	tests := []struct {
+		give int64
+		want float64
+	}{
+		{1, 0.5},
+		{9, 0.9},
+		{99, 0.99},
+	}
+	for _, tt := range tests {
+		got, err := MaxOrderQuantile(tt.give)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("MaxOrderQuantile(%d) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+	if _, err := MaxOrderQuantile(-1); err == nil {
+		t.Error("negative n accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Knee locates the "cliff point" of a monotonically increasing convex
+// curve y(x) using the kneedle construction: normalize both axes to
+// [0, 1] and return the x at which the normalized curve is farthest above
+// the straight chord from the first to the last point. For latency-vs-
+// utilization curves this picks out the utilization at which latency
+// growth transitions from gentle to explosive — the paper's cliff.
+//
+// xs must be strictly increasing and len(xs) == len(ys) >= 3.
+func Knee(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: knee input length mismatch %d != %d", len(xs), len(ys))
+	}
+	if len(xs) < 3 {
+		return 0, fmt.Errorf("stats: knee needs >= 3 points, got %d", len(xs))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return 0, fmt.Errorf("stats: knee xs not strictly increasing at %d", i)
+		}
+	}
+	x0, x1 := xs[0], xs[len(xs)-1]
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		yMin = math.Min(yMin, y)
+		yMax = math.Max(yMax, y)
+	}
+	if yMax == yMin {
+		return 0, fmt.Errorf("stats: knee of a flat curve is undefined")
+	}
+	bestX, bestD := xs[0], math.Inf(-1)
+	for i := range xs {
+		xn := (xs[i] - x0) / (x1 - x0)
+		yn := (ys[i] - yMin) / (yMax - yMin)
+		// Distance above the y=x chord of the normalized curve. For a
+		// convex increasing curve the farthest point *below* the chord is
+		// the knee, so we use chord minus curve.
+		d := xn - yn
+		if d > bestD {
+			bestD = d
+			bestX = xs[i]
+		}
+	}
+	return bestX, nil
+}

@@ -1,0 +1,28 @@
+package stats
+
+import "fmt"
+
+// MaxOrderQuantile returns the quantile level used by the maximal-statistics
+// approximation of the paper (§4.3.2 / §4.4): the expectation of the
+// maximum of n i.i.d. draws of a random variable T is approximated by the
+// n/(n+1)-th quantile of T,
+//
+//	E[max(T_1..T_n)] ≈ (T)_{n/(n+1)}.
+//
+// It returns an error for n < 1.
+func MaxOrderQuantile(n int64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("stats: max order over %d draws", n)
+	}
+	return float64(n) / float64(n+1), nil
+}
+
+// ExpectedMax applies the maximal-statistics approximation to an empirical
+// distribution: it reads the n/(n+1) quantile off h.
+func ExpectedMax(h *Histogram, n int64) (float64, error) {
+	q, err := MaxOrderQuantile(n)
+	if err != nil {
+		return 0, err
+	}
+	return h.Quantile(q)
+}

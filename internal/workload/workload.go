@@ -1,0 +1,113 @@
+// Package workload provides the paper's §5.1 experimental configuration
+// (a statistical model of the Facebook trace from Atikoglu et al.,
+// SIGMETRICS'12) and builders for every parameter sweep in the paper's
+// evaluation section.
+package workload
+
+import (
+	"memqlat/internal/core"
+)
+
+// Paper §5.1 constants (per Memcached server unless noted).
+const (
+	// FacebookLambda is the average key arrival rate per server (62.5 Kps;
+	// mean inter-arrival gap 16 µs).
+	FacebookLambda = 62500.0
+	// FacebookXi is the burst degree of the Generalized Pareto
+	// inter-arrival gaps.
+	FacebookXi = 0.15
+	// FacebookQ is the concurrent probability of keys.
+	FacebookQ = 0.1
+	// FacebookMuS is the measured per-key service rate of a Memcached
+	// server (80 Kps ≈ 12.5 µs per key).
+	FacebookMuS = 80000.0
+	// FacebookN is the number of Memcached keys per end-user request.
+	FacebookN = 150
+	// FacebookMissRatio is the cache miss ratio.
+	FacebookMissRatio = 0.01
+	// FacebookMuD is the database service rate (1 Kps; 1 ms mean).
+	FacebookMuD = 1000.0
+	// FacebookServers is the number of Memcached servers in the testbed.
+	FacebookServers = 4
+	// FacebookNetworkLatency is the constant network latency T_N(N)
+	// reported in Table 3 (20 µs).
+	FacebookNetworkLatency = 20e-6
+)
+
+// Facebook returns the paper's §5.1 baseline configuration: four
+// balanced servers each observing 62.5 Kps of bursty keys.
+func Facebook() *core.Config {
+	return &core.Config{
+		N:              FacebookN,
+		LoadRatios:     core.BalancedLoad(FacebookServers),
+		TotalKeyRate:   FacebookLambda * FacebookServers,
+		Q:              FacebookQ,
+		Xi:             FacebookXi,
+		MuS:            FacebookMuS,
+		MissRatio:      FacebookMissRatio,
+		MuD:            FacebookMuD,
+		NetworkLatency: FacebookNetworkLatency,
+	}
+}
+
+// WithQ returns the baseline with the concurrent probability replaced
+// (Fig. 5 sweep).
+func WithQ(q float64) *core.Config {
+	c := Facebook()
+	c.Q = q
+	return c
+}
+
+// WithXi returns the baseline with the burst degree replaced (Fig. 6).
+func WithXi(xi float64) *core.Config {
+	c := Facebook()
+	c.Xi = xi
+	return c
+}
+
+// WithLambda returns the baseline with the per-server key arrival rate
+// replaced (Fig. 7/8).
+func WithLambda(lambda float64) *core.Config {
+	c := Facebook()
+	c.TotalKeyRate = lambda * FacebookServers
+	return c
+}
+
+// WithMuS returns the baseline with the server service rate replaced
+// (Fig. 9).
+func WithMuS(muS float64) *core.Config {
+	c := Facebook()
+	c.MuS = muS
+	return c
+}
+
+// WithImbalance returns the Fig. 10 configuration: a single aggregate
+// key stream of totalRate distributed so the heaviest of the baseline's
+// servers receives fraction p1.
+func WithImbalance(p1, totalRate float64) (*core.Config, error) {
+	c := Facebook()
+	ratios, err := core.UnbalancedLoad(FacebookServers, p1)
+	if err != nil {
+		return nil, err
+	}
+	c.LoadRatios = ratios
+	c.TotalKeyRate = totalRate
+	return c, nil
+}
+
+// WithMissRatio returns the baseline with the cache miss ratio and keys
+// per request replaced (Fig. 11).
+func WithMissRatio(r float64, n int) *core.Config {
+	c := Facebook()
+	c.MissRatio = r
+	c.N = n
+	return c
+}
+
+// WithN returns the baseline with the keys-per-request count replaced
+// (Fig. 12/13).
+func WithN(n int) *core.Config {
+	c := Facebook()
+	c.N = n
+	return c
+}

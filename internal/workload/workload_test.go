@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacebookBaselineValid(t *testing.T) {
+	c := Facebook()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+	if c.M() != 4 {
+		t.Errorf("M = %d", c.M())
+	}
+	if got := c.ServerKeyRate(0); got != FacebookLambda {
+		t.Errorf("per-server rate = %v", got)
+	}
+	if got := c.MaxUtilization(); math.Abs(got-0.78125) > 1e-9 {
+		t.Errorf("utilization = %v", got)
+	}
+}
+
+func TestBuildersOverrideOneFactor(t *testing.T) {
+	if got := WithQ(0.3).Q; got != 0.3 {
+		t.Errorf("WithQ: %v", got)
+	}
+	if got := WithXi(0.6).Xi; got != 0.6 {
+		t.Errorf("WithXi: %v", got)
+	}
+	if got := WithLambda(40000).ServerKeyRate(0); got != 40000 {
+		t.Errorf("WithLambda: %v", got)
+	}
+	if got := WithMuS(100000).MuS; got != 100000 {
+		t.Errorf("WithMuS: %v", got)
+	}
+	c := WithMissRatio(0.05, 10)
+	if c.MissRatio != 0.05 || c.N != 10 {
+		t.Errorf("WithMissRatio: %+v", c)
+	}
+	if got := WithN(1000).N; got != 1000 {
+		t.Errorf("WithN: %v", got)
+	}
+	// Builders must not mutate each other's state.
+	base := Facebook()
+	_ = WithQ(0.5)
+	if base.Q != FacebookQ {
+		t.Error("builder mutated shared state")
+	}
+}
+
+func TestWithImbalance(t *testing.T) {
+	c, err := WithImbalance(0.7, 80000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := c.MaxLoadRatio()
+	if p1 != 0.7 {
+		t.Errorf("p1 = %v", p1)
+	}
+	if c.TotalKeyRate != 80000 {
+		t.Errorf("total rate = %v", c.TotalKeyRate)
+	}
+	if _, err := WithImbalance(0.1, 80000); err == nil {
+		t.Error("p1 below 1/m accepted")
+	}
+}
+
+func TestBaselineEstimatable(t *testing.T) {
+	if _, err := Facebook().Estimate(); err != nil {
+		t.Fatalf("baseline not estimatable: %v", err)
+	}
+}
