@@ -1,0 +1,32 @@
+# Developer entry points. `make verify` is the tier-1 gate CI runs.
+
+GO ?= go
+
+.PHONY: build test vet race verify bench-plane repro clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The live plane and loadgen are timing-sensitive; -race also shakes
+# out ordering bugs in the telemetry seam and the server's conn pool.
+race:
+	$(GO) test -race ./...
+
+verify: build vet test race
+
+# Regenerate the plane-harness baseline (BENCH_plane.json records the
+# last blessed numbers).
+bench-plane:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimPlane|BenchmarkLivePlane' -benchtime 3x .
+
+repro:
+	$(GO) run ./cmd/repro -run all
+
+clean:
+	$(GO) clean ./...

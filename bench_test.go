@@ -4,6 +4,7 @@
 package memqlat_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -12,6 +13,7 @@ import (
 	"memqlat/internal/core"
 	"memqlat/internal/dist"
 	"memqlat/internal/experiments"
+	"memqlat/internal/plane"
 	"memqlat/internal/protocol"
 	"memqlat/internal/queueing"
 	"memqlat/internal/sim"
@@ -59,6 +61,60 @@ func BenchmarkExtRedundancy(b *testing.B)          { runExperiment(b, experiment
 func BenchmarkExtIntegrated(b *testing.B)          { runExperiment(b, experiments.ExtIntegrated) }
 func BenchmarkExtElasticity(b *testing.B)          { runExperiment(b, experiments.ExtElasticity) }
 func BenchmarkLiveStack(b *testing.B)              { runExperiment(b, experiments.Live) }
+
+// ---- plane harness benchmarks (baseline in BENCH_plane.json) ----
+
+// BenchmarkSimPlane measures a full simulator-plane evaluation of the
+// Facebook workload at bench budget: scenario lowering, the composition
+// simulation with telemetry recording, and the §4.5 estimators.
+func BenchmarkSimPlane(b *testing.B) {
+	s := plane.FromConfig("facebook", workload.Facebook())
+	s.Requests = benchBudget.Requests
+	s.KeysPerServer = benchBudget.KeysPerServer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Seed = benchBudget.Seed + uint64(i)
+		res, err := plane.SimPlane{}.Run(context.Background(), s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Breakdown.Empty() {
+			b.Fatal("no telemetry recorded")
+		}
+	}
+}
+
+// BenchmarkLivePlane measures a full live-TCP-plane evaluation at
+// scaled rates: cluster bring-up, populate, paced load, teardown.
+// ns/op is dominated by the paced open-loop run (ops/λ seconds).
+func BenchmarkLivePlane(b *testing.B) {
+	s := plane.Scenario{
+		Name:         "bench",
+		N:            1,
+		LoadRatios:   core.BalancedLoad(2),
+		TotalKeyRate: 4000,
+		Q:            0.1,
+		Xi:           0.15,
+		MuS:          4000,
+		MissRatio:    0.01,
+		MuD:          1000,
+		Ops:          500,
+		Workers:      32,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Seed = benchBudget.Seed + uint64(i)
+		res, err := plane.LivePlane{}.Run(context.Background(), s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Live.Issued == 0 {
+			b.Fatal("no operations issued")
+		}
+	}
+}
 
 // ---- micro-benchmarks of the substrate hot paths ----
 

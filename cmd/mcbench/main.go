@@ -7,6 +7,15 @@
 //
 //	mcbench -servers 127.0.0.1:11211,127.0.0.1:11212 \
 //	        -lambda 2000 -xi 0.15 -q 0.1 -ops 20000
+//
+// With -plane the benchmark runs against an internal evaluation plane
+// instead of external servers: -plane=live brings up an in-process
+// shaped TCP cluster, -plane=sim (or sim-integrated, model) evaluates
+// the same scenario in virtual time. Both print the per-stage latency
+// breakdown recorded by the telemetry seam.
+//
+//	mcbench -plane=live -lambda 1000 -mus 1000 -plane-servers 2 -ops 2000
+//	mcbench -plane=sim -lambda 250000 -mus 80000 -plane-servers 4 -n 150
 package main
 
 import (
@@ -20,7 +29,11 @@ import (
 
 	"memqlat/internal/backend"
 	"memqlat/internal/client"
+	"memqlat/internal/core"
 	"memqlat/internal/loadgen"
+	"memqlat/internal/plane"
+	"memqlat/internal/stats"
+	"memqlat/internal/telemetry"
 	"memqlat/internal/trace"
 )
 
@@ -50,9 +63,21 @@ func run(args []string, out io.Writer) error {
 		timeout   = fs.Duration("timeout", 10*time.Minute, "overall run timeout")
 		traceOut  = fs.String("trace", "", "journal the issued key stream to this file (mrc/replay input)")
 		closed    = fs.Bool("closed-loop", false, "closed-loop mode (fixed concurrency + think time) instead of open-loop pacing")
+
+		planeName  = fs.String("plane", "", "run against an internal plane (model|sim|sim-integrated|live) instead of -servers")
+		mus        = fs.Float64("mus", 2000, "per-server shaped service rate for -plane modes")
+		planeSrv   = fs.Int("plane-servers", 2, "server count for -plane modes")
+		keysPerReq = fs.Int("n", 10, "keys per end-user request for the model/sim planes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *planeName != "" {
+		return runPlane(*planeName, planeScenario{
+			servers: *planeSrv, n: *keysPerReq, lambda: *lambda,
+			xi: *xi, q: *q, mus: *mus, missRatio: *missRatio, mud: *mud,
+			ops: *ops, workers: *workers, seed: *seed, timeout: *timeout,
+		}, out)
 	}
 	addrs := strings.Split(*servers, ",")
 	clOpts := client.Options{Servers: addrs, PoolSize: *workers}
@@ -135,4 +160,90 @@ func run(args []string, out io.Writer) error {
 
 func secs(s float64) time.Duration {
 	return time.Duration(s * float64(time.Second)).Round(time.Microsecond)
+}
+
+// planeScenario carries the flag values the -plane modes consume.
+type planeScenario struct {
+	servers, n, ops, workers int
+	lambda, xi, q            float64
+	mus, missRatio, mud      float64
+	seed                     uint64
+	timeout                  time.Duration
+}
+
+// runPlane evaluates the flag-described scenario on the named internal
+// plane and prints the common Result surface: totals, the sampled
+// percentiles (when the plane measures), and the per-stage Breakdown.
+func runPlane(name string, ps planeScenario, out io.Writer) error {
+	p, err := plane.ByName(name)
+	if err != nil {
+		return err
+	}
+	s := plane.Scenario{
+		Name:         "mcbench",
+		N:            ps.n,
+		LoadRatios:   core.BalancedLoad(ps.servers),
+		TotalKeyRate: ps.lambda,
+		Q:            ps.q,
+		Xi:           ps.xi,
+		MuS:          ps.mus,
+		MissRatio:    ps.missRatio,
+		MuD:          ps.mud,
+		Requests:     ps.ops,
+		Ops:          ps.ops,
+		Workers:      ps.workers,
+		Duration:     ps.timeout,
+		Seed:         ps.seed,
+	}
+	fmt.Fprintf(out, "running scenario on the %s plane (%d servers, λ=%g, µS=%g)...\n",
+		p.Name(), ps.servers, ps.lambda, ps.mus)
+	ctx, cancel := context.WithTimeout(context.Background(), ps.timeout)
+	defer cancel()
+	res, err := p.Run(ctx, s)
+	if err != nil {
+		return err
+	}
+	if res.Total.Lo == res.Total.Hi {
+		fmt.Fprintf(out, "\nE[T(N)]     %v (TS %v, TD %v, TN %v)\n",
+			secs(res.Point()), secs(res.TS.Mid()), secs(res.TD), secs(res.TN))
+	} else {
+		fmt.Fprintf(out, "\nE[T(N)]     %v ~ %v (TS %v ~ %v, TD %v, TN %v)\n",
+			secs(res.Total.Lo), secs(res.Total.Hi),
+			secs(res.TS.Lo), secs(res.TS.Hi), secs(res.TD), secs(res.TN))
+	}
+	if lg := res.Live; lg != nil {
+		fmt.Fprintf(out, "issued      %d ops in %v (%.0f keys/s achieved)\n",
+			lg.Issued, lg.Elapsed.Round(time.Millisecond), lg.AchievedRate())
+		fmt.Fprintf(out, "outcomes    %d hits, %d misses, %d errors\n",
+			lg.Hits, lg.Misses, lg.Errors)
+	}
+	if res.Sample != nil && res.Sample.Count() > 0 {
+		printSample(out, res.Sample, res.MeanCI)
+	}
+	printBreakdown(out, res.Breakdown)
+	fmt.Fprintf(out, "plane run completed in %v\n", res.Elapsed.Round(time.Millisecond))
+	return nil
+}
+
+func printSample(out io.Writer, h *stats.Histogram, ci stats.Interval) {
+	fmt.Fprintf(out, "latency     mean %v [%v, %v] 95%% CI\n",
+		secs(h.Mean()), secs(ci.Lo), secs(ci.Hi))
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		fmt.Fprintf(out, "            p%-5g %v\n", p*100, secs(h.MustQuantile(p)))
+	}
+}
+
+func printBreakdown(out io.Writer, b telemetry.Breakdown) {
+	if b.Empty() {
+		return
+	}
+	fmt.Fprintf(out, "breakdown   %-12s %10s %10s %10s %10s\n", "stage", "count", "mean", "p50", "p99")
+	for _, st := range telemetry.Stages() {
+		ss, ok := b[st]
+		if !ok || ss.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "            %-12s %10d %10v %10v %10v\n",
+			st, ss.Count, secs(ss.Mean), secs(ss.P50), secs(ss.P99))
+	}
 }

@@ -78,6 +78,76 @@ func TestRunWithFillMisses(t *testing.T) {
 	}
 }
 
+func TestRunSimPlane(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{
+		"-plane", "sim",
+		"-lambda", "250000", "-mus", "80000", "-plane-servers", "4",
+		"-n", "150", "-miss-ratio", "0.01", "-ops", "1000",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"sim plane", "E[T(N)]", "breakdown",
+		"queue_wait", "service", "miss_penalty", "fork_join", "p99"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunModelPlane(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{
+		"-plane", "model",
+		"-lambda", "250000", "-mus", "80000", "-plane-servers", "4",
+		"-n", "150", "-miss-ratio", "0.01",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// The model plane has no sample — only bounds plus the analytic
+	// stage decomposition.
+	for _, want := range []string{"model plane", "E[T(N)]", "~", "breakdown", "queue_wait"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "p99.9") {
+		t.Errorf("model plane printed sample percentiles:\n%s", s)
+	}
+}
+
+func TestRunLivePlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live plane needs real time")
+	}
+	var out bytes.Buffer
+	args := []string{
+		"-plane", "live",
+		"-lambda", "2000", "-mus", "2000", "-plane-servers", "2",
+		"-ops", "400", "-miss-ratio", "0.01",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"live plane", "issued", "hits", "breakdown", "service"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunUnknownPlane(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-plane", "quantum"}, &out); err == nil {
+		t.Error("unknown plane accepted")
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-bogus"}, &out); err == nil {

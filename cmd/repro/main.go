@@ -1,8 +1,11 @@
-// Command repro regenerates the paper's tables and figures.
+// Command repro regenerates the paper's tables and figures. Every
+// experiment evaluates its scenarios on the internal/plane harness;
+// `-run crossplane` prints one scenario through every deterministic
+// plane side by side.
 //
 // Usage:
 //
-//	repro [-run all|table3|fig4|...|live] [-full] [-seed N] [-list]
+//	repro [-run all|table3|fig4|...|crossplane|live] [-full] [-seed N] [-list]
 //
 // With -full the sample sizes approach the paper's 10-minute testbed
 // runs; the default "quick" budget finishes in seconds per experiment.

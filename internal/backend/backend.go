@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"memqlat/internal/dist"
+	"memqlat/internal/telemetry"
 )
 
 // Mode selects the service discipline.
@@ -48,6 +49,9 @@ type Options struct {
 	Seed uint64
 	// ValueSize is the size of synthesized values (default 100 bytes).
 	ValueSize int
+	// Recorder, when set, receives a StageMissPenalty observation for
+	// every completed lookup (the live plane's database-stage latency).
+	Recorder telemetry.Recorder
 }
 
 // DB is the simulated database. Lookups never miss: the database is the
@@ -56,6 +60,7 @@ type DB struct {
 	muD       float64
 	mode      Mode
 	valueSize int
+	rec       telemetry.Recorder
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -100,6 +105,7 @@ func New(opts Options) (*DB, error) {
 		muD:       opts.MuD,
 		mode:      opts.Mode,
 		valueSize: opts.ValueSize,
+		rec:       telemetry.OrNop(opts.Recorder),
 		rng:       dist.SubRand(opts.Seed, 0xdb),
 		done:      make(chan struct{}),
 	}
@@ -149,6 +155,7 @@ func (db *DB) Get(ctx context.Context, key string) ([]byte, error) {
 		return nil, fmt.Errorf("backend: empty key")
 	}
 	db.lookups.Add(1)
+	began := time.Now()
 	service := db.serviceTime()
 	switch db.mode {
 	case ModeSingleQueue:
@@ -173,6 +180,7 @@ func (db *DB) Get(ctx context.Context, key string) ([]byte, error) {
 			return nil, ctx.Err()
 		}
 	}
+	db.rec.Observe(telemetry.StageMissPenalty, time.Since(began).Seconds())
 	return db.ValueFor(key), nil
 }
 

@@ -15,7 +15,7 @@ func TestAllRegistryComplete(t *testing.T) {
 	want := []string{"table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "table4", "prop1", "prop2",
 		"ext-tails", "ext-arrivals", "ext-eq6", "ext-redundancy",
-		"ext-integrated", "ext-elasticity", "live"}
+		"ext-integrated", "ext-elasticity", "crossplane", "live"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))

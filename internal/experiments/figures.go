@@ -1,35 +1,29 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"memqlat/internal/core"
+	"memqlat/internal/plane"
 	"memqlat/internal/sim"
 	"memqlat/internal/workload"
 )
 
-// tsPoint runs one sweep point: Theorem 1 prediction plus the simulated
-// §4.5 estimate of E[TS(N)].
+// tsPoint runs one sweep point through two planes: the analytical
+// plane's Theorem 1 prediction plus the simulator plane's §4.5
+// estimate of E[TS(N)].
 func tsPoint(model *core.Config, b Budget, seedOffset uint64) (theory, measured float64, err error) {
-	est, err := model.Estimate()
+	mres, err := modelRun("sweep", model, b)
 	if err != nil {
 		return 0, 0, err
 	}
-	res, err := sim.SimulateRequests(sim.RequestConfig{
-		Model:         model,
-		Requests:      b.Requests,
-		KeysPerServer: b.KeysPerServer,
-		Seed:          b.Seed + seedOffset,
-	})
+	sres, err := simRun("sweep", model, b, seedOffset)
 	if err != nil {
 		return 0, 0, err
 	}
-	measured, err = res.TSQuantileEstimate(model)
-	if err != nil {
-		return 0, 0, err
-	}
-	return est.TS.Hi, measured, nil
+	return mres.TS.Hi, sres.TS.Mid(), nil
 }
 
 // Fig5 sweeps the concurrent probability q from 0 to 0.5 (paper Fig. 5).
@@ -267,25 +261,18 @@ func Fig12(b Budget) (*Report, error) {
 				reqs = 200
 			}
 		}
-		est, err := model.Estimate()
+		mres, err := modelRun("fig12", model, b)
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.SimulateRequests(sim.RequestConfig{
-			Model:         model,
-			Requests:      reqs,
-			KeysPerServer: b.KeysPerServer,
-			Seed:          b.Seed + 400 + uint64(i),
-		})
-		if err != nil {
-			return nil, err
-		}
-		measured, err := res.TSQuantileEstimate(model)
+		s := scenarioFor("fig12", model, b, 400+uint64(i))
+		s.Requests = reqs
+		sres, err := plane.SimPlane{}.Run(context.Background(), s)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, []string{
-			fmt.Sprintf("%d", n), us(est.TS.Hi), us(measured),
+			fmt.Sprintf("%d", n), us(mres.TS.Hi), us(sres.TS.Mid()),
 		})
 	}
 	return &Report{

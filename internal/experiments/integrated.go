@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"memqlat/internal/sim"
+	"memqlat/internal/plane"
 	"memqlat/internal/workload"
 )
 
@@ -30,29 +31,21 @@ func ExtIntegrated(b Budget) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		comp, err := sim.SimulateRequests(sim.RequestConfig{
-			Model: model, Requests: b.Requests, KeysPerServer: b.KeysPerServer,
-			Seed: b.Seed + 1400 + uint64(i),
-		})
+		comp, err := simRun("ext-integrated", model, b, 1400+uint64(i))
 		if err != nil {
 			return nil, err
 		}
-		compEst, err := comp.TSQuantileEstimate(model)
+		compEst := comp.TS.Mid()
+		is := scenarioFor("ext-integrated", model, b, 1500+uint64(i))
+		if is.Requests > 6000 {
+			is.Requests = 6000 // event-driven mode is the expensive one
+		}
+		integ, err := plane.SimPlane{Mode: plane.SimIntegrated}.Run(context.Background(), is)
 		if err != nil {
 			return nil, err
 		}
-		integReqs := b.Requests
-		if integReqs > 6000 {
-			integReqs = 6000 // event-driven mode is the expensive one
-		}
-		integ, err := sim.SimulateIntegrated(sim.IntegratedConfig{
-			Model: model, Requests: integReqs, Seed: b.Seed + 1500 + uint64(i),
-		})
-		if err != nil {
-			return nil, err
-		}
-		integMean := integ.TS.Mean()
-		compMean := comp.TS.Mean()
+		integMean := integ.Integrated.TS.Mean()
+		compMean := comp.Sim.TS.Mean()
 		gap := (integMean - compMean) / compMean
 		rows = append(rows, []string{
 			pct(rho), us(theory), us(compEst), us(compMean), us(integMean),

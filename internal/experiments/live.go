@@ -3,18 +3,11 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"io"
-	"log"
-	"net"
 	"time"
 
-	"memqlat/internal/backend"
-	"memqlat/internal/cache"
-	"memqlat/internal/client"
-	"memqlat/internal/dist"
-	"memqlat/internal/loadgen"
-	"memqlat/internal/queueing"
-	"memqlat/internal/server"
+	"memqlat/internal/core"
+	"memqlat/internal/plane"
+	"memqlat/internal/telemetry"
 )
 
 // liveParams are scaled-down rates the live TCP stack can sustain in
@@ -29,83 +22,40 @@ const (
 	liveOps             = 2000
 )
 
-// Live is the end-to-end check that is NOT in the paper: it brings up
-// the real TCP memcached cluster with exponential service-time shaping,
-// drives it with the mutilate-like generator, and compares the measured
-// per-key latency distribution with the GI^X/M/1 prediction at the live
+// Live is the end-to-end check that is NOT in the paper: it runs the
+// live-TCP plane — the real memcached cluster with exponential
+// service-time shaping, driven by the mutilate-like generator — and
+// compares the measured per-key latency distribution (and its
+// telemetry breakdown) with the GI^X/M/1 prediction at the live
 // parameters.
 func Live(b Budget) (*Report, error) {
 	start := time.Now()
-	// --- bring up the cluster ---
-	addrs := make([]string, liveServers)
-	var servers []*server.Server
-	defer func() {
-		for _, s := range servers {
-			_ = s.Close()
-		}
-	}()
-	for i := 0; i < liveServers; i++ {
-		c, err := cache.New(cache.Options{})
-		if err != nil {
-			return nil, err
-		}
-		srv, err := server.New(server.Options{
-			Cache:       c,
-			ServiceRate: liveMuS,
-			Seed:        b.Seed + uint64(i),
-			Logger:      log.New(io.Discard, "", 0),
-		})
-		if err != nil {
-			return nil, err
-		}
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, err
-		}
-		addrs[i] = l.Addr().String()
-		servers = append(servers, srv)
-		go func() { _ = srv.Serve(l) }()
+	s := plane.Scenario{
+		Name:         "live",
+		N:            1, // the loadgen issues per-key gets
+		LoadRatios:   core.BalancedLoad(liveServers),
+		TotalKeyRate: livePerServerLambda * liveServers,
+		Q:            liveQ,
+		Xi:           liveXi,
+		MuS:          liveMuS,
+		MissRatio:    0.01,
+		MuD:          1000,
+		Ops:          liveOps,
+		Workers:      32,
+		Seed:         b.Seed,
 	}
-	db, err := backend.New(backend.Options{MuD: 1000, Seed: b.Seed})
+	res, err := plane.LivePlane{PoolSize: 16}.Run(context.Background(), s)
 	if err != nil {
 		return nil, err
 	}
-	defer db.Close()
-	cl, err := client.New(client.Options{Servers: addrs, Filler: db, PoolSize: 16})
-	if err != nil {
-		return nil, err
-	}
-	defer func() { _ = cl.Close() }()
-
-	// --- drive it ---
-	opts := loadgen.Options{
-		Client:        cl,
-		Keys:          2000,
-		Lambda:        livePerServerLambda * liveServers,
-		Xi:            liveXi,
-		Q:             liveQ,
-		MissRatio:     0.01,
-		Ops:           liveOps,
-		Workers:       32,
-		Seed:          b.Seed,
-		UseGetThrough: true,
-	}
-	if err := loadgen.Populate(opts); err != nil {
-		return nil, err
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-	defer cancel()
-	res, err := loadgen.Run(ctx, opts)
-	if err != nil {
-		return nil, err
-	}
+	lg := res.Live
 
 	// --- theory at the live parameters ---
-	arr, err := dist.NewGeneralizedPareto(liveXi, (1-liveQ)*livePerServerLambda)
+	model, err := s.Config()
 	if err != nil {
 		return nil, err
 	}
-	bq, err := queueing.NewBatchQueue(arr, liveQ, liveMuS)
+	bq, err := model.ServerQueue(0)
 	if err != nil {
 		return nil, err
 	}
@@ -119,15 +69,36 @@ func Live(b Budget) (*Report, error) {
 	}
 
 	rows := [][]string{
-		{"issued ops", fmt.Sprintf("%d", res.Issued), "-"},
-		{"achieved rate", fmt.Sprintf("%.0f keys/s", res.AchievedRate()),
-			fmt.Sprintf("target %.0f", opts.Lambda)},
-		{"hits/misses/errors", fmt.Sprintf("%d/%d/%d", res.Hits, res.Misses, res.Errors), "-"},
-		{"mean latency", ms(res.Latency.Mean()), "GI^X/M/1 mean sojourn " + ms(meanTheory)},
-		{"p50 latency", ms(res.Latency.MustQuantile(0.5)), "-"},
-		{"p90 latency", ms(res.Latency.MustQuantile(0.9)),
+		{"issued ops", fmt.Sprintf("%d", lg.Issued), "-"},
+		{"achieved rate", fmt.Sprintf("%.0f keys/s", lg.AchievedRate()),
+			fmt.Sprintf("target %.0f", s.TotalKeyRate)},
+		{"hits/misses/errors", fmt.Sprintf("%d/%d/%d", lg.Hits, lg.Misses, lg.Errors), "-"},
+		{"mean latency", ms(lg.Latency.Mean()), "GI^X/M/1 mean sojourn " + ms(meanTheory)},
+		{"p50 latency", ms(lg.Latency.MustQuantile(0.5)), "-"},
+		{"p90 latency", ms(lg.Latency.MustQuantile(0.9)),
 			fmt.Sprintf("eq.9 band [%s, %s]", ms(p90lo), ms(p90hi))},
-		{"p99 latency", ms(res.Latency.MustQuantile(0.99)), "-"},
+		{"p99 latency", ms(lg.Latency.MustQuantile(0.99)), "-"},
+	}
+	// Telemetry decomposition of the measured latency: where inside the
+	// stack the time went (server queue vs service vs DB vs fork-join
+	// spread of concurrently issued batches).
+	for _, st := range telemetry.Stages() {
+		ss, ok := res.Breakdown[st]
+		if !ok || ss.Count == 0 {
+			continue
+		}
+		theory := "-"
+		switch st {
+		case telemetry.StageService:
+			theory = "1/µS " + ms(1/s.MuS)
+		case telemetry.StageMissPenalty:
+			theory = "1/µD " + ms(1/s.MuD)
+		}
+		rows = append(rows, []string{
+			"stage " + st.String(),
+			fmt.Sprintf("mean %s p99 %s (n=%d)", ms(ss.Mean), ms(ss.P99), ss.Count),
+			theory,
+		})
 	}
 	return &Report{
 		ID:      "live",
@@ -137,6 +108,8 @@ func Live(b Budget) (*Report, error) {
 		Notes: []string{
 			"live latency includes loopback RTT and scheduler jitter on top of the queueing model; " +
 				"expect the same order of magnitude, not equality",
+			"stage rows come from the telemetry recorder threaded through server, backend and " +
+				"loadgen — the same seam the simulator planes record through",
 		},
 		Elapsed: time.Since(start),
 	}, nil

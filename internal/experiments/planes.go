@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"memqlat/internal/core"
+	"memqlat/internal/plane"
+	"memqlat/internal/telemetry"
+	"memqlat/internal/workload"
+)
+
+// scenarioFor lifts a model configuration into a plane.Scenario sized
+// by the Budget. Every runner goes through this, so a Budget means the
+// same measurement effort on every plane.
+func scenarioFor(name string, model *core.Config, b Budget, seedOffset uint64) plane.Scenario {
+	s := plane.FromConfig(name, model)
+	s.Requests = b.Requests
+	s.KeysPerServer = b.KeysPerServer
+	s.Seed = b.Seed + seedOffset
+	return s
+}
+
+// simRun evaluates the scenario on the composition-simulator plane.
+func simRun(name string, model *core.Config, b Budget, seedOffset uint64) (*plane.Result, error) {
+	return plane.SimPlane{}.Run(context.Background(), scenarioFor(name, model, b, seedOffset))
+}
+
+// modelRun evaluates the scenario on the analytical plane.
+func modelRun(name string, model *core.Config, b Budget) (*plane.Result, error) {
+	return plane.ModelPlane{}.Run(context.Background(), scenarioFor(name, model, b, 0))
+}
+
+// breakdownNote renders a Result's per-stage telemetry for a report
+// note, in stage order.
+func breakdownNote(r *plane.Result) string {
+	if r.Breakdown.Empty() {
+		return r.Plane + " plane recorded no telemetry"
+	}
+	out := r.Plane + " stage means:"
+	for _, st := range telemetry.Stages() {
+		ss, ok := r.Breakdown[st]
+		if !ok || ss.Count == 0 {
+			continue
+		}
+		out += fmt.Sprintf(" %s %s", st, us(ss.Mean))
+	}
+	return out
+}
+
+// CrossPlane runs the Facebook workload through every deterministic
+// plane and tabulates the common Result surface side by side: the
+// totals, the TN/TS/TD decomposition, and the per-stage telemetry
+// breakdown. It is the harness's headline artifact — the paper's whole
+// evaluation (model vs simulation vs measurement) as one table. The
+// live plane is excluded here because it needs wall-clock time at
+// scaled-down rates; `repro -run live` covers it.
+func CrossPlane(b Budget) (*Report, error) {
+	start := time.Now()
+	model := workload.Facebook()
+	planes := []plane.Plane{
+		plane.ModelPlane{},
+		plane.SimPlane{},
+		plane.SimPlane{Mode: plane.SimIntegrated},
+	}
+	var rows [][]string
+	for _, p := range planes {
+		s := scenarioFor("facebook", model, b, 0)
+		if p.Name() == "sim-integrated" && s.Requests > 6000 {
+			s.Requests = 6000 // event-driven mode is the expensive one
+		}
+		res, err := p.Run(context.Background(), s)
+		if err != nil {
+			return nil, fmt.Errorf("%s plane: %w", p.Name(), err)
+		}
+		total := us(res.Point())
+		ts := us(res.TS.Mid())
+		if res.Total.Lo != res.Total.Hi {
+			total = fmt.Sprintf("%s ~ %s", us(res.Total.Lo), us(res.Total.Hi))
+			ts = fmt.Sprintf("%s ~ %s", us(res.TS.Lo), us(res.TS.Hi))
+		}
+		row := []string{p.Name(), total, ts, us(res.TD)}
+		for _, st := range telemetry.Stages() {
+			row = append(row, us(res.Breakdown.MeanOf(st)))
+		}
+		rows = append(rows, row)
+	}
+	columns := []string{"plane", "E[T(N)]", "E[TS(N)]", "E[TD(N)]"}
+	for _, st := range telemetry.Stages() {
+		columns = append(columns, st.String())
+	}
+	return &Report{
+		ID:      "crossplane",
+		Title:   "one scenario, every plane: Facebook workload through model / sim / sim-integrated",
+		Columns: columns,
+		Rows:    rows,
+		Notes: []string{
+			"per-stage columns are telemetry means: analytic predictions on the model " +
+				"plane, measured per-key/per-request stage latencies on the simulator planes",
+			"the sim-integrated row drops the §3 independence assumption; its gap vs the " +
+				"sim row is the assumption's cost (see ext-integrated)",
+			"the live TCP plane reports the same surface at scaled rates: repro -run live",
+		},
+		Elapsed: time.Since(start),
+	}, nil
+}

@@ -1,8 +1,10 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation section (§5): each runner sweeps the configured factor,
-// computes the Theorem 1 prediction via internal/core and the
-// "Experiment" measurement via internal/sim (using the paper's §4.5
-// estimators), and renders rows in the units the paper reports.
+// evaluates each point on the evaluation planes (internal/plane) — the
+// analytical plane for the Theorem 1 prediction, the simulator plane
+// for the "Experiment" measurement (the paper's §4.5 estimators), the
+// live TCP plane for the end-to-end check — and renders rows in the
+// units the paper reports.
 package experiments
 
 import (
@@ -170,6 +172,7 @@ func All() []Experiment {
 		{"ext-redundancy", "Extension: hedged reads inside the model", ExtRedundancy},
 		{"ext-integrated", "Extension: independence-assumption ablation", ExtIntegrated},
 		{"ext-elasticity", "Extension: factor elasticities (the §1 question)", ExtElasticity},
+		{"crossplane", "One scenario through every deterministic plane", CrossPlane},
 		{"live", "Live TCP stack end-to-end check", Live},
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"memqlat/internal/client"
 	"memqlat/internal/dist"
 	"memqlat/internal/stats"
+	"memqlat/internal/telemetry"
 )
 
 // Options configures a run.
@@ -66,6 +67,12 @@ type Options struct {
 	// exactly why the paper's methodology is open-loop — this mode
 	// exists to demonstrate the difference.
 	ClosedLoop bool
+	// Recorder, when set, receives a StageForkJoin observation per
+	// issued batch: the spread (max − mean completion latency) over the
+	// batch's concurrently-issued keys — the live analogue of the
+	// fork-join join overhead. Open-loop mode only (closed loops have
+	// no batches).
+	Recorder telemetry.Recorder
 }
 
 // Result summarizes a run.
@@ -209,7 +216,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		wg      sync.WaitGroup
 		started = time.Now()
 	)
-	execute := func(key string) {
+	executeKey := func(key string) float64 {
 		t0 := time.Now()
 		var err error
 		var hit bool
@@ -235,7 +242,9 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		mu.Lock()
 		res.Latency.Record(lat)
 		mu.Unlock()
+		return lat
 	}
+	execute := func(key string) { executeKey(key) }
 
 	if o.ClosedLoop {
 		runClosedLoop(ctx, &o, execute, &issued, &mu, started)
@@ -247,13 +256,20 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	work := make(chan string, o.Workers)
+	type workItem struct {
+		key string
+		agg *batchAgg
+	}
+	work := make(chan workItem, o.Workers)
 	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for key := range work {
-				execute(key)
+			for it := range work {
+				lat := executeKey(it.key)
+				if it.agg != nil {
+					it.agg.done(lat)
+				}
 			}
 		}()
 	}
@@ -262,6 +278,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	// until cumulative deadlines (rather than per-gap) keeps the average
 	// rate exact despite timer granularity and avoids busy-waiting,
 	// which would starve the workers on small machines.
+	rec := telemetry.OrNop(o.Recorder)
 	sent := 0
 	next := time.Now()
 pacing:
@@ -276,7 +293,11 @@ pacing:
 			time.Sleep(d)
 		}
 		n := batch.SampleInt(rngBatch)
-		for i := 0; i < n && sent < o.Ops; i++ {
+		if n > o.Ops-sent {
+			n = o.Ops - sent
+		}
+		agg := &batchAgg{remaining: n, n: n, rec: rec}
+		for i := 0; i < n; i++ {
 			var key string
 			if o.MissRatio > 0 && rngMiss.Float64() < o.MissRatio {
 				key = missKeyName(o.KeyPrefix, popularity.SampleInt(rngKey))
@@ -284,13 +305,14 @@ pacing:
 				key = keyName(o.KeyPrefix, popularity.SampleInt(rngKey))
 			}
 			select {
-			case work <- key:
+			case work <- workItem{key: key, agg: agg}:
 				sent++
 				issued.Add(1)
 				if o.Observer != nil {
 					o.Observer(time.Since(started), key)
 				}
 			case <-ctx.Done():
+				agg.abandon(n - i) // unpushed keys never complete
 				break pacing
 			}
 		}
@@ -303,6 +325,44 @@ pacing:
 	res.Errors = errs.Load()
 	res.Issued = issued.Load()
 	return res, nil
+}
+
+// batchAgg joins the completion latencies of one concurrently-issued
+// batch and records the fork-join spread once the last key finishes.
+type batchAgg struct {
+	mu        sync.Mutex
+	remaining int
+	n         int
+	max, sum  float64
+	rec       telemetry.Recorder
+}
+
+// done folds one key's completion latency into the batch.
+func (a *batchAgg) done(lat float64) {
+	a.mu.Lock()
+	a.sum += lat
+	if lat > a.max {
+		a.max = lat
+	}
+	a.remaining--
+	finished := a.remaining == 0
+	n := a.n
+	max, sum := a.max, a.sum
+	rec := a.rec
+	a.mu.Unlock()
+	if finished && n > 0 {
+		rec.Observe(telemetry.StageForkJoin, max-sum/float64(n))
+	}
+}
+
+// abandon removes keys that were never issued (context cancellation
+// mid-batch) so the batch can still join — without recording, since the
+// sample is truncated.
+func (a *batchAgg) abandon(k int) {
+	a.mu.Lock()
+	a.remaining -= k
+	a.rec = telemetry.Nop
+	a.mu.Unlock()
 }
 
 // runClosedLoop issues ops from Workers independent closed loops, each

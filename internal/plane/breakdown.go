@@ -1,0 +1,50 @@
+package plane
+
+import (
+	"memqlat/internal/core"
+	"memqlat/internal/telemetry"
+)
+
+// predictBreakdown computes the per-stage means the model's
+// ingredients imply, in the same units the measured planes record:
+//
+//   - queue wait: the per-key queueing delay at the heaviest server —
+//     the eq. 3 batch waiting time E[W] = δ/R (R = (1−δ)(1−q)µ_S) plus
+//     the service of the q/(1−q) same-batch keys ahead of a random key
+//     (size-biased geometric batches).
+//   - service: the exponential per-key service mean 1/µ_S.
+//   - miss penalty: the per-miss database mean 1/µ_D (ρ_D ≈ 0 stage).
+//   - fork-join: the maximal-statistics inflation — the E[T_S(N)]
+//     point tsPoint minus the mean single-key sojourn.
+//
+// Stage entries carry Count 1: they are analytic points, not samples.
+func predictBreakdown(m *core.Config, tsPoint float64) (telemetry.Breakdown, error) {
+	bq, err := m.HeaviestQueue()
+	if err != nil {
+		return nil, err
+	}
+	delta, err := bq.Delta()
+	if err != nil {
+		return nil, err
+	}
+	rate := (1 - delta) * bq.BatchServiceRate()
+	wait := delta/rate + m.Q/(1-m.Q)/m.MuS
+	service := 1 / m.MuS
+	forkJoin := tsPoint - (wait + service)
+	if forkJoin < 0 {
+		forkJoin = 0
+	}
+	b := telemetry.Breakdown{
+		telemetry.StageQueueWait: analyticStage(wait),
+		telemetry.StageService:   analyticStage(service),
+		telemetry.StageForkJoin:  analyticStage(forkJoin),
+	}
+	if m.MissRatio > 0 {
+		b[telemetry.StageMissPenalty] = analyticStage(1 / m.MuD)
+	}
+	return b, nil
+}
+
+func analyticStage(mean float64) telemetry.StageStats {
+	return telemetry.StageStats{Count: 1, Mean: mean, Total: mean}
+}

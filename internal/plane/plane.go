@@ -1,0 +1,213 @@
+// Package plane unifies the repo's three evaluation paths — the
+// analytical model (internal/core), the simulator (internal/sim) and
+// the live TCP stack (internal/server + internal/loadgen) — behind one
+// interface. A Scenario describes a deployment/workload in the paper's
+// terms (Table 1) plus measurement effort; a Plane runs it and returns
+// a Result whose shape is identical across planes: latency bounds, the
+// TN/TS/TD decomposition of Theorem 1, and the per-stage telemetry
+// Breakdown (queue wait, service, miss penalty, fork-join overhead).
+//
+// The paper's whole evaluation is a cross-validation exercise — the
+// same scenario judged by algebra, by simulation, and by measurement.
+// Making that a first-class operation ("run these Scenarios on these
+// Planes and diff") is what lets every table/figure runner, the CLIs,
+// and future workloads compare planes for free.
+package plane
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"memqlat/internal/core"
+	"memqlat/internal/loadgen"
+	"memqlat/internal/sim"
+	"memqlat/internal/stats"
+	"memqlat/internal/telemetry"
+)
+
+// Scenario is one deployment + workload + measurement budget, the unit
+// of cross-plane comparison. Rates are per second, times in seconds.
+type Scenario struct {
+	// Name labels the scenario in reports (e.g. "facebook", "fig5 q=0.3").
+	Name string
+
+	// N is the number of Memcached keys per end-user request.
+	N int
+	// LoadRatios is the load split {p_j} over the M servers (must be
+	// non-negative, summing to 1). The live plane spreads keys with
+	// consistent hashing, so it realizes a balanced split; unbalanced
+	// scenarios are the model/simulator's domain.
+	LoadRatios []float64
+	// TotalKeyRate is Λ, the aggregate key arrival rate.
+	TotalKeyRate float64
+	// Q is the concurrent probability (geometric batch sizes).
+	Q float64
+	// Xi is the burst degree of the Generalized Pareto gaps.
+	Xi float64
+	// MuS is the per-key Memcached service rate.
+	MuS float64
+	// MissRatio is r, the per-key cache miss probability.
+	MissRatio float64
+	// MuD is the database service rate.
+	MuD float64
+	// NetworkLatency is the constant per-key network latency T_N.
+	NetworkLatency float64
+	// Arrival optionally overrides the batch inter-arrival family
+	// (default: Generalized Pareto with shape Xi). Model and simulator
+	// planes honor it; the live plane's pacer is GPareto-only.
+	Arrival core.ArrivalFactory
+
+	// Requests is the number of end-user requests to measure
+	// (simulator planes; default 4000).
+	Requests int
+	// KeysPerServer sizes the per-server key streams of the
+	// composition simulator (default 120000).
+	KeysPerServer int
+	// Ops is the number of key operations the live plane issues
+	// (default 2000 — real-time pacing bounds the live rate).
+	Ops int
+	// Workers bounds the live plane's in-flight operations (default 32).
+	Workers int
+	// Duration caps the live run's wall time (default 2 minutes).
+	Duration time.Duration
+	// Seed roots all randomness, making model/sim runs deterministic.
+	Seed uint64
+}
+
+// withDefaults fills measurement-budget zero values.
+func (s Scenario) withDefaults() Scenario {
+	if s.Requests == 0 {
+		s.Requests = 4000
+	}
+	if s.KeysPerServer == 0 {
+		s.KeysPerServer = 120000
+	}
+	if s.Ops == 0 {
+		s.Ops = 2000
+	}
+	if s.Workers == 0 {
+		s.Workers = 32
+	}
+	if s.Duration == 0 {
+		s.Duration = 2 * time.Minute
+	}
+	return s
+}
+
+// FromConfig lifts a model configuration into a Scenario.
+func FromConfig(name string, c *core.Config) Scenario {
+	return Scenario{
+		Name:           name,
+		N:              c.N,
+		LoadRatios:     append([]float64(nil), c.LoadRatios...),
+		TotalKeyRate:   c.TotalKeyRate,
+		Q:              c.Q,
+		Xi:             c.Xi,
+		MuS:            c.MuS,
+		MissRatio:      c.MissRatio,
+		MuD:            c.MuD,
+		NetworkLatency: c.NetworkLatency,
+		Arrival:        c.Arrival,
+	}
+}
+
+// Config lowers the Scenario to the model configuration all planes
+// derive their parameters from.
+func (s Scenario) Config() (*core.Config, error) {
+	c := &core.Config{
+		N:              s.N,
+		LoadRatios:     s.LoadRatios,
+		TotalKeyRate:   s.TotalKeyRate,
+		Q:              s.Q,
+		Xi:             s.Xi,
+		MuS:            s.MuS,
+		MissRatio:      s.MissRatio,
+		MuD:            s.MuD,
+		NetworkLatency: s.NetworkLatency,
+		Arrival:        s.Arrival,
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("plane: scenario %q: %w", s.Name, err)
+	}
+	return c, nil
+}
+
+// Result is the plane-independent outcome of running one Scenario.
+type Result struct {
+	// Plane names the plane that produced the result.
+	Plane string
+	// Scenario echoes the input (post-defaulting).
+	Scenario Scenario
+
+	// Total bounds E[T(N)]: exact Theorem 1 bounds on the model plane,
+	// a collapsed point estimate (Lo == Hi) on measured planes.
+	Total core.Bounds
+	// TN / TS / TD are the paper's stage decomposition: constant
+	// network latency, Memcached stage bounds, database stage estimate.
+	TN float64
+	TS core.Bounds
+	TD float64
+
+	// Sample is the measured latency histogram (per composed request
+	// on the simulator planes, per key on the live plane; nil on the
+	// model plane).
+	Sample *stats.Histogram
+	// MeanCI is the 95% confidence interval on Sample's mean (zero
+	// value on the model plane).
+	MeanCI stats.Interval
+	// Breakdown is the per-stage latency decomposition. Measured
+	// planes populate it from telemetry; the model plane fills in the
+	// stage means Theorem 1's ingredients predict.
+	Breakdown telemetry.Breakdown
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+
+	// Plane-specific detail for renderers that need more than the
+	// common surface (per-server samples, hit counters, ...).
+	Sim        *sim.RequestResult
+	Integrated *sim.IntegratedResult
+	Live       *loadgen.Result
+}
+
+// Point returns the scalar each plane nominates for cross-plane
+// diffing: the midpoint of the Theorem 1 band on the model plane, the
+// §4.5-estimator total on measured planes.
+func (r *Result) Point() float64 { return r.Total.Mid() }
+
+// Plane runs Scenarios. Implementations must be safe for reuse across
+// runs (they hold no per-run state).
+type Plane interface {
+	// Name identifies the plane ("model", "sim", "sim-integrated",
+	// "live").
+	Name() string
+	// Run evaluates the scenario. ctx bounds wall time (the model and
+	// simulator planes complete in virtual time and only check for
+	// early cancellation).
+	Run(ctx context.Context, s Scenario) (*Result, error)
+}
+
+// Planes returns the default plane set in comparison order:
+// model, simulator, live.
+func Planes() []Plane {
+	return []Plane{ModelPlane{}, SimPlane{}, LivePlane{}}
+}
+
+// ByName returns the named plane; it understands every Name() of the
+// built-in planes plus "sim-integrated" for the event-driven simulator.
+func ByName(name string) (Plane, error) {
+	switch name {
+	case "model":
+		return ModelPlane{}, nil
+	case "sim":
+		return SimPlane{}, nil
+	case "sim-integrated":
+		return SimPlane{Mode: SimIntegrated}, nil
+	case "live":
+		return LivePlane{}, nil
+	}
+	return nil, fmt.Errorf("plane: unknown plane %q (known: model, sim, sim-integrated, live)", name)
+}
+
+// ci95 is the confidence level every measured plane reports.
+const ci95 = 0.95

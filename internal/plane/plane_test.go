@@ -1,0 +1,192 @@
+package plane
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"memqlat/internal/telemetry"
+	"memqlat/internal/workload"
+)
+
+// scenarios returns the seeded cross-plane test matrix: the paper's
+// Facebook workload plus parameter excursions along each model axis.
+func scenarios() []Scenario {
+	fb := FromConfig("facebook", workload.Facebook())
+	light := FromConfig("light-load", workload.WithLambda(30000))
+	bursty := FromConfig("bursty", workload.WithXi(0.3))
+	batched := FromConfig("batched", workload.WithQ(0.3))
+	smallN := FromConfig("small-n", workload.WithN(10))
+	out := []Scenario{fb, light, bursty, batched, smallN}
+	for i := range out {
+		out[i].Requests = 8000
+		out[i].KeysPerServer = 150000
+		out[i].Seed = 7
+	}
+	return out
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"model", "sim", "sim-integrated", "live"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ByName("quantum"); err == nil {
+		t.Error("unknown plane accepted")
+	}
+}
+
+func TestModelPlaneDeterministic(t *testing.T) {
+	s := FromConfig("facebook", workload.Facebook())
+	a, err := ModelPlane{}.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ModelPlane{}.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Point() != b.Point() {
+		t.Errorf("model plane not deterministic: %v vs %v", a.Point(), b.Point())
+	}
+	if a.Total.Lo > a.Total.Hi {
+		t.Errorf("inverted bounds [%v, %v]", a.Total.Lo, a.Total.Hi)
+	}
+	for _, st := range telemetry.Stages() {
+		if st == telemetry.StageMissPenalty && s.MissRatio == 0 {
+			continue
+		}
+		if _, ok := a.Breakdown[st]; !ok {
+			t.Errorf("model breakdown missing stage %v", st)
+		}
+	}
+}
+
+func TestSimPlaneDeterministic(t *testing.T) {
+	s := scenarios()[0]
+	s.Requests = 2000
+	s.KeysPerServer = 60000
+	a, err := (SimPlane{}).Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (SimPlane{}).Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Point() != b.Point() {
+		t.Errorf("sim plane not deterministic under fixed seed: %v vs %v", a.Point(), b.Point())
+	}
+}
+
+// TestCrossPlaneConsistency is the harness's reason to exist: for every
+// scenario in the matrix, the simulator plane's point estimate must
+// land inside the model plane's Theorem 1 band (widened by the same 8%
+// stochastic slack the simulator's own tests use), and the model's
+// point must be plausible against the simulator's sampled mean.
+func TestCrossPlaneConsistency(t *testing.T) {
+	ctx := context.Background()
+	for _, s := range scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			mres, err := ModelPlane{}.Run(ctx, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sres, err := (SimPlane{}).Run(ctx, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mres.Total.Contains(sres.Point(), 0.08) {
+				t.Errorf("sim total %v outside model band [%v, %v] (+8%%)",
+					sres.Point(), mres.Total.Lo, mres.Total.Hi)
+			}
+			// The memcached stage must agree too — it is where all the
+			// queueing structure lives.
+			if !mres.TS.Contains(sres.TS.Mid(), 0.08) {
+				t.Errorf("sim TS %v outside model band [%v, %v] (+8%%)",
+					sres.TS.Mid(), mres.TS.Lo, mres.TS.Hi)
+			}
+			// Breakdown stages that both planes populate must agree on
+			// per-stage means within a loose factor (the model's stage
+			// split is approximate, the sim's is measured).
+			for _, st := range []telemetry.Stage{telemetry.StageQueueWait, telemetry.StageService} {
+				mm := mres.Breakdown.MeanOf(st)
+				sm := sres.Breakdown.MeanOf(st)
+				if mm <= 0 || sm <= 0 {
+					t.Fatalf("stage %v missing: model %v, sim %v", st, mm, sm)
+				}
+				if r := sm / mm; r < 0.5 || r > 2 {
+					t.Errorf("stage %v disagrees: model mean %v, sim mean %v (ratio %.2f)",
+						st, mm, sm, r)
+				}
+			}
+			// The simulator's sampled mean of per-request maxima always
+			// sits at or above the quantile-approximation point.
+			if sres.MeanCI.Point+sres.Sample.Mean() == 0 {
+				t.Fatal("sim plane produced no sample")
+			}
+			if math.IsNaN(sres.MeanCI.Lo) || sres.MeanCI.Lo > sres.MeanCI.Hi {
+				t.Errorf("bad mean CI [%v, %v]", sres.MeanCI.Lo, sres.MeanCI.Hi)
+			}
+		})
+	}
+}
+
+// TestLivePlaneSmoke brings the full TCP stack up for a scaled-down
+// scenario and checks the common Result surface is populated and the
+// measured breakdown is coherent (total ≈ wait + service per key).
+func TestLivePlaneSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live plane needs real time")
+	}
+	s := Scenario{
+		Name:         "live-smoke",
+		N:            10,
+		LoadRatios:   []float64{0.5, 0.5},
+		TotalKeyRate: 4000,
+		Q:            0.1,
+		Xi:           0.15,
+		MuS:          2000,
+		MissRatio:    0.01,
+		MuD:          1000,
+		Ops:          1200,
+		Workers:      32,
+		Duration:     30 * time.Second,
+		Seed:         3,
+	}
+	res, err := LivePlane{}.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live == nil || res.Live.Issued == 0 {
+		t.Fatal("live plane issued no operations")
+	}
+	if res.Sample == nil || res.Sample.Count() == 0 {
+		t.Fatal("live plane recorded no latency sample")
+	}
+	mean := res.Sample.Mean()
+	if mean <= 0 {
+		t.Fatalf("non-positive mean latency %v", mean)
+	}
+	wait := res.Breakdown.MeanOf(telemetry.StageQueueWait)
+	service := res.Breakdown.MeanOf(telemetry.StageService)
+	if service <= 0 {
+		t.Fatal("live breakdown missing service stage")
+	}
+	// Server-side wait+service cannot exceed the client-observed
+	// per-key latency (which adds network + client overhead).
+	if wait+service > mean*1.05 {
+		t.Errorf("server-side stages %v exceed client mean %v", wait+service, mean)
+	}
+	if res.Breakdown.MeanOf(telemetry.StageForkJoin) < 0 {
+		t.Error("negative fork-join stage")
+	}
+}

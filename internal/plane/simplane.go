@@ -1,0 +1,108 @@
+package plane
+
+import (
+	"context"
+	"time"
+
+	"memqlat/internal/core"
+	"memqlat/internal/sim"
+	"memqlat/internal/stats"
+	"memqlat/internal/telemetry"
+)
+
+// SimMode selects which simulator realizes the scenario.
+type SimMode int
+
+const (
+	// SimComposition is the two-stage composition simulator
+	// (sim.SimulateRequests): per-server GI^X/M/1 key streams composed
+	// into fork-join requests under the model's independence
+	// assumption. It is the paper's "Experiment" column.
+	SimComposition SimMode = iota
+	// SimIntegrated is the event-scheduled fork-join system
+	// (sim.SimulateIntegrated), whose per-server arrivals emerge from
+	// the request stream — the ablation of the independence assumption.
+	SimIntegrated
+)
+
+// SimPlane evaluates a Scenario on the virtual-time simulator.
+type SimPlane struct {
+	// Mode selects the simulator (default SimComposition).
+	Mode SimMode
+}
+
+// Name implements Plane.
+func (p SimPlane) Name() string {
+	if p.Mode == SimIntegrated {
+		return "sim-integrated"
+	}
+	return "sim"
+}
+
+// Run implements Plane.
+func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
+	start := time.Now()
+	s = s.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	model, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	collector := telemetry.NewCollector()
+	res := &Result{
+		Plane:    p.Name(),
+		Scenario: s,
+		TN:       model.NetworkLatency,
+	}
+	switch p.Mode {
+	case SimIntegrated:
+		integ, err := sim.SimulateIntegrated(sim.IntegratedConfig{
+			Model:    model,
+			Requests: s.Requests,
+			Seed:     s.Seed,
+			Recorder: collector,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tsMean := integ.TS.Mean()
+		tdMean := integ.TD.Mean()
+		totalMean := integ.Total.Mean()
+		res.Total = core.Bounds{Lo: totalMean, Hi: totalMean}
+		res.TS = core.Bounds{Lo: tsMean, Hi: tsMean}
+		res.TD = tdMean
+		res.Sample = integ.Total
+		res.Integrated = integ
+	default:
+		comp, err := sim.SimulateRequests(sim.RequestConfig{
+			Model:         model,
+			Requests:      s.Requests,
+			KeysPerServer: s.KeysPerServer,
+			Seed:          s.Seed,
+			Recorder:      collector,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tsEst, err := comp.TSQuantileEstimate(model)
+		if err != nil {
+			return nil, err
+		}
+		tdEst, err := comp.TDQuantileEstimate()
+		if err != nil {
+			return nil, err
+		}
+		total := comp.TN + tsEst + tdEst
+		res.Total = core.Bounds{Lo: total, Hi: total}
+		res.TS = core.Bounds{Lo: tsEst, Hi: tsEst}
+		res.TD = tdEst
+		res.Sample = comp.Total
+		res.Sim = comp
+	}
+	res.MeanCI = stats.HistMeanCI(res.Sample, ci95)
+	res.Breakdown = collector.Breakdown()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -21,6 +21,7 @@ import (
 	"memqlat/internal/dist"
 	"memqlat/internal/protocol"
 	"memqlat/internal/stats"
+	"memqlat/internal/telemetry"
 )
 
 // Version is reported by the version command.
@@ -51,6 +52,11 @@ type Options struct {
 	// IdleTimeout closes connections that send no command for this
 	// long (0 = never).
 	IdleTimeout time.Duration
+	// Recorder, when set, additionally receives the server's per-stage
+	// observations (queue wait on the service channel, service time) —
+	// the live plane threads one harness-wide collector through here.
+	// The server always keeps its own collector for "stats telemetry".
+	Recorder telemetry.Recorder
 }
 
 // Server is a memcached-protocol TCP server.
@@ -68,7 +74,13 @@ type Server struct {
 	currConns    atomic.Int64
 	rejectedConn atomic.Int64
 	cmdCount     atomic.Int64
+	opCounts     [protocol.OpQuit + 1]atomic.Int64
 	startTime    time.Time
+
+	// telem aggregates the per-stage decomposition served by "stats
+	// telemetry"; rec tees it with the Options.Recorder (if any).
+	telem *telemetry.Collector
+	rec   telemetry.Recorder
 
 	// serviceMu serializes shaped service across connections so that a
 	// shaped server behaves as ONE queueing server (the model's single
@@ -143,11 +155,14 @@ func New(opts Options) (*Server, error) {
 	if logger == nil {
 		logger = log.Default()
 	}
+	telem := telemetry.NewCollector()
 	return &Server{
 		opts:      opts,
 		logger:    logger,
 		conns:     make(map[net.Conn]struct{}),
 		startTime: time.Now(),
+		telem:     telem,
+		rec:       telemetry.Tee(telem, opts.Recorder),
 	}, nil
 }
 
@@ -292,17 +307,27 @@ func (s *Server) handleConn(conn net.Conn, id uint64) error {
 			}
 		}
 		s.cmdCount.Add(1)
+		if cmd.Op >= 0 && int(cmd.Op) < len(s.opCounts) {
+			s.opCounts[cmd.Op].Add(1)
+		}
 		began := time.Now()
+		var waited time.Duration
 		if shaper != nil {
 			service := time.Duration(shaper.ExpFloat64() / s.opts.ServiceRate * float64(time.Second))
 			s.serviceMu.Lock()
+			// Time spent acquiring the single service channel is the
+			// live server's queueing delay (the W of GI^X/M/1).
+			waited = time.Since(began)
 			time.Sleep(service)
 			s.serviceMu.Unlock()
+			s.rec.Observe(telemetry.StageQueueWait, waited.Seconds())
 		}
 		if err := s.dispatch(w, cmd); err != nil {
 			return err
 		}
-		s.latency.record(time.Since(began).Seconds())
+		total := time.Since(began)
+		s.latency.record(total.Seconds())
+		s.rec.Observe(telemetry.StageService, (total - waited).Seconds())
 		// Flush when the pipeline is drained (no buffered next command).
 		if r.Buffered() == 0 {
 			if err := w.Flush(); err != nil {
@@ -504,6 +529,38 @@ func (s *Server) writeStats(w *protocol.Writer, section string) error {
 		for _, row := range snap {
 			if err := w.Stat(row.k, row.v); err != nil {
 				return err
+			}
+		}
+		return w.End()
+	case "commands":
+		// memqlat extension: per-command counters, one row per
+		// protocol op the server has dispatched.
+		for op := protocol.OpGet; op <= protocol.OpQuit; op++ {
+			if err := w.Stat("cmd_"+op.String(),
+				fmt.Sprintf("%d", s.opCounts[op].Load())); err != nil {
+				return err
+			}
+		}
+		return w.End()
+	case "telemetry":
+		// memqlat extension: the per-stage latency decomposition the
+		// evaluation planes diff (queue wait / service; the miss
+		// penalty and fork-join stages live in the backend and load
+		// generator, so they read 0 here).
+		b := s.telem.Breakdown()
+		for _, stage := range telemetry.Stages() {
+			st := b[stage]
+			name := stage.String()
+			rows := []statRow{
+				{name + ":count", fmt.Sprintf("%d", st.Count)},
+				{name + ":mean_us", fmt.Sprintf("%.1f", st.Mean*1e6)},
+				{name + ":p50_us", fmt.Sprintf("%.1f", st.P50*1e6)},
+				{name + ":p99_us", fmt.Sprintf("%.1f", st.P99*1e6)},
+			}
+			for _, row := range rows {
+				if err := w.Stat(row.k, row.v); err != nil {
+					return err
+				}
 			}
 		}
 		return w.End()

@@ -6,12 +6,14 @@ import (
 	"io"
 	"log"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"memqlat/internal/cache"
+	"memqlat/internal/telemetry"
 )
 
 // startServer launches a server on a loopback listener and returns its
@@ -477,6 +479,109 @@ func TestStatsSections(t *testing.T) {
 	send(t, w, "stats bogus\r\n")
 	if got := readLine(t, r); !strings.HasPrefix(got, "CLIENT_ERROR") {
 		t.Errorf("unknown section reply = %q", got)
+	}
+}
+
+func TestStatsCommandsSection(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	send(t, w, "set k 0 0 5\r\nhello\r\n")
+	readLine(t, r)
+	for i := 0; i < 3; i++ {
+		send(t, w, "get k\r\n")
+		readLine(t, r)
+		readLine(t, r)
+		readLine(t, r)
+	}
+	send(t, w, "incr k 1\r\n") // fails on non-numeric value, still dispatched
+	readLine(t, r)
+
+	send(t, w, "stats commands\r\n")
+	counts := make(map[string]string)
+	for {
+		line := readLine(t, r)
+		if line == "END" {
+			break
+		}
+		parts := strings.Fields(line) // STAT cmd_<op> <n>
+		if len(parts) == 3 && parts[0] == "STAT" {
+			counts[parts[1]] = parts[2]
+		}
+	}
+	if counts["cmd_get"] != "3" {
+		t.Errorf("cmd_get = %q, want 3 (all: %v)", counts["cmd_get"], counts)
+	}
+	if counts["cmd_set"] != "1" {
+		t.Errorf("cmd_set = %q, want 1", counts["cmd_set"])
+	}
+	if counts["cmd_incr"] != "1" {
+		t.Errorf("cmd_incr = %q, want 1", counts["cmd_incr"])
+	}
+	if counts["cmd_delete"] != "0" {
+		t.Errorf("cmd_delete = %q, want 0", counts["cmd_delete"])
+	}
+}
+
+func TestStatsTelemetrySection(t *testing.T) {
+	// A shaped server records both the queue-wait and service stages.
+	_, addr := startServer(t, Options{ServiceRate: 50000})
+	r, w, _ := dial(t, addr)
+	for i := 0; i < 5; i++ {
+		send(t, w, "get k\r\n")
+		readLine(t, r)
+	}
+	send(t, w, "stats telemetry\r\n")
+	vals := make(map[string]string)
+	for {
+		line := readLine(t, r)
+		if line == "END" {
+			break
+		}
+		parts := strings.Fields(line)
+		if len(parts) == 3 && parts[0] == "STAT" {
+			vals[parts[1]] = parts[2]
+		}
+	}
+	// 5 gets + the stats command itself have gone through service by
+	// the time the stats reply is assembled; at minimum the 5 gets.
+	for _, key := range []string{"queue_wait:count", "service:count"} {
+		n, err := strconv.Atoi(vals[key])
+		if err != nil || n < 5 {
+			t.Errorf("%s = %q, want >= 5 (all: %v)", key, vals[key], vals)
+		}
+	}
+	for _, key := range []string{"service:mean_us", "service:p50_us", "service:p99_us"} {
+		f, err := strconv.ParseFloat(vals[key], 64)
+		if err != nil || f <= 0 {
+			t.Errorf("%s = %q, want > 0", key, vals[key])
+		}
+	}
+	// The miss-penalty and fork-join stages belong to the backend and
+	// the load generator; a server must report them as empty.
+	if vals["miss_penalty:count"] != "0" || vals["fork_join:count"] != "0" {
+		t.Errorf("server-side stages not empty: %v", vals)
+	}
+}
+
+// TestRecorderTee checks an external recorder (the live plane's
+// harness-wide collector) sees the same observations as the server's
+// own "stats telemetry" collector.
+func TestRecorderTee(t *testing.T) {
+	ext := telemetry.NewCollector()
+	_, addr := startServer(t, Options{ServiceRate: 50000, Recorder: ext})
+	r, w, _ := dial(t, addr)
+	for i := 0; i < 4; i++ {
+		send(t, w, "get k\r\n")
+		readLine(t, r)
+	}
+	b := ext.Breakdown()
+	if b[telemetry.StageService].Count < 4 {
+		t.Errorf("external recorder saw %d service observations, want >= 4",
+			b[telemetry.StageService].Count)
+	}
+	if b[telemetry.StageQueueWait].Count < 4 {
+		t.Errorf("external recorder saw %d queue-wait observations, want >= 4",
+			b[telemetry.StageQueueWait].Count)
 	}
 }
 

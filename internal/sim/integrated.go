@@ -7,6 +7,7 @@ import (
 	"memqlat/internal/core"
 	"memqlat/internal/dist"
 	"memqlat/internal/stats"
+	"memqlat/internal/telemetry"
 )
 
 // DBMode selects how the integrated simulation services cache misses.
@@ -39,6 +40,10 @@ type IntegratedConfig struct {
 	DB DBMode
 	// Seed makes the run deterministic.
 	Seed uint64
+	// Recorder, when set, receives the per-stage decomposition of every
+	// measured key/request (queue wait, service, miss penalty,
+	// fork-join overhead) in virtual time.
+	Recorder telemetry.Recorder
 }
 
 // IntegratedResult mirrors RequestResult for the integrated mode.
@@ -79,6 +84,9 @@ type station struct {
 	// busyAcc, when set, accumulates total service seconds (the busy
 	// time of a single-server queue).
 	busyAcc *float64
+	// rec, when set, receives queue-wait/service observations for
+	// measured keys.
+	rec telemetry.Recorder
 }
 
 type key struct {
@@ -96,6 +104,7 @@ type request struct {
 	remaining int
 	maxTS     float64
 	maxTD     float64
+	sumTS     float64
 	measured  bool
 }
 
@@ -118,6 +127,10 @@ func (s *station) startNext() {
 	service := s.rng.ExpFloat64() / s.mu
 	if s.busyAcc != nil {
 		*s.busyAcc += service
+	}
+	if s.rec != nil && k.req.measured {
+		s.rec.Observe(telemetry.StageQueueWait, s.engine.Now()-k.arrived)
+		s.rec.Observe(telemetry.StageService, service)
 	}
 	// The callback must tolerate being scheduled on a zero-value engine
 	// only via SimulateIntegrated, which always sets engine; errors are
@@ -169,6 +182,7 @@ func SimulateIntegrated(cfg IntegratedConfig) (*IntegratedResult, error) {
 	)
 
 	// Database: either an infinite server or one more station.
+	rec := telemetry.OrNop(cfg.Recorder)
 	var dbStation *station
 	finishKey := func(k *key) {
 		r := k.req
@@ -178,12 +192,14 @@ func SimulateIntegrated(cfg IntegratedConfig) (*IntegratedResult, error) {
 		if k.dbLatency > r.maxTD {
 			r.maxTD = k.dbLatency
 		}
+		r.sumTS += k.memSojourn
 		r.remaining--
 		if r.remaining == 0 && r.measured {
 			res.Total.Record(eng.Now() - r.start)
 			res.TS.Record(r.maxTS)
 			res.TD.Record(r.maxTD)
 			res.Completed++
+			rec.Observe(telemetry.StageForkJoin, r.maxTS-r.sumTS/float64(m.N))
 		}
 	}
 	memcachedDone := func(k *key) {
@@ -205,6 +221,9 @@ func SimulateIntegrated(cfg IntegratedConfig) (*IntegratedResult, error) {
 		default: // DBInfiniteServer
 			d := rngDB.ExpFloat64() / m.MuD
 			k.dbLatency = d
+			if k.req.measured {
+				rec.Observe(telemetry.StageMissPenalty, d)
+			}
 			_ = eng.Schedule(d, func() { finishKey(k) })
 		}
 	}
@@ -217,6 +236,7 @@ func SimulateIntegrated(cfg IntegratedConfig) (*IntegratedResult, error) {
 			engine:  &eng,
 			onDone:  memcachedDone,
 			busyAcc: &res.BusyTime[j],
+			rec:     cfg.Recorder,
 		}
 	}
 	if dbMode == DBSingleQueue {
@@ -229,6 +249,9 @@ func SimulateIntegrated(cfg IntegratedConfig) (*IntegratedResult, error) {
 				// move it to its own slot (memSojourn keeps the cache
 				// stage).
 				k.dbLatency = k.sojourn
+				if k.req.measured {
+					rec.Observe(telemetry.StageMissPenalty, k.dbLatency)
+				}
 				finishKey(k)
 			},
 		}

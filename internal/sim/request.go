@@ -7,6 +7,7 @@ import (
 	"memqlat/internal/core"
 	"memqlat/internal/dist"
 	"memqlat/internal/stats"
+	"memqlat/internal/telemetry"
 )
 
 // RequestConfig parameterizes the fork-join composition stage: it takes
@@ -32,6 +33,11 @@ type RequestConfig struct {
 	FreeReplicas bool
 	// Seed makes the run deterministic.
 	Seed uint64
+	// Recorder, when set, receives the per-stage decomposition: queue
+	// wait and service from the per-server streams, miss penalty per
+	// missed key, and fork-join overhead (max-over-N minus mean) per
+	// composed request.
+	Recorder telemetry.Recorder
 }
 
 // RequestResult aggregates the measured latency decomposition, mirroring
@@ -111,6 +117,7 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 			MuS:          m.MuS,
 			Keys:         keysPerServer,
 			Seed:         cfg.Seed + uint64(j)*1000003,
+			Recorder:     cfg.Recorder,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server %d: %w", j, err)
@@ -138,10 +145,11 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		rngMiss   = dist.SubRand(cfg.Seed, 103)
 		rngDB     = dist.SubRand(cfg.Seed, 104)
 	)
+	rec := telemetry.OrNop(cfg.Recorder)
 	for req := 0; req < cfg.Requests; req++ {
 		var (
-			maxTS, maxTD float64
-			misses       int
+			maxTS, maxTD, sumTS float64
+			misses              int
 		)
 		for i := 0; i < m.N; i++ {
 			j := assign.SampleInt(rngAssign)
@@ -158,12 +166,14 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 			if s > maxTS {
 				maxTS = s
 			}
+			sumTS += s
 			out.KeyCount++
 			if m.MissRatio > 0 && rngMiss.Float64() < m.MissRatio {
 				d := rngDB.ExpFloat64() / m.MuD
 				misses++
 				out.MissCount++
 				out.DBLat.Record(d)
+				rec.Observe(telemetry.StageMissPenalty, d)
 				if d > maxTD {
 					maxTD = d
 				}
@@ -176,6 +186,7 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		out.TS.Record(maxTS)
 		out.TD.Record(maxTD)
 		out.Total.Record(m.NetworkLatency + maxTS + maxTD)
+		rec.Observe(telemetry.StageForkJoin, maxTS-sumTS/float64(m.N))
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"memqlat/internal/dist"
 	"memqlat/internal/stats"
+	"memqlat/internal/telemetry"
 )
 
 // ServerConfig parameterizes the GI^X/M/1 key stream at one simulated
@@ -24,6 +25,9 @@ type ServerConfig struct {
 	WarmupKeys int
 	// Seed makes the run deterministic.
 	Seed uint64
+	// Recorder, when set, receives StageQueueWait / StageService
+	// observations for every measured key.
+	Recorder telemetry.Recorder
 }
 
 // ServerResult holds the per-key processing-latency sample of one
@@ -88,6 +92,7 @@ func SimulateServer(cfg ServerConfig) (*ServerResult, error) {
 		Sojourns: make([]float64, 0, cfg.Keys),
 		Hist:     stats.NewHistogram(),
 	}
+	rec := telemetry.OrNop(cfg.Recorder)
 	var (
 		backlog   float64 // unfinished work at the current arrival instant
 		seenKeys  int
@@ -101,12 +106,15 @@ func SimulateServer(cfg ServerConfig) (*ServerResult, error) {
 		}
 		n := batch.SampleInt(rngBatch)
 		for i := 0; i < n && seenKeys < totalKeys; i++ {
+			wait := backlog // work ahead of this key = its queueing delay
 			service := rngService.ExpFloat64() / cfg.MuS
 			backlog += service
 			seenKeys++
 			if seenKeys > warmup {
 				res.Sojourns = append(res.Sojourns, backlog)
 				res.Hist.Record(backlog)
+				rec.Observe(telemetry.StageQueueWait, wait)
+				rec.Observe(telemetry.StageService, service)
 			}
 		}
 		if seenKeys > warmup {

@@ -1,0 +1,189 @@
+// Package telemetry is the per-stage latency seam shared by every
+// evaluation plane (model, simulator, live TCP stack): a Recorder
+// interface that the server, backend, simulator and load generator call
+// at each stage boundary, and a thread-safe Collector that aggregates
+// the observations into the Breakdown the analytical model predicts
+// stage by stage — queue wait, service, miss penalty, fork-join
+// overhead. Because all three planes report the same decomposition,
+// any scenario's latency budget can be diffed across planes directly.
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"memqlat/internal/stats"
+)
+
+// Stage identifies one component of the end-to-end latency budget.
+type Stage int
+
+const (
+	// StageQueueWait is the time a key waits at its Memcached server
+	// before service starts (the W of the GI^X/M/1 queue).
+	StageQueueWait Stage = iota
+	// StageService is the key's own service duration (mean 1/µ_S).
+	StageService
+	// StageMissPenalty is the database latency of one missed key
+	// (mean 1/µ_D under the paper's ρ_D ≈ 0 stage).
+	StageMissPenalty
+	// StageForkJoin is the per-request join overhead: the latency the
+	// max over a request's N keys adds beyond the mean key latency
+	// (the maximal-statistics inflation Theorem 1 prices at
+	// ln(N+1)/((1−δ)(1−q)µ_S) versus a single key's sojourn).
+	StageForkJoin
+	numStages
+)
+
+// Stages lists every stage in reporting order.
+func Stages() []Stage {
+	return []Stage{StageQueueWait, StageService, StageMissPenalty, StageForkJoin}
+}
+
+// String returns the stable snake_case stage name used in reports and
+// the server's "stats telemetry" protocol section.
+func (s Stage) String() string {
+	switch s {
+	case StageQueueWait:
+		return "queue_wait"
+	case StageService:
+		return "service"
+	case StageMissPenalty:
+		return "miss_penalty"
+	case StageForkJoin:
+		return "fork_join"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Recorder receives per-stage latency observations. Implementations
+// must be safe for concurrent use: the live server records from one
+// goroutine per connection and the load generator from every worker.
+type Recorder interface {
+	// Observe records one latency sample (in seconds) for the stage.
+	Observe(stage Stage, seconds float64)
+}
+
+// Nop is the zero-overhead Recorder used when telemetry is disabled.
+var Nop Recorder = nopRecorder{}
+
+type nopRecorder struct{}
+
+func (nopRecorder) Observe(Stage, float64) {}
+
+// OrNop returns r, or Nop when r is nil, so call sites can thread an
+// optional Recorder without nil checks on the hot path.
+func OrNop(r Recorder) Recorder {
+	if r == nil {
+		return Nop
+	}
+	return r
+}
+
+// Tee fans every observation out to both recorders (e.g. a server's own
+// stats collector plus a harness-wide one). Nil arguments are dropped.
+func Tee(a, b Recorder) Recorder {
+	switch {
+	case a == nil:
+		return OrNop(b)
+	case b == nil:
+		return a
+	}
+	return teeRecorder{a, b}
+}
+
+type teeRecorder struct{ a, b Recorder }
+
+func (t teeRecorder) Observe(stage Stage, seconds float64) {
+	t.a.Observe(stage, seconds)
+	t.b.Observe(stage, seconds)
+}
+
+// StageStats summarizes the observations of one stage.
+type StageStats struct {
+	// Count is the number of observations.
+	Count int64
+	// Mean is the sample mean latency in seconds.
+	Mean float64
+	// P50 / P99 are sample quantiles in seconds (0 when Count is 0).
+	P50 float64
+	P99 float64
+	// Total is the summed latency in seconds.
+	Total float64
+}
+
+// Breakdown is the per-stage latency decomposition of one run, indexed
+// by Stage.
+type Breakdown map[Stage]StageStats
+
+// Empty reports whether no stage recorded any observation.
+func (b Breakdown) Empty() bool {
+	for _, st := range b {
+		if st.Count > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MeanOf returns the mean of the stage (0 when unobserved).
+func (b Breakdown) MeanOf(stage Stage) float64 { return b[stage].Mean }
+
+// String renders the breakdown compactly for logs and CLI output.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	for i, stage := range Stages() {
+		st := b[stage]
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%s mean=%.1fµs n=%d", stage, st.Mean*1e6, st.Count)
+	}
+	return sb.String()
+}
+
+// Collector is a thread-safe Recorder that aggregates observations into
+// a Breakdown. The zero value is NOT ready; use NewCollector.
+type Collector struct {
+	mu    sync.Mutex
+	hists [numStages]*stats.Histogram
+}
+
+// NewCollector constructs an empty Collector.
+func NewCollector() *Collector {
+	c := &Collector{}
+	for i := range c.hists {
+		c.hists[i] = stats.NewHistogram()
+	}
+	return c
+}
+
+// Observe implements Recorder.
+func (c *Collector) Observe(stage Stage, seconds float64) {
+	if stage < 0 || stage >= numStages {
+		return
+	}
+	c.mu.Lock()
+	c.hists[stage].Record(seconds)
+	c.mu.Unlock()
+}
+
+// Breakdown snapshots the current per-stage statistics.
+func (c *Collector) Breakdown() Breakdown {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(Breakdown, numStages)
+	for i, h := range c.hists {
+		st := StageStats{Count: h.Count()}
+		if st.Count > 0 {
+			st.Mean = h.Mean()
+			st.Total = h.Mean() * float64(st.Count)
+			st.P50 = h.MustQuantile(0.5)
+			st.P99 = h.MustQuantile(0.99)
+		}
+		out[Stage(i)] = st
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStageNames(t *testing.T) {
+	want := map[Stage]string{
+		StageQueueWait:   "queue_wait",
+		StageService:     "service",
+		StageMissPenalty: "miss_penalty",
+		StageForkJoin:    "fork_join",
+	}
+	if len(Stages()) != len(want) {
+		t.Fatalf("Stages() = %d entries, want %d", len(Stages()), len(want))
+	}
+	for stage, name := range want {
+		if stage.String() != name {
+			t.Errorf("%d.String() = %q, want %q", stage, stage.String(), name)
+		}
+	}
+	if got := Stage(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown stage string = %q", got)
+	}
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := NewCollector()
+	for i := 1; i <= 100; i++ {
+		c.Observe(StageService, float64(i)*1e-6)
+	}
+	c.Observe(StageMissPenalty, 1e-3)
+	b := c.Breakdown()
+	if b.Empty() {
+		t.Fatal("breakdown empty after observations")
+	}
+	svc := b[StageService]
+	if svc.Count != 100 {
+		t.Errorf("service count = %d", svc.Count)
+	}
+	if math.Abs(svc.Mean-50.5e-6) > 1e-6 {
+		t.Errorf("service mean = %v, want ~50.5µs", svc.Mean)
+	}
+	if svc.P50 <= 0 || svc.P99 < svc.P50 {
+		t.Errorf("quantiles inconsistent: p50=%v p99=%v", svc.P50, svc.P99)
+	}
+	if math.Abs(svc.Total-svc.Mean*100) > 1e-12 {
+		t.Errorf("total = %v, want mean*count", svc.Total)
+	}
+	if b[StageQueueWait].Count != 0 {
+		t.Errorf("queue_wait observed without records")
+	}
+	if b.MeanOf(StageMissPenalty) != 1e-3 {
+		t.Errorf("miss_penalty mean = %v", b.MeanOf(StageMissPenalty))
+	}
+	if !strings.Contains(b.String(), "service") {
+		t.Errorf("String() = %q missing stage name", b.String())
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Observe(StageQueueWait, 1e-6)
+				c.Observe(StageService, 2e-6)
+			}
+		}()
+	}
+	wg.Wait()
+	b := c.Breakdown()
+	if b[StageQueueWait].Count != 8000 || b[StageService].Count != 8000 {
+		t.Errorf("counts = %d/%d, want 8000/8000",
+			b[StageQueueWait].Count, b[StageService].Count)
+	}
+}
+
+func TestNopAndOrNop(t *testing.T) {
+	Nop.Observe(StageService, 1) // must not panic
+	if OrNop(nil) != Nop {
+		t.Error("OrNop(nil) != Nop")
+	}
+	c := NewCollector()
+	if OrNop(c) != Recorder(c) {
+		t.Error("OrNop(c) != c")
+	}
+	c.Observe(Stage(-1), 1) // out of range: ignored
+	c.Observe(Stage(99), 1)
+	if !c.Breakdown().Empty() {
+		t.Error("out-of-range stages recorded")
+	}
+}
