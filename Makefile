@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench-plane repro clean
+.PHONY: build test vet race verify faults bench-plane repro clean
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,12 @@ race:
 	$(GO) test -race ./...
 
 verify: build vet test race
+
+# Fault-injection and resilience suite only (client recovery paths,
+# sim/live fault threading, cross-plane schedule determinism). -race
+# because the interesting bugs here are connection teardown races.
+faults:
+	$(GO) test -race -run Fault ./...
 
 # Regenerate the plane-harness baseline (BENCH_plane.json records the
 # last blessed numbers).

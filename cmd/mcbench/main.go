@@ -16,6 +16,12 @@
 //
 //	mcbench -plane=live -lambda 1000 -mus 1000 -plane-servers 2 -ops 2000
 //	mcbench -plane=sim -lambda 250000 -mus 80000 -plane-servers 4 -n 150
+//
+// -faults injects a deterministic fault schedule into the -plane run,
+// and the resilience flags (-retries, -hedge-delay/-hedge-percentile,
+// -breaker-*) arm the client/simulator recovery policies:
+//
+//	mcbench -plane=live -faults "reset:srv=0" -breaker-threshold 0.5 ...
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"memqlat/internal/backend"
 	"memqlat/internal/client"
 	"memqlat/internal/core"
+	"memqlat/internal/fault"
 	"memqlat/internal/loadgen"
 	"memqlat/internal/plane"
 	"memqlat/internal/stats"
@@ -68,19 +75,50 @@ func run(args []string, out io.Writer) error {
 		mus        = fs.Float64("mus", 2000, "per-server shaped service rate for -plane modes")
 		planeSrv   = fs.Int("plane-servers", 2, "server count for -plane modes")
 		keysPerReq = fs.Int("n", 10, "keys per end-user request for the model/sim planes")
+
+		faultSpec = fs.String("faults", "", `fault schedule for -plane modes, e.g. "slow:srv=0,delay=200us;drop:srv=1,p=0.1,delay=5ms"`)
+
+		retries          = fs.Int("retries", 0, "extra read attempts after transport failures (0 = off)")
+		retryBackoff     = fs.Duration("retry-backoff", 0, "base retry backoff (0 = policy default)")
+		hedgeDelay       = fs.Duration("hedge-delay", 0, "fixed hedged-read trigger (0 = use -hedge-percentile)")
+		hedgePercentile  = fs.Float64("hedge-percentile", 0, "hedged-read trigger quantile in (0,1) (0 = hedging off)")
+		breakerThreshold = fs.Float64("breaker-threshold", 0, "circuit-breaker failure-rate trip point (0 = off)")
+		breakerWindow    = fs.Int("breaker-window", 0, "circuit-breaker outcome window (0 = policy default)")
+		breakerCooldown  = fs.Duration("breaker-cooldown", 0, "circuit-breaker open duration (0 = policy default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	resilience := fault.Resilience{
+		Retries:          *retries,
+		RetryBackoff:     retryBackoff.Seconds(),
+		HedgeDelay:       hedgeDelay.Seconds(),
+		HedgePercentile:  *hedgePercentile,
+		BreakerThreshold: *breakerThreshold,
+		BreakerWindow:    *breakerWindow,
+		BreakerCooldown:  breakerCooldown.Seconds(),
+	}
 	if *planeName != "" {
+		faults, err := fault.ParseSchedule(*faultSpec)
+		if err != nil {
+			return err
+		}
 		return runPlane(*planeName, planeScenario{
 			servers: *planeSrv, n: *keysPerReq, lambda: *lambda,
 			xi: *xi, q: *q, mus: *mus, missRatio: *missRatio, mud: *mud,
 			ops: *ops, workers: *workers, seed: *seed, timeout: *timeout,
+			faults: faults, resilience: resilience,
 		}, out)
 	}
+	if *faultSpec != "" {
+		return fmt.Errorf("-faults needs a -plane mode (external -servers cannot be injected)")
+	}
 	addrs := strings.Split(*servers, ",")
-	clOpts := client.Options{Servers: addrs, PoolSize: *workers}
+	clOpts := client.Options{
+		Servers:    addrs,
+		PoolSize:   *workers,
+		Resilience: client.ResilienceFromSpec(resilience),
+	}
 	if *fill {
 		db, err := backend.New(backend.Options{MuD: *mud, Seed: *seed})
 		if err != nil {
@@ -169,6 +207,8 @@ type planeScenario struct {
 	mus, missRatio, mud      float64
 	seed                     uint64
 	timeout                  time.Duration
+	faults                   fault.Schedule
+	resilience               fault.Resilience
 }
 
 // runPlane evaluates the flag-described scenario on the named internal
@@ -194,6 +234,11 @@ func runPlane(name string, ps planeScenario, out io.Writer) error {
 		Workers:      ps.workers,
 		Duration:     ps.timeout,
 		Seed:         ps.seed,
+		Faults:       ps.faults,
+		Resilience:   ps.resilience,
+	}
+	if !ps.faults.Empty() {
+		fmt.Fprintf(out, "injecting faults: %s\n", ps.faults)
 	}
 	fmt.Fprintf(out, "running scenario on the %s plane (%d servers, λ=%g, µS=%g)...\n",
 		p.Name(), ps.servers, ps.lambda, ps.mus)
@@ -214,8 +259,12 @@ func runPlane(name string, ps planeScenario, out io.Writer) error {
 	if lg := res.Live; lg != nil {
 		fmt.Fprintf(out, "issued      %d ops in %v (%.0f keys/s achieved)\n",
 			lg.Issued, lg.Elapsed.Round(time.Millisecond), lg.AchievedRate())
-		fmt.Fprintf(out, "outcomes    %d hits, %d misses, %d errors\n",
-			lg.Hits, lg.Misses, lg.Errors)
+		fmt.Fprintf(out, "outcomes    %d hits, %d misses, %d errors (%d breaker-shed)\n",
+			lg.Hits, lg.Misses, lg.Errors, lg.Shed)
+	}
+	if sr := res.Sim; sr != nil && (sr.FailedKeys > 0 || sr.ShedKeys > 0) {
+		fmt.Fprintf(out, "faults      %d/%d keys failed, %d shed, %d/%d requests degraded\n",
+			sr.FailedKeys, sr.KeyCount, sr.ShedKeys, sr.DegradedRequests, sr.Requests)
 	}
 	if res.Sample != nil && res.Sample.Count() > 0 {
 		printSample(out, res.Sample, res.MeanCI)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"memqlat/internal/dist"
+	"memqlat/internal/fault"
 	"memqlat/internal/telemetry"
 )
 
@@ -37,6 +38,10 @@ var ErrOverloaded = errors.New("backend: queue full")
 // ErrClosed reports use after Close.
 var ErrClosed = errors.New("backend: closed")
 
+// ErrInjected reports a lookup failed by the fault injector (a database
+// outage window).
+var ErrInjected = errors.New("backend: injected fault")
+
 // Options configures a DB.
 type Options struct {
 	// MuD is the service rate (lookups per second, default 1000).
@@ -52,6 +57,10 @@ type Options struct {
 	// Recorder, when set, receives a StageMissPenalty observation for
 	// every completed lookup (the live plane's database-stage latency).
 	Recorder telemetry.Recorder
+	// Fault, when set, injects database-side faults (target
+	// fault.Database): slow/stall windows delay lookups, other outcomes
+	// fail them with ErrInjected. Nil = healthy.
+	Fault *fault.Point
 }
 
 // DB is the simulated database. Lookups never miss: the database is the
@@ -61,6 +70,7 @@ type DB struct {
 	mode      Mode
 	valueSize int
 	rec       telemetry.Recorder
+	fp        *fault.Point
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -106,6 +116,7 @@ func New(opts Options) (*DB, error) {
 		mode:      opts.Mode,
 		valueSize: opts.ValueSize,
 		rec:       telemetry.OrNop(opts.Recorder),
+		fp:        opts.Fault,
 		rng:       dist.SubRand(opts.Seed, 0xdb),
 		done:      make(chan struct{}),
 	}
@@ -157,6 +168,20 @@ func (db *DB) Get(ctx context.Context, key string) ([]byte, error) {
 	db.lookups.Add(1)
 	began := time.Now()
 	service := db.serviceTime()
+	if act := db.fp.Eval(); act.Faulted() {
+		if d := time.Duration(act.Delay * float64(time.Second)); d > 0 {
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if act.Outcome != fault.OK {
+			return nil, ErrInjected
+		}
+	}
 	switch db.mode {
 	case ModeSingleQueue:
 		j := &job{service: service, ready: make(chan struct{})}

@@ -8,9 +8,13 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"memqlat/internal/dist"
 	"memqlat/internal/protocol"
+	"memqlat/internal/telemetry"
 )
 
 // Common errors.
@@ -23,7 +27,13 @@ var (
 	ErrCASConflict = errors.New("client: cas conflict")
 	// ErrClosed: the client was closed.
 	ErrClosed = errors.New("client: closed")
+	// ErrBreakerOpen: the server's circuit breaker is shedding load.
+	ErrBreakerOpen = errors.New("client: circuit breaker open")
 )
+
+// thirtyDays is memcached's threshold separating relative exptimes from
+// absolute unix timestamps.
+const thirtyDays = 60 * 60 * 24 * 30
 
 // Item is a cached value.
 type Item struct {
@@ -51,17 +61,46 @@ type Options struct {
 	DialTimeout time.Duration
 	// OpTimeout bounds one round trip (default 2s).
 	OpTimeout time.Duration
+	// MaxConnIdle drops pooled connections idle longer than this at
+	// acquire time, so a connection parked across a server restart is
+	// screened instead of poisoning the next request (default 2m;
+	// negative disables the age check).
+	MaxConnIdle time.Duration
 	// Filler, when set, is consulted on Get misses via GetThrough and
 	// the fetched value is written back to the cache.
 	Filler Filler
 	// FillTTL is the expiry used for filled values (default 0 = none).
 	FillTTL time.Duration
+	// Resilience configures retries, hedged reads and circuit breakers
+	// (zero value = all off, the seed behavior).
+	Resilience Resilience
+	// Recorder, when set, receives the client-side resilience telemetry:
+	// StageRetry per backoff wait, StageHedgeWait per fired hedge,
+	// StageBreakerShed per shed operation.
+	Recorder telemetry.Recorder
 }
 
-// Client is a connection-pooled memcached client.
+// Client is a connection-pooled memcached client with an optional
+// resilient read path: budget-limited retries, percentile-triggered
+// hedged reads, per-server circuit breakers and degraded-mode fork-join
+// (MultiGetDegraded).
 type Client struct {
 	opts     Options
 	selector Selector
+	rec      telemetry.Recorder
+
+	retry       *RetryPolicy
+	hedge       *HedgePolicy
+	breakers    []*breaker // per server; nil when disabled
+	retryBudget *tokenBucket
+	readLat     *latencyDigest
+
+	jitterMu sync.Mutex
+	jitter   func() float64
+
+	dials      []atomic.Int64 // per-server connections dialed
+	discards   []atomic.Int64 // per-server connections discarded
+	staleDrops []atomic.Int64 // per-server discards by the liveness screen
 
 	mu     sync.Mutex
 	pools  []chan *conn
@@ -73,6 +112,9 @@ type conn struct {
 	nc net.Conn
 	r  *bufio.Reader
 	w  *bufio.Writer
+	// idleSince is when the connection was parked in the pool (or
+	// dialed); the acquire-time liveness screen keys off it.
+	idleSince time.Time
 }
 
 // New validates options and constructs a Client.
@@ -103,12 +145,47 @@ func New(opts Options) (*Client, error) {
 	if opts.OpTimeout == 0 {
 		opts.OpTimeout = 2 * time.Second
 	}
-	c := &Client{opts: opts, selector: opts.Selector}
-	c.pools = make([]chan *conn, len(opts.Servers))
+	if opts.MaxConnIdle == 0 {
+		opts.MaxConnIdle = 2 * time.Minute
+	}
+	c := &Client{
+		opts:     opts,
+		selector: opts.Selector,
+		rec:      telemetry.OrNop(opts.Recorder),
+	}
+	n := len(opts.Servers)
+	c.pools = make([]chan *conn, n)
 	for i := range c.pools {
 		c.pools[i] = make(chan *conn, opts.PoolSize)
 	}
+	c.dials = make([]atomic.Int64, n)
+	c.discards = make([]atomic.Int64, n)
+	c.staleDrops = make([]atomic.Int64, n)
+	if p := opts.Resilience.Retry; p != nil {
+		c.retry = p.withDefaults()
+		c.retryBudget = newTokenBucket(c.retry.BudgetRatio, c.retry.BudgetBurst)
+	}
+	if p := opts.Resilience.Hedge; p != nil {
+		c.hedge = p.withDefaults()
+		c.readLat = newLatencyDigest()
+	}
+	if p := opts.Resilience.Breaker; p != nil {
+		pol := *p.withDefaults()
+		c.breakers = make([]*breaker, n)
+		for i := range c.breakers {
+			c.breakers[i] = newBreaker(pol)
+		}
+	}
+	rng := dist.SubRand(uint64(time.Now().UnixNano()), 0x7e7)
+	c.jitter = rng.Float64
 	return c, nil
+}
+
+// jitterFloat draws one uniform jitter value under the client's lock.
+func (c *Client) jitterFloat() float64 {
+	c.jitterMu.Lock()
+	defer c.jitterMu.Unlock()
+	return c.jitter()
 }
 
 // Close releases all pooled connections.
@@ -133,7 +210,14 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// acquire returns a pooled or fresh connection to server idx.
+// probeAfterIdle is how long a connection must have been parked before
+// the acquire-time screen spends a read-probe syscall on it; fresher
+// connections are handed out directly.
+const probeAfterIdle = 10 * time.Millisecond
+
+// acquire returns a pooled or fresh connection to server idx. Pooled
+// connections are screened for liveness so a server restart does not
+// poison the first request issued afterwards.
 func (c *Client) acquire(idx int) (*conn, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -142,20 +226,81 @@ func (c *Client) acquire(idx int) (*conn, error) {
 	}
 	pool := c.pools[idx]
 	c.mu.Unlock()
-	select {
-	case cn := <-pool:
-		return cn, nil
-	default:
+	for {
+		select {
+		case cn := <-pool:
+			if c.connAlive(cn) {
+				return cn, nil
+			}
+			_ = cn.nc.Close()
+			c.discards[idx].Add(1)
+			c.staleDrops[idx].Add(1)
+			continue
+		default:
+		}
+		break
 	}
 	nc, err := net.DialTimeout("tcp", c.opts.Servers[idx], c.opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", c.opts.Servers[idx], err)
 	}
+	c.dials[idx].Add(1)
 	return &conn{
-		nc: nc,
-		r:  bufio.NewReader(nc),
-		w:  bufio.NewWriter(nc),
+		nc:        nc,
+		r:         bufio.NewReader(nc),
+		w:         bufio.NewWriter(nc),
+		idleSince: time.Now(),
 	}, nil
+}
+
+// connAlive cheaply screens a pooled connection: connections idle past
+// MaxConnIdle are dropped, and ones idle longer than a beat get a
+// non-blocking read probe that detects a peer that closed (a server
+// restart sends FIN/RST) without consuming stream data. A deadline-based
+// probe cannot do this — an already-expired read deadline short-circuits
+// before the syscall — so the probe reads the raw fd directly.
+func (c *Client) connAlive(cn *conn) bool {
+	idle := time.Since(cn.idleSince)
+	if c.opts.MaxConnIdle > 0 && idle > c.opts.MaxConnIdle {
+		return false
+	}
+	if idle < probeAfterIdle {
+		return true
+	}
+	if cn.r.Buffered() > 0 {
+		// Unsolicited bytes on an idle connection: protocol desync.
+		return false
+	}
+	return !connDead(cn.nc)
+}
+
+// connDead probes the socket with one non-blocking zero-consumption
+// read: EAGAIN means a healthy idle peer, EOF/RST means it is gone, and
+// readable bytes mean the stream desynchronized.
+func connDead(nc net.Conn) bool {
+	sc, ok := nc.(syscall.Conn)
+	if !ok {
+		return false
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return true
+	}
+	dead := false
+	probeErr := raw.Read(func(fd uintptr) bool {
+		var buf [1]byte
+		n, err := syscall.Read(int(fd), buf[:])
+		switch {
+		case err == syscall.EAGAIN || err == syscall.EWOULDBLOCK:
+			dead = false
+		case err != nil, n == 0:
+			dead = true // RST, or orderly EOF
+		default:
+			dead = true // the peer spoke unprompted
+		}
+		return true // never block the poller
+	})
+	return dead || probeErr != nil
 }
 
 // release returns a healthy connection to the pool (or closes it when
@@ -163,6 +308,7 @@ func (c *Client) acquire(idx int) (*conn, error) {
 func (c *Client) release(idx int, cn *conn, healthy bool) {
 	if !healthy {
 		_ = cn.nc.Close()
+		c.discards[idx].Add(1)
 		return
 	}
 	c.mu.Lock()
@@ -173,22 +319,73 @@ func (c *Client) release(idx int, cn *conn, healthy bool) {
 		_ = cn.nc.Close()
 		return
 	}
+	cn.idleSince = time.Now()
 	select {
 	case pool <- cn:
 	default:
 		_ = cn.nc.Close()
+		c.discards[idx].Add(1)
 	}
 }
 
-// roundTrip runs fn on a connection to server idx with the op deadline
-// applied, recycling the connection on success.
+// roundTrip runs fn on a connection to server idx — one attempt, no
+// retry. All mutating commands go through here.
 func (c *Client) roundTrip(idx int, fn func(*conn) error) error {
+	return c.roundTripOnce(idx, fn)
+}
+
+// roundTripRead is the idempotent-read path: the same round trip, but
+// transport-level failures are retried under the RetryPolicy (capped
+// exponential backoff + jitter, spent from the token budget).
+func (c *Client) roundTripRead(idx int, fn func(*conn) error) error {
+	attempts := 1
+	if c.retry != nil {
+		attempts = c.retry.MaxAttempts
+	}
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if !c.retryBudget.take() {
+				return err
+			}
+			wait := c.retry.backoff(attempt-1, c.jitterFloat())
+			time.Sleep(wait)
+			c.rec.Observe(telemetry.StageRetry, wait.Seconds())
+		}
+		err = c.roundTripOnce(idx, fn)
+		if err == nil || !retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// retryable reports whether err is a transport-level failure worth
+// re-issuing an idempotent read for. Protocol outcomes are answers; a
+// shed (breaker open) or closed client will not get better by asking
+// again immediately.
+func retryable(err error) bool {
+	return !isProtocolOutcome(err) &&
+		!errors.Is(err, ErrBreakerOpen) &&
+		!errors.Is(err, ErrClosed)
+}
+
+// roundTripOnce runs fn on a connection with the op deadline applied,
+// recycling the connection on success and feeding the server's circuit
+// breaker with the outcome.
+func (c *Client) roundTripOnce(idx int, fn func(*conn) error) error {
+	if br := c.breakerFor(idx); br != nil && !br.allow(time.Now()) {
+		c.rec.Observe(telemetry.StageBreakerShed, 0)
+		return fmt.Errorf("client: server %s: %w", c.opts.Servers[idx], ErrBreakerOpen)
+	}
 	cn, err := c.acquire(idx)
 	if err != nil {
+		c.recordOutcome(idx, false)
 		return err
 	}
 	if err := cn.nc.SetDeadline(time.Now().Add(c.opts.OpTimeout)); err != nil {
 		c.release(idx, cn, false)
+		c.recordOutcome(idx, false)
 		return fmt.Errorf("client: set deadline: %w", err)
 	}
 	if err := fn(cn); err != nil {
@@ -196,11 +393,32 @@ func (c *Client) roundTrip(idx int, fn func(*conn) error) error {
 		// server error lines) leave the stream positioned at a command
 		// boundary and the connection reusable; only transport/parse
 		// errors poison it.
-		c.release(idx, cn, isProtocolOutcome(err))
+		ok := isProtocolOutcome(err)
+		c.release(idx, cn, ok)
+		c.recordOutcome(idx, ok)
 		return err
 	}
 	c.release(idx, cn, true)
+	c.recordOutcome(idx, true)
 	return nil
+}
+
+// breakerFor returns server idx's breaker (nil when disabled).
+func (c *Client) breakerFor(idx int) *breaker {
+	if c.breakers == nil {
+		return nil
+	}
+	return c.breakers[idx]
+}
+
+// recordOutcome feeds the breaker and the retry budget.
+func (c *Client) recordOutcome(idx int, success bool) {
+	if br := c.breakerFor(idx); br != nil {
+		br.record(!success, time.Now())
+	}
+	if success && c.retryBudget != nil {
+		c.retryBudget.earn()
+	}
 }
 
 // isProtocolOutcome reports whether err is an application-level reply
@@ -220,6 +438,46 @@ func (c *Client) pickServer(key string) int { return c.selector.Pick(key) }
 // ServerFor returns the address that owns key.
 func (c *Client) ServerFor(key string) string {
 	return c.opts.Servers[c.pickServer(key)]
+}
+
+// BreakerState reports server idx's breaker state ("closed", "open",
+// "half-open", or "disabled").
+func (c *Client) BreakerState(idx int) string {
+	if idx < 0 || idx >= len(c.opts.Servers) || c.breakers == nil {
+		return "disabled"
+	}
+	return c.breakers[idx].State()
+}
+
+// PoolStats is the per-server connection-pool introspection surface
+// (used by the poisoning-semantics tests and debug tooling).
+type PoolStats struct {
+	// Idle is the number of pooled connections right now.
+	Idle int
+	// Dials counts connections ever dialed to the server.
+	Dials int64
+	// Discards counts connections closed instead of recycled (poisoned,
+	// stale, or pool overflow).
+	Discards int64
+	// StaleDrops counts the Discards attributed to the acquire-time
+	// liveness screen.
+	StaleDrops int64
+}
+
+// PoolStats snapshots server idx's pool counters.
+func (c *Client) PoolStats(idx int) (PoolStats, error) {
+	if idx < 0 || idx >= len(c.opts.Servers) {
+		return PoolStats{}, fmt.Errorf("client: server index %d out of range", idx)
+	}
+	c.mu.Lock()
+	idle := len(c.pools[idx])
+	c.mu.Unlock()
+	return PoolStats{
+		Idle:       idle,
+		Dials:      c.dials[idx].Load(),
+		Discards:   c.discards[idx].Load(),
+		StaleDrops: c.staleDrops[idx].Load(),
+	}, nil
 }
 
 // Get fetches one key, returning ErrCacheMiss when absent.
@@ -246,13 +504,28 @@ func (c *Client) Gets(key string) (Item, error) {
 	return items[0], nil
 }
 
+// getFromServer fetches keys from server idx. Plain gets ride the
+// resilient read path: retries under the RetryPolicy and, when hedging
+// is enabled, a duplicate request to a second pooled connection once
+// the primary outlives the hedge trigger. CAS reads (gets) never hedge
+// — racing tokens would be ambiguous.
 func (c *Client) getFromServer(idx int, keys []string, withCAS bool) ([]Item, error) {
+	if c.hedge != nil && !withCAS {
+		return c.hedgedGet(idx, keys)
+	}
+	return c.getOnce(idx, keys, withCAS)
+}
+
+// getOnce issues one get/gets round trip (with retries when enabled)
+// and feeds the hedge trigger's latency digest.
+func (c *Client) getOnce(idx int, keys []string, withCAS bool) ([]Item, error) {
 	verb := "get"
 	if withCAS {
 		verb = "gets"
 	}
 	var out []Item
-	err := c.roundTrip(idx, func(cn *conn) error {
+	began := time.Now()
+	err := c.roundTripRead(idx, func(cn *conn) error {
 		if _, err := cn.w.WriteString(verb); err != nil {
 			return err
 		}
@@ -277,10 +550,68 @@ func (c *Client) getFromServer(idx int, keys []string, withCAS bool) ([]Item, er
 		}
 		return nil
 	})
+	if c.readLat != nil && err == nil {
+		c.readLat.add(time.Since(began).Seconds())
+	}
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// hedgeTrigger returns the current hedge delay: the fixed Delay when
+// configured, else the observed read-latency percentile (floored), else
+// the fallback while the digest warms up.
+func (c *Client) hedgeTrigger() time.Duration {
+	if c.hedge.Delay > 0 {
+		return c.hedge.Delay
+	}
+	if q, ok := c.readLat.quantile(c.hedge.Percentile, c.hedge.MinSamples); ok {
+		d := time.Duration(q * float64(time.Second))
+		if d < minHedgeDelay {
+			d = minHedgeDelay
+		}
+		return d
+	}
+	return c.hedge.FallbackDelay
+}
+
+// hedgedGet races the primary read against a hedge fired after the
+// trigger delay. The first success wins; if the first reply is a
+// failure and a hedge is outstanding, the slower leg gets to answer.
+// Both legs run complete round trips, so the loser's connection is
+// recycled normally.
+func (c *Client) hedgedGet(idx int, keys []string) ([]Item, error) {
+	type legResult struct {
+		items []Item
+		err   error
+	}
+	ch := make(chan legResult, 2)
+	issue := func() {
+		items, err := c.getOnce(idx, keys, false)
+		ch <- legResult{items, err}
+	}
+	go issue()
+	delay := c.hedgeTrigger()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.items, r.err
+	case <-timer.C:
+	}
+	c.rec.Observe(telemetry.StageHedgeWait, delay.Seconds())
+	go issue()
+	r := <-ch
+	if r.err == nil {
+		return r.items, nil
+	}
+	// First responder failed; the other leg may still save the read.
+	r2 := <-ch
+	if r2.err == nil {
+		return r2.items, nil
+	}
+	return nil, r.err
 }
 
 // GetThrough fetches key from the cache, falling back to the configured
@@ -311,17 +642,48 @@ func (c *Client) GetThrough(ctx context.Context, key string) (Item, bool, error)
 // owning server, the groups are issued in parallel, and the call returns
 // when the slowest server answers — exactly the request/N-keys join the
 // model analyzes. Missing keys are absent from the result map.
+//
+// When a server group fails, the items healthy groups returned are
+// still in the map alongside the first error — partial results are
+// never thrown away. Callers that need per-key failure attribution use
+// MultiGetDegraded.
 func (c *Client) MultiGet(keys []string) (map[string]Item, error) {
+	out, keyErrs := c.multiGet(keys)
+	if len(keyErrs) == 0 {
+		return out, nil
+	}
+	// Surface the first failed key's error in input order (determinism
+	// for callers that log it).
+	for _, k := range keys {
+		if err, ok := keyErrs[k]; ok {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// MultiGetDegraded is the degraded-mode fork-join read: it returns
+// every item the healthy legs produced plus a per-key error map for
+// the keys whose server leg failed, instead of failing the whole
+// request when one leg dies. Keys that simply missed are in neither
+// map. An empty error map means every leg answered.
+func (c *Client) MultiGetDegraded(keys []string) (map[string]Item, map[string]error) {
+	return c.multiGet(keys)
+}
+
+// multiGet runs the grouped fan-out and attributes group failures to
+// their keys.
+func (c *Client) multiGet(keys []string) (map[string]Item, map[string]error) {
 	groups := make(map[int][]string)
 	for _, k := range keys {
 		idx := c.pickServer(k)
 		groups[idx] = append(groups[idx], k)
 	}
 	var (
-		mu       sync.Mutex
-		firstErr error
-		out      = make(map[string]Item, len(keys))
-		wg       sync.WaitGroup
+		mu      sync.Mutex
+		out     = make(map[string]Item, len(keys))
+		keyErrs map[string]error
+		wg      sync.WaitGroup
 	)
 	for idx, group := range groups {
 		idx, group := idx, group
@@ -332,8 +694,11 @@ func (c *Client) MultiGet(keys []string) (map[string]Item, error) {
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
+				if keyErrs == nil {
+					keyErrs = make(map[string]error)
+				}
+				for _, k := range group {
+					keyErrs[k] = err
 				}
 				return
 			}
@@ -343,10 +708,7 @@ func (c *Client) MultiGet(keys []string) (map[string]Item, error) {
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return out, keyErrs
 }
 
 // storage runs one storage-class command.
@@ -390,6 +752,10 @@ func (c *Client) storage(verb, key string, value []byte, flags uint32, ttl time.
 	})
 }
 
+// exptimeFromTTL maps a TTL to the protocol's exptime field. Memcached
+// interprets exptimes above 30 days as absolute unix timestamps, so
+// long TTLs must be sent as now+ttl — sending the raw second count
+// would name a moment in 1970 and expire the item immediately.
 func exptimeFromTTL(ttl time.Duration) int64 {
 	if ttl <= 0 {
 		return 0
@@ -397,6 +763,9 @@ func exptimeFromTTL(ttl time.Duration) int64 {
 	secs := int64(ttl / time.Second)
 	if secs == 0 {
 		secs = 1
+	}
+	if secs > thirtyDays {
+		return time.Now().Add(ttl).Unix()
 	}
 	return secs
 }

@@ -1,0 +1,390 @@
+package client
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"memqlat/internal/fault"
+)
+
+// Resilience bundles the client's recovery policies. The zero value
+// disables all of them (the seed behavior). Each policy is optional and
+// independently tunable; ResilienceFromSpec lifts the plane-neutral
+// fault.Resilience knobs a Scenario carries into these policies so the
+// live plane and the simulator interpret one spec.
+type Resilience struct {
+	// Retry re-issues idempotent reads after transport-level failures.
+	Retry *RetryPolicy
+	// Hedge fires a duplicate read when the primary is slow.
+	Hedge *HedgePolicy
+	// Breaker sheds load to servers that keep failing.
+	Breaker *BreakerPolicy
+}
+
+// RetryPolicy is capped exponential backoff with jitter, spent from a
+// token budget so a dead server cannot multiply load. Only idempotent
+// reads (get/gets and MultiGet legs) retry, and only on transport
+// errors — protocol outcomes (miss, NOT_STORED, ...) are answers, not
+// failures.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (default 3).
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff (default 1ms); attempt k
+	// waits BaseBackoff·2^(k-1), full-jittered, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff (default 8·BaseBackoff).
+	MaxBackoff time.Duration
+	// BudgetRatio is the retry tokens earned per successful operation
+	// (default 0.1 — at most ~10% extra load in steady state).
+	BudgetRatio float64
+	// BudgetBurst caps banked tokens (default 10).
+	BudgetBurst float64
+}
+
+func (p *RetryPolicy) withDefaults() *RetryPolicy {
+	out := *p
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 3
+	}
+	if out.BaseBackoff <= 0 {
+		out.BaseBackoff = time.Millisecond
+	}
+	if out.MaxBackoff <= 0 {
+		out.MaxBackoff = 8 * out.BaseBackoff
+	}
+	if out.BudgetRatio <= 0 {
+		out.BudgetRatio = 0.1
+	}
+	if out.BudgetBurst <= 0 {
+		out.BudgetBurst = 10
+	}
+	return &out
+}
+
+// backoff returns the jittered wait before retry attempt k (1-based).
+func (p *RetryPolicy) backoff(k int, jitter float64) time.Duration {
+	d := float64(p.BaseBackoff) * math.Pow(2, float64(k-1))
+	if max := float64(p.MaxBackoff); d > max {
+		d = max
+	}
+	// Full jitter: uniform in (0, d] so synchronized clients desynchronize.
+	return time.Duration(d * (0.5 + jitter/2))
+}
+
+// HedgePolicy duplicates a slow read to a second connection and keeps
+// the fastest reply. The trigger is percentile-based by default: the
+// hedge fires once the primary has been outstanding longer than the
+// configured quantile of recently observed read latency.
+type HedgePolicy struct {
+	// Delay, when positive, is a fixed hedge trigger.
+	Delay time.Duration
+	// Percentile is the adaptive trigger quantile (default 0.95).
+	Percentile float64
+	// MinSamples is how many reads must be observed before the adaptive
+	// trigger arms (default 50; before that FallbackDelay is used).
+	MinSamples int
+	// FallbackDelay triggers hedges before the digest warms up
+	// (default 10ms).
+	FallbackDelay time.Duration
+}
+
+func (p *HedgePolicy) withDefaults() *HedgePolicy {
+	out := *p
+	if out.Percentile <= 0 || out.Percentile >= 1 {
+		out.Percentile = 0.95
+	}
+	if out.MinSamples <= 0 {
+		out.MinSamples = 50
+	}
+	if out.FallbackDelay <= 0 {
+		out.FallbackDelay = 10 * time.Millisecond
+	}
+	return &out
+}
+
+// minHedgeDelay floors the adaptive trigger so sub-µs observed
+// latencies cannot degenerate into hedging every read.
+const minHedgeDelay = 100 * time.Microsecond
+
+// BreakerPolicy is the per-server circuit breaker: closed → open when
+// the failure rate over a sliding outcome window crosses the threshold,
+// open → half-open after a cooldown, half-open → closed after probe
+// successes (or back to open on a probe failure).
+type BreakerPolicy struct {
+	// Window is the sliding outcome-window size in operations (default 20).
+	Window int
+	// FailureThreshold opens the breaker when fails/window ≥ it
+	// (default 0.5).
+	FailureThreshold float64
+	// MinSamples gates tripping until the window holds at least this
+	// many outcomes (default Window/2).
+	MinSamples int
+	// Cooldown is how long the breaker stays open before probing
+	// (default 1s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close the
+	// breaker (default 1).
+	HalfOpenProbes int
+}
+
+func (p *BreakerPolicy) withDefaults() *BreakerPolicy {
+	out := *p
+	if out.Window <= 0 {
+		out.Window = 20
+	}
+	if out.FailureThreshold <= 0 {
+		out.FailureThreshold = 0.5
+	}
+	if out.MinSamples <= 0 {
+		out.MinSamples = out.Window / 2
+		if out.MinSamples == 0 {
+			out.MinSamples = 1
+		}
+	}
+	if out.Cooldown <= 0 {
+		out.Cooldown = time.Second
+	}
+	if out.HalfOpenProbes <= 0 {
+		out.HalfOpenProbes = 1
+	}
+	return &out
+}
+
+// ResilienceFromSpec lifts the plane-neutral spec into client policies.
+func ResilienceFromSpec(spec fault.Resilience) Resilience {
+	spec = spec.WithDefaults()
+	var r Resilience
+	if spec.Retries > 0 {
+		r.Retry = &RetryPolicy{
+			MaxAttempts: spec.Retries + 1,
+			BaseBackoff: time.Duration(spec.RetryBackoff * float64(time.Second)),
+		}
+	}
+	if spec.HedgeDelay > 0 || spec.HedgePercentile > 0 {
+		r.Hedge = &HedgePolicy{
+			Delay:      time.Duration(spec.HedgeDelay * float64(time.Second)),
+			Percentile: spec.HedgePercentile,
+		}
+	}
+	if spec.BreakerThreshold > 0 {
+		r.Breaker = &BreakerPolicy{
+			Window:           spec.BreakerWindow,
+			FailureThreshold: spec.BreakerThreshold,
+			Cooldown:         time.Duration(spec.BreakerCooldown * float64(time.Second)),
+		}
+	}
+	return r
+}
+
+// breakerState is the circuit breaker's state machine position.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker tracks one server's health. All methods are safe for
+// concurrent use.
+type breaker struct {
+	pol BreakerPolicy
+
+	mu        sync.Mutex
+	state     breakerState
+	outcomes  []bool // ring; true = failure
+	idx       int
+	filled    int
+	fails     int
+	openedAt  time.Time
+	probes    int // half-open probes admitted
+	successes int // half-open probe successes
+}
+
+func newBreaker(pol BreakerPolicy) *breaker {
+	return &breaker{pol: pol, outcomes: make([]bool, pol.Window)}
+}
+
+// allow reports whether an operation may proceed, transitioning
+// open → half-open once the cooldown elapses.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.pol.Cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probes = 0
+		b.successes = 0
+	}
+	// Half-open: admit a bounded number of probes.
+	if b.probes < b.pol.HalfOpenProbes {
+		b.probes++
+		return true
+	}
+	return false
+}
+
+// record feeds one operation outcome into the state machine.
+func (b *breaker) record(failure bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		// A straggler from before the trip; the window restarts on probe.
+		return
+	case breakerHalfOpen:
+		if failure {
+			b.trip(now)
+			return
+		}
+		b.successes++
+		if b.successes >= b.pol.HalfOpenProbes {
+			b.reset()
+		}
+		return
+	}
+	if b.filled == len(b.outcomes) {
+		if b.outcomes[b.idx] {
+			b.fails--
+		}
+	} else {
+		b.filled++
+	}
+	b.outcomes[b.idx] = failure
+	if failure {
+		b.fails++
+	}
+	b.idx = (b.idx + 1) % len(b.outcomes)
+	if b.filled >= b.pol.MinSamples &&
+		float64(b.fails)/float64(b.filled) >= b.pol.FailureThreshold {
+		b.trip(now)
+	}
+}
+
+// trip opens the breaker and clears the window (caller holds mu).
+func (b *breaker) trip(now time.Time) {
+	b.state = breakerOpen
+	b.openedAt = now
+	b.clearWindow()
+}
+
+// reset closes the breaker with a fresh window (caller holds mu).
+func (b *breaker) reset() {
+	b.state = breakerClosed
+	b.clearWindow()
+}
+
+func (b *breaker) clearWindow() {
+	for i := range b.outcomes {
+		b.outcomes[i] = false
+	}
+	b.idx, b.filled, b.fails = 0, 0, 0
+	b.probes, b.successes = 0, 0
+}
+
+// State returns the state name (test/stats introspection).
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// tokenBucket is the retry budget: successes earn fractional tokens,
+// each retry spends one.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	burst  float64
+}
+
+func newTokenBucket(ratio, burst float64) *tokenBucket {
+	// Start full so cold-start failures can retry immediately.
+	return &tokenBucket{tokens: burst, ratio: ratio, burst: burst}
+}
+
+// earn credits one successful operation.
+func (t *tokenBucket) earn() {
+	t.mu.Lock()
+	t.tokens = math.Min(t.tokens+t.ratio, t.burst)
+	t.mu.Unlock()
+}
+
+// take spends one token; false means the budget is exhausted.
+func (t *tokenBucket) take() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tokens < 1 {
+		return false
+	}
+	t.tokens--
+	return true
+}
+
+// latencyDigest is a fixed-size reservoir of recent read latencies with
+// a lazily recomputed quantile — the adaptive hedge trigger's input.
+type latencyDigest struct {
+	mu      sync.Mutex
+	buf     []float64
+	idx     int
+	filled  int
+	stale   int
+	cachedQ float64
+	cachedP float64
+}
+
+const digestSize = 512
+
+// recomputing the quantile every insert would be O(n log n) per op;
+// every 32 inserts keeps the trigger fresh at negligible cost.
+const digestRefresh = 32
+
+func newLatencyDigest() *latencyDigest {
+	return &latencyDigest{buf: make([]float64, digestSize)}
+}
+
+func (d *latencyDigest) add(v float64) {
+	d.mu.Lock()
+	d.buf[d.idx] = v
+	d.idx = (d.idx + 1) % len(d.buf)
+	if d.filled < len(d.buf) {
+		d.filled++
+	}
+	d.stale++
+	d.mu.Unlock()
+}
+
+// quantile returns the p-quantile of the reservoir once it holds at
+// least minSamples observations.
+func (d *latencyDigest) quantile(p float64, minSamples int) (float64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.filled < minSamples {
+		return 0, false
+	}
+	if d.cachedQ == 0 || d.cachedP != p || d.stale >= digestRefresh {
+		tmp := make([]float64, d.filled)
+		copy(tmp, d.buf[:d.filled])
+		sort.Float64s(tmp)
+		k := int(p * float64(len(tmp)-1))
+		d.cachedQ = tmp[k]
+		d.cachedP = p
+		d.stale = 0
+	}
+	return d.cachedQ, true
+}

@@ -15,7 +15,7 @@ func TestAllRegistryComplete(t *testing.T) {
 	want := []string{"table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "table4", "prop1", "prop2",
 		"ext-tails", "ext-arrivals", "ext-eq6", "ext-redundancy",
-		"ext-integrated", "ext-elasticity", "crossplane", "live"}
+		"ext-integrated", "ext-elasticity", "ext-resilience", "crossplane", "live"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
@@ -519,5 +519,57 @@ func TestExtElasticity(t *testing.T) {
 			t.Errorf("ranking violated at factor %s", row[1])
 		}
 		prev = math.Abs(v)
+	}
+}
+
+func TestFaultExtResilience(t *testing.T) {
+	r, err := ExtResilience(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	failed := func(row []string) int {
+		n, err := strconv.Atoi(strings.Fields(row[3])[0])
+		if err != nil {
+			t.Fatalf("failed-keys cell %q: %v", row[3], err)
+		}
+		return n
+	}
+	none, retry := r.Rows[0], r.Rows[1]
+	if none[0] != "none" || retry[0] != "retry" {
+		t.Fatalf("unexpected policy order: %v / %v", none[0], retry[0])
+	}
+	if failed(none) == 0 {
+		t.Fatal("no failures under the drop schedule without resilience")
+	}
+	if failed(retry) >= failed(none) {
+		t.Errorf("retry policy did not reduce failed keys: %d vs %d",
+			failed(retry), failed(none))
+	}
+}
+
+func TestFaultCrossPlaneRows(t *testing.T) {
+	r, err := CrossPlane(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want healthy x3 + faulted x2 + resilient", len(r.Rows))
+	}
+	labels := []string{"model", "sim", "sim-integrated", "sim-integrated faulted",
+		"sim faulted", "sim faulted+resilient"}
+	for i, row := range r.Rows {
+		if row[0] != labels[i] {
+			t.Errorf("row %d = %q, want %q", i, row[0], labels[i])
+		}
+	}
+	// The stage columns must include the resilience stages.
+	joined := strings.Join(r.Columns, " ")
+	for _, col := range []string{"retry", "hedge_wait", "breaker_shed"} {
+		if !strings.Contains(joined, col) {
+			t.Errorf("columns missing %s: %v", col, r.Columns)
+		}
 	}
 }

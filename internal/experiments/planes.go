@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"memqlat/internal/core"
+	"memqlat/internal/fault"
 	"memqlat/internal/plane"
 	"memqlat/internal/telemetry"
 	"memqlat/internal/workload"
@@ -49,42 +50,95 @@ func breakdownNote(r *plane.Result) string {
 	return out
 }
 
+// crossPlaneFaults is the canonical demonstration schedule: a mild
+// slowdown on server 0 (≈1µs mean extra service, pushing ρ from 0.78
+// to ≈0.84 — degraded but still inside the ξ=0.15 burst-tolerance
+// cliff) plus a 2% reply-drop on server 1 whose 2ms timeout stand-in
+// dominates the tail.
+const crossPlaneFaults = "slow:srv=0,p=0.05,delay=20us;drop:srv=1,p=0.02,delay=2ms"
+
+// crossPlaneRow formats one Result into a crossplane table row.
+func crossPlaneRow(label string, res *plane.Result) []string {
+	total := us(res.Point())
+	ts := us(res.TS.Mid())
+	if res.Total.Lo != res.Total.Hi {
+		total = fmt.Sprintf("%s ~ %s", us(res.Total.Lo), us(res.Total.Hi))
+		ts = fmt.Sprintf("%s ~ %s", us(res.TS.Lo), us(res.TS.Hi))
+	}
+	row := []string{label, total, ts, us(res.TD)}
+	for _, st := range telemetry.Stages() {
+		row = append(row, us(res.Breakdown.MeanOf(st)))
+	}
+	return row
+}
+
 // CrossPlane runs the Facebook workload through every deterministic
 // plane and tabulates the common Result surface side by side: the
 // totals, the TN/TS/TD decomposition, and the per-stage telemetry
-// breakdown. It is the harness's headline artifact — the paper's whole
-// evaluation (model vs simulation vs measurement) as one table. The
-// live plane is excluded here because it needs wall-clock time at
-// scaled-down rates; `repro -run live` covers it.
+// breakdown — first healthy, then under the shared fault schedule with
+// and without the resilience policies, so the healthy-vs-faulted gap
+// and what recovery buys back are read off the same table. It is the
+// harness's headline artifact — the paper's whole evaluation (model vs
+// simulation vs measurement) as one table. The live plane is excluded
+// here because it needs wall-clock time at scaled-down rates;
+// `repro -run live` covers it.
 func CrossPlane(b Budget) (*Report, error) {
 	start := time.Now()
 	model := workload.Facebook()
-	planes := []plane.Plane{
-		plane.ModelPlane{},
-		plane.SimPlane{},
-		plane.SimPlane{Mode: plane.SimIntegrated},
+	faults, err := fault.ParseSchedule(crossPlaneFaults)
+	if err != nil {
+		return nil, err
+	}
+	resilience := fault.Resilience{
+		Retries:          2,
+		RetryBackoff:     100e-6,
+		BreakerThreshold: 0.5,
+	}
+	runs := []struct {
+		label string
+		p     plane.Plane
+		mut   func(*plane.Scenario)
+	}{
+		{"model", plane.ModelPlane{}, nil},
+		{"sim", plane.SimPlane{}, nil},
+		{"sim-integrated", plane.SimPlane{Mode: plane.SimIntegrated}, nil},
+		{"sim-integrated faulted", plane.SimPlane{Mode: plane.SimIntegrated},
+			func(s *plane.Scenario) { s.Faults = faults }},
+		{"sim faulted", plane.SimPlane{},
+			func(s *plane.Scenario) { s.Faults = faults }},
+		{"sim faulted+resilient", plane.SimPlane{},
+			func(s *plane.Scenario) { s.Faults, s.Resilience = faults, resilience }},
 	}
 	var rows [][]string
-	for _, p := range planes {
+	notes := []string{
+		"per-stage columns are telemetry means: analytic predictions on the model " +
+			"plane, measured per-key/per-request stage latencies on the simulator planes",
+		"the sim-integrated row drops the §3 independence assumption; its gap vs the " +
+			"sim row is the assumption's cost (see ext-integrated)",
+		"faulted rows share the schedule " + crossPlaneFaults + "; the resilient row " +
+			"adds 2 read retries and a 50% circuit breaker (the model has no failure " +
+			"modes — the faulted-vs-model gap is what Theorem 1 cannot see)",
+		"the live TCP plane reports the same surface at scaled rates: repro -run live",
+	}
+	for _, r := range runs {
 		s := scenarioFor("facebook", model, b, 0)
-		if p.Name() == "sim-integrated" && s.Requests > 6000 {
+		if r.p.Name() == "sim-integrated" && s.Requests > 6000 {
 			s.Requests = 6000 // event-driven mode is the expensive one
 		}
-		res, err := p.Run(context.Background(), s)
+		if r.mut != nil {
+			r.mut(&s)
+		}
+		res, err := r.p.Run(context.Background(), s)
 		if err != nil {
-			return nil, fmt.Errorf("%s plane: %w", p.Name(), err)
+			return nil, fmt.Errorf("%s: %w", r.label, err)
 		}
-		total := us(res.Point())
-		ts := us(res.TS.Mid())
-		if res.Total.Lo != res.Total.Hi {
-			total = fmt.Sprintf("%s ~ %s", us(res.Total.Lo), us(res.Total.Hi))
-			ts = fmt.Sprintf("%s ~ %s", us(res.TS.Lo), us(res.TS.Hi))
+		rows = append(rows, crossPlaneRow(r.label, res))
+		if res.Sim != nil && (res.Sim.FailedKeys > 0 || res.Sim.ShedKeys > 0) {
+			notes = append(notes, fmt.Sprintf(
+				"%s: %d/%d keys failed, %d shed, %d/%d requests degraded",
+				r.label, res.Sim.FailedKeys, res.Sim.KeyCount, res.Sim.ShedKeys,
+				res.Sim.DegradedRequests, res.Sim.Requests))
 		}
-		row := []string{p.Name(), total, ts, us(res.TD)}
-		for _, st := range telemetry.Stages() {
-			row = append(row, us(res.Breakdown.MeanOf(st)))
-		}
-		rows = append(rows, row)
 	}
 	columns := []string{"plane", "E[T(N)]", "E[TS(N)]", "E[TD(N)]"}
 	for _, st := range telemetry.Stages() {
@@ -92,16 +146,10 @@ func CrossPlane(b Budget) (*Report, error) {
 	}
 	return &Report{
 		ID:      "crossplane",
-		Title:   "one scenario, every plane: Facebook workload through model / sim / sim-integrated",
+		Title:   "one scenario, every plane: Facebook workload through model / sim / sim-integrated, healthy and faulted",
 		Columns: columns,
 		Rows:    rows,
-		Notes: []string{
-			"per-stage columns are telemetry means: analytic predictions on the model " +
-				"plane, measured per-key/per-request stage latencies on the simulator planes",
-			"the sim-integrated row drops the §3 independence assumption; its gap vs the " +
-				"sim row is the assumption's cost (see ext-integrated)",
-			"the live TCP plane reports the same surface at scaled rates: repro -run live",
-		},
+		Notes:   notes,
 		Elapsed: time.Since(start),
 	}, nil
 }

@@ -172,6 +172,7 @@ func All() []Experiment {
 		{"ext-redundancy", "Extension: hedged reads inside the model", ExtRedundancy},
 		{"ext-integrated", "Extension: independence-assumption ablation", ExtIntegrated},
 		{"ext-elasticity", "Extension: factor elasticities (the §1 question)", ExtElasticity},
+		{"ext-resilience", "Extension: recovery policies under fault injection", ExtResilience},
 		{"crossplane", "One scenario through every deterministic plane", CrossPlane},
 		{"live", "Live TCP stack end-to-end check", Live},
 	}

@@ -83,6 +83,9 @@ type Result struct {
 	Hits   int64
 	Misses int64
 	Errors int64
+	// Shed counts the Errors that were breaker fast-fails
+	// (client.ErrBreakerOpen) rather than transport failures.
+	Shed int64
 	// Issued is the number of operations attempted.
 	Issued int64
 	// Elapsed is the wall-clock duration of the run.
@@ -212,6 +215,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		hits    atomic.Int64
 		misses  atomic.Int64
 		errs    atomic.Int64
+		shed    atomic.Int64
 		issued  atomic.Int64
 		wg      sync.WaitGroup
 		started = time.Now()
@@ -238,6 +242,9 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 			misses.Add(1)
 		default:
 			errs.Add(1)
+			if errors.Is(err, client.ErrBreakerOpen) {
+				shed.Add(1)
+			}
 		}
 		mu.Lock()
 		res.Latency.Record(lat)
@@ -252,6 +259,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		res.Hits = hits.Load()
 		res.Misses = misses.Load()
 		res.Errors = errs.Load()
+		res.Shed = shed.Load()
 		res.Issued = issued.Load()
 		return res, nil
 	}
@@ -323,6 +331,7 @@ pacing:
 	res.Hits = hits.Load()
 	res.Misses = misses.Load()
 	res.Errors = errs.Load()
+	res.Shed = shed.Load()
 	res.Issued = issued.Load()
 	return res, nil
 }

@@ -12,6 +12,7 @@ import (
 	"memqlat/internal/cache"
 	"memqlat/internal/client"
 	"memqlat/internal/core"
+	"memqlat/internal/fault"
 	"memqlat/internal/loadgen"
 	"memqlat/internal/server"
 	"memqlat/internal/stats"
@@ -46,6 +47,28 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	}
 	collector := telemetry.NewCollector()
 
+	// --- faults ---
+	// One injector shared by all servers and the backend, clocked from a
+	// common epoch that starts when the load does — so populate runs
+	// healthy and the wall-time fault windows line up with the schedule
+	// the simulator evaluates in virtual time.
+	var (
+		clock fault.Clock
+		inj   *fault.Injector
+	)
+	if !s.Faults.Empty() {
+		inj, err = fault.NewInjector(s.Faults, model.M())
+		if err != nil {
+			return nil, err
+		}
+	}
+	pointFor := func(target int) *fault.Point {
+		if inj == nil {
+			return nil
+		}
+		return &fault.Point{Inj: inj, Server: target, Now: clock.Now}
+	}
+
 	// --- cluster ---
 	addrs := make([]string, model.M())
 	var servers []*server.Server
@@ -65,6 +88,7 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 			Seed:        s.Seed + uint64(i),
 			Logger:      log.New(io.Discard, "", 0),
 			Recorder:    collector,
+			Fault:       pointFor(i),
 		})
 		if err != nil {
 			return nil, err
@@ -81,6 +105,7 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		MuD:      s.MuD,
 		Seed:     s.Seed,
 		Recorder: collector,
+		Fault:    pointFor(fault.Database),
 	})
 	if err != nil {
 		return nil, err
@@ -90,7 +115,13 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	if poolSize == 0 {
 		poolSize = s.Workers
 	}
-	cl, err := client.New(client.Options{Servers: addrs, Filler: db, PoolSize: poolSize})
+	cl, err := client.New(client.Options{
+		Servers:    addrs,
+		Filler:     db,
+		PoolSize:   poolSize,
+		Resilience: client.ResilienceFromSpec(s.Resilience),
+		Recorder:   collector,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -115,6 +146,7 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	}
 	runCtx, cancel := context.WithTimeout(ctx, s.Duration)
 	defer cancel()
+	clock.Start()
 	lg, err := loadgen.Run(runCtx, opts)
 	if err != nil {
 		return nil, err

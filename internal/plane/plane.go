@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"memqlat/internal/core"
+	"memqlat/internal/fault"
 	"memqlat/internal/loadgen"
 	"memqlat/internal/sim"
 	"memqlat/internal/stats"
@@ -57,6 +58,17 @@ type Scenario struct {
 	// (default: Generalized Pareto with shape Xi). Model and simulator
 	// planes honor it; the live plane's pacer is GPareto-only.
 	Arrival core.ArrivalFactory
+
+	// Faults is the shared fault schedule. The simulator planes evaluate
+	// it in virtual time; the live plane injects the same rules in wall
+	// time (a shared fault.Clock starts when the load does), so both
+	// planes see the identical deterministic per-rule decision sequence.
+	// The model plane ignores it — Theorem 1 has no failure modes, which
+	// is exactly the gap the faulted planes measure.
+	Faults fault.Schedule
+	// Resilience configures the recovery policies (retries, hedging,
+	// circuit breaking) the measured planes apply. Zero value = none.
+	Resilience fault.Resilience
 
 	// Requests is the number of end-user requests to measure
 	// (simulator planes; default 4000).

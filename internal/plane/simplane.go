@@ -63,6 +63,7 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 			Requests: s.Requests,
 			Seed:     s.Seed,
 			Recorder: collector,
+			Faults:   s.Faults,
 		})
 		if err != nil {
 			return nil, err
@@ -82,6 +83,8 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 			KeysPerServer: s.KeysPerServer,
 			Seed:          s.Seed,
 			Recorder:      collector,
+			Faults:        s.Faults,
+			Resilience:    s.Resilience,
 		})
 		if err != nil {
 			return nil, err

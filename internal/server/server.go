@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math/rand/v2"
 	"net"
@@ -19,6 +20,7 @@ import (
 
 	"memqlat/internal/cache"
 	"memqlat/internal/dist"
+	"memqlat/internal/fault"
 	"memqlat/internal/protocol"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
@@ -57,6 +59,11 @@ type Options struct {
 	// the live plane threads one harness-wide collector through here.
 	// The server always keeps its own collector for "stats telemetry".
 	Recorder telemetry.Recorder
+	// Fault, when set, is this server's handle into the shared fault
+	// injector: refuse windows reject connections at accept, and every
+	// command is run through the injector (slow/stall delays, dropped
+	// replies, connection resets). Nil = healthy.
+	Fault *fault.Point
 }
 
 // Server is a memcached-protocol TCP server.
@@ -198,6 +205,12 @@ func (s *Server) Serve(l net.Listener) error {
 			_ = conn.Close()
 			continue
 		}
+		if p := s.opts.Fault; p != nil && p.Inj != nil && p.Now != nil &&
+			p.Inj.RefusedAt(p.Server, p.Now()) {
+			s.rejectedConn.Add(1)
+			_ = conn.Close()
+			continue
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -272,6 +285,7 @@ func (s *Server) Close() error {
 func (s *Server) handleConn(conn net.Conn, id uint64) error {
 	r := bufio.NewReaderSize(conn, s.opts.ReadBuffer)
 	w := protocol.NewWriter(bufio.NewWriterSize(conn, s.opts.WriteBuffer))
+	var blackhole *protocol.Writer // lazily built reply sink for Drop faults
 	var shaper *rand.Rand
 	if s.opts.ServiceRate > 0 {
 		shaper = dist.SubRand(s.opts.Seed, id)
@@ -311,6 +325,14 @@ func (s *Server) handleConn(conn net.Conn, id uint64) error {
 			s.opCounts[cmd.Op].Add(1)
 		}
 		began := time.Now()
+		act := s.opts.Fault.Eval()
+		if act.Delay > 0 {
+			time.Sleep(time.Duration(act.Delay * float64(time.Second)))
+		}
+		if act.Outcome == fault.Reset || act.Outcome == fault.Refuse {
+			// Tear the connection down mid-operation, reply unwritten.
+			return nil
+		}
 		var waited time.Duration
 		if shaper != nil {
 			service := time.Duration(shaper.ExpFloat64() / s.opts.ServiceRate * float64(time.Second))
@@ -322,7 +344,16 @@ func (s *Server) handleConn(conn net.Conn, id uint64) error {
 			s.serviceMu.Unlock()
 			s.rec.Observe(telemetry.StageQueueWait, waited.Seconds())
 		}
-		if err := s.dispatch(w, cmd); err != nil {
+		out := w
+		if act.Outcome == fault.Drop {
+			// The server does the work but the reply is lost: the client
+			// is left waiting for its op timeout.
+			if blackhole == nil {
+				blackhole = protocol.NewWriter(bufio.NewWriter(io.Discard))
+			}
+			out = blackhole
+		}
+		if err := s.dispatch(out, cmd); err != nil {
 			return err
 		}
 		total := time.Since(began)

@@ -6,6 +6,7 @@ import (
 
 	"memqlat/internal/core"
 	"memqlat/internal/dist"
+	"memqlat/internal/fault"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
 )
@@ -44,6 +45,11 @@ type IntegratedConfig struct {
 	// measured key/request (queue wait, service, miss penalty,
 	// fork-join overhead) in virtual time.
 	Recorder telemetry.Recorder
+	// Faults applies the shared schedule in virtual time. The integrated
+	// mode models servers (not connections), so connection-level
+	// outcomes collapse via Injector.DelayAt: an unresponsive window
+	// holds the server busy until it recovers.
+	Faults fault.Schedule
 }
 
 // IntegratedResult mirrors RequestResult for the integrated mode.
@@ -87,6 +93,10 @@ type station struct {
 	// rec, when set, receives queue-wait/service observations for
 	// measured keys.
 	rec telemetry.Recorder
+	// inj/target, when set, stretch service by the schedule's collapsed
+	// delay at the key's service start (DelayAt semantics).
+	inj    *fault.Injector
+	target int
 }
 
 type key struct {
@@ -125,6 +135,7 @@ func (s *station) startNext() {
 	k := s.pending[0]
 	s.pending = s.pending[1:]
 	service := s.rng.ExpFloat64() / s.mu
+	service += s.inj.DelayAt(s.target, s.engine.Now())
 	if s.busyAcc != nil {
 		*s.busyAcc += service
 	}
@@ -162,6 +173,15 @@ func SimulateIntegrated(cfg IntegratedConfig) (*IntegratedResult, error) {
 		dbMode = DBInfiniteServer
 	}
 	m := cfg.Model
+
+	var inj *fault.Injector
+	if !cfg.Faults.Empty() {
+		var err error
+		inj, err = fault.NewInjector(cfg.Faults, m.M())
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	var eng Engine
 	res := &IntegratedResult{
@@ -220,6 +240,7 @@ func SimulateIntegrated(cfg IntegratedConfig) (*IntegratedResult, error) {
 			dbStation.enqueue(k)
 		default: // DBInfiniteServer
 			d := rngDB.ExpFloat64() / m.MuD
+			d += inj.DelayAt(fault.Database, eng.Now())
 			k.dbLatency = d
 			if k.req.measured {
 				rec.Observe(telemetry.StageMissPenalty, d)
@@ -237,6 +258,8 @@ func SimulateIntegrated(cfg IntegratedConfig) (*IntegratedResult, error) {
 			onDone:  memcachedDone,
 			busyAcc: &res.BusyTime[j],
 			rec:     cfg.Recorder,
+			inj:     inj,
+			target:  j,
 		}
 	}
 	if dbMode == DBSingleQueue {
@@ -244,6 +267,8 @@ func SimulateIntegrated(cfg IntegratedConfig) (*IntegratedResult, error) {
 			mu:     m.MuD,
 			rng:    rngDB,
 			engine: &eng,
+			inj:    inj,
+			target: fault.Database,
 			onDone: func(k *key) {
 				// The station wrote the DB-stage sojourn into k.sojourn;
 				// move it to its own slot (memSojourn keeps the cache

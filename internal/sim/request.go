@@ -6,6 +6,7 @@ import (
 
 	"memqlat/internal/core"
 	"memqlat/internal/dist"
+	"memqlat/internal/fault"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
 )
@@ -36,8 +37,17 @@ type RequestConfig struct {
 	// Recorder, when set, receives the per-stage decomposition: queue
 	// wait and service from the per-server streams, miss penalty per
 	// missed key, and fork-join overhead (max-over-N minus mean) per
-	// composed request.
+	// composed request — plus, under faults, the resilience stages
+	// (retry, hedge_wait, breaker_shed).
 	Recorder telemetry.Recorder
+	// Faults injects the seeded fault schedule into every per-server
+	// key stream (and, for Database rules, the miss path). The empty
+	// schedule is the healthy run.
+	Faults fault.Schedule
+	// Resilience enables the composition-stage recovery policies that
+	// mirror the live client's: retries, hedged reads, circuit
+	// breakers. The zero value replays failures to the caller raw.
+	Resilience fault.Resilience
 }
 
 // RequestResult aggregates the measured latency decomposition, mirroring
@@ -67,6 +77,15 @@ type RequestResult struct {
 	RequestsWithMiss int64
 	// Replicas records the hedging degree the run used (>= 1).
 	Replicas int
+	// FailedKeys counts key reads that ended unanswered after the
+	// resilience pipeline (injected faults the policies could not mask).
+	FailedKeys int64
+	// ShedKeys counts key reads fast-failed by an open circuit breaker
+	// (a subset of FailedKeys).
+	ShedKeys int64
+	// DegradedRequests counts requests that completed with >= 1 failed
+	// key — the degraded-mode fork-join outcome.
+	DegradedRequests int64
 }
 
 // SimulateRequests runs the two-stage experiment: simulate each server's
@@ -97,6 +116,19 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 	}
 	m := cfg.Model
 
+	var inj *fault.Injector
+	if !cfg.Faults.Empty() {
+		var err error
+		inj, err = fault.NewInjector(cfg.Faults, m.M())
+		if err != nil {
+			return nil, err
+		}
+	}
+	faultAware := inj != nil || cfg.Resilience.Enabled()
+	if faultAware && replicas > 1 {
+		return nil, fmt.Errorf("sim: ReadReplicas > 1 cannot combine with faults/resilience (hedging is the Resilience knob)")
+	}
+
 	// Stage 1: per-server key streams.
 	servers := make([]*ServerResult, m.M())
 	for j := 0; j < m.M(); j++ {
@@ -118,6 +150,8 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 			Keys:         keysPerServer,
 			Seed:         cfg.Seed + uint64(j)*1000003,
 			Recorder:     cfg.Recorder,
+			Fault:        inj,
+			Server:       j,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server %d: %w", j, err)
@@ -146,21 +180,47 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		rngDB     = dist.SubRand(cfg.Seed, 104)
 	)
 	rec := telemetry.OrNop(cfg.Recorder)
+	rs := newSimResilience(cfg.Resilience, m, servers)
+	// Virtual request clock for Database fault windows: requests arrive
+	// at the aggregate rate Λ/N, matching the per-server streams' own
+	// virtual timelines.
+	reqRate := m.TotalKeyRate / float64(m.N)
 	for req := 0; req < cfg.Requests; req++ {
 		var (
 			maxTS, maxTD, sumTS float64
-			misses              int
+			misses, failedKeys  int
 		)
+		now := float64(req) / reqRate
 		for i := 0; i < m.N; i++ {
 			j := assign.SampleInt(rngAssign)
-			s := servers[j].Sample(rngSample)
-			// Hedged reads: fastest of `replicas` independent draws
-			// (replicas live on distinct servers; with balanced load the
-			// same server's distribution represents each).
-			for rep := 1; rep < replicas; rep++ {
-				alt := servers[assign.SampleInt(rngAssign)].Sample(rngSample)
-				if alt < s {
-					s = alt
+			var (
+				s      float64
+				failed bool
+			)
+			if faultAware {
+				draw := func() (float64, bool) {
+					idx := servers[j].SampleIdx(rngSample)
+					return servers[j].Sojourns[idx], servers[j].FailedAt(idx)
+				}
+				var shed bool
+				s, failed, shed = rs.resolveKey(j, draw, rec)
+				if shed {
+					out.ShedKeys++
+				}
+				if failed {
+					failedKeys++
+					out.FailedKeys++
+				}
+			} else {
+				s = servers[j].Sample(rngSample)
+				// Hedged reads: fastest of `replicas` independent draws
+				// (replicas live on distinct servers; with balanced load the
+				// same server's distribution represents each).
+				for rep := 1; rep < replicas; rep++ {
+					alt := servers[assign.SampleInt(rngAssign)].Sample(rngSample)
+					if alt < s {
+						s = alt
+					}
 				}
 			}
 			if s > maxTS {
@@ -168,8 +228,19 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 			}
 			sumTS += s
 			out.KeyCount++
-			if m.MissRatio > 0 && rngMiss.Float64() < m.MissRatio {
+			// A failed key returns no value, so it cannot miss into the
+			// database; the caller sees its error instead.
+			if !failed && m.MissRatio > 0 && rngMiss.Float64() < m.MissRatio {
 				d := rngDB.ExpFloat64() / m.MuD
+				if act := inj.At(fault.Database, now); act.Faulted() {
+					d += act.Delay
+					if act.Outcome != fault.OK {
+						// Database outage: the fill fails after the delay
+						// and the key goes unanswered.
+						failedKeys++
+						out.FailedKeys++
+					}
+				}
 				misses++
 				out.MissCount++
 				out.DBLat.Record(d)
@@ -182,6 +253,9 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		out.Requests++
 		if misses > 0 {
 			out.RequestsWithMiss++
+		}
+		if failedKeys > 0 {
+			out.DegradedRequests++
 		}
 		out.TS.Record(maxTS)
 		out.TD.Record(maxTD)

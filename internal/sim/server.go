@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"memqlat/internal/dist"
+	"memqlat/internal/fault"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
 )
@@ -28,14 +29,26 @@ type ServerConfig struct {
 	// Recorder, when set, receives StageQueueWait / StageService
 	// observations for every measured key.
 	Recorder telemetry.Recorder
+	// Fault, when set, evaluates every key against the shared fault
+	// schedule at its virtual arrival time; Server is this stream's
+	// target index in the schedule. Nil = healthy.
+	Fault  *fault.Injector
+	Server int
 }
 
 // ServerResult holds the per-key processing-latency sample of one
 // simulated server.
 type ServerResult struct {
 	// Sojourns are the recorded per-key latencies (queueing + service),
-	// in arrival order.
+	// in arrival order. For faulted keys the entry is what the CLIENT
+	// observes: the drop timeout stand-in, or ~0 for a fast
+	// reset/refuse failure.
 	Sojourns []float64
+	// Failed marks the sojourn entries whose key did not get an answer
+	// (dropped reply, reset or refused connection). Nil on healthy runs.
+	Failed []bool
+	// FailedKeys counts the Failed entries.
+	FailedKeys int
 	// Hist is the same sample as a quantile-queryable histogram.
 	Hist *stats.Histogram
 	// Batches is the number of batches simulated (post-warmup).
@@ -52,6 +65,18 @@ func (r *ServerResult) Quantile(k float64) (float64, error) { return r.Hist.Quan
 // statistical composition step of RequestSim.
 func (r *ServerResult) Sample(rng *rand.Rand) float64 {
 	return r.Sojourns[rng.IntN(len(r.Sojourns))]
+}
+
+// SampleIdx draws an index into Sojourns/Failed — the fault-aware
+// composition uses it to learn both the latency and whether the key
+// got an answer.
+func (r *ServerResult) SampleIdx(rng *rand.Rand) int {
+	return rng.IntN(len(r.Sojourns))
+}
+
+// FailedAt reports whether sample i was a failure (false on healthy runs).
+func (r *ServerResult) FailedAt(i int) bool {
+	return r.Failed != nil && r.Failed[i]
 }
 
 // SimulateServer runs the GI^X/M/1 queue with the Lindley recursion:
@@ -93,33 +118,75 @@ func SimulateServer(cfg ServerConfig) (*ServerResult, error) {
 		Hist:     stats.NewHistogram(),
 	}
 	rec := telemetry.OrNop(cfg.Recorder)
+	if cfg.Fault != nil {
+		res.Failed = make([]bool, 0, cfg.Keys)
+	}
 	var (
 		backlog   float64 // unfinished work at the current arrival instant
+		clock     float64 // virtual stream time (fault windows key off it)
 		seenKeys  int
 		totalKeys = warmup + cfg.Keys
 	)
 	for seenKeys < totalKeys {
 		gap := cfg.Interarrival.Sample(rngArrival)
+		clock += gap
 		backlog -= gap
 		if backlog < 0 {
 			backlog = 0
 		}
 		n := batch.SampleInt(rngBatch)
 		for i := 0; i < n && seenKeys < totalKeys; i++ {
+			act := cfg.Fault.At(cfg.Server, clock)
 			wait := backlog // work ahead of this key = its queueing delay
-			service := rngService.ExpFloat64() / cfg.MuS
-			backlog += service
 			seenKeys++
-			if seenKeys > warmup {
-				res.Sojourns = append(res.Sojourns, backlog)
-				res.Hist.Record(backlog)
-				rec.Observe(telemetry.StageQueueWait, wait)
-				rec.Observe(telemetry.StageService, service)
+			measured := seenKeys > warmup
+			if act.Outcome == fault.Reset || act.Outcome == fault.Refuse {
+				// Fast connection-level failure: no service consumed, the
+				// client learns instantly.
+				if measured {
+					res.record(0, true)
+				}
+				continue
 			}
+			service := rngService.ExpFloat64() / cfg.MuS
+			if act.Outcome != fault.Drop {
+				// Slow/stall windows hold the server busy longer; a drop's
+				// Delay is the client-side timeout stand-in, not work.
+				service += act.Delay
+			}
+			backlog += service
+			if !measured {
+				continue
+			}
+			if act.Outcome == fault.Drop {
+				// The server did the work but the reply is lost: the
+				// client observes the timeout stand-in.
+				obs := act.Delay
+				if obs < backlog {
+					obs = backlog
+				}
+				res.record(obs, true)
+				continue
+			}
+			res.record(backlog, false)
+			rec.Observe(telemetry.StageQueueWait, wait)
+			rec.Observe(telemetry.StageService, service)
 		}
 		if seenKeys > warmup {
 			res.Batches++
 		}
 	}
 	return res, nil
+}
+
+// record appends one observed key latency.
+func (r *ServerResult) record(obs float64, failed bool) {
+	r.Sojourns = append(r.Sojourns, obs)
+	r.Hist.Record(obs)
+	if r.Failed != nil {
+		r.Failed = append(r.Failed, failed)
+	}
+	if failed {
+		r.FailedKeys++
+	}
 }

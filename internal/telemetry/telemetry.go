@@ -33,12 +33,24 @@ const (
 	// (the maximal-statistics inflation Theorem 1 prices at
 	// ln(N+1)/((1−δ)(1−q)µ_S) versus a single key's sojourn).
 	StageForkJoin
+	// StageRetry is the extra latency a retried read pays per retry
+	// (backoff wait; the re-issued attempt's own latency lands in the
+	// ordinary stages). Zero observations on a healthy run.
+	StageRetry
+	// StageHedgeWait is the delay a hedged read waited before firing its
+	// hedge — the percentile-based trigger of the resilience policy.
+	StageHedgeWait
+	// StageBreakerShed is observed once per operation an open circuit
+	// breaker fast-failed; the value is the (near-zero) shed latency, so
+	// the Count is the signal.
+	StageBreakerShed
 	numStages
 )
 
 // Stages lists every stage in reporting order.
 func Stages() []Stage {
-	return []Stage{StageQueueWait, StageService, StageMissPenalty, StageForkJoin}
+	return []Stage{StageQueueWait, StageService, StageMissPenalty, StageForkJoin,
+		StageRetry, StageHedgeWait, StageBreakerShed}
 }
 
 // String returns the stable snake_case stage name used in reports and
@@ -53,6 +65,12 @@ func (s Stage) String() string {
 		return "miss_penalty"
 	case StageForkJoin:
 		return "fork_join"
+	case StageRetry:
+		return "retry"
+	case StageHedgeWait:
+		return "hedge_wait"
+	case StageBreakerShed:
+		return "breaker_shed"
 	default:
 		return fmt.Sprintf("stage(%d)", int(s))
 	}
@@ -132,11 +150,16 @@ func (b Breakdown) Empty() bool {
 func (b Breakdown) MeanOf(stage Stage) float64 { return b[stage].Mean }
 
 // String renders the breakdown compactly for logs and CLI output.
+// Resilience stages (retry, hedge_wait, breaker_shed) are elided when
+// unobserved so healthy-run output stays unchanged.
 func (b Breakdown) String() string {
 	var sb strings.Builder
-	for i, stage := range Stages() {
+	for _, stage := range Stages() {
 		st := b[stage]
-		if i > 0 {
+		if st.Count == 0 && stage > StageForkJoin {
+			continue
+		}
+		if sb.Len() > 0 {
 			sb.WriteString("  ")
 		}
 		fmt.Fprintf(&sb, "%s mean=%.1fµs n=%d", stage, st.Mean*1e6, st.Count)

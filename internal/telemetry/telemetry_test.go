@@ -13,6 +13,9 @@ func TestStageNames(t *testing.T) {
 		StageService:     "service",
 		StageMissPenalty: "miss_penalty",
 		StageForkJoin:    "fork_join",
+		StageRetry:       "retry",
+		StageHedgeWait:   "hedge_wait",
+		StageBreakerShed: "breaker_shed",
 	}
 	if len(Stages()) != len(want) {
 		t.Fatalf("Stages() = %d entries, want %d", len(Stages()), len(want))
