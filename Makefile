@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify faults bench-plane repro clean
+.PHONY: build test vet race verify faults lint cover fuzz-smoke \
+	bench-plane bench-server bench-check repro clean
 
 build:
 	$(GO) build ./...
@@ -26,10 +27,48 @@ verify: build vet test race
 faults:
 	$(GO) test -race -run Fault ./...
 
+# Static analysis beyond vet. The analyzers are not vendored; CI
+# installs them with `go install` (see .github/workflows/ci.yml).
+lint:
+	@command -v staticcheck >/dev/null || { \
+		echo "staticcheck not found: go install honnef.co/go/tools/cmd/staticcheck@latest"; exit 1; }
+	@command -v govulncheck >/dev/null || { \
+		echo "govulncheck not found: go install golang.org/x/vuln/cmd/govulncheck@latest"; exit 1; }
+	staticcheck ./...
+	govulncheck ./...
+
+# Coverage floors for the packages the hot-path rework touches most.
+# The floors are the pre-shard coverage levels; CI fails if either
+# package drops below its floor.
+cover:
+	$(GO) test -coverprofile=cover_cache.out ./internal/cache/
+	$(GO) test -coverprofile=cover_protocol.out ./internal/protocol/
+	./scripts/coverfloor.sh cover_cache.out 95.2 internal/cache
+	./scripts/coverfloor.sh cover_protocol.out 90.6 internal/protocol
+
+# 30-second fuzz smoke over the reusable-buffer parser: ReadCommand and
+# Parser.Next must agree byte-for-byte on arbitrary input.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseCommand -fuzztime=30s ./internal/protocol/
+
 # Regenerate the plane-harness baseline (BENCH_plane.json records the
 # last blessed numbers).
 bench-plane:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimPlane|BenchmarkLivePlane' -benchtime 3x .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimPlane|BenchmarkLivePlane' -benchmem -benchtime 3x .
+
+# Server hot-path benchmarks (get/set/multiget at 1/4/16 connections).
+# BENCH_server.json records the last blessed numbers.
+bench-server:
+	$(GO) test -run '^$$' -bench BenchmarkServerHotPath -benchmem ./internal/server/
+
+# Compare current benchmark runs against the checked-in baselines the
+# way CI does: >20% ns/op regression or any allocation appearing on a
+# zero-alloc path fails.
+bench-check:
+	$(GO) test -run '^$$' -bench BenchmarkServerHotPath -benchmem ./internal/server/ \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_server.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSimPlane|BenchmarkLivePlane' -benchmem -benchtime 3x . \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_plane.json
 
 repro:
 	$(GO) run ./cmd/repro -run all

@@ -35,10 +35,11 @@ func run(args []string) error {
 	var (
 		addr        = fs.String("addr", "127.0.0.1:11211", "listen address")
 		memoryMB    = fs.Int64("memory-mb", 64, "cache memory budget in MiB")
-		shards      = fs.Int("shards", 16, "number of cache shards (lock domains)")
+		shards      = fs.Int("shards", 0, "number of cache shards (lock domains; 0 = GOMAXPROCS rounded up to a power of two)")
 		maxItemKB   = fs.Int("max-item-kb", 1024, "maximum item size in KiB")
 		maxConns    = fs.Int("max-conns", 1024, "maximum concurrent connections")
 		serviceRate = fs.Float64("service-rate", 0, "optional exponential service-rate shaping (ops/s, 0 = off)")
+		serviceCh   = fs.Int("service-channels", 1, "independent service channels for the shaped path (1 = the paper's single-server queue)")
 		seed        = fs.Uint64("seed", 1, "seed for service-time shaping")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -54,11 +55,12 @@ func run(args []string) error {
 		return err
 	}
 	srv, err := server.New(server.Options{
-		Cache:       c,
-		MaxConns:    *maxConns,
-		ServiceRate: *serviceRate,
-		Seed:        *seed,
-		Logger:      log.New(os.Stderr, "memcached-server: ", log.LstdFlags),
+		Cache:           c,
+		MaxConns:        *maxConns,
+		ServiceRate:     *serviceRate,
+		ServiceChannels: *serviceCh,
+		Seed:            *seed,
+		Logger:          log.New(os.Stderr, "memcached-server: ", log.LstdFlags),
 	})
 	if err != nil {
 		return err
@@ -69,7 +71,7 @@ func run(args []string) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(*addr) }()
 	log.Printf("memcached-server: listening on %s (memory %d MiB, shards %d)",
-		*addr, *memoryMB, *shards)
+		*addr, *memoryMB, c.Shards())
 
 	select {
 	case err := <-errCh:

@@ -8,8 +8,8 @@ package cache
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -55,13 +55,27 @@ type Options struct {
 	// MaxBytes caps the total memory budget across shards
 	// (default 64 MiB). The cap is enforced per shard as MaxBytes/shards.
 	MaxBytes int64
-	// Shards is the number of independent lock domains (default 16,
-	// rounded up to a power of two).
+	// Shards is the number of independent lock domains (default
+	// DefaultShards: GOMAXPROCS rounded up to a power of two, floored at
+	// 8 so small machines still spread contended keys). Rounded up to a
+	// power of two.
 	Shards int
 	// MaxItemSize caps a single value (default DefaultMaxItemSize).
 	MaxItemSize int
 	// Clock substitutes the time source for tests (default time.Now).
 	Clock func() time.Time
+}
+
+// DefaultShards is the shard count used when Options.Shards is zero:
+// one lock domain per schedulable core (GOMAXPROCS rounded up to a
+// power of two), floored at 8 so low-core machines still dilute lock
+// convoys among concurrent connections.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return nextPow2(n)
 }
 
 // Cache is a sharded LRU key-value store. All methods are safe for
@@ -72,6 +86,12 @@ type Cache struct {
 	maxItemSize int
 	clock       func() time.Time
 	casCounter  atomic.Uint64
+
+	// onLockWait, when set, receives the seconds a shard-lock
+	// acquisition spent blocked. The TryLock fast path keeps the
+	// uncontended case observation-free, so the stage stays zero-elided
+	// on healthy runs.
+	onLockWait atomic.Pointer[func(float64)]
 
 	gets        atomic.Int64
 	hits        atomic.Int64
@@ -113,7 +133,7 @@ func New(opts Options) (*Cache, error) {
 		return nil, fmt.Errorf("cache: MaxBytes=%d must be positive", opts.MaxBytes)
 	}
 	if opts.Shards == 0 {
-		opts.Shards = 16
+		opts.Shards = DefaultShards()
 	}
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("cache: Shards=%d must be positive", opts.Shards)
@@ -152,11 +172,69 @@ func nextPow2(n int) int {
 	return p
 }
 
+// FNV-1a parameters, inlined so shard routing never allocates a digest
+// (hash/fnv's New64a escapes to the heap on every call).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64a(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnv64aBytes(key []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
 func (c *Cache) shardFor(key string) *shard {
-	h := fnv.New64a()
-	// Writing to fnv's hash cannot fail.
-	_, _ = h.Write([]byte(key))
-	return c.shards[h.Sum64()&c.shardMask]
+	return c.shards[fnv64a(key)&c.shardMask]
+}
+
+// ShardIndex exposes the key-to-shard routing (the server's shaped
+// service path uses it to pick a service channel per key).
+func (c *Cache) ShardIndex(key []byte) int {
+	return int(fnv64aBytes(key) & c.shardMask)
+}
+
+// Shards reports the number of lock domains.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// OnLockWait installs f as the lock-wait observer: it receives the
+// seconds any shard-lock acquisition spent blocked (contended case
+// only). Safe to call concurrently with cache use; pass nil to remove.
+func (c *Cache) OnLockWait(f func(seconds float64)) {
+	if f == nil {
+		c.onLockWait.Store(nil)
+		return
+	}
+	c.onLockWait.Store(&f)
+}
+
+// lock acquires s.mu, measuring the blocked duration for the lock-wait
+// observer when the uncontended TryLock fast path misses.
+func (c *Cache) lock(s *shard) {
+	if s.mu.TryLock() {
+		return
+	}
+	f := c.onLockWait.Load()
+	if f == nil {
+		s.mu.Lock()
+		return
+	}
+	start := time.Now()
+	s.mu.Lock()
+	(*f)(time.Since(start).Seconds())
 }
 
 func (c *Cache) nextCAS() uint64 { return c.casCounter.Add(1) }
@@ -167,6 +245,19 @@ func validateKey(key string) error {
 	}
 	for i := 0; i < len(key); i++ {
 		// memcached forbids whitespace and control characters in keys.
+		if key[i] <= ' ' || key[i] == 0x7f {
+			return ErrKeyInvalid
+		}
+	}
+	return nil
+}
+
+// validateKeyBytes mirrors validateKey for the byte-slice hot path.
+func validateKeyBytes(key []byte) error {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return ErrKeyInvalid
+	}
+	for i := 0; i < len(key); i++ {
 		if key[i] <= ' ' || key[i] == 0x7f {
 			return ErrKeyInvalid
 		}
@@ -203,7 +294,7 @@ func (c *Cache) Get(key string) (Item, error) {
 	c.gets.Add(1)
 	s := c.shardFor(key)
 	now := c.clock()
-	s.mu.Lock()
+	c.lock(s)
 	e := s.lookup(key, now, &c.expirations)
 	if e == nil {
 		s.mu.Unlock()
@@ -222,6 +313,52 @@ func (c *Cache) Get(key string) (Item, error) {
 	return it, nil
 }
 
+// GetInto is the allocation-free read path used by the protocol server:
+// it looks up key (a byte slice the cache does not retain), appends the
+// stored value to dst and returns the extended slice plus the item's
+// flags and CAS token. When dst has sufficient capacity the call does
+// not allocate. Errors are those of Get.
+func (c *Cache) GetInto(key []byte, dst []byte) (value []byte, flags uint32, cas uint64, err error) {
+	if err := validateKeyBytes(key); err != nil {
+		return nil, 0, 0, err
+	}
+	c.gets.Add(1)
+	s := c.shards[fnv64aBytes(key)&c.shardMask]
+	c.lock(s)
+	e := s.lookupBytes(key, c.clock, &c.expirations)
+	if e == nil {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, 0, 0, ErrNotFound
+	}
+	s.touch(e)
+	dst = append(dst, e.value...)
+	flags, cas = e.flags, e.cas
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return dst, flags, cas, nil
+}
+
+// SetBytes is Set for callers that reuse the key and value buffers (the
+// protocol hot path parses both into per-connection scratch): the cache
+// copies them before the store instead of taking ownership.
+func (c *Cache) SetBytes(key, value []byte, flags uint32, ttl time.Duration) error {
+	if err := validateKeyBytes(key); err != nil {
+		return err
+	}
+	if err := c.validateValue(value); err != nil {
+		return err
+	}
+	owned := append(make([]byte, 0, len(value)), value...)
+	s := c.shards[fnv64aBytes(key)&c.shardMask]
+	now := c.clock()
+	c.lock(s)
+	defer s.mu.Unlock()
+	s.store(string(key), owned, flags, c.expiryFrom(ttl), c.nextCAS(), now, &c.evictions, &c.expirations)
+	c.sets.Add(1)
+	return nil
+}
+
 // GetAndTouch atomically fetches the item at key and replaces its
 // expiry (the protocol's gat/gats command).
 func (c *Cache) GetAndTouch(key string, ttl time.Duration) (Item, error) {
@@ -231,7 +368,7 @@ func (c *Cache) GetAndTouch(key string, ttl time.Duration) (Item, error) {
 	c.gets.Add(1)
 	s := c.shardFor(key)
 	now := c.clock()
-	s.mu.Lock()
+	c.lock(s)
 	e := s.lookup(key, now, &c.expirations)
 	if e == nil {
 		s.mu.Unlock()
@@ -261,7 +398,7 @@ func (c *Cache) Set(key string, value []byte, flags uint32, ttl time.Duration) e
 	}
 	s := c.shardFor(key)
 	now := c.clock()
-	s.mu.Lock()
+	c.lock(s)
 	defer s.mu.Unlock()
 	s.store(key, value, flags, c.expiryFrom(ttl), c.nextCAS(), now, &c.evictions, &c.expirations)
 	c.sets.Add(1)
@@ -278,7 +415,7 @@ func (c *Cache) Add(key string, value []byte, flags uint32, ttl time.Duration) e
 	}
 	s := c.shardFor(key)
 	now := c.clock()
-	s.mu.Lock()
+	c.lock(s)
 	defer s.mu.Unlock()
 	if s.lookup(key, now, &c.expirations) != nil {
 		return ErrNotStored
@@ -298,7 +435,7 @@ func (c *Cache) Replace(key string, value []byte, flags uint32, ttl time.Duratio
 	}
 	s := c.shardFor(key)
 	now := c.clock()
-	s.mu.Lock()
+	c.lock(s)
 	defer s.mu.Unlock()
 	if s.lookup(key, now, &c.expirations) == nil {
 		return ErrNotStored
@@ -325,7 +462,7 @@ func (c *Cache) concat(key string, value []byte, after bool) error {
 	}
 	s := c.shardFor(key)
 	now := c.clock()
-	s.mu.Lock()
+	c.lock(s)
 	defer s.mu.Unlock()
 	e := s.lookup(key, now, &c.expirations)
 	if e == nil {
@@ -356,7 +493,7 @@ func (c *Cache) CompareAndSwap(key string, value []byte, flags uint32, ttl time.
 	}
 	s := c.shardFor(key)
 	now := c.clock()
-	s.mu.Lock()
+	c.lock(s)
 	defer s.mu.Unlock()
 	e := s.lookup(key, now, &c.expirations)
 	if e == nil {
@@ -377,7 +514,7 @@ func (c *Cache) Delete(key string) error {
 	}
 	s := c.shardFor(key)
 	now := c.clock()
-	s.mu.Lock()
+	c.lock(s)
 	defer s.mu.Unlock()
 	if s.lookup(key, now, &c.expirations) == nil {
 		return ErrNotFound
@@ -394,7 +531,7 @@ func (c *Cache) Touch(key string, ttl time.Duration) error {
 	}
 	s := c.shardFor(key)
 	now := c.clock()
-	s.mu.Lock()
+	c.lock(s)
 	defer s.mu.Unlock()
 	e := s.lookup(key, now, &c.expirations)
 	if e == nil {
@@ -413,7 +550,7 @@ func (c *Cache) IncrDecr(key string, delta int64) (uint64, error) {
 	}
 	s := c.shardFor(key)
 	now := c.clock()
-	s.mu.Lock()
+	c.lock(s)
 	defer s.mu.Unlock()
 	e := s.lookup(key, now, &c.expirations)
 	if e == nil {
@@ -442,7 +579,7 @@ func (c *Cache) IncrDecr(key string, delta int64) (uint64, error) {
 // FlushAll discards every item.
 func (c *Cache) FlushAll() {
 	for _, s := range c.shards {
-		s.mu.Lock()
+		c.lock(s)
 		s.clear()
 		s.mu.Unlock()
 	}
@@ -453,7 +590,7 @@ func (c *Cache) FlushAll() {
 func (c *Cache) Len() int64 {
 	var n int64
 	for _, s := range c.shards {
-		s.mu.Lock()
+		c.lock(s)
 		n += int64(len(s.items))
 		s.mu.Unlock()
 	}
@@ -464,7 +601,7 @@ func (c *Cache) Len() int64 {
 func (c *Cache) Bytes() int64 {
 	var n int64
 	for _, s := range c.shards {
-		s.mu.Lock()
+		c.lock(s)
 		n += s.bytes
 		s.mu.Unlock()
 	}
@@ -535,6 +672,24 @@ func (s *shard) lookup(key string, now time.Time, expirations *atomic.Int64) *en
 	}
 	if e.expired(now) {
 		s.remove(key)
+		expirations.Add(1)
+		return nil
+	}
+	return e
+}
+
+// lookupBytes is lookup for byte keys. The map index expression
+// s.items[string(key)] is recognized by the compiler, so no string is
+// materialized on the hit path; the clock is consulted only when the
+// entry carries an expiry, keeping TTL-less reads off time.Now.
+// Caller holds mu.
+func (s *shard) lookupBytes(key []byte, clock func() time.Time, expirations *atomic.Int64) *entry {
+	e, ok := s.items[string(key)]
+	if !ok {
+		return nil
+	}
+	if !e.expires.IsZero() && e.expired(clock()) {
+		s.remove(e.key)
 		expirations.Add(1)
 		return nil
 	}

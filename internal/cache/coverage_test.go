@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShardsAccessor(t *testing.T) {
+	c, err := New(Options{Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Shards(); got != 8 {
+		t.Errorf("Shards() = %d, want 8 (5 rounded up to a power of two)", got)
+	}
+	if idx := c.ShardIndex([]byte("anything")); idx < 0 || idx >= c.Shards() {
+		t.Errorf("ShardIndex out of range: %d", idx)
+	}
+	if n := DefaultShards(); n < 8 || n&(n-1) != 0 {
+		t.Errorf("DefaultShards() = %d, want a power of two >= 8", n)
+	}
+}
+
+func TestOnLockWaitObservesContention(t *testing.T) {
+	c, err := New(Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu      sync.Mutex
+		waits   int
+		waitSum float64
+	)
+	c.OnLockWait(func(seconds float64) {
+		mu.Lock()
+		waits++
+		waitSum += seconds
+		mu.Unlock()
+	})
+
+	// Hold the single shard's lock directly so the reader's TryLock fast
+	// path misses and the timed slow path (with callback) runs.
+	s := c.shards[0]
+	s.mu.Lock()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Get("k")
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	s.mu.Unlock()
+	if err := <-done; !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get under contention = %v, want ErrNotFound", err)
+	}
+	mu.Lock()
+	gotWaits, gotSum := waits, waitSum
+	mu.Unlock()
+	if gotWaits != 1 || gotSum <= 0 {
+		t.Errorf("lock-wait observer: waits=%d sum=%v, want 1 call with positive duration", gotWaits, gotSum)
+	}
+
+	// With the observer removed the contended slow path must still work
+	// (and must not call the old observer).
+	c.OnLockWait(nil)
+	s.mu.Lock()
+	go func() {
+		_, err := c.Get("k")
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	s.mu.Unlock()
+	if err := <-done; !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after observer removal = %v, want ErrNotFound", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if waits != gotWaits {
+		t.Errorf("observer called %d times after removal, want %d", waits, gotWaits)
+	}
+}
+
+func TestByteKeyValidation(t *testing.T) {
+	c, err := New(Options{MaxItemSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badKeys := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte(strings.Repeat("k", MaxKeyLen+1)),
+		[]byte("has space"),
+		[]byte("ctrl\x01char"),
+		[]byte("del\x7fchar"),
+	}
+	for _, key := range badKeys {
+		if _, _, _, err := c.GetInto(key, nil); !errors.Is(err, ErrKeyInvalid) {
+			t.Errorf("GetInto(%q) = %v, want ErrKeyInvalid", key, err)
+		}
+		if err := c.SetBytes(key, []byte("v"), 0, 0); !errors.Is(err, ErrKeyInvalid) {
+			t.Errorf("SetBytes(%q) = %v, want ErrKeyInvalid", key, err)
+		}
+	}
+	if err := c.SetBytes([]byte("k"), make([]byte, 65), 0, 0); !errors.Is(err, ErrValueTooLarge) {
+		t.Errorf("oversized SetBytes = %v, want ErrValueTooLarge", err)
+	}
+	if _, _, _, err := c.GetInto([]byte("absent"), nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetInto miss = %v, want ErrNotFound", err)
+	}
+}
+
+func TestStringKeyValidation(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte("v")
+	for name, call := range map[string]func(string) error{
+		"Set":     func(k string) error { return c.Set(k, val, 0, 0) },
+		"Add":     func(k string) error { return c.Add(k, val, 0, 0) },
+		"Replace": func(k string) error { return c.Replace(k, val, 0, 0) },
+		"Append":  func(k string) error { return c.Append(k, val) },
+		"Prepend": func(k string) error { return c.Prepend(k, val) },
+		"CAS":     func(k string) error { return c.CompareAndSwap(k, val, 0, 0, 1) },
+		"Delete":  c.Delete,
+		"Touch":   func(k string) error { return c.Touch(k, 0) },
+		"Incr":    func(k string) error { _, err := c.IncrDecr(k, 1); return err },
+		"Get":     func(k string) error { _, err := c.Get(k); return err },
+		"GAT":     func(k string) error { _, err := c.GetAndTouch(k, 0); return err },
+	} {
+		if err := call("bad key"); !errors.Is(err, ErrKeyInvalid) {
+			t.Errorf("%s with invalid key = %v, want ErrKeyInvalid", name, err)
+		}
+	}
+}
+
+func TestByteExpiryPaths(t *testing.T) {
+	clk := newFakeClock()
+	c, err := New(Options{Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("ttl-key")
+	if err := c.SetBytes(key, []byte("v1"), 3, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	got, flags, cas, err := c.GetInto(key, nil)
+	if err != nil || string(got) != "v1" || flags != 3 || cas == 0 {
+		t.Fatalf("GetInto before expiry = (%q, %d, %d, %v)", got, flags, cas, err)
+	}
+	clk.Advance(time.Second)
+	if _, _, _, err := c.GetInto(key, nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetInto after expiry = %v, want ErrNotFound", err)
+	}
+	if got := c.Stats().Expirations; got != 1 {
+		t.Errorf("expirations = %d, want 1", got)
+	}
+
+	// Negative TTL: stored but never retrievable (memcached semantics).
+	if err := c.SetBytes(key, []byte("v2"), 0, -time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.GetInto(key, nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetInto of negative-TTL item = %v, want ErrNotFound", err)
+	}
+}

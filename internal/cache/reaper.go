@@ -76,7 +76,7 @@ func (c *Cache) ReapExpired(samplePerShard int) int {
 	now := c.clock()
 	reaped := 0
 	for _, s := range c.shards {
-		s.mu.Lock()
+		c.lock(s)
 		examined := 0
 		var victims []string
 		for key, e := range s.items {

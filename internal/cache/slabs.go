@@ -35,7 +35,7 @@ func classFor(cost int64) int64 {
 func (c *Cache) SlabClasses() []SlabClass {
 	acc := make(map[int64]*SlabClass)
 	for _, s := range c.shards {
-		s.mu.Lock()
+		c.lock(s)
 		for _, e := range s.items {
 			cost := e.cost()
 			cls := classFor(cost)

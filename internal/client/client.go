@@ -526,28 +526,46 @@ func (c *Client) getOnce(idx int, keys []string, withCAS bool) ([]Item, error) {
 	var out []Item
 	began := time.Now()
 	err := c.roundTripRead(idx, func(cn *conn) error {
-		if _, err := cn.w.WriteString(verb); err != nil {
-			return err
-		}
-		for _, k := range keys {
-			if _, err := cn.w.WriteString(" " + k); err != nil {
+		// Frame the key set into pipelined command lines, each kept
+		// under the server's MaxLineBytes bound, so a multi-get of any
+		// size survives the line-length limit. All frames share one
+		// flush and their replies are read back-to-back, so the extra
+		// frames cost no extra round trips.
+		frames := 0
+		for i := 0; i < len(keys); {
+			if _, err := cn.w.WriteString(verb); err != nil {
 				return err
 			}
-		}
-		if _, err := cn.w.WriteString("\r\n"); err != nil {
-			return err
+			line := len(verb)
+			frames++
+			for i < len(keys) && (line == len(verb) || line+1+len(keys[i])+2 <= protocol.MaxLineBytes) {
+				if err := cn.w.WriteByte(' '); err != nil {
+					return err
+				}
+				if _, err := cn.w.WriteString(keys[i]); err != nil {
+					return err
+				}
+				line += 1 + len(keys[i])
+				i++
+			}
+			if _, err := cn.w.WriteString("\r\n"); err != nil {
+				return err
+			}
 		}
 		if err := cn.w.Flush(); err != nil {
 			return err
 		}
-		items, err := protocol.ReadRetrieval(cn.r)
-		if err != nil {
-			return err
+		merged := make([]Item, 0, len(keys))
+		for f := 0; f < frames; f++ {
+			items, err := protocol.ReadRetrieval(cn.r)
+			if err != nil {
+				return err
+			}
+			for _, it := range items {
+				merged = append(merged, Item{Key: it.Key, Value: it.Value, Flags: it.Flags, CAS: it.CAS})
+			}
 		}
-		out = make([]Item, len(items))
-		for i, it := range items {
-			out[i] = Item{Key: it.Key, Value: it.Value, Flags: it.Flags, CAS: it.CAS}
-		}
+		out = merged
 		return nil
 	})
 	if c.readLat != nil && err == nil {

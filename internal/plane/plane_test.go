@@ -67,6 +67,10 @@ func TestModelPlaneDeterministic(t *testing.T) {
 			// Resilience stages only materialize under fault schedules,
 			// which the healthy analytic baseline never carries.
 			continue
+		case telemetry.StageLockWait:
+			// Shard-lock contention is a live-plane-only diagnostic; the
+			// analytic model has no lock convoys by construction.
+			continue
 		}
 		if _, ok := a.Breakdown[st]; !ok {
 			t.Errorf("model breakdown missing stage %v", st)

@@ -1,0 +1,90 @@
+package protocol_test
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"memqlat/internal/protocol"
+)
+
+// FuzzParseCommand feeds arbitrary byte streams to both the one-shot
+// ReadCommand and a persistent Parser and requires that they agree
+// command-for-command — same ops, same fields, same errors — and that
+// neither panics or returns out-of-bounds values. The seed corpus
+// covers truncated data blocks, oversized declared lengths, oversized
+// lines, bad terminators and junk.
+func FuzzParseCommand(f *testing.F) {
+	seeds := []string{
+		"get k\r\n",
+		"gets a b c\r\n",
+		"set k 0 0 5\r\nhello\r\n",
+		"set k 0 0 5\r\nhel",         // truncated data block
+		"set k 0 0 1048577\r\nx\r\n", // oversized declared length
+		"set k 0 0 -1\r\nx\r\n",      // negative length
+		"set k 1 2\r\n",              // missing length field
+		"cas k 1 2 3 99\r\nabc\r\n",  // wrong data length for cas
+		"cas k 0 0 3 nan\r\nabc\r\n", // bad cas token
+		"incr k 10\r\ndecr k 2 noreply\r\n",
+		"touch k 30\r\ndelete k\r\n",
+		"gat 30 a b\r\ngats -1 c\r\n",
+		"stats items\r\nversion\r\nverbosity 1\r\nflush_all 10 noreply\r\n",
+		"set k 0 0 2\r\nab\r\nget k\r\n", // storage then retrieval
+		"set k 0 0 2\r\nabXYget k\r\n",   // bad terminator, resync
+		"bogus cmd\r\n",
+		"\r\n",
+		" \t \r\n",
+		"quit\r\n",
+		"get " + strings.Repeat("k", 300) + "\r\n",
+		strings.Repeat("x", 9000) + "\r\nget k\r\n", // oversized line, then recovery
+		"get k1 k2\r\nset k1 0 0 0\r\n\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r1 := bufio.NewReader(bytes.NewReader(data))
+		p := protocol.NewParser(bufio.NewReader(bytes.NewReader(data)))
+		for i := 0; i < 64; i++ {
+			c1, err1 := protocol.ReadCommand(r1)
+			c2, err2 := p.Next()
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("command %d: ReadCommand err=%v, Parser err=%v", i, err1, err2)
+			}
+			if err1 != nil {
+				if err1.Error() != err2.Error() {
+					t.Fatalf("command %d: error text diverged: %q vs %q", i, err1, err2)
+				}
+				var ce *protocol.ClientError
+				if errors.As(err1, &ce) {
+					continue // recoverable: both streams consumed identically
+				}
+				return // quit or I/O error ends the stream
+			}
+			if c1.Op != c2.Op || c1.Flags != c2.Flags || c1.Exptime != c2.Exptime ||
+				c1.CAS != c2.CAS || c1.Delta != c2.Delta ||
+				c1.Noreply != c2.Noreply || c1.Level != c2.Level {
+				t.Fatalf("command %d: scalar fields diverged:\n%+v\n%+v", i, c1, c2)
+			}
+			if c1.Key != string(c2.KeyB) {
+				t.Fatalf("command %d: key %q vs %q", i, c1.Key, c2.KeyB)
+			}
+			if len(c1.Keys) != len(c2.KeyList) {
+				t.Fatalf("command %d: %d keys vs %d", i, len(c1.Keys), len(c2.KeyList))
+			}
+			for j := range c1.Keys {
+				if c1.Keys[j] != string(c2.KeyList[j]) {
+					t.Fatalf("command %d key %d: %q vs %q", i, j, c1.Keys[j], c2.KeyList[j])
+				}
+			}
+			if !bytes.Equal(c1.Value, c2.Value) {
+				t.Fatalf("command %d: value %q vs %q", i, c1.Value, c2.Value)
+			}
+			if len(c2.Value) > protocol.MaxValueBytes {
+				t.Fatalf("command %d: value of %d bytes exceeds MaxValueBytes", i, len(c2.Value))
+			}
+		}
+	})
+}

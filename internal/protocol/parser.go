@@ -1,0 +1,361 @@
+package protocol
+
+import (
+	"bufio"
+	"io"
+)
+
+// Parser parses commands from one connection into reusable
+// per-connection buffers, so a pipelined stream of commands costs zero
+// heap allocations per command. The server owns one Parser per
+// connection; ReadCommand wraps a throwaway Parser for callers that
+// want an owning Command.
+//
+// Aliasing contract: the Command returned by Next, together with its
+// KeyB, KeyList and Value fields, aliases parser-owned scratch and the
+// bufio.Reader's internal buffer. Everything is valid only until the
+// next call to Next; callers that retain any of it must copy first
+// (the cache's SetBytes/GetInto do).
+type Parser struct {
+	r       *bufio.Reader
+	cmd     Command
+	fields  [][]byte // reused field-splitter output
+	keyList [][]byte // reused multi-key list backing
+	keyBuf  []byte   // storage-op key copy that must survive the data read
+	scratch []byte   // reused data-block buffer (grows to the largest value)
+}
+
+// NewParser returns a Parser reading from r.
+func NewParser(r *bufio.Reader) *Parser { return &Parser{r: r} }
+
+// appendFields splits line on ASCII whitespace, appending the fields to
+// dst (the protocol is ASCII; keys cannot contain bytes <= ' ').
+func appendFields(dst [][]byte, line []byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && asciiSpace(line[i]) {
+			i++
+		}
+		start := i
+		for i < len(line) && !asciiSpace(line[i]) {
+			i++
+		}
+		if i > start {
+			dst = append(dst, line[start:i])
+		}
+	}
+	return dst
+}
+
+func asciiSpace(b byte) bool {
+	switch b {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+// parseUintB parses a plain decimal (digits only, like strconv.ParseUint
+// with a sign prefix disallowed) bounded to bitSize bits, without
+// materializing a string.
+func parseUintB(b []byte, bitSize int) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	max := uint64(1)<<uint(bitSize) - 1 // shift >= 64 yields 0; 0-1 wraps to MaxUint64
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (max-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
+}
+
+// parseIntB parses an optionally signed decimal bounded to bitSize bits.
+func parseIntB(b []byte, bitSize int) (int64, bool) {
+	neg := false
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	n, ok := parseUintB(b, 64)
+	if !ok {
+		return 0, false
+	}
+	limit := uint64(1) << uint(bitSize-1)
+	switch {
+	case neg && n == limit:
+		return -int64(limit-1) - 1, true
+	case neg && n < limit:
+		return -int64(n), true
+	case !neg && n < limit:
+		return int64(n), true
+	}
+	return 0, false
+}
+
+// Next parses one command. Malformed requests yield a *ClientError
+// (recoverable); I/O failures yield the underlying error; a quit
+// command yields ErrQuit. See the type comment for the aliasing rules
+// of the returned Command.
+func (p *Parser) Next() (*Command, error) {
+	line, err := readLine(p.r)
+	if err != nil {
+		return nil, err
+	}
+	p.fields = appendFields(p.fields[:0], line)
+	if len(p.fields) == 0 {
+		return nil, &ClientError{Msg: "empty command"}
+	}
+	cmd := &p.cmd
+	*cmd = Command{}
+	op := p.fields[0]
+	args := p.fields[1:]
+	switch string(op) { // compiled to an alloc-free switch
+	case "get":
+		return p.parseGet(OpGet, "get", args)
+	case "gets":
+		return p.parseGet(OpGets, "gets", args)
+	case "set":
+		return p.parseStorage(OpSet, "set", args)
+	case "add":
+		return p.parseStorage(OpAdd, "add", args)
+	case "replace":
+		return p.parseStorage(OpReplace, "replace", args)
+	case "append":
+		return p.parseStorage(OpAppend, "append", args)
+	case "prepend":
+		return p.parseStorage(OpPrepend, "prepend", args)
+	case "cas":
+		return p.parseCas(args)
+	case "delete":
+		return p.parseDelete(args)
+	case "incr":
+		return p.parseIncrDecr(OpIncr, "incr", args)
+	case "decr":
+		return p.parseIncrDecr(OpDecr, "decr", args)
+	case "touch":
+		return p.parseTouch(args)
+	case "gat":
+		return p.parseGat(OpGat, "gat", args)
+	case "gats":
+		return p.parseGat(OpGats, "gats", args)
+	case "stats":
+		cmd.Op = OpStats
+		if len(args) >= 1 {
+			cmd.KeyB = args[0] // sub-statistic: "items", "slabs", ...
+		}
+		return cmd, nil
+	case "flush_all":
+		return p.parseFlushAll(args)
+	case "version":
+		cmd.Op = OpVersion
+		return cmd, nil
+	case "verbosity":
+		return p.parseVerbosity(args)
+	case "quit":
+		return nil, ErrQuit
+	default:
+		return nil, &ClientError{Msg: "unknown command " + string(op)}
+	}
+}
+
+func (p *Parser) parseGet(op Op, name string, args [][]byte) (*Command, error) {
+	if len(args) == 0 {
+		return nil, &ClientError{Msg: name + " requires at least one key"}
+	}
+	p.cmd.Op = op
+	p.keyList = append(p.keyList[:0], args...)
+	p.cmd.KeyList = p.keyList
+	return &p.cmd, nil
+}
+
+// parseStorageHeader parses "<key> <flags> <exptime> <bytes>" plus the
+// optional trailing noreply into p.cmd, returning the value length. The
+// key is copied into the parser's key buffer because reading the data
+// block invalidates the command line it pointed into.
+func (p *Parser) parseStorageHeader(name string, args [][]byte, extra int) (length int, err error) {
+	want := 4 + extra
+	noreply := false
+	if len(args) == want+1 && string(args[want]) == "noreply" {
+		noreply = true
+		args = args[:want]
+	}
+	if len(args) != want {
+		return 0, &ClientError{Msg: "bad " + name + " argument count"}
+	}
+	flags, ok := parseUintB(args[1], 32)
+	if !ok {
+		return 0, &ClientError{Msg: "bad flags"}
+	}
+	exptime, ok := parseIntB(args[2], 64)
+	if !ok {
+		return 0, &ClientError{Msg: "bad exptime"}
+	}
+	length64, ok := parseUintB(args[3], 31)
+	if !ok || length64 > MaxValueBytes {
+		return 0, &ClientError{Msg: "bad data length"}
+	}
+	p.keyBuf = append(p.keyBuf[:0], args[0]...)
+	p.cmd.KeyB = p.keyBuf
+	p.cmd.Flags = uint32(flags)
+	p.cmd.Exptime = exptime
+	p.cmd.Noreply = noreply
+	return int(length64), nil
+}
+
+// readData reads a length-byte data block plus its CRLF terminator into
+// the parser's reusable scratch buffer.
+func (p *Parser) readData(length int) ([]byte, error) {
+	need := length + 2
+	if cap(p.scratch) < need {
+		p.scratch = make([]byte, need)
+	}
+	buf := p.scratch[:need]
+	if _, err := io.ReadFull(p.r, buf); err != nil {
+		return nil, err
+	}
+	if buf[length] != '\r' || buf[length+1] != '\n' {
+		return nil, &ClientError{Msg: "bad data chunk terminator"}
+	}
+	return buf[:length], nil
+}
+
+func (p *Parser) parseStorage(op Op, name string, args [][]byte) (*Command, error) {
+	length, err := p.parseStorageHeader(name, args, 0)
+	if err != nil {
+		return nil, err
+	}
+	p.cmd.Op = op
+	p.cmd.Value, err = p.readData(length)
+	if err != nil {
+		return nil, err
+	}
+	return &p.cmd, nil
+}
+
+func (p *Parser) parseCas(args [][]byte) (*Command, error) {
+	length, err := p.parseStorageHeader("cas", args, 1)
+	if err != nil {
+		return nil, err
+	}
+	cas, ok := parseUintB(args[4], 64)
+	if !ok {
+		return nil, &ClientError{Msg: "bad cas token"}
+	}
+	p.cmd.Op = OpCas
+	p.cmd.CAS = cas
+	p.cmd.Value, err = p.readData(length)
+	if err != nil {
+		return nil, err
+	}
+	return &p.cmd, nil
+}
+
+func (p *Parser) parseDelete(args [][]byte) (*Command, error) {
+	noreply := false
+	if len(args) == 2 && string(args[1]) == "noreply" {
+		noreply = true
+		args = args[:1]
+	}
+	if len(args) != 1 {
+		return nil, &ClientError{Msg: "bad delete argument count"}
+	}
+	p.cmd.Op = OpDelete
+	p.cmd.KeyB = args[0]
+	p.cmd.Noreply = noreply
+	return &p.cmd, nil
+}
+
+func (p *Parser) parseIncrDecr(op Op, name string, args [][]byte) (*Command, error) {
+	noreply := false
+	if len(args) == 3 && string(args[2]) == "noreply" {
+		noreply = true
+		args = args[:2]
+	}
+	if len(args) != 2 {
+		return nil, &ClientError{Msg: "bad " + name + " argument count"}
+	}
+	delta, ok := parseUintB(args[1], 64)
+	if !ok {
+		return nil, &ClientError{Msg: "invalid numeric delta argument"}
+	}
+	p.cmd.Op = op
+	p.cmd.KeyB = args[0]
+	p.cmd.Delta = delta
+	p.cmd.Noreply = noreply
+	return &p.cmd, nil
+}
+
+func (p *Parser) parseTouch(args [][]byte) (*Command, error) {
+	noreply := false
+	if len(args) == 3 && string(args[2]) == "noreply" {
+		noreply = true
+		args = args[:2]
+	}
+	if len(args) != 2 {
+		return nil, &ClientError{Msg: "bad touch argument count"}
+	}
+	exptime, ok := parseIntB(args[1], 64)
+	if !ok {
+		return nil, &ClientError{Msg: "bad exptime"}
+	}
+	p.cmd.Op = OpTouch
+	p.cmd.KeyB = args[0]
+	p.cmd.Exptime = exptime
+	p.cmd.Noreply = noreply
+	return &p.cmd, nil
+}
+
+// parseGat parses "gat <exptime> <key>+" (get-and-touch).
+func (p *Parser) parseGat(op Op, name string, args [][]byte) (*Command, error) {
+	if len(args) < 2 {
+		return nil, &ClientError{Msg: name + " requires an exptime and at least one key"}
+	}
+	exptime, ok := parseIntB(args[0], 64)
+	if !ok {
+		return nil, &ClientError{Msg: "bad exptime"}
+	}
+	p.cmd.Op = op
+	p.cmd.Exptime = exptime
+	p.keyList = append(p.keyList[:0], args[1:]...)
+	p.cmd.KeyList = p.keyList
+	return &p.cmd, nil
+}
+
+func (p *Parser) parseFlushAll(args [][]byte) (*Command, error) {
+	p.cmd.Op = OpFlushAll
+	for _, a := range args {
+		if string(a) == "noreply" {
+			p.cmd.Noreply = true
+			continue
+		}
+		delay, ok := parseIntB(a, 64)
+		if !ok {
+			return nil, &ClientError{Msg: "bad flush_all delay"}
+		}
+		p.cmd.Exptime = delay
+	}
+	return &p.cmd, nil
+}
+
+func (p *Parser) parseVerbosity(args [][]byte) (*Command, error) {
+	p.cmd.Op = OpVerbosity
+	if len(args) >= 1 {
+		lvl, ok := parseIntB(args[0], 64)
+		if !ok {
+			return nil, &ClientError{Msg: "bad verbosity level"}
+		}
+		p.cmd.Level = int(lvl)
+	}
+	if len(args) == 2 && string(args[1]) == "noreply" {
+		p.cmd.Noreply = true
+	}
+	return &p.cmd, nil
+}

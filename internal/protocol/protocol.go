@@ -11,7 +11,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strconv"
 )
 
 // Op enumerates protocol commands.
@@ -75,11 +74,16 @@ func (e *ClientError) Error() string { return "protocol: client error: " + e.Msg
 // ErrQuit is returned by ReadCommand when the peer sent quit.
 var ErrQuit = errors.New("protocol: quit")
 
-// Command is one parsed request.
+// Command is one parsed request. Parser.Next fills the byte-slice key
+// fields (KeyB, KeyList), which alias parser-owned buffers; ReadCommand
+// additionally materializes them into the owning string fields (Key,
+// Keys) and clones Value, so its result has no aliasing hazards.
 type Command struct {
 	Op      Op
-	Key     string
-	Keys    []string // get/gets
+	Key     string   // single-key ops (ReadCommand only)
+	Keys    []string // get/gets/gat (ReadCommand only)
+	KeyB    []byte   // single-key ops; valid until the next Parser.Next
+	KeyList [][]byte // get/gets/gat; valid until the next Parser.Next
 	Flags   uint32
 	Exptime int64 // raw exptime token (memcached semantics)
 	Value   []byte
@@ -89,52 +93,29 @@ type Command struct {
 	Level   int // verbosity
 }
 
-// ReadCommand parses one request from r. Malformed requests yield a
-// *ClientError (recoverable); I/O failures yield the underlying error;
-// a quit command yields ErrQuit.
+// ReadCommand parses one request from r into a freshly allocated,
+// self-owned Command. Malformed requests yield a *ClientError
+// (recoverable); I/O failures yield the underlying error; a quit
+// command yields ErrQuit. Hot paths that read many commands from one
+// connection should hold a Parser instead and call Next.
 func ReadCommand(r *bufio.Reader) (*Command, error) {
-	line, err := readLine(r)
+	p := Parser{r: r}
+	cmd, err := p.Next()
 	if err != nil {
 		return nil, err
 	}
-	fields := bytes.Fields(line)
-	if len(fields) == 0 {
-		return nil, &ClientError{Msg: "empty command"}
-	}
-	op := string(fields[0])
-	args := fields[1:]
-	switch op {
-	case "get", "gets":
-		return parseGet(op, args)
-	case "set", "add", "replace", "append", "prepend":
-		return parseStorage(op, args, r)
-	case "cas":
-		return parseCas(args, r)
-	case "delete":
-		return parseDelete(args)
-	case "incr", "decr":
-		return parseIncrDecr(op, args)
-	case "touch":
-		return parseTouch(args)
-	case "gat", "gats":
-		return parseGat(op, args)
-	case "stats":
-		cmd := &Command{Op: OpStats}
-		if len(args) >= 1 {
-			cmd.Key = string(args[0]) // sub-statistic: "items", "slabs", ...
+	out := *cmd
+	out.Key = string(cmd.KeyB)
+	out.KeyB = nil
+	if cmd.KeyList != nil {
+		out.Keys = make([]string, len(cmd.KeyList))
+		for i, k := range cmd.KeyList {
+			out.Keys[i] = string(k)
 		}
-		return cmd, nil
-	case "flush_all":
-		return parseFlushAll(args)
-	case "version":
-		return &Command{Op: OpVersion}, nil
-	case "verbosity":
-		return parseVerbosity(args)
-	case "quit":
-		return nil, ErrQuit
-	default:
-		return nil, &ClientError{Msg: "unknown command " + op}
+		out.KeyList = nil
 	}
+	out.Value = bytes.Clone(cmd.Value)
+	return &out, nil
 }
 
 func readLine(r *bufio.Reader) ([]byte, error) {
@@ -155,53 +136,9 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 	return bytes.TrimRight(line, "\r\n"), nil
 }
 
-func parseGet(op string, args [][]byte) (*Command, error) {
-	if len(args) == 0 {
-		return nil, &ClientError{Msg: op + " requires at least one key"}
-	}
-	cmd := &Command{Op: OpGet, Keys: make([]string, len(args))}
-	if op == "gets" {
-		cmd.Op = OpGets
-	}
-	for i, a := range args {
-		cmd.Keys[i] = string(a)
-	}
-	return cmd, nil
-}
-
-// parseStorageHeader parses "<key> <flags> <exptime> <bytes>" and the
-// optional trailing noreply, returning the value length.
-func parseStorageHeader(op string, args [][]byte, extra int) (cmd *Command, length int, err error) {
-	want := 4 + extra
-	noreply := false
-	if len(args) == want+1 && string(args[want]) == "noreply" {
-		noreply = true
-		args = args[:want]
-	}
-	if len(args) != want {
-		return nil, 0, &ClientError{Msg: "bad " + op + " argument count"}
-	}
-	flags, err := strconv.ParseUint(string(args[1]), 10, 32)
-	if err != nil {
-		return nil, 0, &ClientError{Msg: "bad flags"}
-	}
-	exptime, err := strconv.ParseInt(string(args[2]), 10, 64)
-	if err != nil {
-		return nil, 0, &ClientError{Msg: "bad exptime"}
-	}
-	length64, err := strconv.ParseUint(string(args[3]), 10, 31)
-	if err != nil || length64 > MaxValueBytes {
-		return nil, 0, &ClientError{Msg: "bad data length"}
-	}
-	cmd = &Command{
-		Key:     string(args[0]),
-		Flags:   uint32(flags),
-		Exptime: exptime,
-		Noreply: noreply,
-	}
-	return cmd, int(length64), nil
-}
-
+// readDataBlock reads a length-byte data block plus CRLF into a fresh
+// buffer (client-side response parsing; the server path uses
+// Parser.readData's reusable scratch instead).
 func readDataBlock(r *bufio.Reader, length int) ([]byte, error) {
 	buf := make([]byte, length+2)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -211,144 +148,4 @@ func readDataBlock(r *bufio.Reader, length int) ([]byte, error) {
 		return nil, &ClientError{Msg: "bad data chunk terminator"}
 	}
 	return buf[:length], nil
-}
-
-func parseStorage(op string, args [][]byte, r *bufio.Reader) (*Command, error) {
-	cmd, length, err := parseStorageHeader(op, args, 0)
-	if err != nil {
-		return nil, err
-	}
-	switch op {
-	case "set":
-		cmd.Op = OpSet
-	case "add":
-		cmd.Op = OpAdd
-	case "replace":
-		cmd.Op = OpReplace
-	case "append":
-		cmd.Op = OpAppend
-	case "prepend":
-		cmd.Op = OpPrepend
-	}
-	cmd.Value, err = readDataBlock(r, length)
-	if err != nil {
-		return nil, err
-	}
-	return cmd, nil
-}
-
-func parseCas(args [][]byte, r *bufio.Reader) (*Command, error) {
-	cmd, length, err := parseStorageHeader("cas", args, 1)
-	if err != nil {
-		return nil, err
-	}
-	cas, err := strconv.ParseUint(string(args[4]), 10, 64)
-	if err != nil {
-		return nil, &ClientError{Msg: "bad cas token"}
-	}
-	cmd.Op = OpCas
-	cmd.CAS = cas
-	cmd.Value, err = readDataBlock(r, length)
-	if err != nil {
-		return nil, err
-	}
-	return cmd, nil
-}
-
-func parseDelete(args [][]byte) (*Command, error) {
-	noreply := false
-	if len(args) == 2 && string(args[1]) == "noreply" {
-		noreply = true
-		args = args[:1]
-	}
-	if len(args) != 1 {
-		return nil, &ClientError{Msg: "bad delete argument count"}
-	}
-	return &Command{Op: OpDelete, Key: string(args[0]), Noreply: noreply}, nil
-}
-
-func parseIncrDecr(op string, args [][]byte) (*Command, error) {
-	noreply := false
-	if len(args) == 3 && string(args[2]) == "noreply" {
-		noreply = true
-		args = args[:2]
-	}
-	if len(args) != 2 {
-		return nil, &ClientError{Msg: "bad " + op + " argument count"}
-	}
-	delta, err := strconv.ParseUint(string(args[1]), 10, 64)
-	if err != nil {
-		return nil, &ClientError{Msg: "invalid numeric delta argument"}
-	}
-	cmd := &Command{Op: OpIncr, Key: string(args[0]), Delta: delta, Noreply: noreply}
-	if op == "decr" {
-		cmd.Op = OpDecr
-	}
-	return cmd, nil
-}
-
-func parseTouch(args [][]byte) (*Command, error) {
-	noreply := false
-	if len(args) == 3 && string(args[2]) == "noreply" {
-		noreply = true
-		args = args[:2]
-	}
-	if len(args) != 2 {
-		return nil, &ClientError{Msg: "bad touch argument count"}
-	}
-	exptime, err := strconv.ParseInt(string(args[1]), 10, 64)
-	if err != nil {
-		return nil, &ClientError{Msg: "bad exptime"}
-	}
-	return &Command{Op: OpTouch, Key: string(args[0]), Exptime: exptime, Noreply: noreply}, nil
-}
-
-// parseGat parses "gat <exptime> <key>+" (get-and-touch).
-func parseGat(op string, args [][]byte) (*Command, error) {
-	if len(args) < 2 {
-		return nil, &ClientError{Msg: op + " requires an exptime and at least one key"}
-	}
-	exptime, err := strconv.ParseInt(string(args[0]), 10, 64)
-	if err != nil {
-		return nil, &ClientError{Msg: "bad exptime"}
-	}
-	cmd := &Command{Op: OpGat, Exptime: exptime, Keys: make([]string, len(args)-1)}
-	if op == "gats" {
-		cmd.Op = OpGats
-	}
-	for i, a := range args[1:] {
-		cmd.Keys[i] = string(a)
-	}
-	return cmd, nil
-}
-
-func parseFlushAll(args [][]byte) (*Command, error) {
-	cmd := &Command{Op: OpFlushAll}
-	for _, a := range args {
-		if string(a) == "noreply" {
-			cmd.Noreply = true
-			continue
-		}
-		delay, err := strconv.ParseInt(string(a), 10, 64)
-		if err != nil {
-			return nil, &ClientError{Msg: "bad flush_all delay"}
-		}
-		cmd.Exptime = delay
-	}
-	return cmd, nil
-}
-
-func parseVerbosity(args [][]byte) (*Command, error) {
-	cmd := &Command{Op: OpVerbosity}
-	if len(args) >= 1 {
-		lvl, err := strconv.Atoi(string(args[0]))
-		if err != nil {
-			return nil, &ClientError{Msg: "bad verbosity level"}
-		}
-		cmd.Level = lvl
-	}
-	if len(args) == 2 && string(args[1]) == "noreply" {
-		cmd.Noreply = true
-	}
-	return cmd, nil
 }

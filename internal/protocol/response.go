@@ -60,11 +60,55 @@ func (w *Writer) Value(key string, flags uint32, cas uint64, value []byte, withC
 	return err
 }
 
+// ValueBytes writes one VALUE block without allocating: the header is
+// appended into the bufio writer's spare capacity (flushing first when
+// the header might not fit), so pipelined gets coalesce into the
+// writer's buffer and go out in one syscall at the next Flush.
+func (w *Writer) ValueBytes(key []byte, flags uint32, cas uint64, value []byte, withCAS bool) error {
+	// Worst-case header: "VALUE " + key + 3 numbers + spaces + CRLF.
+	if w.w.Available() < len(key)+64 {
+		if err := w.w.Flush(); err != nil {
+			return err
+		}
+	}
+	buf := w.w.AvailableBuffer()
+	buf = append(buf, "VALUE "...)
+	buf = append(buf, key...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, uint64(flags), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, uint64(len(value)), 10)
+	if withCAS {
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, cas, 10)
+	}
+	buf = append(buf, '\r', '\n')
+	if _, err := w.w.Write(buf); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(value); err != nil {
+		return err
+	}
+	_, err := w.w.Write(crlf)
+	return err
+}
+
 // End terminates a retrieval response.
 func (w *Writer) End() error { return w.Line(RespEnd) }
 
-// Number writes an incr/decr result.
-func (w *Writer) Number(n uint64) error { return w.Line(strconv.FormatUint(n, 10)) }
+// Number writes an incr/decr result without allocating.
+func (w *Writer) Number(n uint64) error {
+	if w.w.Available() < 22 { // 20 digits + CRLF
+		if err := w.w.Flush(); err != nil {
+			return err
+		}
+	}
+	buf := w.w.AvailableBuffer()
+	buf = strconv.AppendUint(buf, n, 10)
+	buf = append(buf, '\r', '\n')
+	_, err := w.w.Write(buf)
+	return err
+}
 
 // Stat writes one STAT line.
 func (w *Writer) Stat(name, value string) error {

@@ -1,0 +1,155 @@
+package server
+
+// Hot-path benchmarks for the live server: pipelined get/set/multiget
+// over real TCP connections. The client side is deliberately
+// allocation-free (prebuilt request batches, fixed-size expected
+// responses read with io.ReadFull), so allocs/op reported by -benchmem
+// is the server-side cost of parsing, cache access and response
+// formatting. Baselines live in BENCH_server.json; the CI bench job
+// fails on >20% ns/op regression or any new allocs on the zero-alloc
+// get path.
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"memqlat/internal/cache"
+)
+
+const (
+	hotKeys     = 256 // distinct keys, fixed-width names → fixed-size replies
+	hotValueLen = 100
+)
+
+func hotKey(i int) string { return fmt.Sprintf("k%04d", i%hotKeys) }
+
+// startHotServer brings up an unshaped server on a loopback listener
+// with hotKeys pre-populated fixed-size values.
+func startHotServer(b *testing.B) (*Server, net.Addr) {
+	b.Helper()
+	c, err := cache.New(cache.Options{MaxBytes: 256 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	value := []byte(strings.Repeat("v", hotValueLen))
+	for i := 0; i < hotKeys; i++ {
+		if err := c.Set(hotKey(i), value, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := New(Options{Cache: c, Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	return srv, l.Addr()
+}
+
+// hotBatch builds one pipelined request batch plus the exact byte count
+// of the server's reply, so workers can io.ReadFull without parsing.
+//
+//	get:      pipeline of single-key gets (op = one get)
+//	set:      pipeline of sets             (op = one set)
+//	multiget: pipeline of 8-key gets       (op = one 8-key command)
+func hotBatch(op string, offset int) (batch []byte, ops int, respLen int) {
+	var sb strings.Builder
+	value := strings.Repeat("v", hotValueLen)
+	// One VALUE block: "VALUE k0000 0 100\r\n" + value + "\r\n"
+	valueBlock := len("VALUE k0000 0 100\r\n") + hotValueLen + 2
+	switch op {
+	case "get":
+		ops = 64
+		for i := 0; i < ops; i++ {
+			fmt.Fprintf(&sb, "get %s\r\n", hotKey(offset+i))
+		}
+		respLen = ops * (valueBlock + len("END\r\n"))
+	case "set":
+		ops = 64
+		for i := 0; i < ops; i++ {
+			fmt.Fprintf(&sb, "set %s 0 0 %d\r\n%s\r\n", hotKey(offset+i), hotValueLen, value)
+		}
+		respLen = ops * len("STORED\r\n")
+	case "multiget":
+		ops = 16
+		for i := 0; i < ops; i++ {
+			sb.WriteString("get")
+			for j := 0; j < 8; j++ {
+				fmt.Fprintf(&sb, " %s", hotKey(offset+i*8+j))
+			}
+			sb.WriteString("\r\n")
+		}
+		respLen = ops * (8*valueBlock + len("END\r\n"))
+	default:
+		panic("unknown op " + op)
+	}
+	return []byte(sb.String()), ops, respLen
+}
+
+// BenchmarkServerHotPath drives the server end to end: conns workers
+// each own one TCP connection and pump pipelined batches until b.N ops
+// are done. ns/op is per command; the get path must stay 0 allocs/op.
+func BenchmarkServerHotPath(b *testing.B) {
+	for _, op := range []string{"get", "set", "multiget"} {
+		for _, conns := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/conns=%d", op, conns), func(b *testing.B) {
+				srv, addr := startHotServer(b)
+				defer srv.Close()
+				type worker struct {
+					nc    net.Conn
+					batch []byte
+					resp  []byte
+					ops   int64
+				}
+				workers := make([]*worker, conns)
+				for i := range workers {
+					nc, err := net.Dial("tcp", addr.String())
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer nc.Close()
+					batch, ops, respLen := hotBatch(op, i*16)
+					workers[i] = &worker{nc: nc, batch: batch, resp: make([]byte, respLen), ops: int64(ops)}
+				}
+				var remaining atomic.Int64
+				remaining.Store(int64(b.N))
+				var wg sync.WaitGroup
+				errs := make(chan error, conns)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for _, w := range workers {
+					wg.Add(1)
+					go func(w *worker) {
+						defer wg.Done()
+						for remaining.Add(-w.ops) > -w.ops {
+							if _, err := w.nc.Write(w.batch); err != nil {
+								errs <- err
+								return
+							}
+							if _, err := io.ReadFull(w.nc, w.resp); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+				select {
+				case err := <-errs:
+					b.Fatal(err)
+				default:
+				}
+			})
+		}
+	}
+}

@@ -8,6 +8,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -43,6 +44,13 @@ type Options struct {
 	// exponential draw of mean 1/ServiceRate, emulating a Memcached
 	// server with service rate µ_S (paper §5.1 measures 80 Kps).
 	ServiceRate float64
+	// ServiceChannels is the number of independent service channels the
+	// shaped path may occupy concurrently (default 1: the single-server
+	// GI^X/M/1 queue the paper models). Values > 1 emulate a
+	// multi-threaded memcached where commands for different cache shards
+	// are serviced in parallel; commands are routed to channels by key
+	// shard so per-key ordering is preserved.
+	ServiceChannels int
 	// Seed feeds the service-time shaper.
 	Seed uint64
 	// Logger receives connection-level errors (default log.Default()).
@@ -89,42 +97,68 @@ type Server struct {
 	telem *telemetry.Collector
 	rec   telemetry.Recorder
 
-	// serviceMu serializes shaped service across connections so that a
-	// shaped server behaves as ONE queueing server (the model's single
-	// service channel), not one per connection.
-	serviceMu sync.Mutex
+	// serviceCh holds the shaped path's service channels. With the
+	// default single channel, shaped service serializes across
+	// connections so a shaped server behaves as ONE queueing server (the
+	// model's single service channel), not one per connection. With
+	// Options.ServiceChannels > 1, commands contend only within their
+	// key's channel.
+	serviceCh []sync.Mutex
 
 	// latency tracks per-command handling time, served by "stats
 	// latency" (a memqlat observability extension).
 	latency latencyTracker
 }
 
-// latencyTracker is a mutex-guarded latency histogram.
+// latencyStripes is the number of lock domains in latencyTracker
+// (power of two: connections map to stripes by masked id).
+const latencyStripes = 8
+
+// latencyTracker is a striped latency histogram: each connection records
+// into its own stripe so per-command timing never serializes the
+// connections against each other; snapshot merges the stripes.
 type latencyTracker struct {
+	stripes [latencyStripes]latencyStripe
+}
+
+type latencyStripe struct {
 	mu   sync.Mutex
 	hist *stats.Histogram
 }
 
-func (l *latencyTracker) record(seconds float64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.hist == nil {
-		l.hist = stats.NewHistogram()
+// stripe returns the lock domain for the connection identified by hint.
+func (l *latencyTracker) stripe(hint uint64) *latencyStripe {
+	return &l.stripes[hint&(latencyStripes-1)]
+}
+
+func (ls *latencyStripe) record(seconds float64) {
+	ls.mu.Lock()
+	if ls.hist == nil {
+		ls.hist = stats.NewHistogram()
 	}
-	l.hist.Record(seconds)
+	ls.hist.Record(seconds)
+	ls.mu.Unlock()
 }
 
 type statRow struct{ k, v string }
 
 func (l *latencyTracker) snapshot() []statRow {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.hist == nil || l.hist.Count() == 0 {
+	merged := stats.NewHistogram()
+	for i := range l.stripes {
+		ls := &l.stripes[i]
+		ls.mu.Lock()
+		if ls.hist != nil {
+			// Identical bucketing by construction; Merge cannot fail.
+			_ = merged.Merge(ls.hist)
+		}
+		ls.mu.Unlock()
+	}
+	if merged.Count() == 0 {
 		return []statRow{{"latency:count", "0"}}
 	}
 	rows := []statRow{
-		{"latency:count", fmt.Sprintf("%d", l.hist.Count())},
-		{"latency:mean_us", fmt.Sprintf("%.1f", l.hist.Mean()*1e6)},
+		{"latency:count", fmt.Sprintf("%d", merged.Count())},
+		{"latency:mean_us", fmt.Sprintf("%.1f", merged.Mean()*1e6)},
 	}
 	for _, q := range []struct {
 		name  string
@@ -132,7 +166,7 @@ func (l *latencyTracker) snapshot() []statRow {
 	}{{"p50", 0.5}, {"p90", 0.9}, {"p99", 0.99}, {"p999", 0.999}} {
 		rows = append(rows, statRow{
 			"latency:" + q.name + "_us",
-			fmt.Sprintf("%.1f", l.hist.MustQuantile(q.level)*1e6),
+			fmt.Sprintf("%.1f", merged.MustQuantile(q.level)*1e6),
 		})
 	}
 	return rows
@@ -152,6 +186,12 @@ func New(opts Options) (*Server, error) {
 	if opts.ServiceRate < 0 {
 		return nil, fmt.Errorf("server: ServiceRate=%v must be >= 0", opts.ServiceRate)
 	}
+	if opts.ServiceChannels < 0 {
+		return nil, fmt.Errorf("server: ServiceChannels=%d must be >= 0", opts.ServiceChannels)
+	}
+	if opts.ServiceChannels == 0 {
+		opts.ServiceChannels = 1
+	}
 	if opts.ReadBuffer == 0 {
 		opts.ReadBuffer = 16 << 10
 	}
@@ -163,14 +203,22 @@ func New(opts Options) (*Server, error) {
 		logger = log.Default()
 	}
 	telem := telemetry.NewCollector()
-	return &Server{
+	s := &Server{
 		opts:      opts,
 		logger:    logger,
 		conns:     make(map[net.Conn]struct{}),
 		startTime: time.Now(),
 		telem:     telem,
 		rec:       telemetry.Tee(telem, opts.Recorder),
-	}, nil
+		serviceCh: make([]sync.Mutex, opts.ServiceChannels),
+	}
+	// Shard-lock contention in the cache surfaces as the lock_wait
+	// telemetry stage; the TryLock fast path records nothing when
+	// uncontended, so healthy runs keep the stage zero-elided.
+	opts.Cache.OnLockWait(func(seconds float64) {
+		s.rec.Observe(telemetry.StageLockWait, seconds)
+	})
+	return s, nil
 }
 
 // Serve accepts connections on l until Close. It returns nil after a
@@ -281,22 +329,47 @@ func (s *Server) Close() error {
 	return err
 }
 
+// connState is the per-connection reusable scratch the dispatch path
+// appends into, so steady-state gets allocate nothing.
+type connState struct {
+	val []byte // GetInto destination; grows to the largest value seen
+}
+
+// primaryKey returns the key that routes a command to a service channel
+// (first key of multi-key ops; nil for keyless commands).
+func primaryKey(cmd *protocol.Command) []byte {
+	if cmd.KeyB != nil {
+		return cmd.KeyB
+	}
+	if len(cmd.KeyList) > 0 {
+		return cmd.KeyList[0]
+	}
+	return nil
+}
+
 // handleConn runs the request loop for one connection.
 func (s *Server) handleConn(conn net.Conn, id uint64) error {
 	r := bufio.NewReaderSize(conn, s.opts.ReadBuffer)
 	w := protocol.NewWriter(bufio.NewWriterSize(conn, s.opts.WriteBuffer))
+	p := protocol.NewParser(r)
+	// Per-connection telemetry handle and latency stripe: connections
+	// mapped to different stripes never serialize on observability.
+	rec := telemetry.Shard(s.rec, id)
+	lat := s.latency.stripe(id)
+	var st connState
 	var blackhole *protocol.Writer // lazily built reply sink for Drop faults
 	var shaper *rand.Rand
 	if s.opts.ServiceRate > 0 {
 		shaper = dist.SubRand(s.opts.Seed, id)
 	}
+	var cmdSeq uint64 // per-connection sequence, drives latency sampling
 	for {
 		if s.opts.IdleTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
 				return fmt.Errorf("set idle deadline: %w", err)
 			}
 		}
-		cmd, err := protocol.ReadCommand(r)
+		cmd, err := p.Next()
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
@@ -324,7 +397,17 @@ func (s *Server) handleConn(conn net.Conn, id uint64) error {
 		if cmd.Op >= 0 && int(cmd.Op) < len(s.opCounts) {
 			s.opCounts[cmd.Op].Add(1)
 		}
-		began := time.Now()
+		// Shaped servers time every command (the queue-wait split needs
+		// it); unshaped ones sample 1 in 8 per connection, so the
+		// latency/telemetry histograms estimate the same distribution
+		// without paying two clock reads and two histogram inserts on
+		// every operation of the raw hot path.
+		timed := shaper != nil || cmdSeq&7 == 0
+		cmdSeq++
+		var began time.Time
+		if timed {
+			began = time.Now()
+		}
 		act := s.opts.Fault.Eval()
 		if act.Delay > 0 {
 			time.Sleep(time.Duration(act.Delay * float64(time.Second)))
@@ -336,13 +419,17 @@ func (s *Server) handleConn(conn net.Conn, id uint64) error {
 		var waited time.Duration
 		if shaper != nil {
 			service := time.Duration(shaper.ExpFloat64() / s.opts.ServiceRate * float64(time.Second))
-			s.serviceMu.Lock()
-			// Time spent acquiring the single service channel is the
-			// live server's queueing delay (the W of GI^X/M/1).
+			ch := 0
+			if len(s.serviceCh) > 1 {
+				ch = s.opts.Cache.ShardIndex(primaryKey(cmd)) % len(s.serviceCh)
+			}
+			s.serviceCh[ch].Lock()
+			// Time spent acquiring the service channel is the live
+			// server's queueing delay (the W of GI^X/M/1).
 			waited = time.Since(began)
 			time.Sleep(service)
-			s.serviceMu.Unlock()
-			s.rec.Observe(telemetry.StageQueueWait, waited.Seconds())
+			s.serviceCh[ch].Unlock()
+			rec.Observe(telemetry.StageQueueWait, waited.Seconds())
 		}
 		out := w
 		if act.Outcome == fault.Drop {
@@ -353,12 +440,14 @@ func (s *Server) handleConn(conn net.Conn, id uint64) error {
 			}
 			out = blackhole
 		}
-		if err := s.dispatch(out, cmd); err != nil {
+		if err := s.dispatch(out, cmd, &st); err != nil {
 			return err
 		}
-		total := time.Since(began)
-		s.latency.record(total.Seconds())
-		s.rec.Observe(telemetry.StageService, (total - waited).Seconds())
+		if timed {
+			total := time.Since(began)
+			lat.record(total.Seconds())
+			rec.Observe(telemetry.StageService, (total - waited).Seconds())
+		}
 		// Flush when the pipeline is drained (no buffered next command).
 		if r.Buffered() == 0 {
 			if err := w.Flush(); err != nil {
@@ -396,39 +485,47 @@ func reply(w *protocol.Writer, cmd *protocol.Command, line string) error {
 	return w.Line(line)
 }
 
-func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command) error {
+func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command, st *connState) error {
 	c := s.opts.Cache
 	now := time.Now()
 	switch cmd.Op {
 	case protocol.OpGet, protocol.OpGets:
+		// The zero-alloc path: keys alias the parser's buffers, values
+		// are copied into the connection's reusable scratch under the
+		// shard lock, and the response header is built in the bufio
+		// writer's spare capacity.
 		withCAS := cmd.Op == protocol.OpGets
-		for _, key := range cmd.Keys {
-			it, err := c.Get(key)
+		for _, key := range cmd.KeyList {
+			v, flags, cas, err := c.GetInto(key, st.val[:0])
 			if err != nil {
 				continue // missing keys are silently omitted
 			}
-			if err := w.Value(key, it.Flags, it.CAS, it.Value, withCAS); err != nil {
+			st.val = v
+			if err := w.ValueBytes(key, flags, cas, v, withCAS); err != nil {
 				return err
 			}
 		}
 		return w.End()
 
 	case protocol.OpSet:
-		return s.storageReply(w, cmd, c.Set(cmd.Key, cmd.Value, cmd.Flags, ttlFromExptime(cmd.Exptime, now)))
+		// SetBytes copies key and value, so the parser scratch that
+		// cmd.Value aliases is safe to reuse on the next command.
+		return s.storageReply(w, cmd, c.SetBytes(cmd.KeyB, cmd.Value, cmd.Flags, ttlFromExptime(cmd.Exptime, now)))
 	case protocol.OpAdd:
-		return s.storageReply(w, cmd, c.Add(cmd.Key, cmd.Value, cmd.Flags, ttlFromExptime(cmd.Exptime, now)))
+		return s.storageReply(w, cmd, c.Add(string(cmd.KeyB), bytes.Clone(cmd.Value), cmd.Flags, ttlFromExptime(cmd.Exptime, now)))
 	case protocol.OpReplace:
-		return s.storageReply(w, cmd, c.Replace(cmd.Key, cmd.Value, cmd.Flags, ttlFromExptime(cmd.Exptime, now)))
+		return s.storageReply(w, cmd, c.Replace(string(cmd.KeyB), bytes.Clone(cmd.Value), cmd.Flags, ttlFromExptime(cmd.Exptime, now)))
 	case protocol.OpAppend:
-		return s.storageReply(w, cmd, c.Append(cmd.Key, cmd.Value))
+		// concat copies the suffix under the shard lock; no clone needed.
+		return s.storageReply(w, cmd, c.Append(string(cmd.KeyB), cmd.Value))
 	case protocol.OpPrepend:
-		return s.storageReply(w, cmd, c.Prepend(cmd.Key, cmd.Value))
+		return s.storageReply(w, cmd, c.Prepend(string(cmd.KeyB), cmd.Value))
 	case protocol.OpCas:
 		return s.storageReply(w, cmd,
-			c.CompareAndSwap(cmd.Key, cmd.Value, cmd.Flags, ttlFromExptime(cmd.Exptime, now), cmd.CAS))
+			c.CompareAndSwap(string(cmd.KeyB), bytes.Clone(cmd.Value), cmd.Flags, ttlFromExptime(cmd.Exptime, now), cmd.CAS))
 
 	case protocol.OpDelete:
-		err := c.Delete(cmd.Key)
+		err := c.Delete(string(cmd.KeyB))
 		switch {
 		case err == nil:
 			return reply(w, cmd, protocol.RespDeleted)
@@ -443,7 +540,7 @@ func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command) error {
 		if cmd.Op == protocol.OpDecr {
 			delta = -delta
 		}
-		n, err := c.IncrDecr(cmd.Key, delta)
+		n, err := c.IncrDecr(string(cmd.KeyB), delta)
 		switch {
 		case err == nil:
 			if cmd.Noreply {
@@ -462,7 +559,7 @@ func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command) error {
 		}
 
 	case protocol.OpTouch:
-		err := c.Touch(cmd.Key, ttlFromExptime(cmd.Exptime, now))
+		err := c.Touch(string(cmd.KeyB), ttlFromExptime(cmd.Exptime, now))
 		switch {
 		case err == nil:
 			return reply(w, cmd, protocol.RespTouched)
@@ -475,19 +572,19 @@ func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command) error {
 	case protocol.OpGat, protocol.OpGats:
 		withCAS := cmd.Op == protocol.OpGats
 		ttl := ttlFromExptime(cmd.Exptime, now)
-		for _, key := range cmd.Keys {
-			it, err := c.GetAndTouch(key, ttl)
+		for _, key := range cmd.KeyList {
+			it, err := c.GetAndTouch(string(key), ttl)
 			if err != nil {
 				continue
 			}
-			if err := w.Value(key, it.Flags, it.CAS, it.Value, withCAS); err != nil {
+			if err := w.ValueBytes(key, it.Flags, it.CAS, it.Value, withCAS); err != nil {
 				return err
 			}
 		}
 		return w.End()
 
 	case protocol.OpStats:
-		return s.writeStats(w, cmd.Key)
+		return s.writeStats(w, string(cmd.KeyB))
 
 	case protocol.OpFlushAll:
 		c.FlushAll()

@@ -44,13 +44,20 @@ const (
 	// breaker fast-failed; the value is the (near-zero) shed latency, so
 	// the Count is the signal.
 	StageBreakerShed
+	// StageLockWait is the time a command blocked acquiring a cache
+	// shard lock. The sharded store's TryLock fast path records nothing
+	// when uncontended, so healthy runs keep this stage zero-elided and
+	// the paper's queue_wait/service decomposition unchanged; a non-zero
+	// count is direct evidence of a lock convoy the service-time model
+	// does not describe.
+	StageLockWait
 	numStages
 )
 
 // Stages lists every stage in reporting order.
 func Stages() []Stage {
 	return []Stage{StageQueueWait, StageService, StageMissPenalty, StageForkJoin,
-		StageRetry, StageHedgeWait, StageBreakerShed}
+		StageRetry, StageHedgeWait, StageBreakerShed, StageLockWait}
 }
 
 // String returns the stable snake_case stage name used in reports and
@@ -71,6 +78,8 @@ func (s Stage) String() string {
 		return "hedge_wait"
 	case StageBreakerShed:
 		return "breaker_shed"
+	case StageLockWait:
+		return "lock_wait"
 	default:
 		return fmt.Sprintf("stage(%d)", int(s))
 	}
@@ -100,6 +109,26 @@ func OrNop(r Recorder) Recorder {
 	return r
 }
 
+// Sharder is implemented by recorders that can hand out low-contention
+// per-worker handles: a handle's observations land in the same
+// aggregate, but concurrent workers holding distinct handles do not
+// serialize on one mutex. The live server requests one handle per
+// connection so that telemetry never becomes the cross-connection lock
+// the latency model does not describe.
+type Sharder interface {
+	// Shard returns a Recorder handle for the worker identified by hint.
+	Shard(hint uint64) Recorder
+}
+
+// Shard returns a per-worker handle of r when r supports sharding, and
+// r itself otherwise — call sites thread a hint without caring.
+func Shard(r Recorder, hint uint64) Recorder {
+	if s, ok := r.(Sharder); ok {
+		return s.Shard(hint)
+	}
+	return OrNop(r)
+}
+
 // Tee fans every observation out to both recorders (e.g. a server's own
 // stats collector plus a harness-wide one). Nil arguments are dropped.
 func Tee(a, b Recorder) Recorder {
@@ -117,6 +146,11 @@ type teeRecorder struct{ a, b Recorder }
 func (t teeRecorder) Observe(stage Stage, seconds float64) {
 	t.a.Observe(stage, seconds)
 	t.b.Observe(stage, seconds)
+}
+
+// Shard implements Sharder by sharding both sides.
+func (t teeRecorder) Shard(hint uint64) Recorder {
+	return Tee(Shard(t.a, hint), Shard(t.b, hint))
 }
 
 // StageStats summarizes the observations of one stage.
@@ -167,38 +201,77 @@ func (b Breakdown) String() string {
 	return sb.String()
 }
 
-// Collector is a thread-safe Recorder that aggregates observations into
-// a Breakdown. The zero value is NOT ready; use NewCollector.
-type Collector struct {
+// collectorStripes is the number of independent lock domains inside a
+// Collector. Power of two so Shard can mask instead of divide.
+const collectorStripes = 8
+
+// stripe is one lock domain of a Collector; it is itself a Recorder, so
+// Collector.Shard can hand it out directly.
+type stripe struct {
 	mu    sync.Mutex
 	hists [numStages]*stats.Histogram
+}
+
+// Observe implements Recorder.
+func (s *stripe) Observe(stage Stage, seconds float64) {
+	if stage < 0 || stage >= numStages {
+		return
+	}
+	s.mu.Lock()
+	s.hists[stage].Record(seconds)
+	s.mu.Unlock()
+}
+
+// Collector is a thread-safe Recorder that aggregates observations into
+// a Breakdown. Internally it is striped: workers that obtain handles via
+// Shard serialize only within their stripe, so a cluster-wide collector
+// does not become a cluster-wide lock. The zero value is NOT ready; use
+// NewCollector.
+type Collector struct {
+	stripes [collectorStripes]stripe
 }
 
 // NewCollector constructs an empty Collector.
 func NewCollector() *Collector {
 	c := &Collector{}
-	for i := range c.hists {
-		c.hists[i] = stats.NewHistogram()
+	for s := range c.stripes {
+		for i := range c.stripes[s].hists {
+			c.stripes[s].hists[i] = stats.NewHistogram()
+		}
 	}
 	return c
 }
 
-// Observe implements Recorder.
+// Observe implements Recorder. Unsharded callers all land in stripe 0;
+// hot paths should take a per-worker handle via Shard instead.
 func (c *Collector) Observe(stage Stage, seconds float64) {
-	if stage < 0 || stage >= numStages {
-		return
-	}
-	c.mu.Lock()
-	c.hists[stage].Record(seconds)
-	c.mu.Unlock()
+	c.stripes[0].Observe(stage, seconds)
 }
 
-// Breakdown snapshots the current per-stage statistics.
+// Shard implements Sharder: observations through the returned handle
+// only contend with workers mapped to the same stripe.
+func (c *Collector) Shard(hint uint64) Recorder {
+	return &c.stripes[hint&(collectorStripes-1)]
+}
+
+// Breakdown snapshots the current per-stage statistics, merged across
+// stripes.
 func (c *Collector) Breakdown() Breakdown {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	merged := [numStages]*stats.Histogram{}
+	for i := range merged {
+		merged[i] = stats.NewHistogram()
+	}
+	for s := range c.stripes {
+		st := &c.stripes[s]
+		st.mu.Lock()
+		for i, h := range st.hists {
+			// Identical bucketing by construction; Merge cannot fail.
+			_ = merged[i].Merge(h)
+		}
+		st.mu.Unlock()
+	}
 	out := make(Breakdown, numStages)
-	for i, h := range c.hists {
+	for i, h := range merged {
 		st := StageStats{Count: h.Count()}
 		if st.Count > 0 {
 			st.Mean = h.Mean()

@@ -16,6 +16,7 @@ func TestStageNames(t *testing.T) {
 		StageRetry:       "retry",
 		StageHedgeWait:   "hedge_wait",
 		StageBreakerShed: "breaker_shed",
+		StageLockWait:    "lock_wait",
 	}
 	if len(Stages()) != len(want) {
 		t.Fatalf("Stages() = %d entries, want %d", len(Stages()), len(want))
@@ -98,5 +99,62 @@ func TestNopAndOrNop(t *testing.T) {
 	c.Observe(Stage(99), 1)
 	if !c.Breakdown().Empty() {
 		t.Error("out-of-range stages recorded")
+	}
+}
+
+func TestCollectorShardHandles(t *testing.T) {
+	c := NewCollector()
+	// Handles with different hints map to a bounded set of stripes; all
+	// of their observations must land in one merged Breakdown.
+	for hint := uint64(0); hint < 32; hint++ {
+		h := Shard(c, hint)
+		for i := 0; i < 10; i++ {
+			h.Observe(StageService, 1e-6)
+		}
+	}
+	if got := c.Breakdown()[StageService].Count; got != 320 {
+		t.Errorf("merged count = %d, want 320", got)
+	}
+	// Same hint -> same stripe (stable routing).
+	if Shard(c, 3) != Shard(c, 3) {
+		t.Error("Shard not stable for equal hints")
+	}
+}
+
+func TestShardFallbacks(t *testing.T) {
+	// A non-Sharder recorder falls back to itself; nil falls back to Nop.
+	if Shard(Nop, 7) != Nop {
+		t.Error("Shard(Nop) != Nop")
+	}
+	if Shard(nil, 7) != Nop {
+		t.Error("Shard(nil) != Nop")
+	}
+}
+
+func TestTeeShards(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	h := Shard(Tee(a, b), 5)
+	h.Observe(StageQueueWait, 2e-6)
+	if a.Breakdown()[StageQueueWait].Count != 1 || b.Breakdown()[StageQueueWait].Count != 1 {
+		t.Error("sharded tee did not fan out to both collectors")
+	}
+}
+
+func TestCollectorShardConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := Shard(c, uint64(w))
+			for i := 0; i < 1000; i++ {
+				h.Observe(StageService, 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Breakdown()[StageService].Count; got != 16000 {
+		t.Errorf("count = %d, want 16000", got)
 	}
 }

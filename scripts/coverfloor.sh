@@ -1,0 +1,22 @@
+#!/bin/sh
+# coverfloor.sh PROFILE FLOOR LABEL — fail when a package's total
+# statement coverage (from `go test -coverprofile`) drops below FLOOR
+# percent. The floors checked in CI are the pre-shard coverage levels of
+# internal/cache and internal/protocol, so hot-path rework cannot shed
+# tests silently.
+set -eu
+
+profile=$1
+floor=$2
+label=$3
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+if [ -z "$total" ]; then
+    echo "coverfloor: no total line in $profile" >&2
+    exit 1
+fi
+echo "$label coverage: ${total}% (floor ${floor}%)"
+if awk -v got="$total" -v floor="$floor" 'BEGIN { exit !(got + 0 < floor + 0) }'; then
+    echo "FAIL: $label coverage ${total}% fell below the ${floor}% floor" >&2
+    exit 1
+fi
