@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: build test vet race verify faults lint cover fuzz-smoke \
-	bench-plane bench-server bench-check repro clean
+	bench-plane bench-server bench-proxy bench-check repro clean
 
 build:
 	$(GO) build ./...
@@ -37,19 +37,27 @@ lint:
 	staticcheck ./...
 	govulncheck ./...
 
-# Coverage floors for the packages the hot-path rework touches most.
-# The floors are the pre-shard coverage levels; CI fails if either
-# package drops below its floor.
+# Coverage floors for the packages the hot-path rework touches most,
+# plus the proxy tier's data plane and routing library. The floors are
+# the blessed coverage levels; CI fails if any package drops below its
+# floor.
 cover:
 	$(GO) test -coverprofile=cover_cache.out ./internal/cache/
 	$(GO) test -coverprofile=cover_protocol.out ./internal/protocol/
+	$(GO) test -coverprofile=cover_proxy.out ./internal/proxy/
+	$(GO) test -coverprofile=cover_route.out ./internal/route/
 	./scripts/coverfloor.sh cover_cache.out 95.2 internal/cache
 	./scripts/coverfloor.sh cover_protocol.out 90.6 internal/protocol
+	./scripts/coverfloor.sh cover_proxy.out 82.0 internal/proxy
+	./scripts/coverfloor.sh cover_route.out 91.0 internal/route
 
-# 30-second fuzz smoke over the reusable-buffer parser: ReadCommand and
-# Parser.Next must agree byte-for-byte on arbitrary input.
+# Fuzz smoke: 30s over the reusable-buffer parser (ReadCommand and
+# Parser.Next must agree byte-for-byte on arbitrary input) and 15s over
+# the proxy's forwarding contract (every accepted command's captured
+# frame must re-parse identically).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseCommand -fuzztime=30s ./internal/protocol/
+	$(GO) test -run '^$$' -fuzz FuzzProxyFrame -fuzztime=15s ./internal/proxy/
 
 # Regenerate the plane-harness baseline (BENCH_plane.json records the
 # last blessed numbers).
@@ -61,12 +69,20 @@ bench-plane:
 bench-server:
 	$(GO) test -run '^$$' -bench BenchmarkServerHotPath -benchmem ./internal/server/
 
+# Proxy hot-path benchmarks (pipelined get/set passthrough and the
+# multiget fork-join through a real proxy + server).
+# BENCH_proxy.json records the last blessed numbers.
+bench-proxy:
+	$(GO) test -run '^$$' -bench BenchmarkProxyHotPath -benchmem ./internal/proxy/
+
 # Compare current benchmark runs against the checked-in baselines the
 # way CI does: >20% ns/op regression or any allocation appearing on a
 # zero-alloc path fails.
 bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkServerHotPath -benchmem ./internal/server/ \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_server.json
+	$(GO) test -run '^$$' -bench BenchmarkProxyHotPath -benchmem ./internal/proxy/ \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_proxy.json
 	$(GO) test -run '^$$' -bench 'BenchmarkSimPlane|BenchmarkLivePlane' -benchmem -benchtime 3x . \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_plane.json
 

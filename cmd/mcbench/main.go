@@ -29,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net"
 	"os"
 	"strings"
 	"time"
@@ -39,6 +41,7 @@ import (
 	"memqlat/internal/fault"
 	"memqlat/internal/loadgen"
 	"memqlat/internal/plane"
+	"memqlat/internal/proxy"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
 	"memqlat/internal/trace"
@@ -70,6 +73,10 @@ func run(args []string, out io.Writer) error {
 		timeout   = fs.Duration("timeout", 10*time.Minute, "overall run timeout")
 		traceOut  = fs.String("trace", "", "journal the issued key stream to this file (mrc/replay input)")
 		closed    = fs.Bool("closed-loop", false, "closed-loop mode (fixed concurrency + think time) instead of open-loop pacing")
+
+		proxied      = fs.Bool("proxy", false, "interpose the proxy tier (in-process mcproxy in front of -servers, or a ProxySpec on -plane runs)")
+		routePolicy  = fs.String("route", "direct", "proxy routing policy for -proxy (direct|failover|replicate)")
+		routeReplica = fs.Int("replicas", 2, "replication degree for -route=replicate")
 
 		planeName  = fs.String("plane", "", "run against an internal plane (model|sim|sim-integrated|live) instead of -servers")
 		mus        = fs.Float64("mus", 2000, "per-server shaped service rate for -plane modes")
@@ -103,17 +110,46 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runPlane(*planeName, planeScenario{
+		ps := planeScenario{
 			servers: *planeSrv, n: *keysPerReq, lambda: *lambda,
 			xi: *xi, q: *q, mus: *mus, missRatio: *missRatio, mud: *mud,
 			ops: *ops, workers: *workers, seed: *seed, timeout: *timeout,
 			faults: faults, resilience: resilience,
-		}, out)
+		}
+		if *proxied {
+			ps.proxy = &plane.ProxySpec{Policy: *routePolicy, Replicas: *routeReplica}
+		}
+		return runPlane(*planeName, ps, out)
 	}
 	if *faultSpec != "" {
 		return fmt.Errorf("-faults needs a -plane mode (external -servers cannot be injected)")
 	}
 	addrs := strings.Split(*servers, ",")
+	if *proxied {
+		// Interpose an in-process proxy: the client talks to it, it
+		// multiplexes onto the configured servers.
+		pol, err := proxy.ParsePolicy(*routePolicy)
+		if err != nil {
+			return err
+		}
+		px, err := proxy.New(proxy.Options{
+			Upstreams: addrs,
+			Policy:    pol,
+			Replicas:  *routeReplica,
+			Logger:    log.New(io.Discard, "", 0),
+		})
+		if err != nil {
+			return err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go func() { _ = px.Serve(l) }()
+		defer func() { _ = px.Close() }()
+		fmt.Fprintf(out, "proxying %s via %s (%s routing)\n", *servers, l.Addr(), pol)
+		addrs = []string{l.Addr().String()}
+	}
 	clOpts := client.Options{
 		Servers:    addrs,
 		PoolSize:   *workers,
@@ -209,6 +245,7 @@ type planeScenario struct {
 	timeout                  time.Duration
 	faults                   fault.Schedule
 	resilience               fault.Resilience
+	proxy                    *plane.ProxySpec
 }
 
 // runPlane evaluates the flag-described scenario on the named internal
@@ -236,6 +273,10 @@ func runPlane(name string, ps planeScenario, out io.Writer) error {
 		Seed:         ps.seed,
 		Faults:       ps.faults,
 		Resilience:   ps.resilience,
+		Proxy:        ps.proxy,
+	}
+	if ps.proxy != nil {
+		fmt.Fprintf(out, "interposing proxy tier (%s routing)\n", ps.proxy.Policy)
 	}
 	if !ps.faults.Empty() {
 		fmt.Fprintf(out, "injecting faults: %s\n", ps.faults)

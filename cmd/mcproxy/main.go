@@ -1,0 +1,86 @@
+// Command mcproxy runs the memqlat proxy tier: an mcrouter-style
+// memcached proxy that multiplexes many client connections onto a small
+// pool of pipelined upstream connections per server, routing keys with
+// the same ketama ring the client uses.
+//
+// Example in front of two servers:
+//
+//	mcproxy -listen :11210 -servers 127.0.0.1:11211,127.0.0.1:11212
+//
+// -policy selects the routing mode: direct (plain consistent hashing),
+// failover (circuit-broken retargeting to the next ring successor), or
+// replicate (writes fan out to -replicas owners, reads race them).
+// Point any memcached text-protocol client at -listen; `stats` answers
+// with proxy counters before the upstream stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"memqlat/internal/proxy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcproxy", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:11210", "listen address")
+		servers  = fs.String("servers", "127.0.0.1:11211", "comma-separated upstream memcached addresses")
+		policy   = fs.String("policy", "direct", "routing policy (direct|failover|replicate)")
+		replicas = fs.Int("replicas", 2, "replication degree for -policy=replicate")
+		conns    = fs.Int("upstream-conns", 2, "pipelined connections per upstream server")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pol, err := proxy.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	p, err := proxy.New(proxy.Options{
+		Upstreams:     strings.Split(*servers, ","),
+		Policy:        pol,
+		Replicas:      *replicas,
+		UpstreamConns: *conns,
+		Logger:        log.New(os.Stderr, "mcproxy: ", log.LstdFlags),
+	})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- p.Serve(l) }()
+	log.Printf("mcproxy: listening on %s, %s routing over %s",
+		l.Addr(), pol, *servers)
+
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("mcproxy: %v, shutting down", s)
+		if err := p.Close(); err != nil {
+			return err
+		}
+		<-errCh
+		return nil
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"memqlat/internal/dist"
 	"memqlat/internal/protocol"
+	"memqlat/internal/route"
 	"memqlat/internal/telemetry"
 )
 
@@ -91,7 +92,7 @@ type Client struct {
 
 	retry       *RetryPolicy
 	hedge       *HedgePolicy
-	breakers    []*breaker // per server; nil when disabled
+	breakers    []*route.Breaker // per server; nil when disabled
 	retryBudget *tokenBucket
 	readLat     *latencyDigest
 
@@ -170,10 +171,10 @@ func New(opts Options) (*Client, error) {
 		c.readLat = newLatencyDigest()
 	}
 	if p := opts.Resilience.Breaker; p != nil {
-		pol := *p.withDefaults()
-		c.breakers = make([]*breaker, n)
+		pol := *p.WithDefaults()
+		c.breakers = make([]*route.Breaker, n)
 		for i := range c.breakers {
-			c.breakers[i] = newBreaker(pol)
+			c.breakers[i] = route.NewBreaker(pol)
 		}
 	}
 	rng := dist.SubRand(uint64(time.Now().UnixNano()), 0x7e7)
@@ -374,7 +375,7 @@ func retryable(err error) bool {
 // recycling the connection on success and feeding the server's circuit
 // breaker with the outcome.
 func (c *Client) roundTripOnce(idx int, fn func(*conn) error) error {
-	if br := c.breakerFor(idx); br != nil && !br.allow(time.Now()) {
+	if br := c.breakerFor(idx); br != nil && !br.Allow(time.Now()) {
 		c.rec.Observe(telemetry.StageBreakerShed, 0)
 		return fmt.Errorf("client: server %s: %w", c.opts.Servers[idx], ErrBreakerOpen)
 	}
@@ -404,7 +405,7 @@ func (c *Client) roundTripOnce(idx int, fn func(*conn) error) error {
 }
 
 // breakerFor returns server idx's breaker (nil when disabled).
-func (c *Client) breakerFor(idx int) *breaker {
+func (c *Client) breakerFor(idx int) *route.Breaker {
 	if c.breakers == nil {
 		return nil
 	}
@@ -414,7 +415,7 @@ func (c *Client) breakerFor(idx int) *breaker {
 // recordOutcome feeds the breaker and the retry budget.
 func (c *Client) recordOutcome(idx int, success bool) {
 	if br := c.breakerFor(idx); br != nil {
-		br.record(!success, time.Now())
+		br.Record(!success, time.Now())
 	}
 	if success && c.retryBudget != nil {
 		c.retryBudget.earn()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"memqlat/internal/fault"
+	"memqlat/internal/route"
 )
 
 // Resilience bundles the client's recovery policies. The zero value
@@ -109,49 +110,10 @@ func (p *HedgePolicy) withDefaults() *HedgePolicy {
 // latencies cannot degenerate into hedging every read.
 const minHedgeDelay = 100 * time.Microsecond
 
-// BreakerPolicy is the per-server circuit breaker: closed → open when
-// the failure rate over a sliding outcome window crosses the threshold,
-// open → half-open after a cooldown, half-open → closed after probe
-// successes (or back to open on a probe failure).
-type BreakerPolicy struct {
-	// Window is the sliding outcome-window size in operations (default 20).
-	Window int
-	// FailureThreshold opens the breaker when fails/window ≥ it
-	// (default 0.5).
-	FailureThreshold float64
-	// MinSamples gates tripping until the window holds at least this
-	// many outcomes (default Window/2).
-	MinSamples int
-	// Cooldown is how long the breaker stays open before probing
-	// (default 1s).
-	Cooldown time.Duration
-	// HalfOpenProbes is how many consecutive probe successes close the
-	// breaker (default 1).
-	HalfOpenProbes int
-}
-
-func (p *BreakerPolicy) withDefaults() *BreakerPolicy {
-	out := *p
-	if out.Window <= 0 {
-		out.Window = 20
-	}
-	if out.FailureThreshold <= 0 {
-		out.FailureThreshold = 0.5
-	}
-	if out.MinSamples <= 0 {
-		out.MinSamples = out.Window / 2
-		if out.MinSamples == 0 {
-			out.MinSamples = 1
-		}
-	}
-	if out.Cooldown <= 0 {
-		out.Cooldown = time.Second
-	}
-	if out.HalfOpenProbes <= 0 {
-		out.HalfOpenProbes = 1
-	}
-	return &out
-}
+// BreakerPolicy is the per-server circuit breaker policy. It lives in
+// internal/route (the proxy's failover policy shares the same state
+// machine); the alias keeps the client API unchanged.
+type BreakerPolicy = route.BreakerPolicy
 
 // ResilienceFromSpec lifts the plane-neutral spec into client policies.
 func ResilienceFromSpec(spec fault.Resilience) Resilience {
@@ -177,131 +139,6 @@ func ResilienceFromSpec(spec fault.Resilience) Resilience {
 		}
 	}
 	return r
-}
-
-// breakerState is the circuit breaker's state machine position.
-type breakerState int
-
-const (
-	breakerClosed breakerState = iota
-	breakerOpen
-	breakerHalfOpen
-)
-
-// breaker tracks one server's health. All methods are safe for
-// concurrent use.
-type breaker struct {
-	pol BreakerPolicy
-
-	mu        sync.Mutex
-	state     breakerState
-	outcomes  []bool // ring; true = failure
-	idx       int
-	filled    int
-	fails     int
-	openedAt  time.Time
-	probes    int // half-open probes admitted
-	successes int // half-open probe successes
-}
-
-func newBreaker(pol BreakerPolicy) *breaker {
-	return &breaker{pol: pol, outcomes: make([]bool, pol.Window)}
-}
-
-// allow reports whether an operation may proceed, transitioning
-// open → half-open once the cooldown elapses.
-func (b *breaker) allow(now time.Time) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case breakerClosed:
-		return true
-	case breakerOpen:
-		if now.Sub(b.openedAt) < b.pol.Cooldown {
-			return false
-		}
-		b.state = breakerHalfOpen
-		b.probes = 0
-		b.successes = 0
-	}
-	// Half-open: admit a bounded number of probes.
-	if b.probes < b.pol.HalfOpenProbes {
-		b.probes++
-		return true
-	}
-	return false
-}
-
-// record feeds one operation outcome into the state machine.
-func (b *breaker) record(failure bool, now time.Time) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case breakerOpen:
-		// A straggler from before the trip; the window restarts on probe.
-		return
-	case breakerHalfOpen:
-		if failure {
-			b.trip(now)
-			return
-		}
-		b.successes++
-		if b.successes >= b.pol.HalfOpenProbes {
-			b.reset()
-		}
-		return
-	}
-	if b.filled == len(b.outcomes) {
-		if b.outcomes[b.idx] {
-			b.fails--
-		}
-	} else {
-		b.filled++
-	}
-	b.outcomes[b.idx] = failure
-	if failure {
-		b.fails++
-	}
-	b.idx = (b.idx + 1) % len(b.outcomes)
-	if b.filled >= b.pol.MinSamples &&
-		float64(b.fails)/float64(b.filled) >= b.pol.FailureThreshold {
-		b.trip(now)
-	}
-}
-
-// trip opens the breaker and clears the window (caller holds mu).
-func (b *breaker) trip(now time.Time) {
-	b.state = breakerOpen
-	b.openedAt = now
-	b.clearWindow()
-}
-
-// reset closes the breaker with a fresh window (caller holds mu).
-func (b *breaker) reset() {
-	b.state = breakerClosed
-	b.clearWindow()
-}
-
-func (b *breaker) clearWindow() {
-	for i := range b.outcomes {
-		b.outcomes[i] = false
-	}
-	b.idx, b.filled, b.fails = 0, 0, 0
-	b.probes, b.successes = 0, 0
-}
-
-// State returns the state name (test/stats introspection).
-func (b *breaker) State() string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case breakerOpen:
-		return "open"
-	case breakerHalfOpen:
-		return "half-open"
-	default:
-		return "closed"
-	}
 }
 
 // tokenBucket is the retry budget: successes earn fractional tokens,

@@ -6,140 +6,34 @@
 // database.
 package client
 
-import (
-	"fmt"
-	"hash/fnv"
-	"sort"
+import "memqlat/internal/route"
 
-	"memqlat/internal/dist"
-)
+// The selector implementations live in internal/route so the proxy
+// tier routes keys identically to a direct client; these aliases keep
+// the client's historical API surface intact.
 
 // Selector maps a key to a server index in [0, n).
-type Selector interface {
-	// Pick returns the index of the server responsible for key.
-	Pick(key string) int
-	// N returns the number of servers.
-	N() int
-}
-
-func hash64(s string) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(s))
-	return mix64(h.Sum64())
-}
-
-// mix64 is a SplitMix64 finalizer: FNV alone clusters badly on similar
-// strings (sequential keys, vnode labels), which skews ring balance;
-// the avalanche spreads the points uniformly.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+type Selector = route.Selector
 
 // ModuloSelector is the simplest key-to-server mapping: hash mod n.
-type ModuloSelector struct {
-	n int
-}
-
-var _ Selector = (*ModuloSelector)(nil)
-
-// NewModuloSelector validates n >= 1.
-func NewModuloSelector(n int) (*ModuloSelector, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("client: modulo selector needs n >= 1, got %d", n)
-	}
-	return &ModuloSelector{n: n}, nil
-}
-
-// Pick implements Selector.
-func (m *ModuloSelector) Pick(key string) int { return int(hash64(key) % uint64(m.n)) }
-
-// N implements Selector.
-func (m *ModuloSelector) N() int { return m.n }
+type ModuloSelector = route.ModuloSelector
 
 // RingSelector is a ketama-style consistent-hash ring with virtual
-// nodes: servers can be added or removed with only ~1/n of keys moving.
-type RingSelector struct {
-	points []ringPoint
-	n      int
-}
+// nodes and incremental membership; see route.RingSelector.
+type RingSelector = route.RingSelector
 
-type ringPoint struct {
-	hash   uint64
-	server int
-}
+// WeightedSelector realizes an arbitrary load distribution {p_j}; see
+// route.WeightedSelector.
+type WeightedSelector = route.WeightedSelector
 
-var _ Selector = (*RingSelector)(nil)
+// NewModuloSelector validates n >= 1.
+func NewModuloSelector(n int) (*ModuloSelector, error) { return route.NewModuloSelector(n) }
 
 // NewRingSelector builds a ring over n servers with the given number of
 // virtual nodes per server (default 160 when vnodes <= 0).
-func NewRingSelector(n, vnodes int) (*RingSelector, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("client: ring selector needs n >= 1, got %d", n)
-	}
-	if vnodes <= 0 {
-		vnodes = 160
-	}
-	points := make([]ringPoint, 0, n*vnodes)
-	for s := 0; s < n; s++ {
-		for v := 0; v < vnodes; v++ {
-			points = append(points, ringPoint{
-				hash:   hash64(fmt.Sprintf("server-%d#vnode-%d", s, v)),
-				server: s,
-			})
-		}
-	}
-	sort.Slice(points, func(i, j int) bool { return points[i].hash < points[j].hash })
-	return &RingSelector{points: points, n: n}, nil
-}
-
-// Pick implements Selector: the first ring point clockwise of the key's
-// hash owns it.
-func (r *RingSelector) Pick(key string) int {
-	h := hash64(key)
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if i == len(r.points) {
-		i = 0
-	}
-	return r.points[i].server
-}
-
-// N implements Selector.
-func (r *RingSelector) N() int { return r.n }
-
-// WeightedSelector realizes an arbitrary load distribution {p_j}: key
-// ownership is assigned by deterministic hashing into the cumulative
-// weight table, so repeated Picks of one key agree while the aggregate
-// key stream splits in the requested proportions. It is how the Fig. 10
-// imbalance experiments steer p1 of the load to one server.
-type WeightedSelector struct {
-	weights *dist.Weighted
-}
-
-var _ Selector = (*WeightedSelector)(nil)
+func NewRingSelector(n, vnodes int) (*RingSelector, error) { return route.NewRingSelector(n, vnodes) }
 
 // NewWeightedSelector validates the weight vector.
 func NewWeightedSelector(weights []float64) (*WeightedSelector, error) {
-	w, err := dist.NewWeighted(weights)
-	if err != nil {
-		return nil, fmt.Errorf("client: weighted selector: %w", err)
-	}
-	return &WeightedSelector{weights: w}, nil
+	return route.NewWeightedSelector(weights)
 }
-
-// Pick implements Selector: the key's hash, mapped to [0,1), indexes the
-// cumulative weight table.
-func (w *WeightedSelector) Pick(key string) int {
-	u := float64(hash64(key)>>11) / float64(1<<53)
-	// Binary search over the cumulative table via Prob sums would cost
-	// allocations; reuse dist.Weighted's search by turning u into a
-	// quantile lookup.
-	return w.weights.PickQuantile(u)
-}
-
-// N implements Selector.
-func (w *WeightedSelector) N() int { return w.weights.N() }

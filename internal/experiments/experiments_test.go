@@ -15,7 +15,8 @@ func TestAllRegistryComplete(t *testing.T) {
 	want := []string{"table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "table4", "prop1", "prop2",
 		"ext-tails", "ext-arrivals", "ext-eq6", "ext-redundancy",
-		"ext-integrated", "ext-elasticity", "ext-resilience", "crossplane", "live"}
+		"ext-integrated", "ext-elasticity", "ext-resilience", "crossplane",
+		"proxied", "live"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
@@ -349,6 +350,29 @@ func TestLiveStack(t *testing.T) {
 	}
 	if meanLive > meanTheory*10 || meanLive < meanTheory/10 {
 		t.Errorf("live mean %v vs theory %v diverge beyond 10x", meanLive, meanTheory)
+	}
+}
+
+func TestProxiedExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("includes two live stack runs")
+	}
+	r, err := Proxied(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 load points × 3 routing rows + 2 live rows.
+	if len(r.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Columns) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(r.Columns))
+		}
+		// Proxied rows carry a positive measured total and hop mean.
+		if row[1] == "proxied" && (row[3] == "-" || row[4] == "-" || row[4] == "0µs") {
+			t.Errorf("proxied row missing measurements: %v", row)
+		}
 	}
 }
 

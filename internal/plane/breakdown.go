@@ -48,3 +48,19 @@ func predictBreakdown(m *core.Config, tsPoint float64) (telemetry.Breakdown, err
 func analyticStage(mean float64) telemetry.StageStats {
 	return telemetry.StageStats{Count: 1, Mean: mean, Total: mean}
 }
+
+// proxyStageMean is the per-key mean sojourn at the proxy queue (queue
+// wait + service), the analytic counterpart of the per-key proxy_hop
+// samples the measured planes record.
+func proxyStageMean(pc *core.Config) (float64, error) {
+	bq, err := pc.HeaviestQueue()
+	if err != nil {
+		return 0, err
+	}
+	delta, err := bq.Delta()
+	if err != nil {
+		return 0, err
+	}
+	rate := (1 - delta) * bq.BatchServiceRate()
+	return delta/rate + pc.Q/(1-pc.Q)/pc.MuS + 1/pc.MuS, nil
+}

@@ -14,6 +14,7 @@ import (
 	"memqlat/internal/core"
 	"memqlat/internal/fault"
 	"memqlat/internal/loadgen"
+	"memqlat/internal/proxy"
 	"memqlat/internal/server"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
@@ -111,12 +112,41 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		return nil, err
 	}
 	defer db.Close()
+	// --- proxy tier ---
+	// With a ProxySpec the client talks to a single real proxy process
+	// that multiplexes onto the server pool; it shares the telemetry
+	// collector, so forward-path proxy work lands in StageProxyHop.
+	clientAddrs := addrs
+	if s.Proxy != nil {
+		pol, err := proxy.ParsePolicy(s.Proxy.Policy)
+		if err != nil {
+			return nil, err
+		}
+		px, err := proxy.New(proxy.Options{
+			Upstreams: addrs,
+			Policy:    pol,
+			Replicas:  s.Proxy.Replicas,
+			Recorder:  collector,
+			Logger:    log.New(io.Discard, "", 0),
+		})
+		if err != nil {
+			return nil, err
+		}
+		pl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go func() { _ = px.Serve(pl) }()
+		defer func() { _ = px.Close() }()
+		clientAddrs = []string{pl.Addr().String()}
+	}
+
 	poolSize := p.PoolSize
 	if poolSize == 0 {
 		poolSize = s.Workers
 	}
 	cl, err := client.New(client.Options{
-		Servers:    addrs,
+		Servers:    clientAddrs,
 		Filler:     db,
 		PoolSize:   poolSize,
 		Resilience: client.ResilienceFromSpec(s.Resilience),

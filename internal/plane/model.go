@@ -3,6 +3,8 @@ package plane
 import (
 	"context"
 	"time"
+
+	"memqlat/internal/telemetry"
 )
 
 // ModelPlane evaluates a Scenario with the closed-form machinery of
@@ -41,6 +43,26 @@ func (p ModelPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	res.Breakdown, err = predictBreakdown(model, est.TS.Mid())
 	if err != nil {
 		return nil, err
+	}
+	if s.Proxy != nil {
+		pc, err := s.proxyConfig()
+		if err != nil {
+			return nil, err
+		}
+		pest, err := pc.Estimate()
+		if err != nil {
+			return nil, err
+		}
+		// The proxy is one more stage in series, with its own fork-join
+		// over the request's N keys: Theorem 1 bounds compose additively
+		// with the memcached/database stages.
+		res.Total.Lo += pest.TS.Lo
+		res.Total.Hi += pest.TS.Hi
+		hop, err := proxyStageMean(pc)
+		if err != nil {
+			return nil, err
+		}
+		res.Breakdown[telemetry.StageProxyHop] = analyticStage(hop)
 	}
 	return res, nil
 }

@@ -22,10 +22,32 @@ import (
 	"memqlat/internal/core"
 	"memqlat/internal/fault"
 	"memqlat/internal/loadgen"
+	"memqlat/internal/proxy"
 	"memqlat/internal/sim"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
 )
+
+// ProxySpec interposes the proxy tier (internal/proxy) between the
+// clients and the servers of a Scenario. The model and simulator planes
+// price the proxy as one extra GI^X/M/1 stage in series: a single
+// queue receiving the aggregate key rate Λ at service rate Rate, whose
+// per-request contribution is the fork-join max over the request's N
+// keys — exactly the Theorem 1 treatment of the memcached stage. The
+// live plane interposes a real TCP proxy and points the client at it.
+type ProxySpec struct {
+	// Rate is the proxy's per-key service rate µ_P (default MuS × M: one
+	// proxy fronting M servers runs at the per-server utilization).
+	Rate float64
+	// Policy is the route policy ("direct", "failover", "replicate";
+	// default direct). The model plane prices every policy identically —
+	// routing does not change the queueing structure; the composition
+	// simulator realizes "replicate" as hedged reads; the live plane
+	// runs the policy for real.
+	Policy string
+	// Replicas is the replication degree under "replicate" (default 2).
+	Replicas int
+}
 
 // Scenario is one deployment + workload + measurement budget, the unit
 // of cross-plane comparison. Rates are per second, times in seconds.
@@ -85,6 +107,9 @@ type Scenario struct {
 	Duration time.Duration
 	// Seed roots all randomness, making model/sim runs deterministic.
 	Seed uint64
+
+	// Proxy, when non-nil, interposes the proxy tier on every plane.
+	Proxy *ProxySpec
 }
 
 // withDefaults fills measurement-budget zero values.
@@ -104,7 +129,46 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Duration == 0 {
 		s.Duration = 2 * time.Minute
 	}
+	if s.Proxy != nil {
+		p := *s.Proxy
+		if p.Rate == 0 {
+			p.Rate = s.MuS * float64(len(s.LoadRatios))
+		}
+		if p.Replicas == 0 {
+			p.Replicas = 2
+		}
+		s.Proxy = &p
+	}
 	return s
+}
+
+// proxyConfig lowers the proxy stage to its own single-queue model
+// configuration: the aggregate key stream Λ through one queue at rate
+// µ_P, with the workload's batching (Q) and burstiness (Xi) intact —
+// the proxy sees the union of the arrival processes the servers see.
+// MissRatio is zero (the proxy always forwards, never touches the
+// database); MuD is carried over only to satisfy validation.
+func (s Scenario) proxyConfig() (*core.Config, error) {
+	if s.Proxy == nil {
+		return nil, fmt.Errorf("plane: scenario %q has no proxy spec", s.Name)
+	}
+	if _, err := proxy.ParsePolicy(s.Proxy.Policy); err != nil {
+		return nil, fmt.Errorf("plane: scenario %q: %w", s.Name, err)
+	}
+	c := &core.Config{
+		N:            s.N,
+		LoadRatios:   []float64{1},
+		TotalKeyRate: s.TotalKeyRate,
+		Q:            s.Q,
+		Xi:           s.Xi,
+		MuS:          s.Proxy.Rate,
+		MuD:          s.MuD,
+		Arrival:      s.Arrival,
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("plane: scenario %q proxy stage: %w", s.Name, err)
+	}
+	return c, nil
 }
 
 // FromConfig lifts a model configuration into a Scenario.

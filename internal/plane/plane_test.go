@@ -71,6 +71,10 @@ func TestModelPlaneDeterministic(t *testing.T) {
 			// Shard-lock contention is a live-plane-only diagnostic; the
 			// analytic model has no lock convoys by construction.
 			continue
+		case telemetry.StageProxyHop:
+			// The proxy stage only materializes when the scenario carries
+			// a ProxySpec; the direct baseline never does.
+			continue
 		}
 		if _, ok := a.Breakdown[st]; !ok {
 			t.Errorf("model breakdown missing stage %v", st)
@@ -150,6 +154,93 @@ func TestCrossPlaneConsistency(t *testing.T) {
 	}
 }
 
+// TestCrossPlaneProxiedConsistency extends the cross-validation to the
+// proxy tier: with a ProxySpec interposed, the composition simulator's
+// proxied total must still land inside the model plane's (proxy-stage
+// augmented) Theorem 1 band with the usual 8% slack, and both planes
+// must agree the proxy made things strictly slower than direct.
+func TestCrossPlaneProxiedConsistency(t *testing.T) {
+	ctx := context.Background()
+	direct := scenarios()[0]
+	proxied := direct
+	proxied.Name = "facebook-proxied"
+	proxied.Proxy = &ProxySpec{}
+
+	mdir, err := ModelPlane{}.Run(ctx, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := ModelPlane{}.Run(ctx, proxied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdir, err := (SimPlane{}).Run(ctx, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := (SimPlane{}).Run(ctx, proxied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mres.Total.Contains(sres.Point(), 0.08) {
+		t.Errorf("proxied sim total %v outside model band [%v, %v] (+8%%)",
+			sres.Point(), mres.Total.Lo, mres.Total.Hi)
+	}
+	if mres.Total.Lo <= mdir.Total.Lo || sres.Point() <= sdir.Point() {
+		t.Errorf("proxy hop should cost latency: model %v vs %v, sim %v vs %v",
+			mres.Total.Lo, mdir.Total.Lo, sres.Point(), sdir.Point())
+	}
+	// Both planes expose the hop in the stage decomposition.
+	if mres.Breakdown.MeanOf(telemetry.StageProxyHop) <= 0 {
+		t.Error("model breakdown missing proxy_hop stage")
+	}
+	ph, ok := sres.Breakdown[telemetry.StageProxyHop]
+	if !ok || ph.Count == 0 || ph.Mean <= 0 {
+		t.Errorf("sim breakdown missing proxy_hop samples: %+v", ph)
+	}
+	if sres.Sim == nil || sres.Sim.TP == nil || sres.Sim.TP.Count() == 0 {
+		t.Fatal("sim result missing the TP histogram")
+	}
+	// Replicated reads through the proxy hedge the memcached stage but
+	// charge the duplicated traffic to the servers. The invariant is
+	// therefore conditional on load: the fastest-of-2 draw must beat a
+	// single draw at the same (doubled) per-server key rate.
+	light := scenarios()[1]
+	repl := light
+	repl.Name = "light-proxied-replicated"
+	repl.Proxy = &ProxySpec{Policy: "replicate", Replicas: 2}
+	rres, err := (SimPlane{}).Run(ctx, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated := light
+	inflated.Name = "light-proxied-inflated"
+	inflated.TotalKeyRate *= 2
+	inflated.Proxy = &ProxySpec{}
+	ires, err := (SimPlane{}).Run(ctx, inflated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.TS.Mid() >= ires.TS.Mid() {
+		t.Errorf("replicated TS %v not below equal-load direct TS %v",
+			rres.TS.Mid(), ires.TS.Mid())
+	}
+	// The integrated simulator has no proxy stream: asking for one is an
+	// explicit error, not a silently direct run.
+	if _, err := (SimPlane{Mode: SimIntegrated}).Run(ctx, proxied); err == nil {
+		t.Error("sim-integrated accepted a ProxySpec")
+	}
+	// A bogus policy is rejected up front on every plane.
+	bad := proxied
+	bad.Proxy = &ProxySpec{Policy: "quantum"}
+	if _, err := (ModelPlane{}).Run(ctx, bad); err == nil {
+		t.Error("model plane accepted unknown proxy policy")
+	}
+	if _, err := (SimPlane{}).Run(ctx, bad); err == nil {
+		t.Error("sim plane accepted unknown proxy policy")
+	}
+}
+
 // TestLivePlaneSmoke brings the full TCP stack up for a scaled-down
 // scenario and checks the common Result surface is populated and the
 // measured breakdown is coherent (total ≈ wait + service per key).
@@ -198,5 +289,47 @@ func TestLivePlaneSmoke(t *testing.T) {
 	}
 	if res.Breakdown.MeanOf(telemetry.StageForkJoin) < 0 {
 		t.Error("negative fork-join stage")
+	}
+}
+
+// TestLivePlaneProxiedSmoke runs the scaled-down live scenario through
+// a real TCP proxy in front of the server pool and checks the run
+// completes with proxy_hop telemetry in the breakdown.
+func TestLivePlaneProxiedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live plane needs real time")
+	}
+	s := Scenario{
+		Name:         "live-proxied-smoke",
+		N:            10,
+		LoadRatios:   []float64{0.5, 0.5},
+		TotalKeyRate: 4000,
+		Q:            0.1,
+		Xi:           0.15,
+		MuS:          2000,
+		MissRatio:    0.01,
+		MuD:          1000,
+		Ops:          1200,
+		Workers:      32,
+		Duration:     30 * time.Second,
+		Seed:         3,
+		Proxy:        &ProxySpec{},
+	}
+	res, err := LivePlane{}.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live == nil || res.Live.Issued == 0 {
+		t.Fatal("proxied live plane issued no operations")
+	}
+	if res.Sample == nil || res.Sample.Count() == 0 {
+		t.Fatal("proxied live plane recorded no latency sample")
+	}
+	ph, ok := res.Breakdown[telemetry.StageProxyHop]
+	if !ok || ph.Count == 0 {
+		t.Fatalf("proxied live breakdown missing proxy_hop samples: %+v", ph)
+	}
+	if res.Breakdown.MeanOf(telemetry.StageService) <= 0 {
+		t.Fatal("proxied live breakdown missing server-side service stage")
 	}
 }

@@ -2,6 +2,7 @@ package plane
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"memqlat/internal/core"
@@ -50,6 +51,16 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var proxyModel *core.Config
+	if s.Proxy != nil {
+		if p.Mode == SimIntegrated {
+			return nil, fmt.Errorf("plane: scenario %q: the integrated simulator does not model a proxy tier (use the composition sim)", s.Name)
+		}
+		proxyModel, err = s.proxyConfig()
+		if err != nil {
+			return nil, err
+		}
+	}
 	collector := telemetry.NewCollector()
 	res := &Result{
 		Plane:    p.Name(),
@@ -77,7 +88,7 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		res.Sample = integ.Total
 		res.Integrated = integ
 	default:
-		comp, err := sim.SimulateRequests(sim.RequestConfig{
+		rc := sim.RequestConfig{
 			Model:         model,
 			Requests:      s.Requests,
 			KeysPerServer: s.KeysPerServer,
@@ -85,7 +96,12 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 			Recorder:      collector,
 			Faults:        s.Faults,
 			Resilience:    s.Resilience,
-		})
+			ProxyModel:    proxyModel,
+		}
+		if s.Proxy != nil && s.Proxy.Policy == "replicate" {
+			rc.ReadReplicas = s.Proxy.Replicas
+		}
+		comp, err := sim.SimulateRequests(rc)
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +113,11 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		total := comp.TN + tsEst + tdEst
+		tpEst, err := comp.TPQuantileEstimate(model.N)
+		if err != nil {
+			return nil, err
+		}
+		total := comp.TN + tsEst + tdEst + tpEst
 		res.Total = core.Bounds{Lo: total, Hi: total}
 		res.TS = core.Bounds{Lo: tsEst, Hi: tsEst}
 		res.TD = tdEst

@@ -1,0 +1,97 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParserFrameCapture(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		frame string
+	}{
+		{"get", "get foo\r\n", "get foo\r\n"},
+		{"multiget", "get a b c\r\n", "get a b c\r\n"},
+		{"bare-lf-normalized", "get foo\n", "get foo\r\n"},
+		{"set", "set k 1 0 3\r\nabc\r\n", "set k 1 0 3\r\nabc\r\n"},
+		{"set-noreply", "set k 0 0 2 noreply\r\nhi\r\n", "set k 0 0 2 noreply\r\nhi\r\n"},
+		{"cas", "cas k 0 0 1 42\r\nx\r\n", "cas k 0 0 1 42\r\nx\r\n"},
+		{"delete", "delete k noreply\r\n", "delete k noreply\r\n"},
+		{"incr", "incr k 5\r\n", "incr k 5\r\n"},
+		{"gat", "gat 30 a b\r\n", "gat 30 a b\r\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewParser(bufio.NewReader(strings.NewReader(tc.in)))
+			p.CaptureFrames(true)
+			if _, err := p.Next(); err != nil {
+				t.Fatal(err)
+			}
+			if got := string(p.Frame()); got != tc.frame {
+				t.Errorf("frame %q, want %q", got, tc.frame)
+			}
+		})
+	}
+}
+
+// The captured frame must re-parse to the same command — that is the
+// passthrough contract the proxy forwards on.
+func TestParserFrameRoundTrip(t *testing.T) {
+	in := "get a b\r\nset k 7 0 4\r\nwxyz\r\ndelete gone\r\n"
+	p := NewParser(bufio.NewReader(strings.NewReader(in)))
+	p.CaptureFrames(true)
+	for {
+		cmd, err := p.Next()
+		if err != nil {
+			break
+		}
+		reparse := NewParser(bufio.NewReader(bytes.NewReader(p.Frame())))
+		cmd2, err := reparse.Next()
+		if err != nil {
+			t.Fatalf("frame %q does not re-parse: %v", p.Frame(), err)
+		}
+		if cmd.Op != cmd2.Op || string(cmd.KeyB) != string(cmd2.KeyB) ||
+			string(cmd.Value) != string(cmd2.Value) || cmd.Noreply != cmd2.Noreply {
+			t.Fatalf("frame %q re-parsed differently", p.Frame())
+		}
+	}
+}
+
+func TestParserFrameCaptureOffByDefault(t *testing.T) {
+	p := NewParser(bufio.NewReader(strings.NewReader("get foo\r\n")))
+	if _, err := p.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Frame()) != 0 {
+		t.Errorf("frame %q captured without opt-in", p.Frame())
+	}
+}
+
+func TestParserFrameCaptureZeroAlloc(t *testing.T) {
+	in := []byte(strings.Repeat("get some-key-0123456789\r\nset k 0 0 8\r\nvalue-xy\r\n", 64))
+	br := bufio.NewReader(bytes.NewReader(in))
+	p := NewParser(br)
+	p.CaptureFrames(true)
+	// Warm the reusable buffers.
+	for {
+		if _, err := p.Next(); err != nil {
+			break
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		br.Reset(bytes.NewReader(in))
+		for {
+			if _, err := p.Next(); err != nil {
+				return
+			}
+		}
+	})
+	// One alloc per run is the bytes.Reader; the per-command cost must
+	// be zero.
+	if allocs > 1 {
+		t.Errorf("capture costs %v allocs per stream, want <= 1", allocs)
+	}
+}

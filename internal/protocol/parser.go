@@ -23,7 +23,25 @@ type Parser struct {
 	keyList [][]byte // reused multi-key list backing
 	keyBuf  []byte   // storage-op key copy that must survive the data read
 	scratch []byte   // reused data-block buffer (grows to the largest value)
+	capture bool     // accumulate wire frames for Frame
+	frame   []byte   // reused frame buffer (command line + data block)
 }
+
+// CaptureFrames toggles frame capture: when on, each successful Next
+// additionally records the command's wire bytes for Frame. Off by
+// default — the server's parse loop never pays for it.
+func (p *Parser) CaptureFrames(on bool) {
+	p.capture = on
+	p.frame = p.frame[:0]
+}
+
+// Frame returns the wire bytes of the command most recently returned by
+// Next — the command line (normalized to a single CRLF terminator) plus
+// the data block for storage ops — so a proxy can forward the frame
+// verbatim without re-serializing. The slice aliases a reused parser
+// buffer: valid until the next Next, and only meaningful after a
+// successful Next with capture enabled.
+func (p *Parser) Frame() []byte { return p.frame }
 
 // NewParser returns a Parser reading from r.
 func NewParser(r *bufio.Reader) *Parser { return &Parser{r: r} }
@@ -108,6 +126,9 @@ func (p *Parser) Next() (*Command, error) {
 	line, err := readLine(p.r)
 	if err != nil {
 		return nil, err
+	}
+	if p.capture {
+		p.frame = append(append(p.frame[:0], line...), '\r', '\n')
 	}
 	p.fields = appendFields(p.fields[:0], line)
 	if len(p.fields) == 0 {
@@ -223,6 +244,9 @@ func (p *Parser) readData(length int) ([]byte, error) {
 	}
 	if buf[length] != '\r' || buf[length+1] != '\n' {
 		return nil, &ClientError{Msg: "bad data chunk terminator"}
+	}
+	if p.capture {
+		p.frame = append(p.frame, buf...)
 	}
 	return buf[:length], nil
 }

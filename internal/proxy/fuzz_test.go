@@ -1,0 +1,69 @@
+package proxy
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"testing"
+
+	"memqlat/internal/protocol"
+)
+
+// FuzzProxyFrame fuzzes the proxy's forwarding contract: every command
+// the parser accepts must yield a captured wire frame that re-parses to
+// an equivalent command. A frame that parses differently would make the
+// proxy forward a request the upstream interprets differently than the
+// downstream sent it.
+func FuzzProxyFrame(f *testing.F) {
+	f.Add([]byte("get a b c\r\n"))
+	f.Add([]byte("gets one\r\n"))
+	f.Add([]byte("set k 7 0 3\r\nabc\r\n"))
+	f.Add([]byte("set k 0 0 2 noreply\r\nhi\r\nget k\r\n"))
+	f.Add([]byte("cas k 0 0 1 99\r\nx\r\n"))
+	f.Add([]byte("delete gone noreply\r\n"))
+	f.Add([]byte("incr n 5\r\ndecr n 2\r\n"))
+	f.Add([]byte("touch k 30\r\n"))
+	f.Add([]byte("gat 60 a b\r\ngats 1 z\r\n"))
+	f.Add([]byte("flush_all 10\r\nversion\r\nverbosity 2\r\n"))
+	f.Add([]byte("get a\nget b\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := protocol.NewParser(bufio.NewReader(bytes.NewReader(data)))
+		p.CaptureFrames(true)
+		for i := 0; i < 64; i++ {
+			cmd, err := p.Next()
+			if err != nil {
+				var ce *protocol.ClientError
+				if errors.As(err, &ce) {
+					// Malformed command: the stream stays parseable.
+					continue
+				}
+				return // quit / EOF / i/o
+			}
+			frame := p.Frame()
+			if len(frame) < 2 || frame[len(frame)-2] != '\r' || frame[len(frame)-1] != '\n' {
+				t.Fatalf("frame %q not CRLF-terminated", frame)
+			}
+			rp := protocol.NewParser(bufio.NewReader(bytes.NewReader(frame)))
+			cmd2, err := rp.Next()
+			if err != nil {
+				t.Fatalf("frame %q does not re-parse: %v", frame, err)
+			}
+			if cmd.Op != cmd2.Op || cmd.Noreply != cmd2.Noreply ||
+				cmd.Flags != cmd2.Flags || cmd.Exptime != cmd2.Exptime ||
+				cmd.CAS != cmd2.CAS || cmd.Delta != cmd2.Delta ||
+				!bytes.Equal(cmd.KeyB, cmd2.KeyB) || !bytes.Equal(cmd.Value, cmd2.Value) {
+				t.Fatalf("frame %q re-parsed to a different command", frame)
+			}
+			if len(cmd.KeyList) != len(cmd2.KeyList) {
+				t.Fatalf("frame %q re-parsed with %d keys, want %d",
+					frame, len(cmd2.KeyList), len(cmd.KeyList))
+			}
+			for j := range cmd.KeyList {
+				if !bytes.Equal(cmd.KeyList[j], cmd2.KeyList[j]) {
+					t.Fatalf("frame %q re-parsed with key %q, want %q",
+						frame, cmd2.KeyList[j], cmd.KeyList[j])
+				}
+			}
+		}
+	})
+}

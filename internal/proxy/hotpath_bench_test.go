@@ -1,0 +1,197 @@
+package proxy
+
+// Hot-path benchmarks for the proxy data plane: pipelined get/set/
+// multiget through a real TCP proxy in front of a real memqlat server.
+// The bench client is allocation-free (prebuilt batches, fixed-size
+// replies read with io.ReadFull), so allocs/op is the combined
+// proxy + server cost; the server's own hot path is already zero-alloc
+// (BENCH_server.json), so any allocation that appears here is the
+// proxy's. Baselines live in BENCH_proxy.json; the CI bench job fails
+// on >20% ns/op regression or any allocation appearing on the
+// zero-alloc get passthrough.
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"memqlat/internal/cache"
+	"memqlat/internal/server"
+)
+
+const (
+	benchKeys     = 256 // fixed-width names -> fixed-size replies
+	benchValueLen = 100
+)
+
+func benchKey(i int) string { return fmt.Sprintf("k%04d", i%benchKeys) }
+
+// startBenchProxy brings up nBackends servers pre-populated with
+// benchKeys fixed-size values and a proxy in front of them, and returns
+// the proxy's address.
+func startBenchProxy(b *testing.B, nBackends int) string {
+	b.Helper()
+	addrs := make([]string, nBackends)
+	for s := 0; s < nBackends; s++ {
+		c, err := cache.New(cache.Options{MaxBytes: 256 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		value := []byte(strings.Repeat("v", benchValueLen))
+		for i := 0; i < benchKeys; i++ {
+			if err := c.Set(benchKey(i), value, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		srv, err := server.New(server.Options{Cache: c, Logger: log.New(io.Discard, "", 0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() { _ = srv.Serve(l) }()
+		b.Cleanup(func() { _ = srv.Close() })
+		addrs[s] = l.Addr().String()
+	}
+	p, err := New(Options{
+		Upstreams: addrs,
+		Logger:    log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = p.Serve(l) }()
+	b.Cleanup(func() { _ = p.Close() })
+	return l.Addr().String()
+}
+
+// benchBatch builds one pipelined request batch plus the exact byte
+// count of the reply, so workers can io.ReadFull without parsing.
+//
+//	get:      pipeline of single-key gets (op = one get)
+//	set:      pipeline of sets            (op = one set)
+//	multiget: pipeline of 8-key gets      (op = one 8-key command)
+func benchBatch(op string, offset int) (batch []byte, ops int, respLen int) {
+	var sb strings.Builder
+	value := strings.Repeat("v", benchValueLen)
+	valueBlock := len("VALUE k0000 0 100\r\n") + benchValueLen + 2
+	switch op {
+	case "get":
+		ops = 64
+		for i := 0; i < ops; i++ {
+			fmt.Fprintf(&sb, "get %s\r\n", benchKey(offset+i))
+		}
+		respLen = ops * (valueBlock + len("END\r\n"))
+	case "set":
+		ops = 64
+		for i := 0; i < ops; i++ {
+			fmt.Fprintf(&sb, "set %s 0 0 %d\r\n%s\r\n", benchKey(offset+i), benchValueLen, value)
+		}
+		respLen = ops * len("STORED\r\n")
+	case "multiget":
+		ops = 16
+		for i := 0; i < ops; i++ {
+			sb.WriteString("get")
+			for k := 0; k < 8; k++ {
+				sb.WriteString(" ")
+				sb.WriteString(benchKey(offset + i*8 + k))
+			}
+			sb.WriteString("\r\n")
+		}
+		respLen = ops * (8*valueBlock + len("END\r\n"))
+	default:
+		panic("unknown op " + op)
+	}
+	return []byte(sb.String()), ops, respLen
+}
+
+// BenchmarkProxyHotPath measures the proxied data plane. The get and
+// set variants are single-upstream passthroughs (the zero-alloc
+// contract); multiget-split forces the fork-join path by fronting two
+// backends, whose reply assembly buffers per part.
+func BenchmarkProxyHotPath(b *testing.B) {
+	for _, bc := range []struct {
+		name     string
+		op       string
+		backends int
+		conns    int
+	}{
+		{"get/conns=1", "get", 1, 1},
+		{"get/conns=4", "get", 1, 4},
+		{"set/conns=1", "set", 1, 1},
+		{"multiget/conns=1", "multiget", 1, 1},
+		{"multiget-split/conns=1", "multiget", 2, 1},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			addr := startBenchProxy(b, bc.backends)
+			type worker struct {
+				nc    net.Conn
+				batch []byte
+				resp  []byte
+				ops   int64
+			}
+			workers := make([]*worker, bc.conns)
+			for i := range workers {
+				nc, err := net.Dial("tcp", addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer nc.Close()
+				batch, ops, respLen := benchBatch(bc.op, i*16)
+				workers[i] = &worker{nc: nc, batch: batch, resp: make([]byte, respLen), ops: int64(ops)}
+			}
+			pump := func(w *worker) error {
+				if _, err := w.nc.Write(w.batch); err != nil {
+					return err
+				}
+				_, err := io.ReadFull(w.nc, w.resp)
+				return err
+			}
+			// Warm the upstream pool, parser buffers and pending freelists
+			// so the timed region measures steady state.
+			for _, w := range workers {
+				for i := 0; i < 4; i++ {
+					if err := pump(w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			var wg sync.WaitGroup
+			errs := make(chan error, bc.conns)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for _, w := range workers {
+				wg.Add(1)
+				go func(w *worker) {
+					defer wg.Done()
+					for remaining.Add(-w.ops) > -w.ops {
+						if err := pump(w); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errs:
+				b.Fatal(err)
+			default:
+			}
+		})
+	}
+}

@@ -1,0 +1,443 @@
+package proxy
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"memqlat/internal/protocol"
+)
+
+// pendQueueDepth bounds outstanding pipelined requests per upstream
+// connection; a full pipeline breaks the connection rather than block a
+// sender that holds the pool lock.
+const pendQueueDepth = 4096
+
+var (
+	errPipelineFull     = errors.New("proxy: upstream pipeline full")
+	errUpstreamProtocol = errors.New("proxy: upstream protocol desync")
+)
+
+// upstream is one pipelined connection slot to one server: at most one
+// live uconn at a time, redialed lazily after a break.
+type upstream struct {
+	p    *Proxy
+	srv  int
+	addr string
+
+	mu  sync.Mutex
+	cur *uconn
+}
+
+// uconn is one live upstream connection. Writers append frames to w and
+// enqueue the matching pending on pend (both under upstream.mu); the
+// readLoop goroutine pops pendings in FIFO order — the order the server
+// replies in — and resolves each against its downstream.
+type uconn struct {
+	u    *upstream
+	nc   net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	pend chan *pending
+
+	broken  bool // guarded by u.mu; set exactly once
+	scratch []byte
+}
+
+// send writes frame to the upstream pipeline and registers pd (nil for
+// noreply fire-and-forget) for the matching reply. flush pushes the
+// write buffer immediately; otherwise the readLoop flushes when it
+// starts waiting on a reply. Once pd is enqueued the read loop owns its
+// resolution, so send reports only pre-enqueue failures to the caller.
+func (u *upstream) send(frame []byte, pd *pending, flush bool) error {
+	u.mu.Lock()
+	c := u.cur
+	if c == nil || c.broken {
+		var err error
+		if c, err = u.dialLocked(); err != nil {
+			u.mu.Unlock()
+			return err
+		}
+	}
+	if _, err := c.w.Write(frame); err != nil {
+		u.breakLocked(c)
+		u.mu.Unlock()
+		return err
+	}
+	if pd != nil {
+		select {
+		case c.pend <- pd:
+		default:
+			u.breakLocked(c)
+			u.mu.Unlock()
+			return errPipelineFull
+		}
+	}
+	if flush {
+		if err := c.w.Flush(); err != nil {
+			u.breakLocked(c)
+			u.mu.Unlock()
+			if pd != nil {
+				// The read loop drains the broken pipeline and fails pd;
+				// reporting the error here would resolve it twice.
+				return nil
+			}
+			return err
+		}
+	}
+	u.mu.Unlock()
+	return nil
+}
+
+// dialLocked establishes a fresh uconn and starts its read loop (caller
+// holds u.mu).
+func (u *upstream) dialLocked() (*uconn, error) {
+	nc, err := net.DialTimeout("tcp", u.addr, u.p.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &uconn{
+		u:    u,
+		nc:   nc,
+		r:    bufio.NewReaderSize(nc, u.p.opts.ReadBuffer),
+		w:    bufio.NewWriterSize(nc, u.p.opts.WriteBuffer),
+		pend: make(chan *pending, pendQueueDepth),
+	}
+	u.cur = c
+	go c.readLoop()
+	return c, nil
+}
+
+// breakLocked retires a uconn: no further sends land on it, its pend
+// channel closes so the read loop can finish draining, and the socket
+// closes to unblock any in-flight read (caller holds u.mu).
+func (u *upstream) breakLocked(c *uconn) {
+	if c.broken {
+		return
+	}
+	c.broken = true
+	close(c.pend)
+	_ = c.nc.Close()
+}
+
+// abandon is breakLocked for callers that do not hold u.mu.
+func (u *upstream) abandon(c *uconn) {
+	u.mu.Lock()
+	u.breakLocked(c)
+	u.mu.Unlock()
+}
+
+// close tears the upstream down (proxy shutdown).
+func (u *upstream) close() {
+	u.mu.Lock()
+	if u.cur != nil {
+		u.breakLocked(u.cur)
+	}
+	u.mu.Unlock()
+}
+
+// readLoop resolves pendings in pipeline order. A processing error
+// means the connection's reply stream is unusable: the conn is retired
+// and every remaining pending fails with SERVER_ERROR.
+func (c *uconn) readLoop() {
+	for pd := range c.pend {
+		if err := c.process(pd); err != nil {
+			c.u.abandon(c)
+			for pd := range c.pend {
+				c.failPending(pd)
+			}
+			return
+		}
+	}
+}
+
+// process reads one reply off the wire and resolves pd. It fully
+// resolves pd in every case; a non-nil return means the uconn must be
+// abandoned (reply stream desynced or dead).
+func (c *uconn) process(pd *pending) error {
+	u := c.u
+	u.mu.Lock()
+	if !c.broken {
+		if err := c.w.Flush(); err != nil {
+			u.breakLocked(c)
+		}
+	}
+	u.mu.Unlock()
+	_ = c.nc.SetReadDeadline(time.Now().Add(u.p.opts.UpstreamTimeout))
+
+	switch pd.role {
+	case roleDirect:
+		return c.processDirect(pd)
+	case rolePart:
+		return c.processPart(pd)
+	case roleRaceLeg:
+		return c.processRaceLeg(pd)
+	case roleJoinLine:
+		return c.processJoinLine(pd)
+	}
+	return errUpstreamProtocol
+}
+
+// processDirect relays an unsplit passthrough reply: streamed straight
+// to the downstream socket when pd heads the reply queue (the zero-copy
+// hot path), buffered into pd otherwise.
+func (c *uconn) processDirect(pd *pending) error {
+	d := pd.d
+	srv := pd.srv
+	d.mu.Lock()
+	if pd == d.head && d.err == nil {
+		fail, err := c.copyReply(dsWriter{d}, pd.kind, false)
+		if err != nil {
+			// The downstream stream may hold a partial reply; its framing
+			// cannot be recovered.
+			d.poisonLocked(err)
+		}
+		pd.done = true
+		d.advanceLocked()
+		d.mu.Unlock()
+		c.u.p.recordOutcome(srv, err != nil || fail)
+		return err
+	}
+	start := len(pd.buf)
+	fail, err := c.copyReply(appender{&pd.buf}, pd.kind, false)
+	if err != nil {
+		pd.buf = append(pd.buf[:start], serverErrorLine...)
+	}
+	pd.done = true
+	d.advanceLocked()
+	d.mu.Unlock()
+	c.u.p.recordOutcome(srv, err != nil || fail)
+	return err
+}
+
+// processPart folds one split-multi-get part into its join slot: VALUE
+// blocks append, the part's END (or error line) is swallowed, and the
+// last part to land appends the joined reply's END. A failed part
+// degrades its keys to misses.
+func (c *uconn) processPart(pd *pending) error {
+	d := pd.d
+	srv := pd.srv
+	d.mu.Lock()
+	slot := pd.slot
+	start := len(slot.buf)
+	fail, err := c.copyReply(appender{&slot.buf}, kindRetrieval, true)
+	if err != nil || fail {
+		slot.buf = slot.buf[:start]
+	}
+	slot.remaining--
+	if slot.remaining == 0 {
+		slot.buf = append(slot.buf, "END\r\n"...)
+		slot.done = true
+	}
+	d.finishLegLocked(pd, slot)
+	d.mu.Unlock()
+	c.u.p.recordOutcome(srv, err != nil || fail)
+	return err
+}
+
+// processRaceLeg resolves one replicated-read leg: the first leg whose
+// reply bytes arrive claims the slot; losers drain their replies to
+// keep the pipeline aligned.
+func (c *uconn) processRaceLeg(pd *pending) error {
+	d := pd.d
+	srv := pd.srv
+	_, perr := c.r.Peek(1)
+	d.mu.Lock()
+	slot := pd.slot
+	if perr != nil {
+		slot.remaining--
+		if !slot.claimed && !slot.done && slot.remaining == 0 {
+			slot.buf = append(slot.buf[:0], serverErrorLine...)
+			slot.done = true
+		}
+		d.finishLegLocked(pd, slot)
+		d.mu.Unlock()
+		c.u.p.recordOutcome(srv, true)
+		return perr
+	}
+	if !slot.claimed && !slot.done && d.err == nil {
+		slot.claimed = true
+		fail, err := c.copyReply(appender{&slot.buf}, kindRetrieval, false)
+		if err != nil {
+			slot.buf = slot.buf[:0]
+			slot.claimed = false
+			slot.remaining--
+			if slot.remaining == 0 {
+				slot.buf = append(slot.buf[:0], serverErrorLine...)
+				slot.done = true
+			}
+			d.finishLegLocked(pd, slot)
+			d.mu.Unlock()
+			c.u.p.recordOutcome(srv, true)
+			return err
+		}
+		slot.done = true
+		slot.remaining--
+		d.finishLegLocked(pd, slot)
+		d.mu.Unlock()
+		c.u.p.recordOutcome(srv, fail)
+		return nil
+	}
+	// Loser: the slot is already resolved; discard this leg's reply
+	// outside the downstream lock.
+	slot.remaining--
+	d.finishLegLocked(pd, slot)
+	d.mu.Unlock()
+	fail, err := c.copyReply(io.Discard, kindRetrieval, false)
+	c.u.p.recordOutcome(srv, err != nil || fail)
+	return err
+}
+
+// processJoinLine folds one broadcast reply line into its join slot
+// (error lines win the fold).
+func (c *uconn) processJoinLine(pd *pending) error {
+	line, err := c.r.ReadSlice('\n')
+	srv := pd.srv
+	if err != nil {
+		pd.d.legFold(pd, serverErrorBytes, true)
+		c.u.p.recordOutcome(srv, true)
+		return err
+	}
+	fail := isErrLine(line)
+	pd.d.legFold(pd, line, fail)
+	c.u.p.recordOutcome(srv, fail)
+	return nil
+}
+
+// failPending resolves a pending whose reply will never arrive (broken
+// pipeline drain).
+func (c *uconn) failPending(pd *pending) {
+	d := pd.d
+	srv := pd.srv
+	switch pd.role {
+	case roleDirect:
+		d.failSlot(pd)
+	case rolePart, roleRaceLeg:
+		d.legDone(pd, true)
+	case roleJoinLine:
+		d.legFold(pd, serverErrorBytes, true)
+	}
+	c.u.p.recordOutcome(srv, true)
+}
+
+// copyReply relays one reply from the upstream stream into dst.
+// kindLine replies are a single terminal line; kindRetrieval replies
+// are VALUE blocks closed by END or an error line. partMode swallows
+// the terminal line (split-join parts contribute only VALUE blocks).
+// fail reports an error-line reply; a non-nil error means the stream is
+// desynced and the conn must go.
+func (c *uconn) copyReply(dst io.Writer, kind replyKind, partMode bool) (fail bool, err error) {
+	for {
+		line, err := c.r.ReadSlice('\n')
+		if err != nil {
+			return false, err
+		}
+		if kind == kindRetrieval && hasPrefix(line, "VALUE ") {
+			n, ok := valueLineBytes(line)
+			if !ok {
+				return false, errUpstreamProtocol
+			}
+			if _, werr := dst.Write(line); werr != nil {
+				return false, werr
+			}
+			if cerr := c.copyN(dst, n+2); cerr != nil {
+				return false, cerr
+			}
+			continue
+		}
+		isErr := isErrLine(line)
+		if !partMode {
+			if _, werr := dst.Write(line); werr != nil {
+				return false, werr
+			}
+		}
+		if kind == kindRetrieval && !isErr && !isEnd(line) {
+			// A retrieval stream may only close with END or an error line;
+			// anything else means we lost framing.
+			return true, errUpstreamProtocol
+		}
+		return isErr, nil
+	}
+}
+
+// copyN relays exactly n upstream bytes to dst through the conn's
+// reusable scratch buffer.
+func (c *uconn) copyN(dst io.Writer, n int) error {
+	if cap(c.scratch) == 0 {
+		c.scratch = make([]byte, 32<<10)
+	}
+	buf := c.scratch[:cap(c.scratch)]
+	for n > 0 {
+		chunk := n
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		if _, err := io.ReadFull(c.r, buf[:chunk]); err != nil {
+			return err
+		}
+		if _, err := dst.Write(buf[:chunk]); err != nil {
+			return err
+		}
+		n -= chunk
+	}
+	return nil
+}
+
+// dsWriter streams reply bytes straight to the downstream socket's
+// buffered writer (caller holds d.mu). Downstream write failures poison
+// the downstream but report success, so the upstream reply finishes
+// draining and the pipeline stays aligned.
+type dsWriter struct{ d *downstream }
+
+func (w dsWriter) Write(p []byte) (int, error) {
+	d := w.d
+	if d.err == nil {
+		if _, err := d.w.Write(p); err != nil {
+			d.poisonLocked(err)
+		}
+	}
+	return len(p), nil
+}
+
+// appender accumulates reply bytes into a pending's reusable buffer.
+// It is a one-pointer struct so converting it to io.Writer does not
+// allocate (pointer-shaped values box directly).
+type appender struct{ buf *[]byte }
+
+func (a appender) Write(p []byte) (int, error) {
+	*a.buf = append(*a.buf, p...)
+	return len(p), nil
+}
+
+// valueLineBytes extracts the <bytes> field of a "VALUE <key> <flags>
+// <bytes> [<cas>]" line.
+func valueLineBytes(line []byte) (int, bool) {
+	i, field := 0, 0
+	for field < 3 {
+		for i < len(line) && line[i] != ' ' {
+			i++
+		}
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		field++
+	}
+	n, start := 0, i
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		n = n*10 + int(line[i]-'0')
+		if n > protocol.MaxValueBytes {
+			return 0, false
+		}
+		i++
+	}
+	return n, i > start
+}
+
+// isEnd reports whether line is the END terminator of a retrieval.
+func isEnd(line []byte) bool {
+	return len(line) >= 3 && line[0] == 'E' && line[1] == 'N' && line[2] == 'D' &&
+		(len(line) == 3 || line[3] == '\r' || line[3] == '\n')
+}

@@ -32,6 +32,13 @@ type RequestConfig struct {
 	// FreeReplicas suppresses the load inflation of ReadReplicas — the
 	// hypothetical "free replicas" bound.
 	FreeReplicas bool
+	// ProxyModel, when set, threads every key through an interposed
+	// proxy tier simulated as one extra GI^X/M/1 stream receiving the
+	// aggregate key rate (a single-server core.Config). Each request's
+	// proxy contribution is the max of its N keys' proxy sojourns, added
+	// in series to the fork-join total; per-key sojourns are recorded as
+	// telemetry.StageProxyHop.
+	ProxyModel *core.Config
 	// Seed makes the run deterministic.
 	Seed uint64
 	// Recorder, when set, receives the per-stage decomposition: queue
@@ -67,6 +74,12 @@ type RequestResult struct {
 	Servers []*ServerResult
 	// DBLat records the per-miss database latency sample.
 	DBLat *stats.Histogram
+	// TP is T_P(N): the max proxy-stage sojourn per request (nil when
+	// the run had no proxy tier).
+	TP *stats.Histogram
+	// ProxyKeys is the per-key proxy sojourn sample (nil without a
+	// proxy tier).
+	ProxyKeys *stats.Histogram
 	// MissCount is the total number of missed keys.
 	MissCount int64
 	// KeyCount is the total number of composed keys.
@@ -159,6 +172,32 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		servers[j] = res
 	}
 
+	// Optional proxy stage: one more GI^X/M/1 stream at the aggregate
+	// key rate. Every key passes the proxy exactly once — replicated
+	// reads fan out on the proxy's upstream side, not its queue — so the
+	// stream's rate is the configured Λ regardless of ReadReplicas.
+	var proxySrv *ServerResult
+	if cfg.ProxyModel != nil {
+		pm := cfg.ProxyModel
+		if err := pm.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: proxy model: %w", err)
+		}
+		arrival, err := serverArrival(pm, pm.TotalKeyRate)
+		if err != nil {
+			return nil, fmt.Errorf("sim: proxy stage: %w", err)
+		}
+		proxySrv, err = SimulateServer(ServerConfig{
+			Interarrival: arrival,
+			Q:            pm.Q,
+			MuS:          pm.MuS,
+			Keys:         keysPerServer,
+			Seed:         cfg.Seed + 777000777,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: proxy stage: %w", err)
+		}
+	}
+
 	// Stage 2: fork-join composition.
 	assign, err := dist.NewWeighted(m.LoadRatios)
 	if err != nil {
@@ -173,11 +212,16 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		Servers:  servers,
 		Replicas: replicas,
 	}
+	if proxySrv != nil {
+		out.TP = stats.NewHistogram()
+		out.ProxyKeys = proxySrv.Hist
+	}
 	var (
 		rngAssign = dist.SubRand(cfg.Seed, 101)
 		rngSample = dist.SubRand(cfg.Seed, 102)
 		rngMiss   = dist.SubRand(cfg.Seed, 103)
 		rngDB     = dist.SubRand(cfg.Seed, 104)
+		rngProxy  = dist.SubRand(cfg.Seed, 105)
 	)
 	rec := telemetry.OrNop(cfg.Recorder)
 	rs := newSimResilience(cfg.Resilience, m, servers)
@@ -187,11 +231,18 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 	reqRate := m.TotalKeyRate / float64(m.N)
 	for req := 0; req < cfg.Requests; req++ {
 		var (
-			maxTS, maxTD, sumTS float64
-			misses, failedKeys  int
+			maxTS, maxTD, maxTP, sumTS float64
+			misses, failedKeys         int
 		)
 		now := float64(req) / reqRate
 		for i := 0; i < m.N; i++ {
+			if proxySrv != nil {
+				tp := proxySrv.Sample(rngProxy)
+				if tp > maxTP {
+					maxTP = tp
+				}
+				rec.Observe(telemetry.StageProxyHop, tp)
+			}
 			j := assign.SampleInt(rngAssign)
 			var (
 				s      float64
@@ -259,7 +310,10 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		}
 		out.TS.Record(maxTS)
 		out.TD.Record(maxTD)
-		out.Total.Record(m.NetworkLatency + maxTS + maxTD)
+		if out.TP != nil {
+			out.TP.Record(maxTP)
+		}
+		out.Total.Record(m.NetworkLatency + maxTS + maxTD + maxTP)
 		rec.Observe(telemetry.StageForkJoin, maxTS-sumTS/float64(m.N))
 	}
 	return out, nil
@@ -282,6 +336,17 @@ func (r *RequestResult) TDQuantileEstimate() (float64, error) {
 		return 0, err
 	}
 	return pAny * q, nil
+}
+
+// TPQuantileEstimate measures E[T_P(N)] the way TSQuantileEstimate
+// measures the memcached stage: as the N/(N+1)-quantile of the proxy
+// stage's per-key sojourn distribution (a single queue, so the
+// composite CDF is its own). Zero when the run had no proxy tier.
+func (r *RequestResult) TPQuantileEstimate(n int) (float64, error) {
+	if r.ProxyKeys == nil || r.ProxyKeys.Count() == 0 {
+		return 0, nil
+	}
+	return r.ProxyKeys.Quantile(float64(n) / float64(n+1))
 }
 
 // TSQuantileEstimate measures E[T_S(N)] the way the paper does (§4.5):

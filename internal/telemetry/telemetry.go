@@ -51,13 +51,19 @@ const (
 	// count is direct evidence of a lock convoy the service-time model
 	// does not describe.
 	StageLockWait
+	// StageProxyHop is the latency the proxy tier adds to a command:
+	// downstream parse + route + upstream enqueue on the live proxy's
+	// data plane, the extra GI^X/M/1 stage's sojourn on the model and
+	// simulator planes. Zero observations on a direct (unproxied) run,
+	// so existing topologies keep their decomposition unchanged.
+	StageProxyHop
 	numStages
 )
 
 // Stages lists every stage in reporting order.
 func Stages() []Stage {
 	return []Stage{StageQueueWait, StageService, StageMissPenalty, StageForkJoin,
-		StageRetry, StageHedgeWait, StageBreakerShed, StageLockWait}
+		StageRetry, StageHedgeWait, StageBreakerShed, StageLockWait, StageProxyHop}
 }
 
 // String returns the stable snake_case stage name used in reports and
@@ -80,6 +86,8 @@ func (s Stage) String() string {
 		return "breaker_shed"
 	case StageLockWait:
 		return "lock_wait"
+	case StageProxyHop:
+		return "proxy_hop"
 	default:
 		return fmt.Sprintf("stage(%d)", int(s))
 	}

@@ -17,6 +17,7 @@ func TestStageNames(t *testing.T) {
 		StageHedgeWait:   "hedge_wait",
 		StageBreakerShed: "breaker_shed",
 		StageLockWait:    "lock_wait",
+		StageProxyHop:    "proxy_hop",
 	}
 	if len(Stages()) != len(want) {
 		t.Fatalf("Stages() = %d entries, want %d", len(Stages()), len(want))
