@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: build test vet race verify faults lint cover fuzz-smoke \
-	bench-plane bench-server bench-proxy bench-check repro clean
+	bench-plane bench-server bench-proxy bench-check obs repro clean
 
 build:
 	$(GO) build ./...
@@ -46,18 +46,25 @@ cover:
 	$(GO) test -coverprofile=cover_protocol.out ./internal/protocol/
 	$(GO) test -coverprofile=cover_proxy.out ./internal/proxy/
 	$(GO) test -coverprofile=cover_route.out ./internal/route/
+	$(GO) test -coverprofile=cover_otrace.out ./internal/otrace/
+	$(GO) test -coverprofile=cover_metrics.out ./internal/metrics/
 	./scripts/coverfloor.sh cover_cache.out 95.2 internal/cache
 	./scripts/coverfloor.sh cover_protocol.out 90.6 internal/protocol
 	./scripts/coverfloor.sh cover_proxy.out 82.0 internal/proxy
 	./scripts/coverfloor.sh cover_route.out 91.0 internal/route
+	./scripts/coverfloor.sh cover_otrace.out 95.0 internal/otrace
+	./scripts/coverfloor.sh cover_metrics.out 90.0 internal/metrics
 
 # Fuzz smoke: 30s over the reusable-buffer parser (ReadCommand and
-# Parser.Next must agree byte-for-byte on arbitrary input) and 15s over
+# Parser.Next must agree byte-for-byte on arbitrary input), 15s over
 # the proxy's forwarding contract (every accepted command's captured
-# frame must re-parse identically).
+# frame must re-parse identically) and 15s over the Chrome trace-event
+# decoder (ParseChrome must never panic and must round-trip WriteChrome
+# output).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseCommand -fuzztime=30s ./internal/protocol/
 	$(GO) test -run '^$$' -fuzz FuzzProxyFrame -fuzztime=15s ./internal/proxy/
+	$(GO) test -run '^$$' -fuzz FuzzChromeTrace -fuzztime=15s ./internal/otrace/
 
 # Regenerate the plane-harness baseline (BENCH_plane.json records the
 # last blessed numbers).
@@ -85,6 +92,23 @@ bench-check:
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_proxy.json
 	$(GO) test -run '^$$' -bench 'BenchmarkSimPlane|BenchmarkLivePlane' -benchmem -benchtime 3x . \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_plane.json
+
+# Observability smoke: a short live-plane run with the admin plane and
+# span recording armed (mcbench re-parses the Chrome trace it wrote and
+# fails the run if it is malformed), the in-process /metrics + /healthz
+# scrape test, and the benchdiff gates that prove the server and proxy
+# hot paths stay zero-alloc while tracing/metrics are compiled in but
+# disabled.
+obs:
+	$(GO) run ./cmd/mcbench -plane=live -plane-servers 2 -lambda 2000 \
+		-mus 2000 -n 10 -ops 1200 -miss-ratio 0.02 -seed 7 \
+		-admin 127.0.0.1:0 -trace-ring 8192 -trace-out obs_trace.json -slow 250ms
+	rm -f obs_trace.json
+	$(GO) test -run TestObservabilitySmoke -count=1 ./cmd/mcbench/
+	$(GO) test -run '^$$' -bench BenchmarkServerHotPath -benchmem ./internal/server/ \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_server.json
+	$(GO) test -run '^$$' -bench BenchmarkProxyHotPath -benchmem ./internal/proxy/ \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_proxy.json
 
 repro:
 	$(GO) run ./cmd/repro -run all

@@ -22,6 +22,14 @@
 // -breaker-*) arm the client/simulator recovery policies:
 //
 //	mcbench -plane=live -faults "reset:srv=0" -breaker-threshold 0.5 ...
+//
+// Observability: -trace-out records request-scoped spans across every
+// tier of the run (wall-clock on live paths, virtual time on the sim
+// planes) and writes them as Chrome trace-event JSON on exit; -slow
+// logs the span tree of any request at least that slow; -admin serves
+// /metrics, /healthz, /debug/pprof and /trace while the run is live.
+//
+//	mcbench -plane=live -admin 127.0.0.1:8700 -trace-out trace.json -slow 5ms ...
 package main
 
 import (
@@ -40,6 +48,8 @@ import (
 	"memqlat/internal/core"
 	"memqlat/internal/fault"
 	"memqlat/internal/loadgen"
+	"memqlat/internal/metrics"
+	"memqlat/internal/otrace"
 	"memqlat/internal/plane"
 	"memqlat/internal/proxy"
 	"memqlat/internal/stats"
@@ -71,8 +81,13 @@ func run(args []string, out io.Writer) error {
 		fill      = fs.Bool("fill-misses", false, "relay misses to a simulated database")
 		mud       = fs.Float64("mud", 1000, "simulated database service rate for -fill-misses")
 		timeout   = fs.Duration("timeout", 10*time.Minute, "overall run timeout")
-		traceOut  = fs.String("trace", "", "journal the issued key stream to this file (mrc/replay input)")
+		keyTrace  = fs.String("trace", "", "journal the issued key stream to this file (mrc/replay input)")
 		closed    = fs.Bool("closed-loop", false, "closed-loop mode (fixed concurrency + think time) instead of open-loop pacing")
+
+		adminAddr = fs.String("admin", "", "observability listener address for /metrics, /healthz, /debug/pprof, /trace (empty = off)")
+		traceOut  = fs.String("trace-out", "", "record request-scoped spans and write them as Chrome trace-event JSON to this file")
+		traceRing = fs.Int("trace-ring", 0, "span-ring capacity for -trace-out/-slow (0 = default 16384)")
+		slow      = fs.Duration("slow", 0, "log the span tree of any traced request at least this slow (enables tracing)")
 
 		proxied      = fs.Bool("proxy", false, "interpose the proxy tier (in-process mcproxy in front of -servers, or a ProxySpec on -plane runs)")
 		routePolicy  = fs.String("route", "direct", "proxy routing policy for -proxy (direct|failover|replicate)")
@@ -105,6 +120,16 @@ func run(args []string, out io.Writer) error {
 		BreakerWindow:    *breakerWindow,
 		BreakerCooldown:  breakerCooldown.Seconds(),
 	}
+	// Request-scoped tracing is armed by -trace-out or -slow; the ring
+	// collects across every tier of the run.
+	var tracer *otrace.Tracer
+	if *traceOut != "" || *slow > 0 {
+		tracer = otrace.New(otrace.Options{
+			RingSize:   *traceRing,
+			Slow:       slow.Seconds(),
+			SlowWriter: os.Stderr,
+		})
+	}
 	if *planeName != "" {
 		faults, err := fault.ParseSchedule(*faultSpec)
 		if err != nil {
@@ -114,17 +139,39 @@ func run(args []string, out io.Writer) error {
 			servers: *planeSrv, n: *keysPerReq, lambda: *lambda,
 			xi: *xi, q: *q, mus: *mus, missRatio: *missRatio, mud: *mud,
 			ops: *ops, workers: *workers, seed: *seed, timeout: *timeout,
-			faults: faults, resilience: resilience,
+			faults: faults, resilience: resilience, tracer: tracer,
 		}
 		if *proxied {
 			ps.proxy = &plane.ProxySpec{Policy: *routePolicy, Replicas: *routeReplica}
 		}
-		return runPlane(*planeName, ps, out)
+		if *adminAddr != "" {
+			// Plane runs build their tiers internally; the admin page
+			// serves the shared span ring (plus health/pprof) while the
+			// scenario executes.
+			reg := metrics.NewRegistry()
+			metrics.RegisterTracer(reg, tracer)
+			admin := metrics.NewAdmin(reg)
+			if tracer.Enabled() {
+				admin.AttachTracer(tracer)
+			}
+			aaddr, err := admin.Start(*adminAddr)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = admin.Close() }()
+			fmt.Fprintf(out, "admin plane on http://%s/metrics\n", aaddr)
+		}
+		if err := runPlane(*planeName, ps, out); err != nil {
+			return err
+		}
+		return writeChromeTrace(tracer, *traceOut, out)
 	}
 	if *faultSpec != "" {
 		return fmt.Errorf("-faults needs a -plane mode (external -servers cannot be injected)")
 	}
 	addrs := strings.Split(*servers, ",")
+	collector := telemetry.NewCollector()
+	var px *proxy.Proxy
 	if *proxied {
 		// Interpose an in-process proxy: the client talks to it, it
 		// multiplexes onto the configured servers.
@@ -132,10 +179,12 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		px, err := proxy.New(proxy.Options{
+		px, err = proxy.New(proxy.Options{
 			Upstreams: addrs,
 			Policy:    pol,
 			Replicas:  *routeReplica,
+			Recorder:  collector,
+			Tracer:    tracer,
 			Logger:    log.New(io.Discard, "", 0),
 		})
 		if err != nil {
@@ -154,9 +203,11 @@ func run(args []string, out io.Writer) error {
 		Servers:    addrs,
 		PoolSize:   *workers,
 		Resilience: client.ResilienceFromSpec(resilience),
+		Recorder:   collector,
+		Tracer:     tracer,
 	}
 	if *fill {
-		db, err := backend.New(backend.Options{MuD: *mud, Seed: *seed})
+		db, err := backend.New(backend.Options{MuD: *mud, Seed: *seed, Recorder: collector, Tracer: tracer})
 		if err != nil {
 			return err
 		}
@@ -168,6 +219,23 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer func() { _ = cl.Close() }()
+	if *adminAddr != "" {
+		reg := metrics.NewRegistry()
+		metrics.RegisterClient(reg, cl)
+		metrics.RegisterProxy(reg, px)
+		metrics.RegisterTelemetry(reg, collector)
+		metrics.RegisterTracer(reg, tracer)
+		admin := metrics.NewAdmin(reg)
+		if tracer.Enabled() {
+			admin.AttachTracer(tracer)
+		}
+		aaddr, err := admin.Start(*adminAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = admin.Close() }()
+		fmt.Fprintf(out, "admin plane on http://%s/metrics\n", aaddr)
+	}
 
 	lgOpts := loadgen.Options{
 		Client:        cl,
@@ -183,9 +251,10 @@ func run(args []string, out io.Writer) error {
 		Seed:          *seed,
 		UseGetThrough: *fill,
 		ClosedLoop:    *closed,
+		Recorder:      collector,
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	if *keyTrace != "" {
+		f, err := os.Create(*keyTrace)
 		if err != nil {
 			return err
 		}
@@ -225,10 +294,66 @@ func run(args []string, out io.Writer) error {
 		res.Issued, res.Elapsed.Round(time.Millisecond), res.AchievedRate())
 	fmt.Fprintf(out, "outcomes    %d hits, %d misses, %d errors\n",
 		res.Hits, res.Misses, res.Errors)
+	printResilience(out, res.Shed, collector.Breakdown())
 	fmt.Fprintf(out, "latency     mean %v\n", secs(res.Latency.Mean()))
 	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
 		fmt.Fprintf(out, "            p%-5g %v\n", p*100, secs(res.Latency.MustQuantile(p)))
 	}
+	return writeChromeTrace(tracer, *traceOut, out)
+}
+
+// printResilience is the one-line recovery summary: the loadgen's
+// breaker-shed count plus the per-stage retry/hedge/shed observation
+// counts, so a faulted run is legible without parsing the breakdown.
+// Healthy runs (all zeros, no policies armed) stay silent.
+func printResilience(out io.Writer, shed int64, b telemetry.Breakdown) {
+	retries := b[telemetry.StageRetry].Count
+	hedges := b[telemetry.StageHedgeWait].Count
+	stageShed := b[telemetry.StageBreakerShed].Count
+	if shed == 0 && retries == 0 && hedges == 0 && stageShed == 0 {
+		return
+	}
+	fmt.Fprintf(out, "resilience  %d breaker-shed ops, %d retry waits, %d hedges fired\n",
+		max64(shed, stageShed), retries, hedges)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// writeChromeTrace dumps the tracer's span ring as Chrome trace-event
+// JSON and re-parses the written file, so a truncated or corrupt dump
+// fails the run instead of failing later in chrome://tracing. A nil
+// tracer or empty path is a no-op.
+func writeChromeTrace(tr *otrace.Tracer, path string, out io.Writer) error {
+	if !tr.Enabled() || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: re-read: %w", err)
+	}
+	events, err := otrace.ParseChrome(data)
+	if err != nil {
+		return fmt.Errorf("trace-out: written file does not parse: %w", err)
+	}
+	_, total := tr.Stats()
+	fmt.Fprintf(out, "trace       %d spans written to %s (%d recorded; load into chrome://tracing)\n",
+		events, path, total)
 	return nil
 }
 
@@ -246,6 +371,7 @@ type planeScenario struct {
 	faults                   fault.Schedule
 	resilience               fault.Resilience
 	proxy                    *plane.ProxySpec
+	tracer                   *otrace.Tracer
 }
 
 // runPlane evaluates the flag-described scenario on the named internal
@@ -274,6 +400,7 @@ func runPlane(name string, ps planeScenario, out io.Writer) error {
 		Faults:       ps.faults,
 		Resilience:   ps.resilience,
 		Proxy:        ps.proxy,
+		Tracer:       ps.tracer,
 	}
 	if ps.proxy != nil {
 		fmt.Fprintf(out, "interposing proxy tier (%s routing)\n", ps.proxy.Policy)
@@ -307,6 +434,11 @@ func runPlane(name string, ps planeScenario, out io.Writer) error {
 		fmt.Fprintf(out, "faults      %d/%d keys failed, %d shed, %d/%d requests degraded\n",
 			sr.FailedKeys, sr.KeyCount, sr.ShedKeys, sr.DegradedRequests, sr.Requests)
 	}
+	var shed int64
+	if res.Live != nil {
+		shed = res.Live.Shed
+	}
+	printResilience(out, shed, res.Breakdown)
 	if res.Sample != nil && res.Sample.Count() > 0 {
 		printSample(out, res.Sample, res.MeanCI)
 	}

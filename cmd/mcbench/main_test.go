@@ -5,9 +5,14 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+
+	"memqlat/internal/otrace"
 
 	"memqlat/internal/cache"
 	"memqlat/internal/server"
@@ -191,5 +196,95 @@ func TestRunWithTraceJournal(t *testing.T) {
 		if records[i].Offset < records[i-1].Offset {
 			t.Fatal("trace offsets not monotone")
 		}
+	}
+}
+
+// adminProbe watches run()'s output for the admin-plane banner and
+// scrapes /metrics and /healthz the moment it appears — while the run
+// is still alive, the way an operator's Prometheus would.
+type adminProbe struct {
+	bytes.Buffer
+	t       *testing.T
+	metrics string
+	healthz string
+}
+
+var adminBanner = regexp.MustCompile(`admin plane on http://([^/\s]+)/metrics`)
+
+func (p *adminProbe) Write(b []byte) (int, error) {
+	n, err := p.Buffer.Write(b)
+	if p.metrics == "" {
+		if m := adminBanner.FindSubmatch(p.Buffer.Bytes()); m != nil {
+			base := "http://" + string(m[1])
+			p.metrics = p.get(base + "/metrics")
+			p.healthz = p.get(base + "/healthz")
+		}
+	}
+	return n, err
+}
+
+func (p *adminProbe) get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		p.t.Errorf("GET %s: %v", url, err)
+		return "unreachable"
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		p.t.Errorf("GET %s: read: %v", url, err)
+		return "unreadable"
+	}
+	return string(body)
+}
+
+// TestObservabilitySmoke is the end-to-end acceptance check: a live
+// run with -admin and -trace-out serves a scrapeable metrics page and
+// produces a Chrome-loadable trace file.
+func TestObservabilitySmoke(t *testing.T) {
+	addr := startTestServer(t)
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	probe := &adminProbe{t: t}
+	args := []string{
+		"-servers", addr,
+		"-keys", "100",
+		"-ops", "300",
+		"-lambda", "50000",
+		"-workers", "8",
+		"-admin", "127.0.0.1:0",
+		"-trace-out", traceFile,
+	}
+	if err := run(args, probe); err != nil {
+		t.Fatal(err)
+	}
+	out := probe.String()
+	if !strings.Contains(out, "spans written to "+traceFile) {
+		t.Errorf("output missing trace summary:\n%s", out)
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := otrace.ParseChrome(data)
+	if err != nil {
+		t.Fatalf("trace file does not parse as Chrome trace JSON: %v", err)
+	}
+	if n == 0 {
+		t.Error("trace file holds no events")
+	}
+	if probe.metrics == "" {
+		t.Fatal("admin banner never appeared; /metrics not scraped")
+	}
+	for _, want := range []string{
+		"memqlat_client_pool_idle",
+		"memqlat_stage_latency_seconds",
+		"memqlat_trace_spans_kept",
+	} {
+		if !strings.Contains(probe.metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(probe.healthz, `"status":"ok"`) {
+		t.Errorf("/healthz = %q, want status ok", probe.healthz)
 	}
 }

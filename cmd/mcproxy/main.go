@@ -12,6 +12,11 @@
 // replicate (writes fan out to -replicas owners, reads race them).
 // Point any memcached text-protocol client at -listen; `stats` answers
 // with proxy counters before the upstream stats.
+//
+// -admin exposes the observability plane on a second listener:
+// /metrics (forwarding counters, per-upstream queue depth, breaker
+// states), /healthz, /debug/pprof and — with -trace-ring — /trace, the
+// proxy-hop spans of in-band-traced requests as Chrome trace JSON.
 package main
 
 import (
@@ -24,6 +29,8 @@ import (
 	"strings"
 	"syscall"
 
+	"memqlat/internal/metrics"
+	"memqlat/internal/otrace"
 	"memqlat/internal/proxy"
 )
 
@@ -37,11 +44,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mcproxy", flag.ContinueOnError)
 	var (
-		listen   = fs.String("listen", "127.0.0.1:11210", "listen address")
-		servers  = fs.String("servers", "127.0.0.1:11211", "comma-separated upstream memcached addresses")
-		policy   = fs.String("policy", "direct", "routing policy (direct|failover|replicate)")
-		replicas = fs.Int("replicas", 2, "replication degree for -policy=replicate")
-		conns    = fs.Int("upstream-conns", 2, "pipelined connections per upstream server")
+		listen    = fs.String("listen", "127.0.0.1:11210", "listen address")
+		servers   = fs.String("servers", "127.0.0.1:11211", "comma-separated upstream memcached addresses")
+		policy    = fs.String("policy", "direct", "routing policy (direct|failover|replicate)")
+		replicas  = fs.Int("replicas", 2, "replication degree for -policy=replicate")
+		conns     = fs.Int("upstream-conns", 2, "pipelined connections per upstream server")
+		adminAddr = fs.String("admin", "", "observability listener address for /metrics, /healthz, /debug/pprof (empty = off)")
+		traceRing = fs.Int("trace-ring", 0, "retain this many proxy-hop spans of in-band-traced requests, served on <admin>/trace (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,15 +59,35 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var tracer *otrace.Tracer
+	if *traceRing > 0 {
+		tracer = otrace.New(otrace.Options{RingSize: *traceRing})
+	}
 	p, err := proxy.New(proxy.Options{
 		Upstreams:     strings.Split(*servers, ","),
 		Policy:        pol,
 		Replicas:      *replicas,
 		UpstreamConns: *conns,
+		Tracer:        tracer,
 		Logger:        log.New(os.Stderr, "mcproxy: ", log.LstdFlags),
 	})
 	if err != nil {
 		return err
+	}
+	if *adminAddr != "" {
+		reg := metrics.NewRegistry()
+		metrics.RegisterProxy(reg, p)
+		metrics.RegisterTracer(reg, tracer)
+		admin := metrics.NewAdmin(reg)
+		if tracer.Enabled() {
+			admin.AttachTracer(tracer)
+		}
+		aaddr, err := admin.Start(*adminAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = admin.Close() }()
+		log.Printf("mcproxy: admin plane on http://%s/metrics", aaddr)
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -9,6 +9,12 @@
 // an exponential distribution (one service channel per process), which
 // turns the server into a physical realization of the paper's GI^X/M/1
 // model for latency experiments.
+//
+// -admin exposes the observability plane on a second listener:
+// /metrics (Prometheus text exposition of the command, cache-shard and
+// stage-latency families), /healthz, /debug/pprof and — with
+// -trace-ring — /trace, the span ring of in-band-traced requests as
+// Chrome trace-event JSON.
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 	"syscall"
 
 	"memqlat/internal/cache"
+	"memqlat/internal/metrics"
+	"memqlat/internal/otrace"
 	"memqlat/internal/server"
 )
 
@@ -41,11 +49,25 @@ func run(args []string) error {
 		serviceRate = fs.Float64("service-rate", 0, "optional exponential service-rate shaping (ops/s, 0 = off)")
 		serviceCh   = fs.Int("service-channels", 1, "independent service channels for the shaped path (1 = the paper's single-server queue)")
 		seed        = fs.Uint64("seed", 1, "seed for service-time shaping")
+		timingSmpl  = fs.Int("timing-sample", 0, "time 1-in-N unshaped commands for stats latency/telemetry (0 = default 8, 1 = every command, negative = off)")
+		adminAddr   = fs.String("admin", "", "observability listener address for /metrics, /healthz, /debug/pprof (empty = off)")
+		traceRing   = fs.Int("trace-ring", 0, "retain this many spans of in-band-traced requests, served on <admin>/trace (0 = tracing off)")
+		slow        = fs.Duration("slow", 0, "log the span tree of traced requests at least this slow (0 = off; needs -trace-ring)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var tracer *otrace.Tracer
+	if *traceRing > 0 {
+		tracer = otrace.New(otrace.Options{
+			RingSize:   *traceRing,
+			Slow:       slow.Seconds(),
+			SlowWriter: os.Stderr,
+		})
+	} else if *slow > 0 {
+		return fmt.Errorf("-slow needs -trace-ring (no tracer to watch)")
+	}
 	c, err := cache.New(cache.Options{
 		MaxBytes:    *memoryMB << 20,
 		Shards:      *shards,
@@ -60,10 +82,28 @@ func run(args []string) error {
 		ServiceRate:     *serviceRate,
 		ServiceChannels: *serviceCh,
 		Seed:            *seed,
+		TimingSample:    *timingSmpl,
+		Tracer:          tracer,
 		Logger:          log.New(os.Stderr, "memcached-server: ", log.LstdFlags),
 	})
 	if err != nil {
 		return err
+	}
+	if *adminAddr != "" {
+		reg := metrics.NewRegistry()
+		metrics.RegisterServers(reg, []*server.Server{srv})
+		metrics.RegisterTelemetry(reg, srv.Telemetry())
+		metrics.RegisterTracer(reg, tracer)
+		admin := metrics.NewAdmin(reg)
+		if tracer.Enabled() {
+			admin.AttachTracer(tracer)
+		}
+		aaddr, err := admin.Start(*adminAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = admin.Close() }()
+		log.Printf("memcached-server: admin plane on http://%s/metrics", aaddr)
 	}
 
 	sig := make(chan os.Signal, 1)

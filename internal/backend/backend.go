@@ -17,6 +17,7 @@ import (
 
 	"memqlat/internal/dist"
 	"memqlat/internal/fault"
+	"memqlat/internal/otrace"
 	"memqlat/internal/telemetry"
 )
 
@@ -61,6 +62,10 @@ type Options struct {
 	// fault.Database): slow/stall windows delay lookups, other outcomes
 	// fail them with ErrInjected. Nil = healthy.
 	Fault *fault.Point
+	// Tracer, when set, emits a span per lookup whose context carries a
+	// trace (otrace.FromContext) — the miss-penalty leg of a traced
+	// request. Nil disables tracing.
+	Tracer *otrace.Tracer
 }
 
 // DB is the simulated database. Lookups never miss: the database is the
@@ -71,6 +76,7 @@ type DB struct {
 	valueSize int
 	rec       telemetry.Recorder
 	fp        *fault.Point
+	tracer    *otrace.Tracer
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -117,6 +123,7 @@ func New(opts Options) (*DB, error) {
 		valueSize: opts.ValueSize,
 		rec:       telemetry.OrNop(opts.Recorder),
 		fp:        opts.Fault,
+		tracer:    opts.Tracer,
 		rng:       dist.SubRand(opts.Seed, 0xdb),
 		done:      make(chan struct{}),
 	}
@@ -166,6 +173,12 @@ func (db *DB) Get(ctx context.Context, key string) ([]byte, error) {
 		return nil, fmt.Errorf("backend: empty key")
 	}
 	db.lookups.Add(1)
+	// A traced caller hands its context over via otrace.ContextWith; the
+	// lookup span covers queueing (single-queue mode) plus service.
+	sp := otrace.Span{}
+	if tc := otrace.FromContext(ctx); tc.Valid() {
+		sp = db.tracer.Begin(tc, "backend", "lookup", 0)
+	}
 	began := time.Now()
 	service := db.serviceTime()
 	if act := db.fp.Eval(); act.Faulted() {
@@ -206,6 +219,7 @@ func (db *DB) Get(ctx context.Context, key string) ([]byte, error) {
 		}
 	}
 	db.rec.Observe(telemetry.StageMissPenalty, time.Since(began).Seconds())
+	db.tracer.End(sp)
 	return db.ValueFor(key), nil
 }
 

@@ -100,6 +100,13 @@ type Cache struct {
 	deletes     atomic.Int64
 	evictions   atomic.Int64
 	expirations atomic.Int64
+
+	// lockWaits / lockWaitNanos count contended shard-lock
+	// acquisitions and the total time they spent blocked. Only the
+	// TryLock-miss slow path pays for them, so the uncontended hot
+	// path is unchanged.
+	lockWaits     atomic.Int64
+	lockWaitNanos atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of cache counters.
@@ -114,6 +121,10 @@ type Stats struct {
 	Deletes     int64
 	Evictions   int64
 	Expirations int64
+	// LockWaits counts contended shard-lock acquisitions;
+	// LockWaitSeconds is their summed blocked time.
+	LockWaits       int64
+	LockWaitSeconds float64
 }
 
 // HitRatio returns Hits/Gets (0 when no gets were served).
@@ -227,14 +238,14 @@ func (c *Cache) lock(s *shard) {
 	if s.mu.TryLock() {
 		return
 	}
-	f := c.onLockWait.Load()
-	if f == nil {
-		s.mu.Lock()
-		return
-	}
 	start := time.Now()
 	s.mu.Lock()
-	(*f)(time.Since(start).Seconds())
+	wait := time.Since(start)
+	c.lockWaits.Add(1)
+	c.lockWaitNanos.Add(wait.Nanoseconds())
+	if f := c.onLockWait.Load(); f != nil {
+		(*f)(wait.Seconds())
+	}
 }
 
 func (c *Cache) nextCAS() uint64 { return c.casCounter.Add(1) }
@@ -615,17 +626,44 @@ func (c *Cache) Stats() Stats {
 		maxBytes += s.maxBytes
 	}
 	return Stats{
-		Items:       c.Len(),
-		Bytes:       c.Bytes(),
-		MaxBytes:    maxBytes,
-		Gets:        c.gets.Load(),
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Sets:        c.sets.Load(),
-		Deletes:     c.deletes.Load(),
-		Evictions:   c.evictions.Load(),
-		Expirations: c.expirations.Load(),
+		Items:           c.Len(),
+		Bytes:           c.Bytes(),
+		MaxBytes:        maxBytes,
+		Gets:            c.gets.Load(),
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		Sets:            c.sets.Load(),
+		Deletes:         c.deletes.Load(),
+		Evictions:       c.evictions.Load(),
+		Expirations:     c.expirations.Load(),
+		LockWaits:       c.lockWaits.Load(),
+		LockWaitSeconds: float64(c.lockWaitNanos.Load()) / 1e9,
 	}
+}
+
+// ShardStat is one shard's occupancy snapshot.
+type ShardStat struct {
+	Items    int64
+	Bytes    int64
+	MaxBytes int64
+}
+
+// ShardStats snapshots per-shard occupancy — the balance view the
+// metrics plane exposes so a skewed key distribution (one shard's LRU
+// churning while others idle) is visible without guessing from global
+// counters.
+func (c *Cache) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i, s := range c.shards {
+		c.lock(s)
+		out[i] = ShardStat{
+			Items:    int64(len(s.items)),
+			Bytes:    s.bytes,
+			MaxBytes: s.maxBytes,
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // entry is one stored item plus its LRU links (intrusive list).

@@ -417,3 +417,53 @@ func sanitizeKey(raw []byte) string {
 	}
 	return b.String()
 }
+
+func TestShardStatsAndLockWaitCounters(t *testing.T) {
+	c, err := New(Options{Shards: 4, MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if err := c.Set(key, []byte("v"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss := c.ShardStats()
+	if len(ss) != c.Shards() {
+		t.Fatalf("ShardStats has %d entries, want %d", len(ss), c.Shards())
+	}
+	var items, bytes int64
+	for i, s := range ss {
+		if s.MaxBytes <= 0 {
+			t.Errorf("shard %d MaxBytes = %d", i, s.MaxBytes)
+		}
+		items += s.Items
+		bytes += s.Bytes
+	}
+	if items != c.Len() {
+		t.Errorf("shard items sum %d != Len %d", items, c.Len())
+	}
+	if bytes != c.Bytes() {
+		t.Errorf("shard bytes sum %d != Bytes %d", bytes, c.Bytes())
+	}
+	// Contend one shard hard enough that at least one TryLock misses.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				_, _ = c.Get("key-1")
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.LockWaits < 0 || st.LockWaitSeconds < 0 {
+		t.Errorf("negative lock-wait counters: %+v", st)
+	}
+	if st.LockWaits > 0 && st.LockWaitSeconds <= 0 {
+		t.Errorf("lock waits counted (%d) but no blocked time", st.LockWaits)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"memqlat/internal/dist"
+	"memqlat/internal/otrace"
 	"memqlat/internal/protocol"
 	"memqlat/internal/route"
 	"memqlat/internal/telemetry"
@@ -79,6 +80,11 @@ type Options struct {
 	// StageRetry per backoff wait, StageHedgeWait per fired hedge,
 	// StageBreakerShed per shed operation.
 	Recorder telemetry.Recorder
+	// Tracer, when set, opens a request-scoped span per read (a root
+	// span per Get/MultiGet/GetThrough, a child per server RPC) and
+	// propagates the context in-band via mq_trace headers so server
+	// spans land in the same trace. Nil disables tracing.
+	Tracer *otrace.Tracer
 }
 
 // Client is a connection-pooled memcached client with an optional
@@ -89,6 +95,7 @@ type Client struct {
 	opts     Options
 	selector Selector
 	rec      telemetry.Recorder
+	tracer   *otrace.Tracer // nil = tracing disabled
 
 	retry       *RetryPolicy
 	hedge       *HedgePolicy
@@ -153,6 +160,7 @@ func New(opts Options) (*Client, error) {
 		opts:     opts,
 		selector: opts.Selector,
 		rec:      telemetry.OrNop(opts.Recorder),
+		tracer:   opts.Tracer,
 	}
 	n := len(opts.Servers)
 	c.pools = make([]chan *conn, n)
@@ -441,6 +449,10 @@ func (c *Client) ServerFor(key string) string {
 	return c.opts.Servers[c.pickServer(key)]
 }
 
+// NumServers reports how many servers the client spreads keys across
+// (the per-server metrics and pool-stats index range).
+func (c *Client) NumServers() int { return len(c.opts.Servers) }
+
 // BreakerState reports server idx's breaker state ("closed", "open",
 // "half-open", or "disabled").
 func (c *Client) BreakerState(idx int) string {
@@ -483,19 +495,25 @@ func (c *Client) PoolStats(idx int) (PoolStats, error) {
 
 // Get fetches one key, returning ErrCacheMiss when absent.
 func (c *Client) Get(key string) (Item, error) {
-	items, err := c.getFromServer(c.pickServer(key), []string{key}, false)
-	if err != nil {
-		return Item{}, err
-	}
-	if len(items) == 0 {
-		return Item{}, ErrCacheMiss
-	}
-	return items[0], nil
+	return c.get(otrace.Ctx{}, key, false)
 }
 
 // Gets fetches one key with its CAS token.
 func (c *Client) Gets(key string) (Item, error) {
-	items, err := c.getFromServer(c.pickServer(key), []string{key}, true)
+	return c.get(otrace.Ctx{}, key, true)
+}
+
+// get is the shared single-key read: it opens a span (a fresh root
+// trace when parent is zero) and fetches from the key's owner.
+func (c *Client) get(parent otrace.Ctx, key string, withCAS bool) (Item, error) {
+	idx := c.pickServer(key)
+	name := "get"
+	if withCAS {
+		name = "gets"
+	}
+	sp := c.tracer.Begin(parent, "client", name, idx)
+	defer c.tracer.End(sp)
+	items, err := c.getFromServer(sp.Ctx(), idx, []string{key}, withCAS)
 	if err != nil {
 		return Item{}, err
 	}
@@ -510,16 +528,19 @@ func (c *Client) Gets(key string) (Item, error) {
 // is enabled, a duplicate request to a second pooled connection once
 // the primary outlives the hedge trigger. CAS reads (gets) never hedge
 // — racing tokens would be ambiguous.
-func (c *Client) getFromServer(idx int, keys []string, withCAS bool) ([]Item, error) {
+func (c *Client) getFromServer(parent otrace.Ctx, idx int, keys []string, withCAS bool) ([]Item, error) {
 	if c.hedge != nil && !withCAS {
-		return c.hedgedGet(idx, keys)
+		return c.hedgedGet(parent, idx, keys)
 	}
-	return c.getOnce(idx, keys, withCAS)
+	return c.getOnce(parent, idx, keys, withCAS)
 }
 
 // getOnce issues one get/gets round trip (with retries when enabled)
-// and feeds the hedge trigger's latency digest.
-func (c *Client) getOnce(idx int, keys []string, withCAS bool) ([]Item, error) {
+// and feeds the hedge trigger's latency digest. When parent carries a
+// trace, each attempt gets its own rpc span and the server is told the
+// context in-band (an mq_trace header ahead of every frame), so retried
+// and hedged attempts are distinguishable in the trace.
+func (c *Client) getOnce(parent otrace.Ctx, idx int, keys []string, withCAS bool) ([]Item, error) {
 	verb := "get"
 	if withCAS {
 		verb = "gets"
@@ -527,6 +548,11 @@ func (c *Client) getOnce(idx int, keys []string, withCAS bool) ([]Item, error) {
 	var out []Item
 	began := time.Now()
 	err := c.roundTripRead(idx, func(cn *conn) error {
+		var rpc otrace.Span
+		if parent.Valid() {
+			rpc = c.tracer.Begin(parent, "client", "rpc", idx)
+			defer c.tracer.End(rpc)
+		}
 		// Frame the key set into pipelined command lines, each kept
 		// under the server's MaxLineBytes bound, so a multi-get of any
 		// size survives the line-length limit. All frames share one
@@ -534,6 +560,11 @@ func (c *Client) getOnce(idx int, keys []string, withCAS bool) ([]Item, error) {
 		// frames cost no extra round trips.
 		frames := 0
 		for i := 0; i < len(keys); {
+			if rpc.ID != 0 {
+				if _, err := fmt.Fprintf(cn.w, "mq_trace %d %d\r\n", rpc.Trace, rpc.ID); err != nil {
+					return err
+				}
+			}
 			if _, err := cn.w.WriteString(verb); err != nil {
 				return err
 			}
@@ -600,14 +631,14 @@ func (c *Client) hedgeTrigger() time.Duration {
 // failure and a hedge is outstanding, the slower leg gets to answer.
 // Both legs run complete round trips, so the loser's connection is
 // recycled normally.
-func (c *Client) hedgedGet(idx int, keys []string) ([]Item, error) {
+func (c *Client) hedgedGet(parent otrace.Ctx, idx int, keys []string) ([]Item, error) {
 	type legResult struct {
 		items []Item
 		err   error
 	}
 	ch := make(chan legResult, 2)
 	issue := func() {
-		items, err := c.getOnce(idx, keys, false)
+		items, err := c.getOnce(parent, idx, keys, false)
 		ch <- legResult{items, err}
 	}
 	go issue()
@@ -638,7 +669,12 @@ func (c *Client) hedgedGet(idx int, keys []string) ([]Item, error) {
 // paper's two-stage read path. The returned bool reports whether the
 // read hit the cache.
 func (c *Client) GetThrough(ctx context.Context, key string) (Item, bool, error) {
-	it, err := c.Get(key)
+	// The root span covers the whole two-stage read; the cache get and
+	// the backend fill nest under it (the backend reads the context via
+	// otrace.FromContext and emits its own span).
+	root := c.tracer.Begin(otrace.FromContext(ctx), "client", "get_through", c.pickServer(key))
+	defer c.tracer.End(root)
+	it, err := c.get(root.Ctx(), key, false)
 	if err == nil {
 		return it, true, nil
 	}
@@ -648,7 +684,7 @@ func (c *Client) GetThrough(ctx context.Context, key string) (Item, bool, error)
 	if c.opts.Filler == nil {
 		return Item{}, false, ErrCacheMiss
 	}
-	value, err := c.opts.Filler.Get(ctx, key)
+	value, err := c.opts.Filler.Get(otrace.ContextWith(ctx, root.Ctx()), key)
 	if err != nil {
 		return Item{}, false, fmt.Errorf("client: fill %q: %w", key, err)
 	}
@@ -698,6 +734,10 @@ func (c *Client) multiGet(keys []string) (map[string]Item, map[string]error) {
 		idx := c.pickServer(k)
 		groups[idx] = append(groups[idx], k)
 	}
+	// The root span is the fork-join the model analyzes: its duration is
+	// the max over the per-server leg spans beneath it.
+	root := c.tracer.Begin(otrace.Ctx{}, "client", "multiget", -1)
+	defer c.tracer.End(root)
 	var (
 		mu      sync.Mutex
 		out     = make(map[string]Item, len(keys))
@@ -709,7 +749,9 @@ func (c *Client) multiGet(keys []string) (map[string]Item, map[string]error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			items, err := c.getFromServer(idx, group, false)
+			leg := c.tracer.Begin(root.Ctx(), "client", "leg", idx)
+			defer c.tracer.End(leg)
+			items, err := c.getFromServer(leg.Ctx(), idx, group, false)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -579,15 +579,53 @@ func TestFaultCrossPlaneRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Rows) != 6 {
-		t.Fatalf("rows = %d, want healthy x3 + faulted x2 + resilient", len(r.Rows))
-	}
 	labels := []string{"model", "sim", "sim-integrated", "sim-integrated faulted",
 		"sim faulted", "sim faulted+resilient"}
-	for i, row := range r.Rows {
-		if row[0] != labels[i] {
-			t.Errorf("row %d = %q, want %q", i, row[0], labels[i])
+	// 6 mean rows plus a predicted-vs-observed quantile block:
+	// p50/p95/p99 for every run.
+	if want := len(labels) * 4; len(r.Rows) != want {
+		t.Fatalf("rows = %d, want %d (means + p50/p95/p99 blocks)", len(r.Rows), want)
+	}
+	for i, want := range labels {
+		if r.Rows[i][0] != want {
+			t.Errorf("row %d = %q, want %q", i, r.Rows[i][0], want)
 		}
+	}
+	for qi, q := range []string{"p50", "p95", "p99"} {
+		for li, label := range labels {
+			row := r.Rows[len(labels)*(qi+1)+li]
+			if want := label + " " + q; row[0] != want {
+				t.Errorf("quantile row = %q, want %q", row[0], want)
+			}
+			if len(row) != len(r.Columns) {
+				t.Errorf("quantile row %q has %d cells, want %d", row[0], len(row), len(r.Columns))
+			}
+		}
+	}
+	// The model's predicted service quantiles must be the exponential
+	// shape: p99/p50 = ln(0.01)/ln(0.5) ≈ 6.64.
+	svcCol := -1
+	for i, c := range r.Columns {
+		if c == "service" {
+			svcCol = i
+		}
+	}
+	if svcCol < 0 {
+		t.Fatalf("no service column in %v", r.Columns)
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "µs"), 64)
+		if err != nil {
+			t.Fatalf("bad latency cell %q: %v", cell, err)
+		}
+		return v
+	}
+	p50 := parse(r.Rows[len(labels)][svcCol])
+	p99 := parse(r.Rows[3*len(labels)][svcCol])
+	// Exponential shape: p99/p50 = ln(0.01)/ln(0.5) ≈ 6.64 (loose bounds
+	// absorb the µs rounding of the rendered cells).
+	if ratio := p99 / p50; ratio < 5 || ratio > 9 {
+		t.Errorf("model service p99/p50 = %.2f, want ~6.64 (exponential shape)", ratio)
 	}
 	// The stage columns must include the resilience stages.
 	joined := strings.Join(r.Columns, " ")

@@ -72,6 +72,42 @@ func crossPlaneRow(label string, res *plane.Result) []string {
 	return row
 }
 
+// crossPlaneQuantile is one quantile level of the predicted-vs-observed
+// block: name labels the rows, p indexes the total-latency sample, of
+// projects the per-stage statistic.
+type crossPlaneQuantile struct {
+	name string
+	p    float64
+	of   func(telemetry.StageStats) float64
+}
+
+func crossPlaneQuantiles() []crossPlaneQuantile {
+	return []crossPlaneQuantile{
+		{"p50", 0.50, func(s telemetry.StageStats) float64 { return s.P50 }},
+		{"p95", 0.95, func(s telemetry.StageStats) float64 { return s.P95 }},
+		{"p99", 0.99, func(s telemetry.StageStats) float64 { return s.P99 }},
+	}
+}
+
+// crossPlaneQuantileRow formats one quantile row for a Result: the
+// model plane's entries are analytic shape predictions (exponential
+// service/wait/miss quantiles, point-mass fork-join), the measured
+// planes' are sample quantiles of the same stages — so each quantile
+// group reads predicted-vs-observed down the column.
+func crossPlaneQuantileRow(label string, res *plane.Result, q crossPlaneQuantile) []string {
+	total := "-"
+	if res.Sample != nil && res.Sample.Count() > 0 {
+		if v, err := res.Sample.Quantile(q.p); err == nil {
+			total = us(v)
+		}
+	}
+	row := []string{label + " " + q.name, total, "-", "-"}
+	for _, st := range telemetry.Stages() {
+		row = append(row, us(q.of(res.Breakdown[st])))
+	}
+	return row
+}
+
 // CrossPlane runs the Facebook workload through every deterministic
 // plane and tabulates the common Result surface side by side: the
 // totals, the TN/TS/TD decomposition, and the per-stage telemetry
@@ -120,6 +156,11 @@ func CrossPlane(b Budget) (*Report, error) {
 			"modes — the faulted-vs-model gap is what Theorem 1 cannot see)",
 		"the live TCP plane reports the same surface at scaled rates: repro -run live",
 	}
+	type labeled struct {
+		label string
+		res   *plane.Result
+	}
+	var results []labeled
 	for _, r := range runs {
 		s := scenarioFor("facebook", model, b, 0)
 		if r.p.Name() == "sim-integrated" && s.Requests > 6000 {
@@ -133,6 +174,7 @@ func CrossPlane(b Budget) (*Report, error) {
 			return nil, fmt.Errorf("%s: %w", r.label, err)
 		}
 		rows = append(rows, crossPlaneRow(r.label, res))
+		results = append(results, labeled{r.label, res})
 		if res.Sim != nil && (res.Sim.FailedKeys > 0 || res.Sim.ShedKeys > 0) {
 			notes = append(notes, fmt.Sprintf(
 				"%s: %d/%d keys failed, %d shed, %d/%d requests degraded",
@@ -140,6 +182,19 @@ func CrossPlane(b Budget) (*Report, error) {
 				res.Sim.DegradedRequests, res.Sim.Requests))
 		}
 	}
+	// Predicted-vs-observed quantile block: for each level, the model's
+	// analytic stage quantiles directly above every measured plane's
+	// sample quantiles of the same stages.
+	for _, q := range crossPlaneQuantiles() {
+		for _, lr := range results {
+			rows = append(rows, crossPlaneQuantileRow(lr.label, lr.res, q))
+		}
+	}
+	notes = append(notes,
+		"quantile rows diff the model's distributional shape against the measured "+
+			"samples: service/queue-wait/miss are exponential predictions "+
+			"(−ln(1−p)·mean), fork_join an analytic point mass; E[T(N)] on measured "+
+			"quantile rows is the sample quantile of the total")
 	columns := []string{"plane", "E[T(N)]", "E[TS(N)]", "E[TD(N)]"}
 	for _, st := range telemetry.Stages() {
 		columns = append(columns, st.String())

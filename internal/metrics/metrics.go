@@ -1,0 +1,283 @@
+// Package metrics is a dependency-free Prometheus text-format
+// exposition layer for the memqlat binaries. It is pull-based: nothing
+// is recorded through it — instead, sources register collection
+// closures that read counters, gauges and the telemetry seam's
+// log-bucketed histograms at scrape time, so an idle /metrics endpoint
+// costs the hot path nothing and a disabled one (no -admin flag) costs
+// it literally zero.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"memqlat/internal/stats"
+)
+
+// Labels is an ordered list of label key/value pairs, as produced by L.
+type Labels []string
+
+// L builds Labels from alternating key, value strings. An odd count
+// drops the trailing key.
+func L(kv ...string) Labels {
+	return Labels(kv[:len(kv)&^1])
+}
+
+// familyKind is the Prometheus metric type of one family.
+type familyKind uint8
+
+const (
+	kindCounter familyKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one registered metric family; gather runs at scrape time.
+type family struct {
+	name, help string
+	kind       familyKind
+	// bounds is the le ladder for histogram families.
+	bounds []float64
+	gather func(e *emitter)
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. A nil Registry accepts no registrations (methods
+// no-op) and renders an empty page, so binaries can thread an optional
+// registry without nil checks.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(f *family) {
+	if r == nil {
+		return
+	}
+	if !validName(f.name) {
+		panic("metrics: invalid metric name " + f.name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, existing := range r.fams {
+		if existing.name == f.name {
+			panic("metrics: duplicate metric name " + f.name)
+		}
+	}
+	r.fams = append(r.fams, f)
+}
+
+// Counter registers a single-series counter read from fn at scrape
+// time. fn must be monotone non-decreasing to honour counter
+// semantics.
+func (r *Registry) Counter(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, kind: kindCounter, gather: func(e *emitter) {
+		e.sample(name, nil, fn())
+	}})
+}
+
+// Gauge registers a single-series gauge read from fn at scrape time.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, kind: kindGauge, gather: func(e *emitter) {
+		e.sample(name, nil, fn())
+	}})
+}
+
+// CounterVec registers a labelled counter family; fn emits one sample
+// per label set at scrape time.
+func (r *Registry) CounterVec(name, help string, fn func(emit func(l Labels, v float64))) {
+	r.add(&family{name: name, help: help, kind: kindCounter, gather: func(e *emitter) {
+		fn(func(l Labels, v float64) { e.sample(name, l, v) })
+	}})
+}
+
+// GaugeVec registers a labelled gauge family; fn emits one sample per
+// label set at scrape time.
+func (r *Registry) GaugeVec(name, help string, fn func(emit func(l Labels, v float64))) {
+	r.add(&family{name: name, help: help, kind: kindGauge, gather: func(e *emitter) {
+		fn(func(l Labels, v float64) { e.sample(name, l, v) })
+	}})
+}
+
+// Histogram registers a labelled histogram family backed by the stats
+// package's log-bucketed histograms; fn emits one histogram per label
+// set at scrape time. bounds is the exposed le ladder (seconds); nil
+// uses DefaultLatencyBounds. Cumulative bucket counts come from
+// Histogram.CumulativeCount, so the page and the internal quantiles
+// describe the same distribution at bucket resolution.
+func (r *Registry) Histogram(name, help string, bounds []float64, fn func(emit func(l Labels, h *stats.Histogram))) {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram bounds not sorted for " + name)
+	}
+	r.add(&family{name: name, help: help, kind: kindHistogram, bounds: bounds, gather: func(e *emitter) {
+		fn(func(l Labels, h *stats.Histogram) { e.histogram(name, l, bounds, h) })
+	}})
+}
+
+// DefaultLatencyBounds is a 1-2-5 log ladder from 1µs to 10s — wide
+// enough for every stage the planes record, coarse enough that a page
+// with one histogram per stage stays readable. The backing histograms
+// keep ~1% resolution regardless; the ladder only shapes exposition.
+var DefaultLatencyBounds = []float64{
+	1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+	1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1, 2, 5, 10,
+}
+
+// WritePrometheus renders every family in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	e := &emitter{}
+	for _, f := range fams {
+		fmt.Fprintf(&e.b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&e.b, "# TYPE %s %s\n", f.name, f.kind)
+		f.gather(e)
+	}
+	_, err := w.Write([]byte(e.b.String()))
+	return err
+}
+
+// emitter accumulates exposition lines.
+type emitter struct {
+	b strings.Builder
+}
+
+func (e *emitter) sample(name string, l Labels, v float64) {
+	e.b.WriteString(name)
+	e.labels(l, "", "")
+	e.b.WriteByte(' ')
+	e.b.WriteString(formatValue(v))
+	e.b.WriteByte('\n')
+}
+
+func (e *emitter) histogram(name string, l Labels, bounds []float64, h *stats.Histogram) {
+	count := h.Count()
+	for _, ub := range bounds {
+		e.b.WriteString(name)
+		e.b.WriteString("_bucket")
+		e.labels(l, "le", formatValue(ub))
+		e.b.WriteByte(' ')
+		e.b.WriteString(strconv.FormatInt(h.CumulativeCount(ub), 10))
+		e.b.WriteByte('\n')
+	}
+	e.b.WriteString(name)
+	e.b.WriteString("_bucket")
+	e.labels(l, "le", "+Inf")
+	e.b.WriteByte(' ')
+	e.b.WriteString(strconv.FormatInt(count, 10))
+	e.b.WriteByte('\n')
+
+	var sum float64
+	if count > 0 {
+		sum = h.Mean() * float64(count)
+	}
+	e.b.WriteString(name)
+	e.b.WriteString("_sum")
+	e.labels(l, "", "")
+	e.b.WriteByte(' ')
+	e.b.WriteString(formatValue(sum))
+	e.b.WriteByte('\n')
+	e.b.WriteString(name)
+	e.b.WriteString("_count")
+	e.labels(l, "", "")
+	e.b.WriteByte(' ')
+	e.b.WriteString(strconv.FormatInt(count, 10))
+	e.b.WriteByte('\n')
+}
+
+// labels writes {k="v",...}, appending the extra pair (the histogram
+// le label) when extraKey is non-empty.
+func (e *emitter) labels(l Labels, extraKey, extraVal string) {
+	if len(l) < 2 && extraKey == "" {
+		return
+	}
+	e.b.WriteByte('{')
+	first := true
+	for i := 0; i+1 < len(l); i += 2 {
+		if !first {
+			e.b.WriteByte(',')
+		}
+		first = false
+		e.b.WriteString(l[i])
+		e.b.WriteString(`="`)
+		e.b.WriteString(escapeLabel(l[i+1]))
+		e.b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if !first {
+			e.b.WriteByte(',')
+		}
+		e.b.WriteString(extraKey)
+		e.b.WriteString(`="`)
+		e.b.WriteString(escapeLabel(extraVal))
+		e.b.WriteByte('"')
+	}
+	e.b.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// validName checks the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

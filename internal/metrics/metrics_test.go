@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"memqlat/internal/stats"
+	"memqlat/internal/telemetry"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("memqlat_ops_total", "Total operations.", func() float64 { return 42 })
+	r.Gauge("memqlat_conns", "Open connections.", func() float64 { return 3 })
+	r.GaugeVec("memqlat_pool_idle", "Idle conns per server.", func(emit func(Labels, float64)) {
+		emit(L("server", "0"), 1)
+		emit(L("server", "1"), 2)
+	})
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP memqlat_ops_total Total operations.",
+		"# TYPE memqlat_ops_total counter",
+		"memqlat_ops_total 42",
+		"# TYPE memqlat_conns gauge",
+		"memqlat_conns 3",
+		`memqlat_pool_idle{server="0"} 1`,
+		`memqlat_pool_idle{server="1"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := stats.NewHistogram()
+	for i := 0; i < 10; i++ {
+		h.Record(1.5e-4) // between the 1e-4 and 2e-4 bounds
+	}
+	h.Record(100) // beyond the top bound: only visible in +Inf
+	r.Histogram("memqlat_lat_seconds", "Latency.", nil, func(emit func(Labels, *stats.Histogram)) {
+		emit(L("stage", "service"), h)
+	})
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE memqlat_lat_seconds histogram",
+		`memqlat_lat_seconds_bucket{stage="service",le="0.0001"} 0`,
+		`memqlat_lat_seconds_bucket{stage="service",le="0.0002"} 10`,
+		`memqlat_lat_seconds_bucket{stage="service",le="+Inf"} 11`,
+		`memqlat_lat_seconds_count{stage="service"} 11`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// _sum must carry the exact total.
+	if !strings.Contains(out, `memqlat_lat_seconds_sum{stage="service"} `) {
+		t.Errorf("missing _sum line:\n%s", out)
+	}
+	// Cumulative counts must be non-decreasing across the ladder.
+	prev := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "memqlat_lat_seconds_bucket") {
+			continue
+		}
+		n, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Errorf("bucket counts decreased at %q", line)
+		}
+		prev = n
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_name", "x", func() float64 { return 0 })
+	mustPanic(t, "duplicate", func() {
+		r.Counter("ok_name", "x", func() float64 { return 0 })
+	})
+	mustPanic(t, "invalid name", func() {
+		r.Gauge("bad name", "x", func() float64 { return 0 })
+	})
+	mustPanic(t, "unsorted bounds", func() {
+		r.Histogram("h_name", "x", []float64{2, 1}, func(func(Labels, *stats.Histogram)) {})
+	})
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s accepted", what)
+		}
+	}()
+	fn()
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total", "x", func() float64 { return 1 }) // must not panic
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil registry rendered %q", b.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("esc", "x", func(emit func(Labels, float64)) {
+		emit(L("k", "a\"b\\c\nd"), 1)
+	})
+	out := render(t, r)
+	if !strings.Contains(out, `esc{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", out)
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("inf_gauge", "x", func() float64 { return math.Inf(1) })
+	out := render(t, r)
+	if !strings.Contains(out, "inf_gauge +Inf\n") {
+		t.Errorf("missing +Inf rendering:\n%s", out)
+	}
+}
+
+// TestRegisterTelemetryAgreement scrapes a collector through the
+// registry and checks the page agrees with the Breakdown the server's
+// `stats telemetry` section prints: same counts, and quantile gauges
+// identical to the StageStats quantiles.
+func TestRegisterTelemetryAgreement(t *testing.T) {
+	c := telemetry.NewCollector()
+	for i := 1; i <= 500; i++ {
+		c.Observe(telemetry.StageService, float64(i)*1e-6)
+	}
+	c.Observe(telemetry.StageMissPenalty, 2e-3)
+	r := NewRegistry()
+	RegisterTelemetry(r, c)
+	out := render(t, r)
+	b := c.Breakdown()
+	svc := b[telemetry.StageService]
+	wantCount := `memqlat_stage_latency_seconds_count{stage="service"} 500`
+	if !strings.Contains(out, wantCount+"\n") {
+		t.Errorf("missing %q:\n%s", wantCount, out)
+	}
+	for q, v := range map[string]float64{"0.5": svc.P50, "0.95": svc.P95, "0.99": svc.P99} {
+		want := `memqlat_stage_latency_quantile_seconds{stage="service",q="` + q + `"} ` + formatValue(v)
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `memqlat_stage_observations_total{stage="miss_penalty"} 1`+"\n") {
+		t.Errorf("missing miss_penalty observation count:\n%s", out)
+	}
+	// Unobserved stages expose empty histograms, not quantile gauges.
+	if strings.Contains(out, `memqlat_stage_latency_quantile_seconds{stage="retry"`) {
+		t.Errorf("quantile gauge emitted for unobserved stage:\n%s", out)
+	}
+}

@@ -1,0 +1,264 @@
+package metrics
+
+import (
+	"strconv"
+
+	"memqlat/internal/client"
+	"memqlat/internal/otrace"
+	"memqlat/internal/protocol"
+	"memqlat/internal/proxy"
+	"memqlat/internal/server"
+	"memqlat/internal/stats"
+	"memqlat/internal/telemetry"
+)
+
+// RegisterTelemetry exposes a telemetry Collector's per-stage latency
+// decomposition: one histogram family labelled by stage, backed by the
+// same merged log-bucketed histograms Breakdown summarizes, plus a
+// quantile gauge family so the page states p50/p95/p99 directly — the
+// numbers `stats telemetry` and the crossplane experiment print.
+func RegisterTelemetry(r *Registry, c *telemetry.Collector) {
+	if r == nil || c == nil {
+		return
+	}
+	r.Histogram("memqlat_stage_latency_seconds",
+		"Per-stage latency decomposition (Theorem 1 stages plus resilience stages).",
+		nil, func(emit func(Labels, *stats.Histogram)) {
+			hs := c.Histograms()
+			for _, stage := range telemetry.Stages() {
+				emit(L("stage", stage.String()), hs[stage])
+			}
+		})
+	r.GaugeVec("memqlat_stage_latency_quantile_seconds",
+		"Per-stage latency quantiles at histogram bucket resolution.",
+		func(emit func(Labels, float64)) {
+			b := c.Breakdown()
+			for _, stage := range telemetry.Stages() {
+				st := b[stage]
+				if st.Count == 0 {
+					continue
+				}
+				name := stage.String()
+				emit(L("stage", name, "q", "0.5"), st.P50)
+				emit(L("stage", name, "q", "0.95"), st.P95)
+				emit(L("stage", name, "q", "0.99"), st.P99)
+			}
+		})
+	r.CounterVec("memqlat_stage_observations_total",
+		"Observation count per telemetry stage.",
+		func(emit func(Labels, float64)) {
+			b := c.Breakdown()
+			for _, stage := range telemetry.Stages() {
+				emit(L("stage", stage.String()), float64(b[stage].Count))
+			}
+		})
+}
+
+// itoa is strconv.Itoa under a name that reads well in label-building
+// call sites below.
+func itoa(i int) string { return strconv.Itoa(i) }
+
+// breakerStateValue encodes a breaker state string as a gauge value so
+// dashboards can alert on transitions: 0 closed, 1 half-open, 2 open,
+// -1 disabled.
+func breakerStateValue(state string) float64 {
+	switch state {
+	case "closed":
+		return 0
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	}
+	return -1
+}
+
+// RegisterServers exposes a cluster of servers on one registry:
+// connection/command counters, the per-command latency histogram behind
+// "stats latency", and the backing cache's occupancy, hit/miss,
+// eviction and shard-lock contention counters. The "server" label is
+// the slice index — the same numbering the model and simulator use.
+func RegisterServers(r *Registry, srvs []*server.Server) {
+	if r == nil || len(srvs) == 0 {
+		return
+	}
+	r.GaugeVec("memqlat_server_connections_current",
+		"Open downstream connections per server.",
+		func(emit func(Labels, float64)) {
+			for i, s := range srvs {
+				emit(L("server", itoa(i)), float64(s.Counters().CurrConns))
+			}
+		})
+	r.CounterVec("memqlat_server_connections_total",
+		"Connections ever accepted per server.",
+		func(emit func(Labels, float64)) {
+			for i, s := range srvs {
+				emit(L("server", itoa(i)), float64(s.Counters().TotalConns))
+			}
+		})
+	r.CounterVec("memqlat_server_connections_rejected_total",
+		"Connections rejected (MaxConns cap or refuse-fault window).",
+		func(emit func(Labels, float64)) {
+			for i, s := range srvs {
+				emit(L("server", itoa(i)), float64(s.Counters().RejectedConns))
+			}
+		})
+	r.CounterVec("memqlat_server_commands_total",
+		"Commands dispatched per server and protocol op.",
+		func(emit func(Labels, float64)) {
+			for i, s := range srvs {
+				for op := protocol.OpGet; op <= protocol.OpTrace; op++ {
+					if n := s.OpCount(op); n > 0 {
+						emit(L("server", itoa(i), "op", op.String()), float64(n))
+					}
+				}
+			}
+		})
+	r.Histogram("memqlat_server_command_latency_seconds",
+		"Per-command handling latency (sampled; see stats latency for the bias).",
+		nil, func(emit func(Labels, *stats.Histogram)) {
+			for i, s := range srvs {
+				emit(L("server", itoa(i)), s.LatencyHistogram())
+			}
+		})
+	r.GaugeVec("memqlat_cache_shard_items",
+		"Cached items per server and shard (occupancy balance).",
+		func(emit func(Labels, float64)) {
+			for i, s := range srvs {
+				for sh, st := range s.Cache().ShardStats() {
+					emit(L("server", itoa(i), "shard", itoa(sh)), float64(st.Items))
+				}
+			}
+		})
+	r.GaugeVec("memqlat_cache_shard_bytes",
+		"Cached bytes per server and shard.",
+		func(emit func(Labels, float64)) {
+			for i, s := range srvs {
+				for sh, st := range s.Cache().ShardStats() {
+					emit(L("server", itoa(i), "shard", itoa(sh)), float64(st.Bytes))
+				}
+			}
+		})
+	r.CounterVec("memqlat_cache_operations_total",
+		"Cache hit/miss/set/eviction/expiration counts per server.",
+		func(emit func(Labels, float64)) {
+			for i, s := range srvs {
+				st := s.Cache().Stats()
+				srv := itoa(i)
+				emit(L("server", srv, "result", "hit"), float64(st.Hits))
+				emit(L("server", srv, "result", "miss"), float64(st.Misses))
+				emit(L("server", srv, "result", "set"), float64(st.Sets))
+				emit(L("server", srv, "result", "eviction"), float64(st.Evictions))
+				emit(L("server", srv, "result", "expiration"), float64(st.Expirations))
+			}
+		})
+	r.CounterVec("memqlat_cache_lock_waits_total",
+		"Contended shard-lock acquisitions per server.",
+		func(emit func(Labels, float64)) {
+			for i, s := range srvs {
+				emit(L("server", itoa(i)), float64(s.Cache().Stats().LockWaits))
+			}
+		})
+	r.CounterVec("memqlat_cache_lock_wait_seconds_total",
+		"Summed shard-lock blocked time per server.",
+		func(emit func(Labels, float64)) {
+			for i, s := range srvs {
+				emit(L("server", itoa(i)), s.Cache().Stats().LockWaitSeconds)
+			}
+		})
+}
+
+// RegisterProxy exposes the proxy's forwarding counters, per-upstream
+// pipeline depth and failover breaker states.
+func RegisterProxy(r *Registry, p *proxy.Proxy) {
+	if r == nil || p == nil {
+		return
+	}
+	r.Counter("memqlat_proxy_commands_total",
+		"Commands the proxy dispatched.",
+		func() float64 { return float64(p.Stats().Commands) })
+	r.Counter("memqlat_proxy_forwarded_total",
+		"Upstream sends (fan-out legs count individually).",
+		func() float64 { return float64(p.Stats().Forwarded) })
+	r.Counter("memqlat_proxy_failovers_total",
+		"Keys routed off their owner by an open breaker.",
+		func() float64 { return float64(p.Stats().Failovers) })
+	r.GaugeVec("memqlat_proxy_upstream_queue_depth",
+		"Outstanding pipelined requests per upstream server.",
+		func(emit func(Labels, float64)) {
+			for i, d := range p.UpstreamQueueDepths() {
+				emit(L("upstream", itoa(i)), float64(d))
+			}
+		})
+	r.GaugeVec("memqlat_proxy_breaker_state",
+		"Failover breaker per upstream: 0 closed, 1 half-open, 2 open, -1 disabled.",
+		func(emit func(Labels, float64)) {
+			for i := 0; i < p.Stats().Upstreams; i++ {
+				emit(L("upstream", itoa(i)), breakerStateValue(p.BreakerState(i)))
+			}
+		})
+}
+
+// RegisterClient exposes the client's per-server pool counters and
+// breaker states (the mcbench admin page).
+func RegisterClient(r *Registry, c *client.Client) {
+	if r == nil || c == nil {
+		return
+	}
+	r.GaugeVec("memqlat_client_pool_idle",
+		"Pooled idle connections per server.",
+		func(emit func(Labels, float64)) {
+			for i := 0; i < c.NumServers(); i++ {
+				ps, err := c.PoolStats(i)
+				if err != nil {
+					continue
+				}
+				emit(L("server", itoa(i)), float64(ps.Idle))
+			}
+		})
+	r.CounterVec("memqlat_client_pool_dials_total",
+		"Connections dialed per server.",
+		func(emit func(Labels, float64)) {
+			for i := 0; i < c.NumServers(); i++ {
+				ps, err := c.PoolStats(i)
+				if err != nil {
+					continue
+				}
+				emit(L("server", itoa(i)), float64(ps.Dials))
+			}
+		})
+	r.CounterVec("memqlat_client_pool_discards_total",
+		"Connections closed instead of recycled, with the liveness screen's share.",
+		func(emit func(Labels, float64)) {
+			for i := 0; i < c.NumServers(); i++ {
+				ps, err := c.PoolStats(i)
+				if err != nil {
+					continue
+				}
+				emit(L("server", itoa(i), "reason", "all"), float64(ps.Discards))
+				emit(L("server", itoa(i), "reason", "stale"), float64(ps.StaleDrops))
+			}
+		})
+	r.GaugeVec("memqlat_client_breaker_state",
+		"Client breaker per server: 0 closed, 1 half-open, 2 open, -1 disabled.",
+		func(emit func(Labels, float64)) {
+			for i := 0; i < c.NumServers(); i++ {
+				emit(L("server", itoa(i)), breakerStateValue(c.BreakerState(i)))
+			}
+		})
+}
+
+// RegisterTracer exposes the trace ring's retention counters so a
+// scraper can tell how much of the trace survived (total - kept spans
+// were evicted).
+func RegisterTracer(r *Registry, t *otrace.Tracer) {
+	if r == nil || !t.Enabled() {
+		return
+	}
+	r.Gauge("memqlat_trace_spans_kept",
+		"Spans currently retained in the trace ring.",
+		func() float64 { kept, _ := t.Stats(); return float64(kept) })
+	r.Counter("memqlat_trace_spans_total",
+		"Spans recorded over the tracer's lifetime.",
+		func() float64 { _, total := t.Stats(); return float64(total) })
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+
+	"memqlat/internal/cache"
+	"memqlat/internal/client"
+	"memqlat/internal/otrace"
+	"memqlat/internal/proxy"
+	"memqlat/internal/server"
+)
+
+// startStack brings up one server, a proxy in front of it, and a client
+// pointed at the server directly.
+func startStack(t *testing.T) (*server.Server, *proxy.Proxy, *client.Client) {
+	t.Helper()
+	ch, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Options{Cache: ch, Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	px, err := proxy.New(proxy.Options{Upstreams: []string{l.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = px.Serve(pl) }()
+	t.Cleanup(func() { _ = px.Close() })
+
+	cl, err := client.New(client.Options{Servers: []string{l.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cl.Close() })
+	return srv, px, cl
+}
+
+func TestRegisterStackSources(t *testing.T) {
+	srv, px, cl := startStack(t)
+	if err := cl.Set("mk", []byte("v"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get("mk"); err != nil {
+		t.Fatal(err)
+	}
+	tr := otrace.New(otrace.Options{})
+	tr.End(tr.Begin(otrace.Ctx{}, "client", "get", 0))
+
+	reg := NewRegistry()
+	RegisterServers(reg, []*server.Server{srv})
+	RegisterProxy(reg, px)
+	RegisterClient(reg, cl)
+	RegisterTracer(reg, tr)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`memqlat_server_commands_total{server="0",op="get"} 1`,
+		`memqlat_server_commands_total{server="0",op="set"} 1`,
+		`memqlat_cache_operations_total{server="0",result="hit"} 1`,
+		`memqlat_cache_shard_items{`,
+		"memqlat_cache_lock_waits_total",
+		"memqlat_proxy_commands_total 0",
+		`memqlat_proxy_upstream_queue_depth{upstream="0"} 0`,
+		`memqlat_proxy_breaker_state{upstream="0"} -1`,
+		`memqlat_client_pool_dials_total{server="0"} 1`,
+		`memqlat_client_breaker_state{server="0"} -1`,
+		"memqlat_trace_spans_kept 1",
+		"memqlat_trace_spans_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Cache shard occupancy sums to the item count.
+	items := srv.Cache().Stats().Items
+	var sum float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "memqlat_cache_shard_items{") {
+			f := strings.Fields(line)
+			v, err := strconv.ParseFloat(f[len(f)-1], 64)
+			if err != nil {
+				t.Fatalf("bad sample %q: %v", line, err)
+			}
+			sum += v
+		}
+	}
+	if int64(sum) != items {
+		t.Errorf("shard items sum = %v, cache reports %d", sum, items)
+	}
+}
+
+func TestBreakerStateValue(t *testing.T) {
+	for state, want := range map[string]float64{
+		"closed": 0, "half-open": 1, "open": 2, "disabled": -1, "???": -1,
+	} {
+		if got := breakerStateValue(state); got != want {
+			t.Errorf("breakerStateValue(%q) = %v, want %v", state, got, want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package otrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event ("X" complete events only).
+// ts and dur are microseconds per the trace-event format; tid carries
+// the trace ID so chrome://tracing groups a request's spans on one row.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`
+	Dur  float64     `json:"dur"`
+	Pid  int         `json:"pid"`
+	Tid  uint64      `json:"tid"`
+	Args chromeAargs `json:"args"`
+}
+
+type chromeAargs struct {
+	Span   uint64 `json:"span"`
+	Parent uint64 `json:"parent"`
+	Server int    `json:"server"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	// displayTimeUnit is advisory; ms keeps sub-ms spans readable.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes spans as Chrome trace-event JSON, loadable in
+// chrome://tracing or Perfetto. Span times (run-clock seconds) become
+// microsecond timestamps; virtual sim time exports identically.
+func WriteChrome(w io.Writer, spans []Span) error {
+	f := chromeFile{
+		TraceEvents:     make([]chromeEvent, 0, len(spans)),
+		DisplayTimeUnit: "ms",
+	}
+	for _, sp := range spans {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: sp.Comp + "/" + sp.Name,
+			Cat:  sp.Comp,
+			Ph:   "X",
+			Ts:   sp.Start * 1e6,
+			Dur:  sp.Dur * 1e6,
+			Pid:  1,
+			Tid:  sp.Trace,
+			Args: chromeAargs{Span: sp.ID, Parent: sp.Parent, Server: sp.Server},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// WriteChrome exports the tracer's retained spans; safe on nil (writes
+// an empty trace, still Chrome-loadable).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, t.Snapshot())
+}
+
+// ParseChrome validates Chrome trace-event JSON produced by
+// WriteChrome (or by hand) and returns the event count. It is the
+// check `make obs` and the exporter fuzz target run on the -trace-out
+// file: well-formed JSON whose complete events carry a name and
+// non-negative duration.
+func ParseChrome(data []byte) (int, error) {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("otrace: bad trace JSON: %w", err)
+	}
+	for i, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			return 0, fmt.Errorf("otrace: event %d: phase %q, want %q", i, ev.Ph, "X")
+		}
+		if ev.Name == "" {
+			return 0, fmt.Errorf("otrace: event %d: missing name", i)
+		}
+		if ev.Dur < 0 || ev.Ts != ev.Ts || ev.Dur != ev.Dur {
+			return 0, fmt.Errorf("otrace: event %d: bad timestamps ts=%v dur=%v", i, ev.Ts, ev.Dur)
+		}
+	}
+	return len(f.TraceEvents), nil
+}

@@ -1,0 +1,70 @@
+package otrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteChromeRoundTrip(t *testing.T) {
+	spans := []Span{
+		{Trace: 1, ID: 2, Parent: 0, Comp: "client", Name: "get", Server: 0, Start: 0, Dur: 0.004},
+		{Trace: 1, ID: 3, Parent: 2, Comp: "server", Name: "service", Server: 1, Start: 0.001, Dur: 0.002},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ParseChrome(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(spans) {
+		t.Fatalf("parsed %d events, want %d", n, len(spans))
+	}
+	// Inspect the raw shape Chrome expects: complete events with
+	// microsecond timestamps.
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	ev := f.TraceEvents[1]
+	if ev["ph"] != "X" || ev["name"] != "server/service" || ev["cat"] != "server" {
+		t.Errorf("bad event shape: %v", ev)
+	}
+	if ev["ts"].(float64) != 1000 || ev["dur"].(float64) != 2000 {
+		t.Errorf("timestamps not in microseconds: ts=%v dur=%v", ev["ts"], ev["dur"])
+	}
+}
+
+func TestWriteChromeEmptyTracer(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ParseChrome(buf.Bytes())
+	if err != nil || n != 0 {
+		t.Fatalf("empty trace parse = %d, %v", n, err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Errorf("missing traceEvents key: %q", buf.String())
+	}
+}
+
+func TestParseChromeRejects(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"traceEvents":[{"ph":"B","name":"x","ts":0,"dur":0}]}`,
+		`{"traceEvents":[{"ph":"X","name":"","ts":0,"dur":0}]}`,
+		`{"traceEvents":[{"ph":"X","name":"x","ts":0,"dur":-1}]}`,
+	}
+	for _, s := range bad {
+		if _, err := ParseChrome([]byte(s)); err == nil {
+			t.Errorf("ParseChrome accepted %q", s)
+		}
+	}
+}

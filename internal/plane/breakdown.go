@@ -1,6 +1,8 @@
 package plane
 
 import (
+	"math"
+
 	"memqlat/internal/core"
 	"memqlat/internal/telemetry"
 )
@@ -18,6 +20,14 @@ import (
 //     point tsPoint minus the mean single-key sojourn.
 //
 // Stage entries carry Count 1: they are analytic points, not samples.
+// Each stage also predicts P50/P95/P99 from the distributional shape
+// the model assumes: service and miss penalty are exactly exponential
+// (Exp(µ_S), Exp(µ_D)), so their quantiles are −ln(1−p)/µ; the queue
+// wait reuses the exponential shape around its predicted mean (the
+// heavy-traffic approximation behind eq. 3); the fork-join overhead is
+// an analytic point mass — the model prices the join as one number, so
+// all its quantiles coincide. These are the "predicted" columns the
+// crossplane table diffs against the measured planes' sample quantiles.
 func predictBreakdown(m *core.Config, tsPoint float64) (telemetry.Breakdown, error) {
 	bq, err := m.HeaviestQueue()
 	if err != nil {
@@ -35,18 +45,33 @@ func predictBreakdown(m *core.Config, tsPoint float64) (telemetry.Breakdown, err
 		forkJoin = 0
 	}
 	b := telemetry.Breakdown{
-		telemetry.StageQueueWait: analyticStage(wait),
-		telemetry.StageService:   analyticStage(service),
+		telemetry.StageQueueWait: expStage(wait),
+		telemetry.StageService:   expStage(service),
 		telemetry.StageForkJoin:  analyticStage(forkJoin),
 	}
 	if m.MissRatio > 0 {
-		b[telemetry.StageMissPenalty] = analyticStage(1 / m.MuD)
+		b[telemetry.StageMissPenalty] = expStage(1 / m.MuD)
 	}
 	return b, nil
 }
 
+// analyticStage is a point-mass prediction: every quantile is the mean.
 func analyticStage(mean float64) telemetry.StageStats {
-	return telemetry.StageStats{Count: 1, Mean: mean, Total: mean}
+	return telemetry.StageStats{
+		Count: 1, Mean: mean, Total: mean,
+		P50: mean, P95: mean, P99: mean,
+	}
+}
+
+// expStage predicts an exponentially distributed stage with the given
+// mean: quantile(p) = −ln(1−p)·mean.
+func expStage(mean float64) telemetry.StageStats {
+	return telemetry.StageStats{
+		Count: 1, Mean: mean, Total: mean,
+		P50: -math.Log(0.50) * mean,
+		P95: -math.Log(0.05) * mean,
+		P99: -math.Log(0.01) * mean,
+	}
 }
 
 // proxyStageMean is the per-key mean sojourn at the proxy queue (queue

@@ -90,6 +90,8 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 			Logger:      log.New(io.Discard, "", 0),
 			Recorder:    collector,
 			Fault:       pointFor(i),
+			Tracer:      s.Tracer,
+			ID:          i,
 		})
 		if err != nil {
 			return nil, err
@@ -107,6 +109,7 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		Seed:     s.Seed,
 		Recorder: collector,
 		Fault:    pointFor(fault.Database),
+		Tracer:   s.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -128,6 +131,7 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 			Replicas:  s.Proxy.Replicas,
 			Recorder:  collector,
 			Logger:    log.New(io.Discard, "", 0),
+			Tracer:    s.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -151,6 +155,7 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		PoolSize:   poolSize,
 		Resilience: client.ResilienceFromSpec(s.Resilience),
 		Recorder:   collector,
+		Tracer:     s.Tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -62,7 +62,9 @@ func (p ModelPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.Breakdown[telemetry.StageProxyHop] = analyticStage(hop)
+		// Per-key proxy sojourn: exponential shape around the predicted
+		// mean, matching the queue-wait treatment.
+		res.Breakdown[telemetry.StageProxyHop] = expStage(hop)
 	}
 	return res, nil
 }

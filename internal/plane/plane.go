@@ -22,6 +22,7 @@ import (
 	"memqlat/internal/core"
 	"memqlat/internal/fault"
 	"memqlat/internal/loadgen"
+	"memqlat/internal/otrace"
 	"memqlat/internal/proxy"
 	"memqlat/internal/sim"
 	"memqlat/internal/stats"
@@ -110,6 +111,13 @@ type Scenario struct {
 
 	// Proxy, when non-nil, interposes the proxy tier on every plane.
 	Proxy *ProxySpec
+
+	// Tracer, when set, records request-scoped spans from every tier of
+	// the measured planes: wall-clock spans across client, proxy, server
+	// and backend on the live plane; virtual-time spans per composed
+	// request on the simulator. The model plane ignores it (nothing
+	// executes). Nil disables tracing at zero cost.
+	Tracer *otrace.Tracer
 }
 
 // withDefaults fills measurement-budget zero values.

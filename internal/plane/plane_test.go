@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"memqlat/internal/otrace"
 	"memqlat/internal/telemetry"
 	"memqlat/internal/workload"
 )
@@ -331,5 +332,82 @@ func TestLivePlaneProxiedSmoke(t *testing.T) {
 	}
 	if res.Breakdown.MeanOf(telemetry.StageService) <= 0 {
 		t.Fatal("proxied live breakdown missing server-side service stage")
+	}
+}
+
+// TestSimPlaneTraced checks Scenario.Tracer reaches the composition
+// simulator: virtual-time request spans land in the ring.
+func TestSimPlaneTraced(t *testing.T) {
+	tr := otrace.New(otrace.Options{})
+	s := Scenario{
+		Name:          "sim-traced",
+		N:             20,
+		LoadRatios:    []float64{0.5, 0.5},
+		TotalKeyRate:  2 * 40000,
+		Q:             0.1,
+		Xi:            0.15,
+		MuS:           60000,
+		MuD:           1000,
+		Requests:      200,
+		KeysPerServer: 20000,
+		Seed:          5,
+		Tracer:        tr,
+	}
+	if _, err := (SimPlane{}).Run(context.Background(), s); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("sim plane recorded no spans")
+	}
+	roots := 0
+	for _, sp := range spans {
+		if sp.Comp == "sim" && sp.Name == "request" {
+			roots++
+		}
+	}
+	if roots != 200 {
+		t.Errorf("sim/request roots = %d, want 200", roots)
+	}
+}
+
+// TestLivePlaneTraced runs the scaled-down live scenario with a tracer
+// on the Scenario and checks every tier contributed wall-clock spans.
+func TestLivePlaneTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live plane needs real time")
+	}
+	tr := otrace.New(otrace.Options{RingSize: 1 << 16})
+	s := Scenario{
+		Name:         "live-traced",
+		N:            10,
+		LoadRatios:   []float64{0.5, 0.5},
+		TotalKeyRate: 4000,
+		Q:            0.1,
+		Xi:           0.15,
+		MuS:          2000,
+		MissRatio:    0.05,
+		MuD:          1000,
+		Ops:          600,
+		Workers:      16,
+		Duration:     30 * time.Second,
+		Seed:         3,
+		Tracer:       tr,
+	}
+	res, err := LivePlane{}.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live == nil || res.Live.Issued == 0 {
+		t.Fatal("traced live plane issued no operations")
+	}
+	comps := map[string]int{}
+	for _, sp := range tr.Snapshot() {
+		comps[sp.Comp]++
+	}
+	for _, comp := range []string{"client", "server", "backend"} {
+		if comps[comp] == 0 {
+			t.Errorf("no %s spans in live trace (got %v)", comp, comps)
+		}
 	}
 }

@@ -97,6 +97,7 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 			Faults:        s.Faults,
 			Resilience:    s.Resilience,
 			ProxyModel:    proxyModel,
+			Tracer:        s.Tracer,
 		}
 		if s.Proxy != nil && s.Proxy.Policy == "replicate" {
 			rc.ReadReplicas = s.Proxy.Replicas

@@ -182,9 +182,32 @@ func (p *Parser) Next() (*Command, error) {
 		return p.parseVerbosity(args)
 	case "quit":
 		return nil, ErrQuit
+	case "mq_trace":
+		return p.parseTrace(args)
 	default:
 		return nil, &ClientError{Msg: "unknown command " + string(op)}
 	}
+}
+
+// parseTrace parses "mq_trace <trace> <parent>": the trace ID lands in
+// CAS, the parent span ID in Delta. A zero trace ID is rejected — it
+// would silently mean "untraced" downstream.
+func (p *Parser) parseTrace(args [][]byte) (*Command, error) {
+	if len(args) != 2 {
+		return nil, &ClientError{Msg: "mq_trace requires <trace> <parent>"}
+	}
+	trace, ok := parseUintB(args[0], 64)
+	if !ok || trace == 0 {
+		return nil, &ClientError{Msg: "bad mq_trace trace id"}
+	}
+	parent, ok := parseUintB(args[1], 64)
+	if !ok {
+		return nil, &ClientError{Msg: "bad mq_trace parent id"}
+	}
+	p.cmd.Op = OpTrace
+	p.cmd.CAS = trace
+	p.cmd.Delta = parent
+	return &p.cmd, nil
 }
 
 func (p *Parser) parseGet(op Op, name string, args [][]byte) (*Command, error) {

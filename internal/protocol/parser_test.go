@@ -214,3 +214,37 @@ func TestWriterNumberZeroAlloc(t *testing.T) {
 type discardWriter struct{}
 
 func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestParseTrace(t *testing.T) {
+	p := NewParser(bufio.NewReader(strings.NewReader(
+		"mq_trace 7 9\r\nmq_trace 18446744073709551615 0\r\n")))
+	cmd, err := p.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Op != OpTrace || cmd.CAS != 7 || cmd.Delta != 9 {
+		t.Fatalf("mq_trace parsed as %+v", cmd)
+	}
+	cmd, err = p.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.CAS != 1<<64-1 || cmd.Delta != 0 {
+		t.Fatalf("max-id mq_trace parsed as %+v", cmd)
+	}
+	for _, bad := range []string{
+		"mq_trace\r\n",
+		"mq_trace 1\r\n",
+		"mq_trace 1 2 3\r\n",
+		"mq_trace 0 2\r\n", // zero trace id means "untraced": rejected
+		"mq_trace x 2\r\n",
+		"mq_trace 1 -2\r\n",
+	} {
+		p := NewParser(bufio.NewReader(strings.NewReader(bad)))
+		if _, err := p.Next(); err == nil {
+			t.Errorf("accepted %q", bad)
+		} else if _, ok := err.(*ClientError); !ok {
+			t.Errorf("%q yielded non-client error %v", bad, err)
+		}
+	}
+}

@@ -37,6 +37,12 @@ const (
 	OpVersion
 	OpVerbosity
 	OpQuit
+	// OpTrace is the out-of-band tracing header "mq_trace <trace>
+	// <parent>": it carries a request-scoped trace context (two decimal
+	// uint64 IDs, stored in CAS and Delta) that applies to the next
+	// command on the connection. It elicits no reply, so untraced
+	// pipelines are byte-identical to traced ones minus the headers.
+	OpTrace
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +54,7 @@ func (o Op) String() string {
 		OpTouch: "touch", OpGat: "gat", OpGats: "gats",
 		OpStats: "stats", OpFlushAll: "flush_all",
 		OpVersion: "version", OpVerbosity: "verbosity", OpQuit: "quit",
+		OpTrace: "mq_trace",
 	}
 	if s, ok := names[o]; ok {
 		return s

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"memqlat/internal/otrace"
 	"memqlat/internal/protocol"
 	"memqlat/internal/route"
 	"memqlat/internal/telemetry"
@@ -81,6 +82,12 @@ type downstream struct {
 	free   *pending
 	err    error // poisoned output stream
 	groups []splitGroup
+
+	// trace is the pending mq_trace header from the client: it scopes
+	// the next command. hdr is the regenerated upstream header for the
+	// in-flight dispatch (reused buffer; empty when untraced).
+	trace otrace.Ctx
+	hdr   []byte
 }
 
 // splitGroup accumulates one (server, connection) share of a split
@@ -116,6 +123,12 @@ func (p *Proxy) handleConn(nc net.Conn, hint uint64) {
 			d.drain()
 			return
 		}
+		if cmd.Op == protocol.OpTrace {
+			// Trace header: scope the next command. No reply, no
+			// forwarding — the proxy re-propagates it per upstream leg.
+			d.trace = otrace.Ctx{Trace: cmd.CAS, Span: cmd.Delta}
+			continue
+		}
 		start := time.Now()
 		p.dispatch(d, cmd, parser.Frame(), br.Buffered() == 0)
 		d.rec.Observe(telemetry.StageProxyHop, time.Since(start).Seconds())
@@ -130,6 +143,19 @@ func (p *Proxy) handleConn(nc net.Conn, hint uint64) {
 // it into upstream write buffers synchronously.
 func (p *Proxy) dispatch(d *downstream, cmd *protocol.Command, frame []byte, flush bool) {
 	p.cmds.Add(1)
+	// A traced command gets a hop span covering the forward path (the
+	// same window StageProxyHop measures) and a regenerated header that
+	// parents every upstream leg under the hop.
+	var hop otrace.Span
+	d.hdr = d.hdr[:0]
+	if tc := d.trace; tc.Valid() {
+		d.trace = otrace.Ctx{}
+		if tr := p.tracer; tr.Enabled() {
+			hop = tr.Begin(tc, "proxy", "hop", -1)
+			d.hdr = appendTraceHeader(d.hdr, hop.Trace, hop.ID)
+		}
+	}
+	defer p.tracer.End(hop)
 	switch cmd.Op {
 	case protocol.OpGet, protocol.OpGets, protocol.OpGat, protocol.OpGats:
 		p.dispatchRead(d, cmd, frame, flush)
@@ -189,7 +215,7 @@ func (p *Proxy) dispatchRead(d *downstream, cmd *protocol.Command, frame []byte,
 func (p *Proxy) forward(d *downstream, frame []byte, kind replyKind, srv, conn int, flush, noreply bool) {
 	u := p.ups[srv][conn]
 	if noreply {
-		if err := u.send(frame, nil, flush); err != nil {
+		if err := u.send(d.hdr, frame, nil, flush); err != nil {
 			p.recordOutcome(srv, true)
 			return
 		}
@@ -201,7 +227,7 @@ func (p *Proxy) forward(d *downstream, frame []byte, kind replyKind, srv, conn i
 	pd.role, pd.kind, pd.srv = roleDirect, kind, srv
 	d.pushLocked(pd)
 	d.mu.Unlock()
-	if err := u.send(frame, pd, flush); err != nil {
+	if err := u.send(d.hdr, frame, pd, flush); err != nil {
 		p.recordOutcome(srv, true)
 		d.failSlot(pd)
 		return
@@ -253,7 +279,7 @@ func (p *Proxy) splitRead(d *downstream, cmd *protocol.Command, flush bool) {
 		leg := d.allocLocked()
 		leg.role, leg.slot, leg.srv = rolePart, slot, g.srv
 		d.mu.Unlock()
-		if err := p.ups[g.srv][g.conn].send(g.frame, leg, flush); err != nil {
+		if err := p.ups[g.srv][g.conn].send(d.hdr, g.frame, leg, flush); err != nil {
 			p.recordOutcome(g.srv, true)
 			d.legDone(leg, true)
 			continue
@@ -303,7 +329,7 @@ func (p *Proxy) raceRead(d *downstream, key []byte, frame []byte, flush bool) {
 		leg := d.allocLocked()
 		leg.role, leg.slot, leg.srv = roleRaceLeg, slot, srv
 		d.mu.Unlock()
-		if err := p.ups[srv][conn].send(frame, leg, flush); err != nil {
+		if err := p.ups[srv][conn].send(d.hdr, frame, leg, flush); err != nil {
 			p.recordOutcome(srv, true)
 			d.legDone(leg, true)
 			continue
@@ -346,7 +372,7 @@ func (p *Proxy) broadcast(d *downstream, frame []byte, noreply, flush bool, owne
 			leg.role, leg.slot, leg.srv = roleJoinLine, slot, srv
 			d.mu.Unlock()
 		}
-		if err := p.ups[srv][conn].send(frame, leg, flush); err != nil {
+		if err := p.ups[srv][conn].send(d.hdr, frame, leg, flush); err != nil {
 			p.recordOutcome(srv, true)
 			if leg != nil {
 				d.legFold(leg, serverErrorBytes, true)
@@ -355,6 +381,16 @@ func (p *Proxy) broadcast(d *downstream, frame []byte, noreply, flush bool, owne
 		}
 		p.forwarded.Add(1)
 	}
+}
+
+// appendTraceHeader renders the upstream mq_trace header for a traced
+// dispatch into a reusable buffer.
+func appendTraceHeader(b []byte, trace, span uint64) []byte {
+	b = append(b, "mq_trace "...)
+	b = strconv.AppendUint(b, trace, 10)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, span, 10)
+	return append(b, '\r', '\n')
 }
 
 const serverErrorLine = "SERVER_ERROR proxy: upstream unavailable\r\n"

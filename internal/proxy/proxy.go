@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memqlat/internal/otrace"
 	"memqlat/internal/route"
 	"memqlat/internal/telemetry"
 )
@@ -102,6 +103,10 @@ type Options struct {
 	// Recorder, when set, receives StageProxyHop observations: the
 	// forward-path cost (parse + route + upstream enqueue) per command.
 	Recorder telemetry.Recorder
+	// Tracer, when set, joins traced commands (ones preceded by an
+	// mq_trace header) with a proxy hop span and re-propagates the
+	// context to the upstream servers. Nil disables tracing.
+	Tracer *otrace.Tracer
 	// Logger, when set, receives accept/teardown diagnostics.
 	Logger *log.Logger
 }
@@ -154,6 +159,7 @@ type Proxy struct {
 	opts     Options
 	sel      route.Selector
 	rec      telemetry.Recorder
+	tracer   *otrace.Tracer // nil = tracing disabled
 	log      *log.Logger
 	ups      [][]*upstream    // [server][conn]
 	breakers []*route.Breaker // per server; nil unless PolicyFailover
@@ -180,6 +186,7 @@ func New(opts Options) (*Proxy, error) {
 		opts:      opts,
 		sel:       opts.Selector,
 		rec:       telemetry.OrNop(opts.Recorder),
+		tracer:    opts.Tracer,
 		log:       opts.Logger,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
@@ -334,6 +341,23 @@ func (p *Proxy) recordOutcome(srv int, failure bool) {
 		return
 	}
 	p.breakers[srv].Record(failure, time.Now())
+}
+
+// UpstreamQueueDepths snapshots the outstanding pipelined requests per
+// upstream server (summed over that server's connections) — the proxy's
+// queue-depth gauge on the admin plane.
+func (p *Proxy) UpstreamQueueDepths() []int {
+	out := make([]int, len(p.ups))
+	for s, conns := range p.ups {
+		for _, u := range conns {
+			u.mu.Lock()
+			if u.cur != nil && !u.cur.broken {
+				out[s] += len(u.cur.pend)
+			}
+			u.mu.Unlock()
+		}
+	}
+	return out
 }
 
 // connFor maps a key hash to an upstream connection index. Keys stick

@@ -48,16 +48,26 @@ type uconn struct {
 }
 
 // send writes frame to the upstream pipeline and registers pd (nil for
-// noreply fire-and-forget) for the matching reply. flush pushes the
-// write buffer immediately; otherwise the readLoop flushes when it
-// starts waiting on a reply. Once pd is enqueued the read loop owns its
-// resolution, so send reports only pre-enqueue failures to the caller.
-func (u *upstream) send(frame []byte, pd *pending, flush bool) error {
+// noreply fire-and-forget) for the matching reply. hdr, when non-empty,
+// is an mq_trace header written immediately before frame under the same
+// lock, so no other downstream's frame can interleave and steal the
+// trace scope. flush pushes the write buffer immediately; otherwise the
+// readLoop flushes when it starts waiting on a reply. Once pd is
+// enqueued the read loop owns its resolution, so send reports only
+// pre-enqueue failures to the caller.
+func (u *upstream) send(hdr, frame []byte, pd *pending, flush bool) error {
 	u.mu.Lock()
 	c := u.cur
 	if c == nil || c.broken {
 		var err error
 		if c, err = u.dialLocked(); err != nil {
+			u.mu.Unlock()
+			return err
+		}
+	}
+	if len(hdr) > 0 {
+		if _, err := c.w.Write(hdr); err != nil {
+			u.breakLocked(c)
 			u.mu.Unlock()
 			return err
 		}

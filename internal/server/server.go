@@ -22,6 +22,7 @@ import (
 	"memqlat/internal/cache"
 	"memqlat/internal/dist"
 	"memqlat/internal/fault"
+	"memqlat/internal/otrace"
 	"memqlat/internal/protocol"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
@@ -72,6 +73,23 @@ type Options struct {
 	// command is run through the injector (slow/stall delays, dropped
 	// replies, connection resets). Nil = healthy.
 	Fault *fault.Point
+	// TimingSample controls how often an unshaped connection times a
+	// command for the latency/telemetry histograms: 1 times every
+	// command, N > 1 times 1 in N (rounded up to a power of two so the
+	// hot path masks instead of dividing), and any negative value turns
+	// timing off. 0 keeps the existing default of 1 in 8, so the
+	// zero-value Options behave exactly as before this field existed.
+	// Shaped connections (ServiceRate > 0) always time every command —
+	// the queue-wait split needs it. See "stats latency" for how the
+	// sampling bias is reported.
+	TimingSample int
+	// Tracer, when set, records request-scoped spans for commands whose
+	// connection sent an mq_trace header. Nil (the default) disables
+	// tracing; the per-command cost is then a single branch.
+	Tracer *otrace.Tracer
+	// ID labels this server's spans when a cluster shares one Tracer
+	// (the live plane numbers servers as the model does).
+	ID int
 }
 
 // Server is a memcached-protocol TCP server.
@@ -89,8 +107,14 @@ type Server struct {
 	currConns    atomic.Int64
 	rejectedConn atomic.Int64
 	cmdCount     atomic.Int64
-	opCounts     [protocol.OpQuit + 1]atomic.Int64
+	opCounts     [protocol.OpTrace + 1]atomic.Int64
 	startTime    time.Time
+
+	// timingMask drives unshaped-connection latency sampling: a command
+	// is timed when cmdSeq&timingMask == 0. timingOff disables sampling
+	// entirely (TimingSample < 0).
+	timingMask uint64
+	timingOff  bool
 
 	// telem aggregates the per-stage decomposition served by "stats
 	// telemetry"; rec tees it with the Options.Recorder (if any).
@@ -202,15 +226,25 @@ func New(opts Options) (*Server, error) {
 	if logger == nil {
 		logger = log.Default()
 	}
+	if opts.TimingSample == 0 {
+		opts.TimingSample = 8
+	}
+	timingOff := opts.TimingSample < 0
+	var timingMask uint64
+	if !timingOff {
+		timingMask = uint64(nextPow2(opts.TimingSample)) - 1
+	}
 	telem := telemetry.NewCollector()
 	s := &Server{
-		opts:      opts,
-		logger:    logger,
-		conns:     make(map[net.Conn]struct{}),
-		startTime: time.Now(),
-		telem:     telem,
-		rec:       telemetry.Tee(telem, opts.Recorder),
-		serviceCh: make([]sync.Mutex, opts.ServiceChannels),
+		opts:       opts,
+		logger:     logger,
+		conns:      make(map[net.Conn]struct{}),
+		startTime:  time.Now(),
+		telem:      telem,
+		rec:        telemetry.Tee(telem, opts.Recorder),
+		serviceCh:  make([]sync.Mutex, opts.ServiceChannels),
+		timingMask: timingMask,
+		timingOff:  timingOff,
 	}
 	// Shard-lock contention in the cache surfaces as the lock_wait
 	// telemetry stage; the TryLock fast path records nothing when
@@ -329,10 +363,22 @@ func (s *Server) Close() error {
 	return err
 }
 
+// nextPow2 rounds n up to a power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // connState is the per-connection reusable scratch the dispatch path
 // appends into, so steady-state gets allocate nothing.
 type connState struct {
 	val []byte // GetInto destination; grows to the largest value seen
+	// trace is the pending mq_trace header: it scopes the next command
+	// on the connection, then resets.
+	trace otrace.Ctx
 }
 
 // primaryKey returns the key that routes a command to a service channel
@@ -397,13 +443,30 @@ func (s *Server) handleConn(conn net.Conn, id uint64) error {
 		if cmd.Op >= 0 && int(cmd.Op) < len(s.opCounts) {
 			s.opCounts[cmd.Op].Add(1)
 		}
+		if cmd.Op == protocol.OpTrace {
+			// Trace header: stash the context for the next command. No
+			// reply, no fault evaluation — it is metadata, not work.
+			st.trace = otrace.Ctx{Trace: cmd.CAS, Span: cmd.Delta}
+			continue
+		}
 		// Shaped servers time every command (the queue-wait split needs
-		// it); unshaped ones sample 1 in 8 per connection, so the
-		// latency/telemetry histograms estimate the same distribution
-		// without paying two clock reads and two histogram inserts on
-		// every operation of the raw hot path.
-		timed := shaper != nil || cmdSeq&7 == 0
+		// it); unshaped ones sample 1 in TimingSample per connection
+		// (default 8), so the latency/telemetry histograms estimate the
+		// same distribution without paying two clock reads and two
+		// histogram inserts on every operation of the raw hot path.
+		timed := shaper != nil || (!s.timingOff && cmdSeq&s.timingMask == 0)
 		cmdSeq++
+		// A pending trace header upgrades the command to traced: spans
+		// are recorded against the tracer's run clock, and the command
+		// is always timed so span durations exist.
+		var srvSpan otrace.Span
+		if tc := st.trace; tc.Valid() {
+			st.trace = otrace.Ctx{}
+			if tr := s.opts.Tracer; tr.Enabled() {
+				srvSpan = tr.Begin(tc, "server", "handle", s.opts.ID)
+				timed = true
+			}
+		}
 		var began time.Time
 		if timed {
 			began = time.Now()
@@ -447,6 +510,24 @@ func (s *Server) handleConn(conn net.Conn, id uint64) error {
 			total := time.Since(began)
 			lat.record(total.Seconds())
 			rec.Observe(telemetry.StageService, (total - waited).Seconds())
+			if srvSpan.ID != 0 {
+				tr := s.opts.Tracer
+				// Child spans mirror the queue_wait/service telemetry
+				// split inside the handle span's window.
+				if waited > 0 {
+					tr.Emit(otrace.Span{
+						Trace: srvSpan.Trace, ID: tr.NewID(), Parent: srvSpan.ID,
+						Comp: "server", Name: "queue_wait", Server: s.opts.ID,
+						Start: srvSpan.Start, Dur: waited.Seconds(),
+					})
+				}
+				tr.Emit(otrace.Span{
+					Trace: srvSpan.Trace, ID: tr.NewID(), Parent: srvSpan.ID,
+					Comp: "server", Name: "service", Server: s.opts.ID,
+					Start: srvSpan.Start + waited.Seconds(), Dur: (total - waited).Seconds(),
+				})
+				tr.End(srvSpan)
+			}
 		}
 		// Flush when the pipeline is drained (no buffered next command).
 		if r.Buffered() == 0 {
@@ -659,11 +740,26 @@ func (s *Server) writeStats(w *protocol.Writer, section string) error {
 				return err
 			}
 		}
+		// Sampling bias disclosure: unshaped connections head-sample
+		// 1 in sample_every commands per connection, so bursty
+		// pipelines under-represent mid-burst commands; shaped
+		// connections (and traced commands) are always timed.
+		sampleEvery := int64(s.timingMask) + 1
+		if s.timingOff {
+			sampleEvery = 0
+		}
+		if err := w.Stat("latency:sample_every", fmt.Sprintf("%d", sampleEvery)); err != nil {
+			return err
+		}
+		if err := w.Stat("latency:sample_bias",
+			"head-sampled 1-in-sample_every per connection (0=off); shaped and traced commands always timed"); err != nil {
+			return err
+		}
 		return w.End()
 	case "commands":
 		// memqlat extension: per-command counters, one row per
 		// protocol op the server has dispatched.
-		for op := protocol.OpGet; op <= protocol.OpQuit; op++ {
+		for op := protocol.OpGet; op <= protocol.OpTrace; op++ {
 			if err := w.Stat("cmd_"+op.String(),
 				fmt.Sprintf("%d", s.opCounts[op].Load())); err != nil {
 				return err
@@ -683,6 +779,7 @@ func (s *Server) writeStats(w *protocol.Writer, section string) error {
 				{name + ":count", fmt.Sprintf("%d", st.Count)},
 				{name + ":mean_us", fmt.Sprintf("%.1f", st.Mean*1e6)},
 				{name + ":p50_us", fmt.Sprintf("%.1f", st.P50*1e6)},
+				{name + ":p95_us", fmt.Sprintf("%.1f", st.P95*1e6)},
 				{name + ":p99_us", fmt.Sprintf("%.1f", st.P99*1e6)},
 			}
 			for _, row := range rows {
@@ -721,4 +818,58 @@ func (s *Server) writeStats(w *protocol.Writer, section string) error {
 		}
 	}
 	return w.End()
+}
+
+// --- observability accessors -----------------------------------------
+// The metrics registry scrapes these instead of round-tripping "stats"
+// over the wire; they snapshot the same counters the protocol surface
+// reports.
+
+// Counters is a snapshot of the server's connection/command counters.
+type Counters struct {
+	CurrConns     int64
+	TotalConns    int64
+	RejectedConns int64
+	Commands      int64
+}
+
+// Counters snapshots the connection and command counters.
+func (s *Server) Counters() Counters {
+	return Counters{
+		CurrConns:     s.currConns.Load(),
+		TotalConns:    s.totalConns.Load(),
+		RejectedConns: s.rejectedConn.Load(),
+		Commands:      s.cmdCount.Load(),
+	}
+}
+
+// OpCount reports how many commands of op the server dispatched.
+func (s *Server) OpCount(op protocol.Op) int64 {
+	if op < 0 || int(op) >= len(s.opCounts) {
+		return 0
+	}
+	return s.opCounts[op].Load()
+}
+
+// Telemetry exposes the server's own per-stage collector (the one
+// "stats telemetry" prints).
+func (s *Server) Telemetry() *telemetry.Collector { return s.telem }
+
+// Cache exposes the backing store for occupancy metrics.
+func (s *Server) Cache() *cache.Cache { return s.opts.Cache }
+
+// LatencyHistogram snapshots the merged per-command latency histogram
+// behind "stats latency". The copy is private to the caller.
+func (s *Server) LatencyHistogram() *stats.Histogram {
+	merged := stats.NewHistogram()
+	for i := range s.latency.stripes {
+		ls := &s.latency.stripes[i]
+		ls.mu.Lock()
+		if ls.hist != nil {
+			// Identical bucketing by construction; Merge cannot fail.
+			_ = merged.Merge(ls.hist)
+		}
+		ls.mu.Unlock()
+	}
+	return merged
 }

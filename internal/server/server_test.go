@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"memqlat/internal/cache"
+	"memqlat/internal/otrace"
+	"memqlat/internal/protocol"
 	"memqlat/internal/telemetry"
 )
 
@@ -596,4 +598,114 @@ func TestIdleTimeoutClosesConnection(t *testing.T) {
 	if _, err := conn.Read(buf); err == nil {
 		t.Error("idle connection not closed")
 	}
+}
+
+func TestTraceHeaderScopesNextCommand(t *testing.T) {
+	tr := otrace.New(otrace.Options{})
+	_, addr := startServer(t, Options{Tracer: tr, ID: 3})
+	r, w, _ := dial(t, addr)
+	// The header elicits no reply; the following get is traced, the one
+	// after it is not.
+	send(t, w, "mq_trace 77 5\r\nget k\r\nget k\r\n")
+	if got := readLine(t, r); got != "END" {
+		t.Fatalf("traced get reply = %q", got)
+	}
+	if got := readLine(t, r); got != "END" {
+		t.Fatalf("untraced get reply = %q", got)
+	}
+	spans := tr.Snapshot()
+	var handle, service int
+	for _, sp := range spans {
+		if sp.Trace != 77 || sp.Server != 3 {
+			t.Errorf("span %+v: want Trace=77 Server=3", sp)
+		}
+		switch {
+		case sp.Comp == "server" && sp.Name == "handle":
+			handle++
+			if sp.Parent != 5 {
+				t.Errorf("handle span parent = %d, want 5", sp.Parent)
+			}
+		case sp.Comp == "server" && sp.Name == "service":
+			service++
+		}
+	}
+	if handle != 1 || service != 1 {
+		t.Errorf("spans = %d handle, %d service (want 1, 1); all: %+v",
+			handle, service, spans)
+	}
+}
+
+func TestTraceHeaderWithoutTracerIsIgnored(t *testing.T) {
+	srv, addr := startServer(t, Options{})
+	r, w, _ := dial(t, addr)
+	send(t, w, "mq_trace 9 0\r\nversion\r\n")
+	if got := readLine(t, r); !strings.HasPrefix(got, "VERSION") {
+		t.Fatalf("version after untraced header = %q", got)
+	}
+	if n := srv.OpCount(protocol.OpTrace); n != 1 {
+		t.Errorf("OpCount(OpTrace) = %d, want 1", n)
+	}
+}
+
+func TestTimingSampleEveryCommand(t *testing.T) {
+	srv, addr := startServer(t, Options{TimingSample: 1})
+	r, w, _ := dial(t, addr)
+	const n = 20
+	for i := 0; i < n; i++ {
+		send(t, w, "get k\r\n")
+		readLine(t, r)
+	}
+	if got := srv.LatencyHistogram().Count(); got != n {
+		t.Errorf("TimingSample=1 recorded %d of %d commands", got, n)
+	}
+	b := srv.Telemetry().Breakdown()
+	if b[telemetry.StageService].Count != n {
+		t.Errorf("service stage count = %d, want %d", b[telemetry.StageService].Count, n)
+	}
+}
+
+func TestTimingSampleOff(t *testing.T) {
+	srv, addr := startServer(t, Options{TimingSample: -1})
+	r, w, _ := dial(t, addr)
+	for i := 0; i < 20; i++ {
+		send(t, w, "get k\r\n")
+		readLine(t, r)
+	}
+	if got := srv.LatencyHistogram().Count(); got != 0 {
+		t.Errorf("TimingSample=-1 recorded %d commands, want 0", got)
+	}
+	// The disclosure rows still render, with sample_every = 0.
+	send(t, w, "stats latency\r\n")
+	var sawOff bool
+	for {
+		line := readLine(t, r)
+		if line == "END" {
+			break
+		}
+		if line == "STAT latency:sample_every 0" {
+			sawOff = true
+		}
+	}
+	if !sawOff {
+		t.Error("stats latency did not report sample_every 0")
+	}
+}
+
+func TestTimingSampleRoundsUp(t *testing.T) {
+	srv, err := New(Options{Cache: mustCache(t), TimingSample: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.timingMask != 7 {
+		t.Errorf("TimingSample=5 mask = %d, want 7 (1 in 8)", srv.timingMask)
+	}
+}
+
+func mustCache(t *testing.T) *cache.Cache {
+	t.Helper()
+	c, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

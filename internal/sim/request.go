@@ -7,6 +7,7 @@ import (
 	"memqlat/internal/core"
 	"memqlat/internal/dist"
 	"memqlat/internal/fault"
+	"memqlat/internal/otrace"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
 )
@@ -55,6 +56,12 @@ type RequestConfig struct {
 	// mirror the live client's: retries, hedged reads, circuit
 	// breakers. The zero value replays failures to the caller raw.
 	Resilience fault.Resilience
+	// Tracer, when set, emits virtual-time spans for every composed
+	// request: a sim/request root on the virtual request timeline with
+	// sim/proxy, sim/memcached and sim/db stage children laid out in
+	// series — the simulator's counterpart of the live plane's
+	// wall-clock traces. Nil disables tracing.
+	Tracer *otrace.Tracer
 }
 
 // RequestResult aggregates the measured latency decomposition, mirroring
@@ -313,10 +320,41 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		if out.TP != nil {
 			out.TP.Record(maxTP)
 		}
-		out.Total.Record(m.NetworkLatency + maxTS + maxTD + maxTP)
+		total := m.NetworkLatency + maxTS + maxTD + maxTP
+		out.Total.Record(total)
 		rec.Observe(telemetry.StageForkJoin, maxTS-sumTS/float64(m.N))
+		if cfg.Tracer.Enabled() {
+			emitRequestSpans(cfg.Tracer, now, total, maxTP, maxTS, maxTD)
+		}
 	}
 	return out, nil
+}
+
+// emitRequestSpans records one composed request on the virtual request
+// timeline: a sim/request root spanning the end-user latency, with the
+// stage maxima laid out in series underneath it the way Theorem 1 adds
+// them. Start times are virtual seconds (request index over Λ/N), so
+// the exported Chrome trace shows the simulated run's own clock.
+func emitRequestSpans(tr *otrace.Tracer, now, total, maxTP, maxTS, maxTD float64) {
+	root := otrace.Span{
+		Trace: tr.NewID(), ID: tr.NewID(), Comp: "sim", Name: "request",
+		Server: -1, Start: now, Dur: total,
+	}
+	tr.Emit(root)
+	at := now
+	emit := func(name string, dur float64) {
+		if dur <= 0 {
+			return
+		}
+		tr.Emit(otrace.Span{
+			Trace: root.Trace, ID: tr.NewID(), Parent: root.ID,
+			Comp: "sim", Name: name, Server: -1, Start: at, Dur: dur,
+		})
+		at += dur
+	}
+	emit("proxy", maxTP)
+	emit("memcached", maxTS)
+	emit("db", maxTD)
 }
 
 // TDQuantileEstimate measures E[T_D(N)] the way the paper's eqs. 21–23

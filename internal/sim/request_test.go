@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"memqlat/internal/core"
+	"memqlat/internal/otrace"
 )
 
 func facebookModel() *core.Config {
@@ -179,5 +180,86 @@ func TestSimulateRequestsLogNGrowth(t *testing.T) {
 	// Log growth: equal per-decade increments within 35%.
 	if math.Abs(inc2-inc1)/inc1 > 0.35 {
 		t.Errorf("increments %v vs %v not log-like", inc1, inc2)
+	}
+}
+
+// The composition simulator must emit virtual-time spans: one
+// sim/request root per composed request with its stage children laid
+// out in series on the virtual request timeline.
+func TestSimulateRequestsEmitsVirtualSpans(t *testing.T) {
+	tr := otrace.New(otrace.Options{RingSize: 4096})
+	const requests = 50
+	res, err := SimulateRequests(RequestConfig{
+		Model: facebookModel(), Requests: requests, KeysPerServer: 20000,
+		Seed: 7, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Snapshot()
+	var roots, kids []otrace.Span
+	for _, sp := range spans {
+		if sp.Comp != "sim" {
+			t.Fatalf("unexpected component %q", sp.Comp)
+		}
+		if sp.Name == "request" {
+			roots = append(roots, sp)
+		} else {
+			kids = append(kids, sp)
+		}
+	}
+	if len(roots) != requests {
+		t.Fatalf("sim/request roots = %d, want %d", len(roots), requests)
+	}
+	// Roots sit on the virtual arrival timeline (rate Λ/N), strictly
+	// increasing from 0.
+	for i := 1; i < len(roots); i++ {
+		if roots[i].Start <= roots[i-1].Start {
+			t.Fatalf("root starts not increasing: %v then %v", roots[i-1].Start, roots[i].Start)
+		}
+	}
+	byID := make(map[uint64]otrace.Span, len(roots))
+	for _, r := range roots {
+		byID[r.ID] = r
+	}
+	sums := make(map[uint64]float64)
+	for _, k := range kids {
+		root, ok := byID[k.Parent]
+		if !ok || k.Trace != root.Trace {
+			t.Fatalf("child %+v not under a request root", k)
+		}
+		if k.Dur <= 0 {
+			t.Fatalf("child %+v has non-positive duration", k)
+		}
+		sums[k.Parent] += k.Dur
+	}
+	// Stage children plus the constant network latency reconstruct the
+	// root's duration.
+	tn := facebookModel().NetworkLatency
+	for id, sum := range sums {
+		if root := byID[id]; math.Abs(sum+tn-root.Dur) > 1e-12 {
+			t.Fatalf("stage durations %v + TN %v != total %v", sum, tn, root.Dur)
+		}
+	}
+	if res.Requests != requests {
+		t.Fatalf("res.Requests = %d", res.Requests)
+	}
+}
+
+// Tracing must not perturb the simulation: same seed, same histogram.
+func TestSimulateRequestsTracerNeutral(t *testing.T) {
+	cfg := RequestConfig{Model: facebookModel(), Requests: 300, KeysPerServer: 20000, Seed: 11}
+	plain, err := SimulateRequests(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracer = otrace.New(otrace.Options{})
+	traced, err := SimulateRequests(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Total.Mean() != traced.Total.Mean() || plain.Total.Count() != traced.Total.Count() {
+		t.Errorf("tracing changed the measurement: %v/%d vs %v/%d",
+			plain.Total.Mean(), plain.Total.Count(), traced.Total.Mean(), traced.Total.Count())
 	}
 }

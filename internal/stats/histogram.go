@@ -228,6 +228,71 @@ func (h *Histogram) Quantiles(qs []float64) ([]float64, error) {
 	return out, nil
 }
 
+// QuantileBounds returns the bucket that holds the q-th quantile as the
+// half-open interval [lo, hi): the tightest statement the bucketing can
+// make about where the true quantile lies. Bucket 0 reports [0,
+// smallest). It returns ErrNoSamples when the histogram is empty.
+func (h *Histogram) QuantileBounds(q float64) (lo, hi float64, err error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0, 0, ErrNoSamples
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i == 0 {
+				return 0, h.smallest, nil
+			}
+			return h.bucketUpper(i - 1), h.bucketUpper(i), nil
+		}
+	}
+	return h.Max(), h.Max(), nil
+}
+
+// EachBucket calls fn for every non-empty bucket in ascending value
+// order with the bucket's exclusive upper bound and its count. Bucket 0
+// covers [0, smallest).
+func (h *Histogram) EachBucket(fn func(upper float64, count int64)) {
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		fn(h.bucketUpper(i), c)
+	}
+}
+
+// CumulativeCount reports how many recorded observations the bucketing
+// places at or below v: the count of every bucket whose range ends at
+// or before v's bucket. It is the integer-valued companion of CDF.
+func (h *Histogram) CumulativeCount(v float64) int64 {
+	idx := h.bucketIndex(v)
+	var cum int64
+	for i, c := range h.counts {
+		if i > idx {
+			break
+		}
+		cum += c
+	}
+	return cum
+}
+
+// Clone returns an independent copy of h; mutating either afterwards
+// leaves the other untouched.
+func (h *Histogram) Clone() *Histogram {
+	dup := *h
+	dup.counts = make([]int64, len(h.counts))
+	copy(dup.counts, h.counts)
+	return &dup
+}
+
 func clamp(v, lo, hi float64) float64 {
 	if v < lo {
 		return lo

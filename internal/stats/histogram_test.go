@@ -280,3 +280,129 @@ func TestMaxOrderQuantile(t *testing.T) {
 		t.Error("negative n accepted")
 	}
 }
+
+// TestHistogramMergeQuantileRoundTrip splits one sample stream across
+// several histograms, merges them back, and requires every quantile of
+// the merged histogram to agree with a single histogram that saw the
+// whole stream — within bucket resolution, i.e. exactly, because both
+// place each observation in the same bucket.
+func TestHistogramMergeQuantileRoundTrip(t *testing.T) {
+	whole := NewHistogram()
+	parts := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	rng := rand.New(rand.NewPCG(17, 23))
+	for i := 0; i < 60000; i++ {
+		v := rng.ExpFloat64() / 1e4
+		whole.Record(v)
+		parts[i%len(parts)].Record(v)
+	}
+	merged := NewHistogram()
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", merged.Count(), whole.Count())
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		mv := merged.MustQuantile(q)
+		wv := whole.MustQuantile(q)
+		// Same buckets, same counts: midpoints must match bit-for-bit,
+		// and both must land inside the whole histogram's bucket bounds.
+		if mv != wv {
+			t.Errorf("q=%v: merged %v, whole %v", q, mv, wv)
+		}
+		lo, hi, err := whole.QuantileBounds(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The reported value is clamped to observed min/max, so allow
+		// the interval check to widen by that clamp.
+		lo = math.Min(lo, whole.Min())
+		hi = math.Max(hi, whole.Max())
+		if mv < lo || mv > hi {
+			t.Errorf("q=%v: merged quantile %v outside bucket bounds [%v, %v]", q, mv, lo, hi)
+		}
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	if _, _, err := h.QuantileBounds(0.5); err != ErrNoSamples {
+		t.Fatalf("empty QuantileBounds err = %v, want ErrNoSamples", err)
+	}
+	if _, _, err := h.QuantileBounds(1.5); err == nil {
+		t.Fatal("QuantileBounds(1.5) accepted")
+	}
+	h.Record(1e-3)
+	lo, hi, err := h.QuantileBounds(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo <= 1e-3 && 1e-3 < hi) {
+		t.Errorf("bounds [%v, %v) do not contain 1e-3", lo, hi)
+	}
+	// ~1% bucket resolution: the interval must be tight.
+	if hi/lo > 1.03 {
+		t.Errorf("bucket [%v, %v) wider than growth factor", lo, hi)
+	}
+	h.Record(0) // bucket 0 reports [0, smallest)
+	lo, hi, err = h.QuantileBounds(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || hi != defaultSmallest {
+		t.Errorf("bucket-0 bounds [%v, %v), want [0, %v)", lo, hi, defaultSmallest)
+	}
+}
+
+func TestHistogramEachBucketAndCumulative(t *testing.T) {
+	h := NewHistogram()
+	vals := []float64{1e-6, 1e-6, 5e-4, 2e-2}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	var total int64
+	last := -1.0
+	h.EachBucket(func(upper float64, count int64) {
+		if upper <= last {
+			t.Errorf("bucket uppers not ascending: %v after %v", upper, last)
+		}
+		last = upper
+		if count <= 0 {
+			t.Errorf("EachBucket emitted empty bucket at %v", upper)
+		}
+		total += count
+	})
+	if total != int64(len(vals)) {
+		t.Errorf("EachBucket total %d, want %d", total, len(vals))
+	}
+	if got := h.CumulativeCount(1e-5); got != 2 {
+		t.Errorf("CumulativeCount(1e-5) = %d, want 2", got)
+	}
+	if got := h.CumulativeCount(1); got != int64(len(vals)) {
+		t.Errorf("CumulativeCount(1) = %d, want %d", got, len(vals))
+	}
+	// CumulativeCount and CDF must agree on the same bucketing.
+	for _, v := range []float64{0, 1e-6, 1e-4, 1e-1} {
+		want := h.CDF(v) * float64(h.Count())
+		if got := float64(h.CumulativeCount(v)); got != want {
+			t.Errorf("CumulativeCount(%v) = %v, CDF says %v", v, got, want)
+		}
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(float64(i) * 1e-5)
+	}
+	c := h.Clone()
+	if c.Count() != h.Count() || c.MustQuantile(0.5) != h.MustQuantile(0.5) {
+		t.Fatal("clone does not match original")
+	}
+	c.Record(10)
+	if c.Count() == h.Count() || h.Max() == 10 {
+		t.Error("mutating clone leaked into original")
+	}
+}

@@ -167,8 +167,10 @@ type StageStats struct {
 	Count int64
 	// Mean is the sample mean latency in seconds.
 	Mean float64
-	// P50 / P99 are sample quantiles in seconds (0 when Count is 0).
+	// P50 / P95 / P99 are sample quantiles in seconds (0 when Count
+	// is 0).
 	P50 float64
+	P95 float64
 	P99 float64
 	// Total is the summed latency in seconds.
 	Total float64
@@ -285,9 +287,35 @@ func (c *Collector) Breakdown() Breakdown {
 			st.Mean = h.Mean()
 			st.Total = h.Mean() * float64(st.Count)
 			st.P50 = h.MustQuantile(0.5)
+			st.P95 = h.MustQuantile(0.95)
 			st.P99 = h.MustQuantile(0.99)
 		}
 		out[Stage(i)] = st
+	}
+	return out
+}
+
+// Histograms snapshots the full per-stage distributions, merged across
+// stripes — the export surface the Prometheus registry scrapes so its
+// bucket counts agree with the Breakdown's quantiles. The returned
+// histograms are private copies; callers may mutate them freely.
+func (c *Collector) Histograms() map[Stage]*stats.Histogram {
+	merged := [numStages]*stats.Histogram{}
+	for i := range merged {
+		merged[i] = stats.NewHistogram()
+	}
+	for s := range c.stripes {
+		st := &c.stripes[s]
+		st.mu.Lock()
+		for i, h := range st.hists {
+			// Identical bucketing by construction; Merge cannot fail.
+			_ = merged[i].Merge(h)
+		}
+		st.mu.Unlock()
+	}
+	out := make(map[Stage]*stats.Histogram, numStages)
+	for i, h := range merged {
+		out[Stage(i)] = h
 	}
 	return out
 }

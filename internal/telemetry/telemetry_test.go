@@ -159,3 +159,92 @@ func TestCollectorShardConcurrent(t *testing.T) {
 		t.Errorf("count = %d, want 16000", got)
 	}
 }
+
+// TestCollectorConcurrentMerge hammers striped handles from many
+// goroutines while Breakdown and Histograms merge snapshots in
+// parallel: the striped-recorder merge path must be race-free and the
+// final merged counts exact.
+func TestCollectorConcurrentMerge(t *testing.T) {
+	c := NewCollector()
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent mergers: snapshot while recording is in flight.
+	for m := 0; m < 4; m++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := c.Breakdown()
+				if b[StageService].Count < 0 {
+					t.Error("negative count in mid-run snapshot")
+				}
+				hs := c.Histograms()
+				if hs[StageService].Count() < 0 {
+					t.Error("negative histogram count in mid-run snapshot")
+				}
+			}
+		}()
+	}
+	var rec sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rec.Add(1)
+		go func(w int) {
+			defer rec.Done()
+			h := Shard(c, uint64(w))
+			for i := 0; i < perWorker; i++ {
+				h.Observe(StageService, float64(i+1)*1e-7)
+				h.Observe(StageQueueWait, 1e-6)
+			}
+		}(w)
+	}
+	rec.Wait()
+	close(stop)
+	wg.Wait()
+	b := c.Breakdown()
+	if b[StageService].Count != workers*perWorker {
+		t.Errorf("service count = %d, want %d", b[StageService].Count, workers*perWorker)
+	}
+	if b[StageQueueWait].Count != workers*perWorker {
+		t.Errorf("queue_wait count = %d, want %d", b[StageQueueWait].Count, workers*perWorker)
+	}
+	// The snapshot histograms must agree with the Breakdown quantiles —
+	// they are merged from the same stripes.
+	hs := c.Histograms()
+	svc := hs[StageService]
+	if svc.Count() != b[StageService].Count {
+		t.Errorf("histogram count %d != breakdown count %d", svc.Count(), b[StageService].Count)
+	}
+	for q, want := range map[float64]float64{
+		0.5: b[StageService].P50, 0.95: b[StageService].P95, 0.99: b[StageService].P99,
+	} {
+		if got := svc.MustQuantile(q); got != want {
+			t.Errorf("histogram q%v = %v, breakdown says %v", q, got, want)
+		}
+	}
+	// Snapshots are private copies: mutating one must not leak back.
+	svc.Record(1e3)
+	if c.Histograms()[StageService].Count() != b[StageService].Count {
+		t.Error("mutating a Histograms() snapshot leaked into the collector")
+	}
+}
+
+func TestBreakdownP95Ordering(t *testing.T) {
+	c := NewCollector()
+	for i := 1; i <= 1000; i++ {
+		c.Observe(StageService, float64(i)*1e-6)
+	}
+	st := c.Breakdown()[StageService]
+	if !(st.P50 <= st.P95 && st.P95 <= st.P99) {
+		t.Errorf("quantiles out of order: p50=%v p95=%v p99=%v", st.P50, st.P95, st.P99)
+	}
+	// Uniform 1..1000µs: p95 must sit near 950µs within bucket error.
+	if st.P95 < 900e-6 || st.P95 > 1000e-6 {
+		t.Errorf("p95 = %v, want ~950µs", st.P95)
+	}
+}

@@ -1,0 +1,61 @@
+#!/bin/sh
+# obs_smoke.sh — boot memcached-server with the admin plane and check
+# that /healthz, /metrics and /trace answer with the expected content.
+# Used by the CI verify job; runnable locally from the repo root.
+set -eu
+
+bin=$(mktemp -t memcached-server-smoke.XXXXXX)
+go build -o "$bin" ./cmd/memcached-server
+
+addr=127.0.0.1:18211
+admin=127.0.0.1:18212
+"$bin" -addr "$addr" -admin "$admin" -trace-ring 1024 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -f "$bin"' EXIT INT TERM
+
+ok=0
+i=0
+while [ "$i" -lt 50 ]; do
+    if curl -fsS "http://$admin/healthz" >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ "$ok" != 1 ]; then
+    echo "FAIL: admin plane never answered /healthz" >&2
+    exit 1
+fi
+
+healthz=$(curl -fsS "http://$admin/healthz")
+case $healthz in
+*'"status":"ok"'*) ;;
+*)
+    echo "FAIL: unexpected /healthz body: $healthz" >&2
+    exit 1
+    ;;
+esac
+
+metrics=$(curl -fsS "http://$admin/metrics")
+for family in memqlat_server_connections_current memqlat_cache_shard_items \
+    memqlat_stage_latency_seconds memqlat_trace_spans_kept; do
+    case $metrics in
+    *"$family"*) ;;
+    *)
+        echo "FAIL: /metrics missing family $family" >&2
+        exit 1
+        ;;
+    esac
+done
+
+trace=$(curl -fsS "http://$admin/trace")
+case $trace in
+*'"traceEvents"'*) ;;
+*)
+    echo "FAIL: unexpected /trace body: $trace" >&2
+    exit 1
+    ;;
+esac
+
+echo "obs smoke OK: /healthz, /metrics ($(printf '%s\n' "$metrics" | wc -l) lines), /trace all answered on $admin"
