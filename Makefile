@@ -3,7 +3,8 @@
 GO ?= go
 
 .PHONY: build test vet race verify faults lint cover fuzz-smoke \
-	bench-plane bench-server bench-proxy bench-check obs repro clean
+	bench-plane bench-server bench-proxy bench-conns bench-check obs \
+	repro clean
 
 build:
 	$(GO) build ./...
@@ -48,12 +49,14 @@ cover:
 	$(GO) test -coverprofile=cover_route.out ./internal/route/
 	$(GO) test -coverprofile=cover_otrace.out ./internal/otrace/
 	$(GO) test -coverprofile=cover_metrics.out ./internal/metrics/
+	$(GO) test -coverprofile=cover_server.out ./internal/server/
 	./scripts/coverfloor.sh cover_cache.out 95.2 internal/cache
 	./scripts/coverfloor.sh cover_protocol.out 90.6 internal/protocol
 	./scripts/coverfloor.sh cover_proxy.out 82.0 internal/proxy
 	./scripts/coverfloor.sh cover_route.out 91.0 internal/route
 	./scripts/coverfloor.sh cover_otrace.out 95.0 internal/otrace
 	./scripts/coverfloor.sh cover_metrics.out 90.0 internal/metrics
+	./scripts/coverfloor.sh cover_server.out 77.0 internal/server
 
 # Fuzz smoke: 30s over the reusable-buffer parser (ReadCommand and
 # Parser.Next must agree byte-for-byte on arbitrary input), 15s over
@@ -82,6 +85,14 @@ bench-server:
 bench-proxy:
 	$(GO) test -run '^$$' -bench BenchmarkProxyHotPath -benchmem ./internal/proxy/
 
+# Connection-count scaling (1k -> 100k parked connections on the
+# event-loop core; tiers beyond the fd limit skip). The fixed -benchtime
+# runs the expensive fleet setup once per scale instead of once per b.N
+# probe. BENCH_conns.json records the last blessed numbers.
+bench-conns:
+	$(GO) test -run '^$$' -bench BenchmarkConnScaling -benchmem \
+		-benchtime 500000x ./internal/server/
+
 # Compare current benchmark runs against the checked-in baselines the
 # way CI does: >20% ns/op regression or any allocation appearing on a
 # zero-alloc path fails.
@@ -92,6 +103,9 @@ bench-check:
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_proxy.json
 	$(GO) test -run '^$$' -bench 'BenchmarkSimPlane|BenchmarkLivePlane' -benchmem -benchtime 3x . \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_plane.json
+	$(GO) test -run '^$$' -bench BenchmarkConnScaling -benchmem \
+		-benchtime 500000x ./internal/server/ \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_conns.json
 
 # Observability smoke: a short live-plane run with the admin plane and
 # span recording armed (mcbench re-parses the Chrome trace it wrote and

@@ -84,6 +84,10 @@ func run(args []string, out io.Writer) error {
 		keyTrace  = fs.String("trace", "", "journal the issued key stream to this file (mrc/replay input)")
 		closed    = fs.Bool("closed-loop", false, "closed-loop mode (fixed concurrency + think time) instead of open-loop pacing")
 
+		conns    = fs.Int("conns", 0, "connection-scaling mode: park this many mostly-idle connections on the first server while -conn-hot connections issue gets (0 = off)")
+		connRamp = fs.String("conn-ramp", "", `connection-scaling ramp, e.g. "1000,5000,10000": grow the idle fleet through each tier, reporting p50/p95/p99 per connection count`)
+		connHot  = fs.Int("conn-hot", 16, "hot connections issuing traffic in -conns/-conn-ramp mode")
+
 		adminAddr = fs.String("admin", "", "observability listener address for /metrics, /healthz, /debug/pprof, /trace (empty = off)")
 		traceOut  = fs.String("trace-out", "", "record request-scoped spans and write them as Chrome trace-event JSON to this file")
 		traceRing = fs.Int("trace-ring", 0, "span-ring capacity for -trace-out/-slow (0 = default 16384)")
@@ -110,6 +114,16 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *conns > 0 || *connRamp != "" {
+		if *planeName != "" || *proxied {
+			return fmt.Errorf("-conns/-conn-ramp drive an external server directly (no -plane or -proxy)")
+		}
+		tiers, err := parseConnRamp(*conns, *connRamp)
+		if err != nil {
+			return err
+		}
+		return runConns(out, strings.Split(*servers, ",")[0], tiers, *connHot, *ops, *valueSize, *timeout)
 	}
 	resilience := fault.Resilience{
 		Retries:          *retries,

@@ -50,6 +50,9 @@ func run(args []string) error {
 		serviceCh   = fs.Int("service-channels", 1, "independent service channels for the shaped path (1 = the paper's single-server queue)")
 		seed        = fs.Uint64("seed", 1, "seed for service-time shaping")
 		timingSmpl  = fs.Int("timing-sample", 0, "time 1-in-N unshaped commands for stats latency/telemetry (0 = default 8, 1 = every command, negative = off)")
+		connCore    = fs.String("conn-core", server.CoreGoroutines, "connection core: goroutines (one per connection) or eventloop (epoll loops, linux)")
+		loopWorkers = fs.Int("loop-workers", 0, "event-loop goroutines for -conn-core eventloop (0 = GOMAXPROCS)")
+		idleTimeout = fs.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
 		adminAddr   = fs.String("admin", "", "observability listener address for /metrics, /healthz, /debug/pprof (empty = off)")
 		traceRing   = fs.Int("trace-ring", 0, "retain this many spans of in-band-traced requests, served on <admin>/trace (0 = tracing off)")
 		slow        = fs.Duration("slow", 0, "log the span tree of traced requests at least this slow (0 = off; needs -trace-ring)")
@@ -84,6 +87,9 @@ func run(args []string) error {
 		Seed:            *seed,
 		TimingSample:    *timingSmpl,
 		Tracer:          tracer,
+		ConnCore:        *connCore,
+		LoopWorkers:     *loopWorkers,
+		IdleTimeout:     *idleTimeout,
 		Logger:          log.New(os.Stderr, "memcached-server: ", log.LstdFlags),
 	})
 	if err != nil {
@@ -110,8 +116,8 @@ func run(args []string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(*addr) }()
-	log.Printf("memcached-server: listening on %s (memory %d MiB, shards %d)",
-		*addr, *memoryMB, c.Shards())
+	log.Printf("memcached-server: listening on %s (memory %d MiB, shards %d, conn core %s)",
+		*addr, *memoryMB, c.Shards(), srv.ConnCoreName())
 
 	select {
 	case err := <-errCh:

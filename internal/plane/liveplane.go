@@ -92,6 +92,7 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 			Fault:       pointFor(i),
 			Tracer:      s.Tracer,
 			ID:          i,
+			ConnCore:    s.ConnCore,
 		})
 		if err != nil {
 			return nil, err

@@ -112,6 +112,13 @@ type Scenario struct {
 	// Proxy, when non-nil, interposes the proxy tier on every plane.
 	Proxy *ProxySpec
 
+	// ConnCore selects the live-plane servers' connection core
+	// (server.CoreGoroutines by default; server.CoreEventLoop multiplexes
+	// every connection onto a few epoll loops). Model and simulator
+	// planes ignore it — connection handling is exactly the machinery
+	// they abstract away.
+	ConnCore string
+
 	// Tracer, when set, records request-scoped spans from every tier of
 	// the measured planes: wall-clock spans across client, proxy, server
 	// and backend on the live plane; virtual-time spans per composed

@@ -47,9 +47,41 @@ func FuzzParseCommand(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r1 := bufio.NewReader(bytes.NewReader(data))
 		p := protocol.NewParser(bufio.NewReader(bytes.NewReader(data)))
+		// The stream parser sees the same bytes in one feed; its line
+		// limit matches the bufio.Reader buffer the blocking parsers
+		// read through, so "line too long" triggers identically.
+		sp := protocol.NewStreamParser(4096)
+		sp.Feed(data)
+		spLive := true
 		for i := 0; i < 64; i++ {
 			c1, err1 := protocol.ReadCommand(r1)
 			c2, err2 := p.Next()
+			if spLive {
+				c3, err3 := sp.Next()
+				if errors.Is(err3, protocol.ErrIncomplete) {
+					// The tail is a partial frame: the blocking parsers
+					// will now produce EOF-flavored results the stream
+					// parser (which has no EOF) cannot, so it retires.
+					spLive = false
+				} else {
+					if (err2 == nil) != (err3 == nil) {
+						t.Fatalf("command %d: Parser err=%v, StreamParser err=%v", i, err2, err3)
+					}
+					if err2 != nil && err2.Error() != err3.Error() {
+						t.Fatalf("command %d: stream error text diverged: %q vs %q", i, err2, err3)
+					}
+					if err2 == nil {
+						if c2.Op != c3.Op || c2.Flags != c3.Flags || c2.Exptime != c3.Exptime ||
+							c2.CAS != c3.CAS || c2.Delta != c3.Delta ||
+							c2.Noreply != c3.Noreply || c2.Level != c3.Level {
+							t.Fatalf("command %d: stream scalar fields diverged:\n%+v\n%+v", i, c2, c3)
+						}
+						if !bytes.Equal(c2.Value, c3.Value) {
+							t.Fatalf("command %d: stream value %q vs %q", i, c2.Value, c3.Value)
+						}
+					}
+				}
+			}
 			if (err1 == nil) != (err2 == nil) {
 				t.Fatalf("command %d: ReadCommand err=%v, Parser err=%v", i, err1, err2)
 			}

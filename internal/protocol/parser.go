@@ -130,19 +130,43 @@ func (p *Parser) Next() (*Command, error) {
 	if p.capture {
 		p.frame = append(append(p.frame[:0], line...), '\r', '\n')
 	}
+	cmd, need, err := p.parseLine(line)
+	if err != nil {
+		return nil, err
+	}
+	if need >= 0 {
+		cmd.Value, err = p.readData(need)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cmd, nil
+}
+
+// parseLine parses one complete command line (terminator already
+// stripped) into the parser's reusable Command. Storage commands return
+// need >= 0: the command is incomplete until the caller supplies the
+// need-byte data block (plus CRLF); every other command returns
+// need == -1, complete as is. This is the resumable seam shared by the
+// blocking Next and the non-blocking StreamParser: the line is parsed
+// without touching the input stream, so the data block can arrive in a
+// later read.
+func (p *Parser) parseLine(line []byte) (cmd *Command, need int, err error) {
 	p.fields = appendFields(p.fields[:0], line)
 	if len(p.fields) == 0 {
-		return nil, &ClientError{Msg: "empty command"}
+		return nil, -1, &ClientError{Msg: "empty command"}
 	}
-	cmd := &p.cmd
+	cmd = &p.cmd
 	*cmd = Command{}
 	op := p.fields[0]
 	args := p.fields[1:]
 	switch string(op) { // compiled to an alloc-free switch
 	case "get":
-		return p.parseGet(OpGet, "get", args)
+		cmd, err = p.parseGet(OpGet, "get", args)
+		return cmd, -1, err
 	case "gets":
-		return p.parseGet(OpGets, "gets", args)
+		cmd, err = p.parseGet(OpGets, "gets", args)
+		return cmd, -1, err
 	case "set":
 		return p.parseStorage(OpSet, "set", args)
 	case "add":
@@ -156,36 +180,45 @@ func (p *Parser) Next() (*Command, error) {
 	case "cas":
 		return p.parseCas(args)
 	case "delete":
-		return p.parseDelete(args)
+		cmd, err = p.parseDelete(args)
+		return cmd, -1, err
 	case "incr":
-		return p.parseIncrDecr(OpIncr, "incr", args)
+		cmd, err = p.parseIncrDecr(OpIncr, "incr", args)
+		return cmd, -1, err
 	case "decr":
-		return p.parseIncrDecr(OpDecr, "decr", args)
+		cmd, err = p.parseIncrDecr(OpDecr, "decr", args)
+		return cmd, -1, err
 	case "touch":
-		return p.parseTouch(args)
+		cmd, err = p.parseTouch(args)
+		return cmd, -1, err
 	case "gat":
-		return p.parseGat(OpGat, "gat", args)
+		cmd, err = p.parseGat(OpGat, "gat", args)
+		return cmd, -1, err
 	case "gats":
-		return p.parseGat(OpGats, "gats", args)
+		cmd, err = p.parseGat(OpGats, "gats", args)
+		return cmd, -1, err
 	case "stats":
 		cmd.Op = OpStats
 		if len(args) >= 1 {
 			cmd.KeyB = args[0] // sub-statistic: "items", "slabs", ...
 		}
-		return cmd, nil
+		return cmd, -1, nil
 	case "flush_all":
-		return p.parseFlushAll(args)
+		cmd, err = p.parseFlushAll(args)
+		return cmd, -1, err
 	case "version":
 		cmd.Op = OpVersion
-		return cmd, nil
+		return cmd, -1, nil
 	case "verbosity":
-		return p.parseVerbosity(args)
+		cmd, err = p.parseVerbosity(args)
+		return cmd, -1, err
 	case "quit":
-		return nil, ErrQuit
+		return nil, -1, ErrQuit
 	case "mq_trace":
-		return p.parseTrace(args)
+		cmd, err = p.parseTrace(args)
+		return cmd, -1, err
 	default:
-		return nil, &ClientError{Msg: "unknown command " + string(op)}
+		return nil, -1, &ClientError{Msg: "unknown command " + string(op)}
 	}
 }
 
@@ -274,35 +307,27 @@ func (p *Parser) readData(length int) ([]byte, error) {
 	return buf[:length], nil
 }
 
-func (p *Parser) parseStorage(op Op, name string, args [][]byte) (*Command, error) {
+func (p *Parser) parseStorage(op Op, name string, args [][]byte) (*Command, int, error) {
 	length, err := p.parseStorageHeader(name, args, 0)
 	if err != nil {
-		return nil, err
+		return nil, -1, err
 	}
 	p.cmd.Op = op
-	p.cmd.Value, err = p.readData(length)
-	if err != nil {
-		return nil, err
-	}
-	return &p.cmd, nil
+	return &p.cmd, length, nil
 }
 
-func (p *Parser) parseCas(args [][]byte) (*Command, error) {
+func (p *Parser) parseCas(args [][]byte) (*Command, int, error) {
 	length, err := p.parseStorageHeader("cas", args, 1)
 	if err != nil {
-		return nil, err
+		return nil, -1, err
 	}
 	cas, ok := parseUintB(args[4], 64)
 	if !ok {
-		return nil, &ClientError{Msg: "bad cas token"}
+		return nil, -1, &ClientError{Msg: "bad cas token"}
 	}
 	p.cmd.Op = OpCas
 	p.cmd.CAS = cas
-	p.cmd.Value, err = p.readData(length)
-	if err != nil {
-		return nil, err
-	}
-	return &p.cmd, nil
+	return &p.cmd, length, nil
 }
 
 func (p *Parser) parseDelete(args [][]byte) (*Command, error) {

@@ -1,0 +1,153 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+)
+
+// ErrIncomplete is returned by StreamParser.Next when the buffered
+// bytes do not yet hold a complete frame: the caller should feed more
+// input when the connection next becomes readable. It is a state, not a
+// failure — nothing has been consumed and the parse resumes exactly
+// where it stopped.
+var ErrIncomplete = errors.New("protocol: incomplete frame")
+
+// streamShrinkCap bounds how much buffer capacity an idle StreamParser
+// retains: once the buffer drains, anything larger is released so a
+// connection that once carried a large value does not pin that memory
+// for the rest of its (possibly very long) life.
+const streamShrinkCap = 64 << 10
+
+// StreamParser parses commands from a byte stream delivered in
+// arbitrary chunks — the non-blocking twin of Parser. The event-loop
+// server feeds it whatever a readiness-driven read returned (possibly a
+// partial line, possibly many pipelined commands, possibly a data block
+// split at any byte boundary) and drains complete commands with Next;
+// ErrIncomplete means "wait for more input".
+//
+// Aliasing contract: like Parser.Next, the returned Command and its
+// byte-slice fields alias parser-owned buffers and are valid only until
+// the next call to Feed or Next.
+//
+// Frame capture is not supported; the proxy, which needs it, reads with
+// a blocking Parser.
+type StreamParser struct {
+	p       Parser
+	maxLine int
+	buf     []byte // unconsumed input, appended by Feed
+	off     int    // consumed prefix of buf
+	// need >= 0 means a storage command line has been parsed and the
+	// command is pending its need-byte data block (plus CRLF).
+	need int
+	// discard eats input through the next '\n' after an oversized
+	// command line, mirroring the blocking parser's resync behavior.
+	discard bool
+}
+
+// NewStreamParser returns a StreamParser. maxLine bounds a single
+// command line, matching the blocking server's line limit (its
+// bufio.Reader size); 0 applies the 16 KiB default the server uses.
+func NewStreamParser(maxLine int) *StreamParser {
+	if maxLine <= 0 {
+		maxLine = 16 << 10
+	}
+	return &StreamParser{maxLine: maxLine, need: -1}
+}
+
+// Feed appends a chunk of input. The chunk is copied, so the caller may
+// reuse its read buffer immediately. Commands previously returned by
+// Next are invalidated.
+func (s *StreamParser) Feed(data []byte) {
+	if s.off == len(s.buf) {
+		s.buf = s.buf[:0]
+		s.off = 0
+	} else if s.off > 4096 && s.off > len(s.buf)/2 {
+		n := copy(s.buf, s.buf[s.off:])
+		s.buf = s.buf[:n]
+		s.off = 0
+	}
+	s.buf = append(s.buf, data...)
+}
+
+// Buffered reports how many fed bytes are not yet consumed.
+func (s *StreamParser) Buffered() int { return len(s.buf) - s.off }
+
+// release recycles the buffer once fully consumed, dropping outsized
+// capacity so long-lived mostly-idle connections stay cheap.
+func (s *StreamParser) release() {
+	if s.off != len(s.buf) {
+		return
+	}
+	if cap(s.buf) > streamShrinkCap {
+		s.buf = nil
+	} else {
+		s.buf = s.buf[:0]
+	}
+	s.off = 0
+}
+
+// Next parses the next complete command out of the buffered input.
+// ErrIncomplete means a partial frame is buffered; *ClientError reports
+// a malformed request with the stream resynchronized past it (the
+// connection can continue); ErrQuit reports an orderly quit.
+func (s *StreamParser) Next() (*Command, error) {
+	if s.discard {
+		i := bytes.IndexByte(s.buf[s.off:], '\n')
+		if i < 0 {
+			s.off = len(s.buf)
+			s.release()
+			return nil, ErrIncomplete
+		}
+		s.off += i + 1
+		s.discard = false
+		s.release()
+		return nil, &ClientError{Msg: "line too long"}
+	}
+	if s.need >= 0 {
+		total := s.need + 2
+		if s.Buffered() < total {
+			return nil, ErrIncomplete
+		}
+		block := s.buf[s.off : s.off+total]
+		s.off += total
+		need := s.need
+		s.need = -1
+		if block[need] != '\r' || block[need+1] != '\n' {
+			s.release()
+			return nil, &ClientError{Msg: "bad data chunk terminator"}
+		}
+		cmd := &s.p.cmd
+		cmd.Value = block[:need]
+		s.release()
+		return cmd, nil
+	}
+	i := bytes.IndexByte(s.buf[s.off:], '\n')
+	if i < 0 {
+		if s.Buffered() >= s.maxLine {
+			// The line already overflows the limit; eat through its
+			// eventual newline, exactly like the blocking reader drains
+			// an ErrBufferFull line.
+			s.discard = true
+			s.off = len(s.buf)
+			s.release()
+		}
+		return nil, ErrIncomplete
+	}
+	line := s.buf[s.off : s.off+i]
+	s.off += i + 1
+	if len(line) >= s.maxLine {
+		s.release()
+		return nil, &ClientError{Msg: "line too long"}
+	}
+	line = bytes.TrimRight(line, "\r\n")
+	cmd, need, err := s.p.parseLine(line)
+	if err != nil {
+		s.release()
+		return nil, err
+	}
+	if need >= 0 {
+		s.need = need
+		return s.Next()
+	}
+	return cmd, nil
+}

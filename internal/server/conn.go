@@ -1,0 +1,258 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"time"
+
+	"memqlat/internal/dist"
+	"memqlat/internal/fault"
+	"memqlat/internal/otrace"
+	"memqlat/internal/protocol"
+	"memqlat/internal/telemetry"
+)
+
+// connState is the per-connection reusable scratch the dispatch path
+// appends into, so steady-state gets allocate nothing.
+type connState struct {
+	val []byte // GetInto destination; grows to the largest value seen
+	// trace is the pending mq_trace header: it scopes the next command
+	// on the connection, then resets.
+	trace otrace.Ctx
+}
+
+// connSession bundles the per-connection dispatch state both cores
+// thread through serveCommand: telemetry handle, latency stripe,
+// service-time shaper, sampling sequence and reusable scratch.
+type connSession struct {
+	st connState
+	// rec/lat: connections mapped to different stripes never serialize
+	// on observability.
+	rec telemetry.Recorder
+	lat *latencyStripe
+	// shaper draws exponential service times when ServiceRate > 0.
+	shaper *rand.Rand
+	// cmdSeq is the per-connection sequence driving latency sampling.
+	cmdSeq uint64
+	// blackhole is the lazily built reply sink for Drop faults.
+	blackhole *protocol.Writer
+}
+
+// newSession builds the dispatch state for connection id.
+func (s *Server) newSession(id uint64) *connSession {
+	cs := &connSession{
+		rec: telemetry.Shard(s.rec, id),
+		lat: s.latency.stripe(id),
+	}
+	if s.opts.ServiceRate > 0 {
+		cs.shaper = dist.SubRand(s.opts.Seed, id)
+	}
+	return cs
+}
+
+// primaryKey returns the key that routes a command to a service channel
+// (first key of multi-key ops; nil for keyless commands).
+func primaryKey(cmd *protocol.Command) []byte {
+	if cmd.KeyB != nil {
+		return cmd.KeyB
+	}
+	if len(cmd.KeyList) > 0 {
+		return cmd.KeyList[0]
+	}
+	return nil
+}
+
+// serveCommand runs one parsed command through the full service path —
+// counters, trace propagation, fault injection, the shaped service
+// channel, dispatch and timing — identically on both connection cores.
+// closeConn asks the caller to tear the connection down with the reply
+// unwritten (fault reset/refuse); err reports a write failure.
+func (s *Server) serveCommand(w *protocol.Writer, cmd *protocol.Command, cs *connSession) (closeConn bool, err error) {
+	s.cmdCount.Add(1)
+	if cmd.Op >= 0 && int(cmd.Op) < len(s.opCounts) {
+		s.opCounts[cmd.Op].Add(1)
+	}
+	if cmd.Op == protocol.OpTrace {
+		// Trace header: stash the context for the next command. No
+		// reply, no fault evaluation — it is metadata, not work.
+		cs.st.trace = otrace.Ctx{Trace: cmd.CAS, Span: cmd.Delta}
+		return false, nil
+	}
+	// Shaped servers time every command (the queue-wait split needs
+	// it); unshaped ones sample 1 in TimingSample per connection
+	// (default 8), so the latency/telemetry histograms estimate the
+	// same distribution without paying two clock reads and two
+	// histogram inserts on every operation of the raw hot path.
+	timed := cs.shaper != nil || (!s.timingOff && cs.cmdSeq&s.timingMask == 0)
+	cs.cmdSeq++
+	// A pending trace header upgrades the command to traced: spans
+	// are recorded against the tracer's run clock, and the command
+	// is always timed so span durations exist.
+	var srvSpan otrace.Span
+	if tc := cs.st.trace; tc.Valid() {
+		cs.st.trace = otrace.Ctx{}
+		if tr := s.opts.Tracer; tr.Enabled() {
+			srvSpan = tr.Begin(tc, "server", "handle", s.opts.ID)
+			timed = true
+		}
+	}
+	var began time.Time
+	if timed {
+		began = time.Now()
+	}
+	act := s.opts.Fault.Eval()
+	if act.Delay > 0 {
+		time.Sleep(time.Duration(act.Delay * float64(time.Second)))
+	}
+	if act.Outcome == fault.Reset || act.Outcome == fault.Refuse {
+		// Tear the connection down mid-operation, reply unwritten.
+		return true, nil
+	}
+	var waited time.Duration
+	if cs.shaper != nil {
+		service := time.Duration(cs.shaper.ExpFloat64() / s.opts.ServiceRate * float64(time.Second))
+		ch := 0
+		if len(s.serviceCh) > 1 {
+			ch = s.opts.Cache.ShardIndex(primaryKey(cmd)) % len(s.serviceCh)
+		}
+		s.serviceCh[ch].Lock()
+		// Time spent acquiring the service channel is the live
+		// server's queueing delay (the W of GI^X/M/1).
+		waited = time.Since(began)
+		time.Sleep(service)
+		s.serviceCh[ch].Unlock()
+		cs.rec.Observe(telemetry.StageQueueWait, waited.Seconds())
+	}
+	out := w
+	if act.Outcome == fault.Drop {
+		// The server does the work but the reply is lost: the client
+		// is left waiting for its op timeout.
+		if cs.blackhole == nil {
+			cs.blackhole = protocol.NewWriter(bufio.NewWriter(io.Discard))
+		}
+		out = cs.blackhole
+	}
+	if err := s.dispatch(out, cmd, &cs.st); err != nil {
+		return false, err
+	}
+	if timed {
+		total := time.Since(began)
+		cs.lat.record(total.Seconds())
+		cs.rec.Observe(telemetry.StageService, (total - waited).Seconds())
+		if srvSpan.ID != 0 {
+			tr := s.opts.Tracer
+			// Child spans mirror the queue_wait/service telemetry
+			// split inside the handle span's window.
+			if waited > 0 {
+				tr.Emit(otrace.Span{
+					Trace: srvSpan.Trace, ID: tr.NewID(), Parent: srvSpan.ID,
+					Comp: "server", Name: "queue_wait", Server: s.opts.ID,
+					Start: srvSpan.Start, Dur: waited.Seconds(),
+				})
+			}
+			tr.Emit(otrace.Span{
+				Trace: srvSpan.Trace, ID: tr.NewID(), Parent: srvSpan.ID,
+				Comp: "server", Name: "service", Server: s.opts.ID,
+				Start: srvSpan.Start + waited.Seconds(), Dur: (total - waited).Seconds(),
+			})
+			tr.End(srvSpan)
+		}
+	}
+	return false, nil
+}
+
+// goroutineCore is the legacy connection core: each attached connection
+// gets its own goroutine running a blocking read loop. Simple, fair,
+// and exactly the configuration the paper reproduction measures — but a
+// 100k-connection fan-in pays 100k stacks and read buffers.
+type goroutineCore struct {
+	s *Server
+}
+
+func (c *goroutineCore) attach(conn net.Conn, id uint64) bool {
+	s := c.s
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			s.currConns.Add(-1)
+			_ = conn.Close()
+		}()
+		if err := s.handleConn(conn, id); err != nil && !errors.Is(err, net.ErrClosed) {
+			s.logger.Printf("server: conn %d: %v", id, err)
+		}
+	}()
+	return true
+}
+
+// shutdown is a no-op: Server.Close closes the conns map entries, which
+// unblocks every handler goroutine, and s.wg waits for them.
+func (c *goroutineCore) shutdown() {}
+
+func (c *goroutineCore) loopStats() []LoopStat { return nil }
+
+// handleConn runs the request loop for one connection.
+func (s *Server) handleConn(conn net.Conn, id uint64) error {
+	r := bufio.NewReaderSize(conn, s.opts.ReadBuffer)
+	w := protocol.NewWriter(bufio.NewWriterSize(conn, s.opts.WriteBuffer))
+	p := protocol.NewParser(r)
+	cs := s.newSession(id)
+	for {
+		if s.opts.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
+				return fmt.Errorf("set idle deadline: %w", err)
+			}
+		}
+		cmd, err := p.Next()
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// Idle connection: close it quietly.
+				_ = w.Flush()
+				return nil
+			}
+			switch {
+			case errors.Is(err, protocol.ErrQuit):
+				return w.Flush()
+			case protocol.IsRecoverable(err):
+				if werr := w.ClientErrorf("%v", err); werr != nil {
+					return werr
+				}
+				if werr := w.Flush(); werr != nil {
+					return werr
+				}
+				continue
+			default:
+				_ = w.Flush()
+				return protocol.EOFOrNil(err)
+			}
+		}
+		closeConn, err := s.serveCommand(w, cmd, cs)
+		if err != nil {
+			return err
+		}
+		if closeConn {
+			return nil
+		}
+		// Flush when the pipeline is drained (no buffered next command).
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+}

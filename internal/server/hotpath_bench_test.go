@@ -14,6 +14,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -31,7 +32,7 @@ func hotKey(i int) string { return fmt.Sprintf("k%04d", i%hotKeys) }
 
 // startHotServer brings up an unshaped server on a loopback listener
 // with hotKeys pre-populated fixed-size values.
-func startHotServer(b *testing.B) (*Server, net.Addr) {
+func startHotServer(b *testing.B, core string) (*Server, net.Addr) {
 	b.Helper()
 	c, err := cache.New(cache.Options{MaxBytes: 256 << 20})
 	if err != nil {
@@ -43,7 +44,7 @@ func startHotServer(b *testing.B) (*Server, net.Addr) {
 			b.Fatal(err)
 		}
 	}
-	srv, err := New(Options{Cache: c, Logger: log.New(io.Discard, "", 0)})
+	srv, err := New(Options{Cache: c, ConnCore: core, Logger: log.New(io.Discard, "", 0)})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -98,58 +99,76 @@ func hotBatch(op string, offset int) (batch []byte, ops int, respLen int) {
 // BenchmarkServerHotPath drives the server end to end: conns workers
 // each own one TCP connection and pump pipelined batches until b.N ops
 // are done. ns/op is per command; the get path must stay 0 allocs/op.
+// The legacy goroutine core keeps its original benchmark names (the
+// long-running baseline series); the event-loop core runs the same
+// matrix under a core=eventloop prefix with its own baselines, holding
+// both cores to the zero-alloc gate.
 func BenchmarkServerHotPath(b *testing.B) {
 	for _, op := range []string{"get", "set", "multiget"} {
 		for _, conns := range []int{1, 4, 16} {
 			b.Run(fmt.Sprintf("%s/conns=%d", op, conns), func(b *testing.B) {
-				srv, addr := startHotServer(b)
-				defer srv.Close()
-				type worker struct {
-					nc    net.Conn
-					batch []byte
-					resp  []byte
-					ops   int64
-				}
-				workers := make([]*worker, conns)
-				for i := range workers {
-					nc, err := net.Dial("tcp", addr.String())
-					if err != nil {
-						b.Fatal(err)
-					}
-					defer nc.Close()
-					batch, ops, respLen := hotBatch(op, i*16)
-					workers[i] = &worker{nc: nc, batch: batch, resp: make([]byte, respLen), ops: int64(ops)}
-				}
-				var remaining atomic.Int64
-				remaining.Store(int64(b.N))
-				var wg sync.WaitGroup
-				errs := make(chan error, conns)
-				b.ReportAllocs()
-				b.ResetTimer()
-				for _, w := range workers {
-					wg.Add(1)
-					go func(w *worker) {
-						defer wg.Done()
-						for remaining.Add(-w.ops) > -w.ops {
-							if _, err := w.nc.Write(w.batch); err != nil {
-								errs <- err
-								return
-							}
-							if _, err := io.ReadFull(w.nc, w.resp); err != nil {
-								errs <- err
-								return
-							}
-						}
-					}(w)
-				}
-				wg.Wait()
-				b.StopTimer()
-				select {
-				case err := <-errs:
-					b.Fatal(err)
-				default:
-				}
+				benchHotPath(b, CoreGoroutines, op, conns)
 			})
 		}
+	}
+	if runtime.GOOS != "linux" {
+		return
+	}
+	for _, op := range []string{"get", "set", "multiget"} {
+		for _, conns := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("core=eventloop/%s/conns=%d", op, conns), func(b *testing.B) {
+				benchHotPath(b, CoreEventLoop, op, conns)
+			})
+		}
+	}
+}
+
+func benchHotPath(b *testing.B, core, op string, conns int) {
+	srv, addr := startHotServer(b, core)
+	defer srv.Close()
+	type worker struct {
+		nc    net.Conn
+		batch []byte
+		resp  []byte
+		ops   int64
+	}
+	workers := make([]*worker, conns)
+	for i := range workers {
+		nc, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer nc.Close()
+		batch, ops, respLen := hotBatch(op, i*16)
+		workers[i] = &worker{nc: nc, batch: batch, resp: make([]byte, respLen), ops: int64(ops)}
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for remaining.Add(-w.ops) > -w.ops {
+				if _, err := w.nc.Write(w.batch); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := io.ReadFull(w.nc, w.resp); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
 	}
 }

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package server
+
+import "errors"
+
+// newEventLoopCore is unavailable off Linux: the event loop is built on
+// epoll. Select CoreGoroutines (the default) instead.
+func newEventLoopCore(s *Server) (connCore, error) {
+	return nil, errors.New("server: ConnCore \"eventloop\" requires linux (epoll)")
+}

@@ -7,20 +7,16 @@
 package server
 
 import (
-	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
-	"io"
 	"log"
-	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"memqlat/internal/cache"
-	"memqlat/internal/dist"
 	"memqlat/internal/fault"
 	"memqlat/internal/otrace"
 	"memqlat/internal/protocol"
@@ -90,6 +86,15 @@ type Options struct {
 	// ID labels this server's spans when a cluster shares one Tracer
 	// (the live plane numbers servers as the model does).
 	ID int
+	// ConnCore selects the connection-handling core: CoreGoroutines
+	// (default, one goroutine per connection — the paper-repro
+	// configuration) or CoreEventLoop (an epoll event loop multiplexing
+	// all connections onto a few poller/worker goroutines; Linux only).
+	// Empty means CoreGoroutines.
+	ConnCore string
+	// LoopWorkers sets how many event-loop goroutines CoreEventLoop
+	// runs (default GOMAXPROCS). Ignored by CoreGoroutines.
+	LoopWorkers int
 }
 
 // Server is a memcached-protocol TCP server.
@@ -132,6 +137,10 @@ type Server struct {
 	// latency tracks per-command handling time, served by "stats
 	// latency" (a memqlat observability extension).
 	latency latencyTracker
+
+	// core owns connection handling after accept: either one goroutine
+	// per connection or the shared event loop (see core.go).
+	core connCore
 }
 
 // latencyStripes is the number of lock domains in latencyTracker
@@ -252,6 +261,23 @@ func New(opts Options) (*Server, error) {
 	opts.Cache.OnLockWait(func(seconds float64) {
 		s.rec.Observe(telemetry.StageLockWait, seconds)
 	})
+	if opts.LoopWorkers < 0 {
+		return nil, fmt.Errorf("server: LoopWorkers=%d must be >= 0", opts.LoopWorkers)
+	}
+	switch opts.ConnCore {
+	case "", CoreGoroutines:
+		s.opts.ConnCore = CoreGoroutines
+		s.core = &goroutineCore{s: s}
+	case CoreEventLoop:
+		core, err := newEventLoopCore(s)
+		if err != nil {
+			return nil, err
+		}
+		s.core = core
+	default:
+		return nil, fmt.Errorf("server: unknown ConnCore %q (want %q or %q)",
+			opts.ConnCore, CoreGoroutines, CoreEventLoop)
+	}
 	return s, nil
 }
 
@@ -293,32 +319,16 @@ func (s *Server) Serve(l net.Listener) error {
 			_ = conn.Close()
 			continue
 		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			_ = conn.Close()
-			return nil
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		s.totalConns.Add(1)
 		s.currConns.Add(1)
 		connID++
-		id := connID
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer func() {
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-				s.currConns.Add(-1)
-				_ = conn.Close()
-			}()
-			if err := s.handleConn(conn, id); err != nil && !errors.Is(err, net.ErrClosed) {
-				s.logger.Printf("server: conn %d: %v", id, err)
-			}
-		}()
+		if !s.core.attach(conn, connID) {
+			// The server closed while this connection was being accepted.
+			s.totalConns.Add(-1)
+			s.currConns.Add(-1)
+			_ = conn.Close()
+			return nil
+		}
 	}
 }
 
@@ -359,6 +369,9 @@ func (s *Server) Close() error {
 	if l != nil {
 		err = l.Close()
 	}
+	if s.core != nil {
+		s.core.shutdown()
+	}
 	s.wg.Wait()
 	return err
 }
@@ -370,172 +383,6 @@ func nextPow2(n int) int {
 		p <<= 1
 	}
 	return p
-}
-
-// connState is the per-connection reusable scratch the dispatch path
-// appends into, so steady-state gets allocate nothing.
-type connState struct {
-	val []byte // GetInto destination; grows to the largest value seen
-	// trace is the pending mq_trace header: it scopes the next command
-	// on the connection, then resets.
-	trace otrace.Ctx
-}
-
-// primaryKey returns the key that routes a command to a service channel
-// (first key of multi-key ops; nil for keyless commands).
-func primaryKey(cmd *protocol.Command) []byte {
-	if cmd.KeyB != nil {
-		return cmd.KeyB
-	}
-	if len(cmd.KeyList) > 0 {
-		return cmd.KeyList[0]
-	}
-	return nil
-}
-
-// handleConn runs the request loop for one connection.
-func (s *Server) handleConn(conn net.Conn, id uint64) error {
-	r := bufio.NewReaderSize(conn, s.opts.ReadBuffer)
-	w := protocol.NewWriter(bufio.NewWriterSize(conn, s.opts.WriteBuffer))
-	p := protocol.NewParser(r)
-	// Per-connection telemetry handle and latency stripe: connections
-	// mapped to different stripes never serialize on observability.
-	rec := telemetry.Shard(s.rec, id)
-	lat := s.latency.stripe(id)
-	var st connState
-	var blackhole *protocol.Writer // lazily built reply sink for Drop faults
-	var shaper *rand.Rand
-	if s.opts.ServiceRate > 0 {
-		shaper = dist.SubRand(s.opts.Seed, id)
-	}
-	var cmdSeq uint64 // per-connection sequence, drives latency sampling
-	for {
-		if s.opts.IdleTimeout > 0 {
-			if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
-				return fmt.Errorf("set idle deadline: %w", err)
-			}
-		}
-		cmd, err := p.Next()
-		if err != nil {
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				// Idle connection: close it quietly.
-				_ = w.Flush()
-				return nil
-			}
-			switch {
-			case errors.Is(err, protocol.ErrQuit):
-				return w.Flush()
-			case protocol.IsRecoverable(err):
-				if werr := w.ClientErrorf("%v", err); werr != nil {
-					return werr
-				}
-				if werr := w.Flush(); werr != nil {
-					return werr
-				}
-				continue
-			default:
-				_ = w.Flush()
-				return protocol.EOFOrNil(err)
-			}
-		}
-		s.cmdCount.Add(1)
-		if cmd.Op >= 0 && int(cmd.Op) < len(s.opCounts) {
-			s.opCounts[cmd.Op].Add(1)
-		}
-		if cmd.Op == protocol.OpTrace {
-			// Trace header: stash the context for the next command. No
-			// reply, no fault evaluation — it is metadata, not work.
-			st.trace = otrace.Ctx{Trace: cmd.CAS, Span: cmd.Delta}
-			continue
-		}
-		// Shaped servers time every command (the queue-wait split needs
-		// it); unshaped ones sample 1 in TimingSample per connection
-		// (default 8), so the latency/telemetry histograms estimate the
-		// same distribution without paying two clock reads and two
-		// histogram inserts on every operation of the raw hot path.
-		timed := shaper != nil || (!s.timingOff && cmdSeq&s.timingMask == 0)
-		cmdSeq++
-		// A pending trace header upgrades the command to traced: spans
-		// are recorded against the tracer's run clock, and the command
-		// is always timed so span durations exist.
-		var srvSpan otrace.Span
-		if tc := st.trace; tc.Valid() {
-			st.trace = otrace.Ctx{}
-			if tr := s.opts.Tracer; tr.Enabled() {
-				srvSpan = tr.Begin(tc, "server", "handle", s.opts.ID)
-				timed = true
-			}
-		}
-		var began time.Time
-		if timed {
-			began = time.Now()
-		}
-		act := s.opts.Fault.Eval()
-		if act.Delay > 0 {
-			time.Sleep(time.Duration(act.Delay * float64(time.Second)))
-		}
-		if act.Outcome == fault.Reset || act.Outcome == fault.Refuse {
-			// Tear the connection down mid-operation, reply unwritten.
-			return nil
-		}
-		var waited time.Duration
-		if shaper != nil {
-			service := time.Duration(shaper.ExpFloat64() / s.opts.ServiceRate * float64(time.Second))
-			ch := 0
-			if len(s.serviceCh) > 1 {
-				ch = s.opts.Cache.ShardIndex(primaryKey(cmd)) % len(s.serviceCh)
-			}
-			s.serviceCh[ch].Lock()
-			// Time spent acquiring the service channel is the live
-			// server's queueing delay (the W of GI^X/M/1).
-			waited = time.Since(began)
-			time.Sleep(service)
-			s.serviceCh[ch].Unlock()
-			rec.Observe(telemetry.StageQueueWait, waited.Seconds())
-		}
-		out := w
-		if act.Outcome == fault.Drop {
-			// The server does the work but the reply is lost: the client
-			// is left waiting for its op timeout.
-			if blackhole == nil {
-				blackhole = protocol.NewWriter(bufio.NewWriter(io.Discard))
-			}
-			out = blackhole
-		}
-		if err := s.dispatch(out, cmd, &st); err != nil {
-			return err
-		}
-		if timed {
-			total := time.Since(began)
-			lat.record(total.Seconds())
-			rec.Observe(telemetry.StageService, (total - waited).Seconds())
-			if srvSpan.ID != 0 {
-				tr := s.opts.Tracer
-				// Child spans mirror the queue_wait/service telemetry
-				// split inside the handle span's window.
-				if waited > 0 {
-					tr.Emit(otrace.Span{
-						Trace: srvSpan.Trace, ID: tr.NewID(), Parent: srvSpan.ID,
-						Comp: "server", Name: "queue_wait", Server: s.opts.ID,
-						Start: srvSpan.Start, Dur: waited.Seconds(),
-					})
-				}
-				tr.Emit(otrace.Span{
-					Trace: srvSpan.Trace, ID: tr.NewID(), Parent: srvSpan.ID,
-					Comp: "server", Name: "service", Server: s.opts.ID,
-					Start: srvSpan.Start + waited.Seconds(), Dur: (total - waited).Seconds(),
-				})
-				tr.End(srvSpan)
-			}
-		}
-		// Flush when the pipeline is drained (no buffered next command).
-		if r.Buffered() == 0 {
-			if err := w.Flush(); err != nil {
-				return err
-			}
-		}
-	}
 }
 
 // ttlFromExptime applies memcached exptime semantics: 0 = never,
@@ -797,6 +644,7 @@ func (s *Server) writeStats(w *protocol.Writer, section string) error {
 	st := s.opts.Cache.Stats()
 	rows := []struct{ k, v string }{
 		{"version", Version},
+		{"conn_core", s.opts.ConnCore},
 		{"uptime", fmt.Sprintf("%d", int64(time.Since(s.startTime).Seconds()))},
 		{"curr_connections", fmt.Sprintf("%d", s.currConns.Load())},
 		{"total_connections", fmt.Sprintf("%d", s.totalConns.Load())},
@@ -854,6 +702,13 @@ func (s *Server) OpCount(op protocol.Op) int64 {
 // Telemetry exposes the server's own per-stage collector (the one
 // "stats telemetry" prints).
 func (s *Server) Telemetry() *telemetry.Collector { return s.telem }
+
+// ConnCoreName reports which connection core the server runs.
+func (s *Server) ConnCoreName() string { return s.opts.ConnCore }
+
+// LoopStats snapshots the event-loop core's per-loop gauges. It returns
+// nil on the goroutine core, which has no loops to report.
+func (s *Server) LoopStats() []LoopStat { return s.core.loopStats() }
 
 // Cache exposes the backing store for occupancy metrics.
 func (s *Server) Cache() *cache.Cache { return s.opts.Cache }

@@ -193,6 +193,20 @@ func (b Breakdown) Empty() bool {
 // MeanOf returns the mean of the stage (0 when unobserved).
 func (b Breakdown) MeanOf(stage Stage) float64 { return b[stage].Mean }
 
+// StageSet returns the names of the stages that recorded at least one
+// observation, in canonical stage order — the shape of a run's latency
+// decomposition with the magnitudes stripped. Tests use it to assert
+// that two implementations exercise identical stages.
+func (b Breakdown) StageSet() []string {
+	var out []string
+	for _, stage := range Stages() {
+		if b[stage].Count > 0 {
+			out = append(out, stage.String())
+		}
+	}
+	return out
+}
+
 // String renders the breakdown compactly for logs and CLI output.
 // Resilience stages (retry, hedge_wait, breaker_shed) are elided when
 // unobserved so healthy-run output stays unchanged.

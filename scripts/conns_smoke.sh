@@ -1,0 +1,43 @@
+#!/bin/sh
+# conns_smoke.sh — boot memcached-server on the epoll event-loop core
+# and park 5000 mostly-idle connections on it with mcbench -conns while
+# a hot subset issues gets: proves the multiplexed core serves real
+# traffic at a connection count goroutine-per-connection CI settings
+# never exercise. Used by the CI verify job; runnable locally from the
+# repo root (needs a few thousand spare fds; mcbench raises its own
+# soft limit, the server side is raised here with ulimit when allowed).
+set -eu
+
+ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
+
+srv=$(mktemp -t memcached-server-conns.XXXXXX)
+mcb=$(mktemp -t mcbench-conns.XXXXXX)
+go build -o "$srv" ./cmd/memcached-server
+go build -o "$mcb" ./cmd/mcbench
+
+conns=5000
+addr=127.0.0.1:18213
+"$srv" -addr "$addr" -conn-core eventloop -max-conns $((conns + 64)) &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -f "$srv" "$mcb"' EXIT INT TERM
+
+# Wait for the listener.
+i=0
+while [ "$i" -lt 50 ]; do
+    if "$mcb" -servers "$addr" -conns 16 -conn-hot 1 -ops 1 >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+
+out=$("$mcb" -servers "$addr" -conns "$conns" -ops 20000 -timeout 2m)
+printf '%s\n' "$out"
+case $out in
+*"conns=$conns"*) ;;
+*)
+    echo "FAIL: mcbench never reported the conns=$conns tier" >&2
+    exit 1
+    ;;
+esac
+echo "conns smoke OK: event-loop server held $conns connections"
