@@ -50,6 +50,7 @@ cover:
 	$(GO) test -coverprofile=cover_otrace.out ./internal/otrace/
 	$(GO) test -coverprofile=cover_metrics.out ./internal/metrics/
 	$(GO) test -coverprofile=cover_server.out ./internal/server/
+	$(GO) test -coverprofile=cover_coalesce.out ./internal/coalesce/
 	./scripts/coverfloor.sh cover_cache.out 95.2 internal/cache
 	./scripts/coverfloor.sh cover_protocol.out 90.6 internal/protocol
 	./scripts/coverfloor.sh cover_proxy.out 82.0 internal/proxy
@@ -57,6 +58,7 @@ cover:
 	./scripts/coverfloor.sh cover_otrace.out 95.0 internal/otrace
 	./scripts/coverfloor.sh cover_metrics.out 90.0 internal/metrics
 	./scripts/coverfloor.sh cover_server.out 77.0 internal/server
+	./scripts/coverfloor.sh cover_coalesce.out 90.0 internal/coalesce
 
 # Fuzz smoke: 30s over the reusable-buffer parser (ReadCommand and
 # Parser.Next must agree byte-for-byte on arbitrary input), 15s over
@@ -77,7 +79,7 @@ bench-plane:
 # Server hot-path benchmarks (get/set/multiget at 1/4/16 connections).
 # BENCH_server.json records the last blessed numbers.
 bench-server:
-	$(GO) test -run '^$$' -bench BenchmarkServerHotPath -benchmem ./internal/server/
+	$(GO) test -run '^$$' -bench 'BenchmarkServerHotPath|BenchmarkCoalescedMiss' -benchmem ./internal/server/
 
 # Proxy hot-path benchmarks (pipelined get/set passthrough and the
 # multiget fork-join through a real proxy + server).
@@ -97,7 +99,7 @@ bench-conns:
 # way CI does: >20% ns/op regression or any allocation appearing on a
 # zero-alloc path fails.
 bench-check:
-	$(GO) test -run '^$$' -bench BenchmarkServerHotPath -benchmem ./internal/server/ \
+	$(GO) test -run '^$$' -bench 'BenchmarkServerHotPath|BenchmarkCoalescedMiss' -benchmem ./internal/server/ \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_server.json
 	$(GO) test -run '^$$' -bench BenchmarkProxyHotPath -benchmem ./internal/proxy/ \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_proxy.json
@@ -119,7 +121,7 @@ obs:
 		-admin 127.0.0.1:0 -trace-ring 8192 -trace-out obs_trace.json -slow 250ms
 	rm -f obs_trace.json
 	$(GO) test -run TestObservabilitySmoke -count=1 ./cmd/mcbench/
-	$(GO) test -run '^$$' -bench BenchmarkServerHotPath -benchmem ./internal/server/ \
+	$(GO) test -run '^$$' -bench 'BenchmarkServerHotPath|BenchmarkCoalescedMiss' -benchmem ./internal/server/ \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_server.json
 	$(GO) test -run '^$$' -bench BenchmarkProxyHotPath -benchmem ./internal/proxy/ \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_proxy.json

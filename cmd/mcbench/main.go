@@ -45,6 +45,7 @@ import (
 
 	"memqlat/internal/backend"
 	"memqlat/internal/client"
+	"memqlat/internal/coalesce"
 	"memqlat/internal/core"
 	"memqlat/internal/fault"
 	"memqlat/internal/loadgen"
@@ -80,6 +81,10 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "random seed")
 		fill      = fs.Bool("fill-misses", false, "relay misses to a simulated database")
 		mud       = fs.Float64("mud", 1000, "simulated database service rate for -fill-misses")
+		coalesced = fs.Bool("coalesce", false, "single-flight coalesce concurrent misses per key (needs -fill-misses on external runs)")
+		hotZipf   = fs.Float64("hot-zipf", 0, "Zipf exponent for the hot-key miss keyspace (plane modes; overrides -zipf on external runs when set)")
+		fillTTL   = fs.Duration("fill-ttl", 0, "write-back TTL for filled misses (negative = store already expired, keeping misses steady)")
+		dbQueue   = fs.Int("db-queue", 0, "bound the simulated database to a single serving queue of this depth (0 = concurrent)")
 		timeout   = fs.Duration("timeout", 10*time.Minute, "overall run timeout")
 		keyTrace  = fs.String("trace", "", "journal the issued key stream to this file (mrc/replay input)")
 		closed    = fs.Bool("closed-loop", false, "closed-loop mode (fixed concurrency + think time) instead of open-loop pacing")
@@ -115,6 +120,8 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	flagSet := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
 	if *conns > 0 || *connRamp != "" {
 		if *planeName != "" || *proxied {
 			return fmt.Errorf("-conns/-conn-ramp drive an external server directly (no -plane or -proxy)")
@@ -154,6 +161,11 @@ func run(args []string, out io.Writer) error {
 			xi: *xi, q: *q, mus: *mus, missRatio: *missRatio, mud: *mud,
 			ops: *ops, workers: *workers, seed: *seed, timeout: *timeout,
 			faults: faults, resilience: resilience, tracer: tracer,
+			coalesce: *coalesced, zipfS: *hotZipf, fillTTL: *fillTTL,
+			dbQueue: *dbQueue,
+		}
+		if flagSet["keys"] {
+			ps.keys = *keys
 		}
 		if *proxied {
 			ps.proxy = &plane.ProxySpec{Policy: *routePolicy, Replicas: *routeReplica}
@@ -216,17 +228,32 @@ func run(args []string, out io.Writer) error {
 	clOpts := client.Options{
 		Servers:    addrs,
 		PoolSize:   *workers,
+		FillTTL:    *fillTTL,
 		Resilience: client.ResilienceFromSpec(resilience),
 		Recorder:   collector,
 		Tracer:     tracer,
+		Seed:       *seed,
 	}
+	if *coalesced && !*fill {
+		return fmt.Errorf("-coalesce collapses miss fills; it needs -fill-misses on external runs")
+	}
+	var db *backend.DB
 	if *fill {
-		db, err := backend.New(backend.Options{MuD: *mud, Seed: *seed, Recorder: collector, Tracer: tracer})
+		dbOpts := backend.Options{MuD: *mud, Seed: *seed, Recorder: collector, Tracer: tracer}
+		if *dbQueue > 0 {
+			dbOpts.Mode = backend.ModeSingleQueue
+			dbOpts.QueueDepth = *dbQueue
+		}
+		d, err := backend.New(dbOpts)
 		if err != nil {
 			return err
 		}
+		db = d
 		defer db.Close()
 		clOpts.Filler = db
+		if *coalesced {
+			clOpts.Coalesce = &coalesce.Policy{}
+		}
 	}
 	cl, err := client.New(clOpts)
 	if err != nil {
@@ -251,11 +278,15 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "admin plane on http://%s/metrics\n", aaddr)
 	}
 
+	popZipf := *zipfS
+	if flagSet["hot-zipf"] {
+		popZipf = *hotZipf
+	}
 	lgOpts := loadgen.Options{
 		Client:        cl,
 		Keys:          *keys,
 		ValueSize:     *valueSize,
-		ZipfS:         *zipfS,
+		ZipfS:         popZipf,
 		Lambda:        *lambda,
 		Xi:            *xi,
 		Q:             *q,
@@ -308,6 +339,18 @@ func run(args []string, out io.Writer) error {
 		res.Issued, res.Elapsed.Round(time.Millisecond), res.AchievedRate())
 	fmt.Fprintf(out, "outcomes    %d hits, %d misses, %d errors\n",
 		res.Hits, res.Misses, res.Errors)
+	if db != nil {
+		// The fills line is the herd-protection ledger (and the smoke
+		// script's parse target): with -coalesce, db fetches should sit
+		// far below misses and the difference shows up as fan-ins.
+		dbs := db.Stats()
+		var cs coalesce.Stats
+		if g := cl.Coalescer(); g.Coalescing() {
+			cs = g.Stats()
+		}
+		fmt.Fprintf(out, "fills       %d misses, %d db fetches, %d fan-ins, %d sheds, queue peak %d\n",
+			res.Misses, dbs.Lookups, cs.FanIns, cs.Sheds, dbs.QueuePeak)
+	}
 	printResilience(out, res.Shed, collector.Breakdown())
 	fmt.Fprintf(out, "latency     mean %v\n", secs(res.Latency.Mean()))
 	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
@@ -386,6 +429,10 @@ type planeScenario struct {
 	resilience               fault.Resilience
 	proxy                    *plane.ProxySpec
 	tracer                   *otrace.Tracer
+	coalesce                 bool
+	zipfS                    float64
+	fillTTL                  time.Duration
+	keys, dbQueue            int
 }
 
 // runPlane evaluates the flag-described scenario on the named internal
@@ -415,6 +462,11 @@ func runPlane(name string, ps planeScenario, out io.Writer) error {
 		Resilience:   ps.resilience,
 		Proxy:        ps.proxy,
 		Tracer:       ps.tracer,
+		Coalesce:     ps.coalesce,
+		ZipfS:        ps.zipfS,
+		FillTTL:      ps.fillTTL,
+		Keys:         ps.keys,
+		DBQueueDepth: ps.dbQueue,
 	}
 	if ps.proxy != nil {
 		fmt.Fprintf(out, "interposing proxy tier (%s routing)\n", ps.proxy.Policy)
@@ -447,6 +499,18 @@ func runPlane(name string, ps planeScenario, out io.Writer) error {
 	if sr := res.Sim; sr != nil && (sr.FailedKeys > 0 || sr.ShedKeys > 0) {
 		fmt.Fprintf(out, "faults      %d/%d keys failed, %d shed, %d/%d requests degraded\n",
 			sr.FailedKeys, sr.KeyCount, sr.ShedKeys, sr.DegradedRequests, sr.Requests)
+	}
+	if sr := res.Sim; sr != nil && s.Coalesce {
+		fmt.Fprintf(out, "fills       %d misses, %d db fetches, %d delayed hits\n",
+			sr.MissCount, sr.BackendFetches, sr.DelayedHits)
+	}
+	if res.DB != nil {
+		var fanIns, sheds int64
+		if res.Coalesce != nil {
+			fanIns, sheds = res.Coalesce.FanIns, res.Coalesce.Sheds
+		}
+		fmt.Fprintf(out, "fills       %d misses, %d db fetches, %d fan-ins, %d sheds, queue peak %d\n",
+			res.Live.Misses, res.DB.Lookups, fanIns, sheds, res.DB.QueuePeak)
 	}
 	var shed int64
 	if res.Live != nil {

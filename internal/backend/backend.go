@@ -87,6 +87,8 @@ type DB struct {
 	closed  atomic.Bool
 	lookups atomic.Int64
 	dropped atomic.Int64
+	// queuePeak is the single-queue backlog high-watermark (see Stats).
+	queuePeak atomic.Int64
 }
 
 type job struct {
@@ -200,6 +202,18 @@ func (db *DB) Get(ctx context.Context, key string) ([]byte, error) {
 		j := &job{service: service, ready: make(chan struct{})}
 		select {
 		case db.queue <- j:
+			// Track the backlog high-watermark at enqueue: the depth
+			// including this job, raised with a CAS loop so concurrent
+			// enqueues never lower it. This is the direct backend-pressure
+			// signal the coalesced-vs-naive experiment reports — drops
+			// only show pressure after the queue is already lost.
+			depth := int64(len(db.queue))
+			for {
+				peak := db.queuePeak.Load()
+				if depth <= peak || db.queuePeak.CompareAndSwap(peak, depth) {
+					break
+				}
+			}
 		default:
 			db.dropped.Add(1)
 			return nil, ErrOverloaded
@@ -246,11 +260,20 @@ func (db *DB) ValueFor(key string) []byte {
 type Stats struct {
 	Lookups int64
 	Dropped int64
+	// QueueDepth is the current single-queue backlog; QueuePeak its
+	// high-watermark since start. Both zero in concurrent mode.
+	QueueDepth int64
+	QueuePeak  int64
 }
 
 // Stats snapshots counters.
 func (db *DB) Stats() Stats {
-	return Stats{Lookups: db.lookups.Load(), Dropped: db.dropped.Load()}
+	s := Stats{Lookups: db.lookups.Load(), Dropped: db.dropped.Load()}
+	if db.mode == ModeSingleQueue {
+		s.QueueDepth = int64(len(db.queue))
+		s.QueuePeak = db.queuePeak.Load()
+	}
+	return s
 }
 
 // Close stops the worker (single-queue mode) and fails future lookups.

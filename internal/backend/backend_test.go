@@ -124,6 +124,51 @@ func TestSingleQueueOverload(t *testing.T) {
 	}
 }
 
+func TestSingleQueuePeakDepth(t *testing.T) {
+	// Slow service (1/s) so enqueued jobs pile up behind the first.
+	db, err := New(Options{MuD: 1, Mode: ModeSingleQueue, QueueDepth: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if st := db.Stats(); st.QueuePeak != 0 || st.QueueDepth != 0 {
+		t.Fatalf("idle stats = %+v, want zero queue gauges", st)
+	}
+	done := make(chan struct{})
+	for i := 0; i < 6; i++ {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			_, _ = db.Get(ctx, "k")
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		<-done
+	}
+	st := db.Stats()
+	if st.QueuePeak < 3 {
+		t.Errorf("queue peak = %d after 6 concurrent lookups at 1/s service, want >= 3", st.QueuePeak)
+	}
+	if st.QueuePeak > 16 {
+		t.Errorf("queue peak = %d exceeds the queue capacity", st.QueuePeak)
+	}
+}
+
+func TestConcurrentModeNoQueueGauges(t *testing.T) {
+	db, err := New(Options{MuD: 1e6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Get(context.Background(), "k"); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.QueueDepth != 0 || st.QueuePeak != 0 {
+		t.Errorf("concurrent-mode stats = %+v, want zero queue gauges", st)
+	}
+}
+
 func TestSingleQueueServesInOrder(t *testing.T) {
 	db, err := New(Options{MuD: 1e6, Mode: ModeSingleQueue, QueueDepth: 64, Seed: 3})
 	if err != nil {

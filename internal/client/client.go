@@ -12,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"memqlat/internal/coalesce"
 	"memqlat/internal/dist"
 	"memqlat/internal/otrace"
 	"memqlat/internal/protocol"
@@ -73,6 +74,16 @@ type Options struct {
 	Filler Filler
 	// FillTTL is the expiry used for filled values (default 0 = none).
 	FillTTL time.Duration
+	// Coalesce, when set, collapses concurrent GetThrough misses on the
+	// same key into one in-flight Filler fetch (single-flight miss
+	// coalescing): the first miss leads the fetch, concurrent misses
+	// attach as waiters and share its outcome. Nil keeps the naive
+	// one-fetch-per-miss behavior.
+	Coalesce *coalesce.Policy
+	// Seed seeds the client's jitter RNG (retry backoff) so resilience
+	// behavior is reproducible under a run seed. 0 seeds from the wall
+	// clock.
+	Seed uint64
 	// Resilience configures retries, hedged reads and circuit breakers
 	// (zero value = all off, the seed behavior).
 	Resilience Resilience
@@ -102,6 +113,7 @@ type Client struct {
 	breakers    []*route.Breaker // per server; nil when disabled
 	retryBudget *tokenBucket
 	readLat     *latencyDigest
+	coalescer   *coalesce.Group // nil = naive miss path
 
 	jitterMu sync.Mutex
 	jitter   func() float64
@@ -185,10 +197,25 @@ func New(opts Options) (*Client, error) {
 			c.breakers[i] = route.NewBreaker(pol)
 		}
 	}
-	rng := dist.SubRand(uint64(time.Now().UnixNano()), 0x7e7)
+	if p := opts.Coalesce; p != nil {
+		pol := *p
+		if pol.Recorder == nil {
+			pol.Recorder = c.rec
+		}
+		c.coalescer = coalesce.New(pol)
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	rng := dist.SubRand(seed, 0x7e7)
 	c.jitter = rng.Float64
 	return c, nil
 }
+
+// Coalescer exposes the single-flight group behind GetThrough for
+// stats and metrics scraping; nil when coalescing is off.
+func (c *Client) Coalescer() *coalesce.Group { return c.coalescer }
 
 // jitterFloat draws one uniform jitter value under the client's lock.
 func (c *Client) jitterFloat() float64 {
@@ -684,6 +711,21 @@ func (c *Client) GetThrough(ctx context.Context, key string) (Item, bool, error)
 	if c.opts.Filler == nil {
 		return Item{}, false, ErrCacheMiss
 	}
+	if c.coalescer.Coalescing() {
+		res, cerr := c.coalescer.Do(ctx, key, func(fctx context.Context) ([]byte, error) {
+			return c.opts.Filler.Get(otrace.ContextWith(fctx, root.Ctx()), key)
+		})
+		if cerr != nil {
+			return Item{}, false, fmt.Errorf("client: fill %q: %w", key, cerr)
+		}
+		// Only the leader writes back, and only if no Set/Delete raced
+		// the fetch: waiters would just re-store the same bytes, and a
+		// stale write-back would resurrect an overwritten entry.
+		if !res.Shared && !res.Stale {
+			_ = c.Set(key, res.Value, 0, c.opts.FillTTL)
+		}
+		return Item{Key: key, Value: res.Value}, false, nil
+	}
 	value, err := c.opts.Filler.Get(otrace.ContextWith(ctx, root.Ctx()), key)
 	if err != nil {
 		return Item{}, false, fmt.Errorf("client: fill %q: %w", key, err)
@@ -772,9 +814,12 @@ func (c *Client) multiGet(keys []string) (map[string]Item, map[string]error) {
 	return out, keyErrs
 }
 
-// storage runs one storage-class command.
+// storage runs one storage-class command. A successful store
+// invalidates any in-flight coalesced fetch for the key so waiters do
+// not write the now-superseded fetched value back over it.
 func (c *Client) storage(verb, key string, value []byte, flags uint32, ttl time.Duration, cas uint64) error {
 	exptime := exptimeFromTTL(ttl)
+	defer c.coalescer.Invalidate(key)
 	return c.roundTrip(c.pickServer(key), func(cn *conn) error {
 		var header string
 		if verb == "cas" {
@@ -818,8 +863,14 @@ func (c *Client) storage(verb, key string, value []byte, flags uint32, ttl time.
 // long TTLs must be sent as now+ttl — sending the raw second count
 // would name a moment in 1970 and expire the item immediately.
 func exptimeFromTTL(ttl time.Duration) int64 {
-	if ttl <= 0 {
+	if ttl == 0 {
 		return 0
+	}
+	if ttl < 0 {
+		// Memcached semantics: negative exptime = already expired. Used
+		// by steady-miss workloads (hot-key herds) where write-backs
+		// must not mask subsequent misses.
+		return -1
 	}
 	secs := int64(ttl / time.Second)
 	if secs == 0 {
@@ -851,8 +902,10 @@ func (c *Client) CompareAndSwap(key string, value []byte, flags uint32, ttl time
 	return c.storage("cas", key, value, flags, ttl, cas)
 }
 
-// Delete removes a key; ErrCacheMiss when absent.
+// Delete removes a key; ErrCacheMiss when absent. Like the storage
+// verbs it invalidates any in-flight coalesced fetch for the key.
 func (c *Client) Delete(key string) error {
+	defer c.coalescer.Invalidate(key)
 	return c.roundTrip(c.pickServer(key), func(cn *conn) error {
 		if _, err := fmt.Fprintf(cn.w, "delete %s\r\n", key); err != nil {
 			return err

@@ -71,8 +71,12 @@ func (p *RetryPolicy) backoff(k int, jitter float64) time.Duration {
 	if max := float64(p.MaxBackoff); d > max {
 		d = max
 	}
-	// Full jitter: uniform in (0, d] so synchronized clients desynchronize.
-	return time.Duration(d * (0.5 + jitter/2))
+	// Full jitter: uniform in [0, d) so synchronized clients
+	// desynchronize. Equal jitter (d/2 + U·d/2) keeps a d/2 floor that
+	// re-aligns a coalesced herd whose waiters all erred out at the same
+	// instant — they would re-arrive inside the same half-window and
+	// re-form the thundering herd the coalescer just collapsed.
+	return time.Duration(d * jitter)
 }
 
 // HedgePolicy duplicates a slow read to a second connection and keeps

@@ -16,7 +16,7 @@ func TestAllRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "table4", "prop1", "prop2",
 		"ext-tails", "ext-arrivals", "ext-eq6", "ext-redundancy",
 		"ext-integrated", "ext-elasticity", "ext-resilience", "crossplane",
-		"proxied", "live"}
+		"hotkey", "proxied", "live"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))

@@ -174,6 +174,7 @@ func All() []Experiment {
 		{"ext-elasticity", "Extension: factor elasticities (the §1 question)", ExtElasticity},
 		{"ext-resilience", "Extension: recovery policies under fault injection", ExtResilience},
 		{"crossplane", "One scenario through every deterministic plane", CrossPlane},
+		{"hotkey", "Hot-key herd: naive vs coalesced miss path on every plane", HotKey},
 		{"proxied", "Proxy tier: direct vs proxied vs replicated on every plane", Proxied},
 		{"live", "Live TCP stack end-to-end check", Live},
 	}

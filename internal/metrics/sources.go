@@ -3,7 +3,9 @@ package metrics
 import (
 	"strconv"
 
+	"memqlat/internal/backend"
 	"memqlat/internal/client"
+	"memqlat/internal/coalesce"
 	"memqlat/internal/otrace"
 	"memqlat/internal/protocol"
 	"memqlat/internal/proxy"
@@ -284,6 +286,55 @@ func RegisterClient(r *Registry, c *client.Client) {
 				emit(L("server", itoa(i)), breakerStateValue(c.BreakerState(i)))
 			}
 		})
+}
+
+// RegisterCoalesce exposes a single-flight group's miss-coalescing
+// counters: how many keys have a fetch in flight right now, how many
+// callers are attached, and the cumulative fetch/fan-in/shed ledger —
+// fan-ins are backend fetches saved, the herd-protection headline.
+func RegisterCoalesce(r *Registry, g *coalesce.Group) {
+	if r == nil || !g.Coalescing() {
+		return
+	}
+	r.Gauge("memqlat_coalesce_inflight_keys",
+		"Keys with a backend fetch currently in flight.",
+		func() float64 { return float64(g.Stats().InflightKeys) })
+	r.Gauge("memqlat_coalesce_waiters",
+		"Callers currently attached to in-flight fetches (excluding leaders).",
+		func() float64 { return float64(g.Stats().Waiters) })
+	r.Counter("memqlat_coalesce_fetches_total",
+		"Backend fetches actually issued (one per single-flight leader).",
+		func() float64 { return float64(g.Stats().Fetches) })
+	r.Counter("memqlat_coalesce_fanins_total",
+		"Callers that attached to an existing fetch — backend fetches saved.",
+		func() float64 { return float64(g.Stats().FanIns) })
+	r.Counter("memqlat_coalesce_sheds_total",
+		"Callers rejected because a key's waiter count hit MaxWaiters.",
+		func() float64 { return float64(g.Stats().Sheds) })
+	r.Counter("memqlat_coalesce_invalidations_total",
+		"Writes that invalidated an in-flight fetch (stale write-back suppressed).",
+		func() float64 { return float64(g.Stats().Invalidations) })
+}
+
+// RegisterBackend exposes the simulated database's load counters,
+// including the single-queue depth gauges that make a thundering herd
+// visible (both zero in concurrent mode).
+func RegisterBackend(r *Registry, db *backend.DB) {
+	if r == nil || db == nil {
+		return
+	}
+	r.Counter("memqlat_backend_lookups_total",
+		"Database lookups served (the post-coalescing fetch load).",
+		func() float64 { return float64(db.Stats().Lookups) })
+	r.Counter("memqlat_backend_dropped_total",
+		"Lookups rejected at the single-queue admission bound.",
+		func() float64 { return float64(db.Stats().Dropped) })
+	r.Gauge("memqlat_backend_queue_depth",
+		"Current single-queue backlog (0 in concurrent mode).",
+		func() float64 { return float64(db.Stats().QueueDepth) })
+	r.Gauge("memqlat_backend_queue_peak",
+		"Single-queue backlog high-watermark since start.",
+		func() float64 { return float64(db.Stats().QueuePeak) })
 }
 
 // RegisterTracer exposes the trace ring's retention counters so a

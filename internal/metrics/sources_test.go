@@ -1,15 +1,19 @@
 package metrics
 
 import (
+	"context"
 	"io"
 	"log"
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
+	"memqlat/internal/backend"
 	"memqlat/internal/cache"
 	"memqlat/internal/client"
+	"memqlat/internal/coalesce"
 	"memqlat/internal/otrace"
 	"memqlat/internal/proxy"
 	"memqlat/internal/server"
@@ -108,6 +112,75 @@ func TestRegisterStackSources(t *testing.T) {
 	}
 	if int64(sum) != items {
 		t.Errorf("shard items sum = %v, cache reports %d", sum, items)
+	}
+}
+
+// TestRegisterCoalesceBackend drives a coalesced miss through a group
+// backed by a single-queue backend and checks both ledgers surface on
+// the exposition: fetches vs fan-ins on the group, lookups and queue
+// gauges on the database.
+func TestRegisterCoalesceBackend(t *testing.T) {
+	g := coalesce.New(coalesce.Policy{})
+	db, err := backend.New(backend.Options{
+		MuD: 50000, Seed: 1, Mode: backend.ModeSingleQueue, QueueDepth: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	fetch := func(ctx context.Context) ([]byte, error) { return db.Get(ctx, "hot") }
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := g.Do(context.Background(), "hot", fetch); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	g.Invalidate("idle") // not in flight: must NOT count
+
+	reg := NewRegistry()
+	RegisterCoalesce(reg, g)
+	RegisterBackend(reg, db)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	st := g.Stats()
+	if st.Fetches+st.FanIns != 4 || st.Fetches == 0 {
+		t.Fatalf("fetches=%d fanins=%d, want 4 outcomes with >=1 fetch", st.Fetches, st.FanIns)
+	}
+	for _, want := range []string{
+		"memqlat_coalesce_inflight_keys 0",
+		"memqlat_coalesce_waiters 0",
+		"memqlat_coalesce_fetches_total " + strconv.FormatInt(st.Fetches, 10),
+		"memqlat_coalesce_fanins_total " + strconv.FormatInt(st.FanIns, 10),
+		"memqlat_coalesce_sheds_total 0",
+		"memqlat_coalesce_invalidations_total 0",
+		"memqlat_backend_lookups_total " + strconv.FormatInt(st.Fetches, 10),
+		"memqlat_backend_dropped_total 0",
+		"memqlat_backend_queue_depth 0",
+		"memqlat_backend_queue_peak",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// A nil/non-coalescing group registers no families at all.
+	empty := NewRegistry()
+	RegisterCoalesce(empty, nil)
+	RegisterBackend(empty, nil)
+	sb.Reset()
+	if err := empty.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "memqlat_coalesce") || strings.Contains(sb.String(), "memqlat_backend") {
+		t.Error("nil sources should register nothing")
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"memqlat/internal/backend"
 	"memqlat/internal/cache"
 	"memqlat/internal/client"
+	"memqlat/internal/coalesce"
 	"memqlat/internal/core"
 	"memqlat/internal/fault"
 	"memqlat/internal/loadgen"
@@ -105,13 +106,21 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		servers = append(servers, srv)
 		go func() { _ = srv.Serve(l) }()
 	}
-	db, err := backend.New(backend.Options{
+	dbOpts := backend.Options{
 		MuD:      s.MuD,
 		Seed:     s.Seed,
 		Recorder: collector,
 		Fault:    pointFor(fault.Database),
 		Tracer:   s.Tracer,
-	})
+	}
+	if s.DBQueueDepth > 0 {
+		// A bounded single-worker database makes hot-key herds visible:
+		// without coalescing the herd stacks up in the queue (watch
+		// QueuePeak), with it the backend sees ~1 fetch per miss window.
+		dbOpts.Mode = backend.ModeSingleQueue
+		dbOpts.QueueDepth = s.DBQueueDepth
+	}
+	db, err := backend.New(dbOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -150,14 +159,20 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	if poolSize == 0 {
 		poolSize = s.Workers
 	}
-	cl, err := client.New(client.Options{
+	clOpts := client.Options{
 		Servers:    clientAddrs,
 		Filler:     db,
+		FillTTL:    s.FillTTL,
 		PoolSize:   poolSize,
 		Resilience: client.ResilienceFromSpec(s.Resilience),
 		Recorder:   collector,
 		Tracer:     s.Tracer,
-	})
+		Seed:       s.Seed,
+	}
+	if s.Coalesce {
+		clOpts.Coalesce = &coalesce.Policy{}
+	}
+	cl, err := client.New(clOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +181,8 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	// --- drive ---
 	opts := loadgen.Options{
 		Client:        cl,
-		Keys:          2000,
+		Keys:          s.Keys,
+		ZipfS:         s.ZipfS,
 		Lambda:        s.TotalKeyRate,
 		Xi:            s.Xi,
 		Q:             s.Q,
@@ -201,7 +217,15 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	if lg.Issued > 0 {
 		missFrac = float64(lg.Misses) / float64(lg.Issued)
 	}
-	return &Result{
+	td := b.MeanOf(telemetry.StageMissPenalty) * missFrac
+	if s.Coalesce {
+		// Under coalescing a miss is either a fetch leader (miss_penalty)
+		// or a fan-in (coalesce_wait); the per-key database cost is the
+		// combined stage mass amortized over every issued key.
+		td = (b[telemetry.StageMissPenalty].Total +
+			b[telemetry.StageCoalesceWait].Total) / float64(lg.Issued)
+	}
+	res := &Result{
 		Plane:    "live",
 		Scenario: s,
 		// Live totals are per-key (the loadgen issues single-key gets);
@@ -210,11 +234,18 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		Total:     core.Bounds{Lo: mean, Hi: mean},
 		TN:        0,
 		TS:        core.Bounds{Lo: tsMean, Hi: tsMean},
-		TD:        b.MeanOf(telemetry.StageMissPenalty) * missFrac,
+		TD:        td,
 		Sample:    lg.Latency,
 		MeanCI:    stats.HistMeanCI(lg.Latency, ci95),
 		Breakdown: b,
 		Elapsed:   time.Since(start),
 		Live:      lg,
-	}, nil
+	}
+	dbStats := db.Stats()
+	res.DB = &dbStats
+	if g := cl.Coalescer(); g.Coalescing() {
+		cs := g.Stats()
+		res.Coalesce = &cs
+	}
+	return res, nil
 }

@@ -44,6 +44,16 @@ func (p ModelPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.Coalesce && s.MissRatio > 0 {
+		// Delayed-hit stage: a coalesced miss that attaches to an
+		// in-flight fetch waits out the residual of the leader's
+		// Exp(µ_D) window, and by memorylessness the residual is
+		// Exp(µ_D) too. The stage therefore mirrors miss_penalty and
+		// the Theorem-1 totals are unchanged — coalescing moves backend
+		// load (Λ·r·(1−D) fetches instead of Λ·r; see
+		// DelayedHitFraction), not per-request latency bounds.
+		res.Breakdown[telemetry.StageCoalesceWait] = expStage(1 / s.MuD)
+	}
 	if s.Proxy != nil {
 		pc, err := s.proxyConfig()
 		if err != nil {

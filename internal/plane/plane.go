@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"time"
 
+	"memqlat/internal/backend"
+	"memqlat/internal/coalesce"
 	"memqlat/internal/core"
 	"memqlat/internal/fault"
 	"memqlat/internal/loadgen"
@@ -112,6 +114,30 @@ type Scenario struct {
 	// Proxy, when non-nil, interposes the proxy tier on every plane.
 	Proxy *ProxySpec
 
+	// Coalesce turns on single-flight miss coalescing on every plane:
+	// the live client's GetThrough single-flights its backend fills,
+	// the composition sim gives misses key identities with per-key
+	// in-flight windows, and the model prices the delayed-hit stage
+	// (coalesce_wait = residual Exp(µ_D) wait) in its breakdown. Off
+	// keeps the naive one-fetch-per-miss path everywhere.
+	Coalesce bool
+	// Keys sizes the keyspace the live load generator (and the sim's
+	// coalesced miss draw) samples from (default 2000).
+	Keys int
+	// ZipfS skews key popularity by a Zipf(s) law on the live and sim
+	// planes (0 = uniform). Hot keys are what give coalescing windows
+	// to collapse.
+	ZipfS float64
+	// FillTTL is the live plane's write-back TTL for filled misses
+	// (0 = never expires). Short TTLs keep a hot key re-missing, which
+	// the hot-key experiment uses to sustain a miss stream.
+	FillTTL time.Duration
+	// DBQueueDepth, when > 0, runs the live backend in single-queue
+	// mode with this backlog bound, so hot-key miss storms surface as
+	// queue-depth high-watermarks and ErrOverloaded drops. 0 keeps the
+	// concurrent backend (the paper's ρ_D ≈ 0 stage).
+	DBQueueDepth int
+
 	// ConnCore selects the live-plane servers' connection core
 	// (server.CoreGoroutines by default; server.CoreEventLoop multiplexes
 	// every connection onto a few epoll loops). Model and simulator
@@ -143,6 +169,9 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Duration == 0 {
 		s.Duration = 2 * time.Minute
+	}
+	if s.Keys == 0 {
+		s.Keys = 2000
 	}
 	if s.Proxy != nil {
 		p := *s.Proxy
@@ -259,6 +288,14 @@ type Result struct {
 	Sim        *sim.RequestResult
 	Integrated *sim.IntegratedResult
 	Live       *loadgen.Result
+	// Coalesce carries the live client's single-flight counters when
+	// the scenario enables coalescing (nil otherwise; the simulator
+	// reports its equivalents on Sim.BackendFetches/DelayedHits).
+	Coalesce *coalesce.Stats
+	// DB carries the live backend's counters — lookups (= backend
+	// fetches) and, in single-queue mode, the queue-depth high-water
+	// mark. Nil on the model and simulator planes.
+	DB *backend.Stats
 }
 
 // Point returns the scalar each plane nominates for cross-plane

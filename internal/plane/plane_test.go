@@ -76,6 +76,10 @@ func TestModelPlaneDeterministic(t *testing.T) {
 			// The proxy stage only materializes when the scenario carries
 			// a ProxySpec; the direct baseline never does.
 			continue
+		case telemetry.StageCoalesceWait:
+			// Delayed hits only materialize when the scenario enables
+			// miss coalescing; the naive baseline never does.
+			continue
 		}
 		if _, ok := a.Breakdown[st]; !ok {
 			t.Errorf("model breakdown missing stage %v", st)
@@ -152,6 +156,69 @@ func TestCrossPlaneConsistency(t *testing.T) {
 				t.Errorf("bad mean CI [%v, %v]", sres.MeanCI.Lo, sres.MeanCI.Hi)
 			}
 		})
+	}
+}
+
+// TestCrossPlaneHotKeyCoalesced extends the cross-validation to the
+// coalesced miss path: with single-flight coalescing on over a hot
+// Zipf miss keyspace, the simulator's total must still land inside the
+// model plane's Theorem 1 band — the band is unchanged by coalescing
+// (memorylessness: the residual of an Exp(µD) window is Exp(µD)), so
+// this pins that coalescing moves backend load, not latency bounds.
+// The scenario is deliberately moderate: under extreme herds the
+// within-request window correlation legitimately pulls the sim total
+// below the naive band (see sim.TestCoalescedTDDistributionMatchesNaive).
+func TestCrossPlaneHotKeyCoalesced(t *testing.T) {
+	ctx := context.Background()
+	s := scenarios()[0]
+	s.Name = "facebook-hotkey-coalesced"
+	s.Coalesce = true
+	s.Keys = 200
+	s.ZipfS = 1.0
+
+	mres, err := ModelPlane{}.Run(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := (SimPlane{}).Run(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mres.Total.Contains(sres.Point(), 0.08) {
+		t.Errorf("coalesced sim total %v outside model band [%v, %v] (+8%%)",
+			sres.Point(), mres.Total.Lo, mres.Total.Hi)
+	}
+	// Both planes expose the delayed-hit stage.
+	if mres.Breakdown.MeanOf(telemetry.StageCoalesceWait) <= 0 {
+		t.Error("model breakdown missing coalesce_wait stage")
+	}
+	cw, ok := sres.Breakdown[telemetry.StageCoalesceWait]
+	if !ok || cw.Count == 0 || cw.Mean <= 0 {
+		t.Fatalf("sim breakdown missing coalesce_wait samples: %+v", cw)
+	}
+	// The stage means must agree: both are Exp(µD) residuals.
+	if r := cw.Mean / mres.Breakdown.MeanOf(telemetry.StageCoalesceWait); r < 0.5 || r > 2 {
+		t.Errorf("coalesce_wait disagrees: model %v, sim %v (ratio %.2f)",
+			mres.Breakdown.MeanOf(telemetry.StageCoalesceWait), cw.Mean, r)
+	}
+	// Miss accounting: every miss fetched or fanned in, and the hot
+	// keyspace produced real coalescing.
+	if sres.Sim.BackendFetches+sres.Sim.DelayedHits != sres.Sim.MissCount {
+		t.Errorf("fetches(%d) + delayed(%d) != misses(%d)",
+			sres.Sim.BackendFetches, sres.Sim.DelayedHits, sres.Sim.MissCount)
+	}
+	if sres.Sim.DelayedHits == 0 {
+		t.Error("hot-key coalesced run produced no delayed hits")
+	}
+	// The analytic delayed-hit fraction must predict the sim's fetch
+	// savings (loose band: D varies with the realized key mix).
+	d, err := DelayedHitFraction(s.TotalKeyRate*s.MissRatio, s.MuD, s.Keys, s.ZipfS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(sres.Sim.DelayedHits) / float64(sres.Sim.MissCount)
+	if d <= 0 || got < d*0.5 || got > d*1.5 {
+		t.Errorf("delayed-hit fraction: predicted %.3f, sim measured %.3f", d, got)
 	}
 }
 

@@ -98,6 +98,9 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 			Resilience:    s.Resilience,
 			ProxyModel:    proxyModel,
 			Tracer:        s.Tracer,
+			Coalesce:      s.Coalesce,
+			MissKeys:      s.Keys,
+			MissZipfS:     s.ZipfS,
 		}
 		if s.Proxy != nil && s.Proxy.Policy == "replicate" {
 			rc.ReadReplicas = s.Proxy.Replicas

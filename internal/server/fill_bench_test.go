@@ -1,0 +1,133 @@
+package server
+
+// Benchmark for the coalesced read-through miss path: every get misses
+// (fills are written back already expired), so each op exercises the
+// full miss pipeline — parse, cache miss, single-flight Do, filler
+// fetch or fan-in, reply. With all connections hammering one key the
+// coalescer is under maximal contention, which is exactly the
+// thundering-herd regime the seam exists for. The naive sub-benchmarks
+// run the same workload without the coalescer as the overhead control.
+// Baselines live in BENCH_server.json next to the hot-path series.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"memqlat/internal/cache"
+	"memqlat/internal/coalesce"
+)
+
+// benchFiller returns a fixed-size value for any key, counting fetches.
+type benchFiller struct {
+	value   []byte
+	fetches atomic.Int64
+}
+
+func (f *benchFiller) Get(ctx context.Context, key string) ([]byte, error) {
+	f.fetches.Add(1)
+	return f.value, nil
+}
+
+func BenchmarkCoalescedMiss(b *testing.B) {
+	for _, mode := range []string{"naive", "coalesced"} {
+		for _, conns := range []int{1, 16} {
+			b.Run(fmt.Sprintf("%s/conns=%d", mode, conns), func(b *testing.B) {
+				benchFillMiss(b, mode == "coalesced", conns)
+			})
+		}
+	}
+}
+
+func benchFillMiss(b *testing.B, coalesced bool, conns int) {
+	c, err := cache.New(cache.Options{MaxBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	filler := &benchFiller{value: []byte(strings.Repeat("v", hotValueLen))}
+	opts := Options{
+		Cache:   c,
+		Filler:  filler,
+		FillTTL: -time.Second, // write-backs land expired: every get misses
+		Logger:  log.New(io.Discard, "", 0),
+	}
+	if coalesced {
+		opts.Coalesce = &coalesce.Policy{}
+	}
+	srv, err := New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+
+	// One pipelined batch of gets for the single hot key; the fill is
+	// served like a hit, so the reply size is exact and parse-free.
+	const pipelined = 64
+	key := "hot00"
+	var sb strings.Builder
+	for i := 0; i < pipelined; i++ {
+		fmt.Fprintf(&sb, "get %s\r\n", key)
+	}
+	batch := []byte(sb.String())
+	respLen := pipelined * (len("VALUE hot00 0 100\r\n") + hotValueLen + 2 + len("END\r\n"))
+
+	type worker struct {
+		nc   net.Conn
+		resp []byte
+	}
+	workers := make([]*worker, conns)
+	for i := range workers {
+		nc, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer nc.Close()
+		workers[i] = &worker{nc: nc, resp: make([]byte, respLen)}
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for remaining.Add(-pipelined) > -pipelined {
+				if _, err := w.nc.Write(batch); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := io.ReadFull(w.nc, w.resp); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+	fills, _ := srv.FillCounts()
+	if fills == 0 {
+		b.Fatal("benchmark never exercised the fill path")
+	}
+	b.ReportMetric(float64(filler.fetches.Load())/float64(b.N), "fetches/op")
+}

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"memqlat/internal/cache"
+	"memqlat/internal/coalesce"
+)
+
+// stubFiller is a controllable store of record for read-through tests.
+type stubFiller struct {
+	mu      sync.Mutex
+	values  map[string][]byte
+	err     error
+	delay   time.Duration
+	fetches atomic.Int64
+}
+
+func (f *stubFiller) Get(ctx context.Context, key string) ([]byte, error) {
+	f.fetches.Add(1)
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.values[key], nil
+}
+
+func TestReadThroughFill(t *testing.T) {
+	filler := &stubFiller{values: map[string][]byte{"db-key": []byte("from-db")}}
+	srv, addr := startServer(t, Options{Filler: filler})
+	r, w, _ := dial(t, addr)
+
+	// First get misses the cache, fills from the store of record.
+	send(t, w, "get db-key\r\n")
+	if got := readLine(t, r); got != "VALUE db-key 0 7" {
+		t.Fatalf("filled value header = %q", got)
+	}
+	if got := readLine(t, r); got != "from-db" {
+		t.Fatalf("filled value = %q", got)
+	}
+	if got := readLine(t, r); got != "END" {
+		t.Fatalf("terminator = %q", got)
+	}
+	// Second get is a plain cache hit: no new fetch.
+	send(t, w, "get db-key\r\n")
+	for i, want := range []string{"VALUE db-key 0 7", "from-db", "END"} {
+		if got := readLine(t, r); got != want {
+			t.Fatalf("line %d after write-back = %q, want %q", i, got, want)
+		}
+	}
+	if got := filler.fetches.Load(); got != 1 {
+		t.Fatalf("fetches = %d, want 1 (write-back must serve the second get)", got)
+	}
+	if fills, errs := srv.FillCounts(); fills != 1 || errs != 0 {
+		t.Fatalf("fill counts = (%d, %d), want (1, 0)", fills, errs)
+	}
+
+	// A key the store of record does not have stays a miss (negative
+	// result), and a failing store keeps miss semantics too.
+	send(t, w, "get nope\r\n")
+	if got := readLine(t, r); got != "END" {
+		t.Fatalf("negative result reply = %q, want END", got)
+	}
+	filler.mu.Lock()
+	filler.err = errors.New("db down")
+	filler.mu.Unlock()
+	send(t, w, "get other\r\n")
+	if got := readLine(t, r); got != "END" {
+		t.Fatalf("fetch-error reply = %q, want END", got)
+	}
+	if _, errs := srv.FillCounts(); errs != 1 {
+		t.Fatalf("fill errors = %d, want 1", errs)
+	}
+}
+
+func TestNewCoalesceRequiresFiller(t *testing.T) {
+	c, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Cache: c, Coalesce: &coalesce.Policy{}}); err == nil {
+		t.Fatal("Coalesce without Filler accepted")
+	}
+}
+
+// TestReadThroughCoalescedBothCores drives a hot-key miss storm against
+// each connection core: with FillTTL negative every fill is stored
+// already expired, so every get re-misses, and single-flight coalescing
+// must keep the backend fetch count far below the get count on both
+// cores (dispatch is the shared seam).
+func TestReadThroughCoalescedBothCores(t *testing.T) {
+	cores := []string{CoreGoroutines}
+	if runtime.GOOS == "linux" {
+		cores = append(cores, CoreEventLoop)
+	}
+	for _, core := range cores {
+		t.Run(core, func(t *testing.T) {
+			filler := &stubFiller{
+				values: map[string][]byte{"hot": []byte("v")},
+				delay:  2 * time.Millisecond,
+			}
+			opts := Options{
+				ConnCore: core,
+				Filler:   filler,
+				FillTTL:  -time.Second,
+				Coalesce: &coalesce.Policy{},
+			}
+			if core == CoreEventLoop {
+				// A fill blocks its loop for the fetch duration, so
+				// single-flight collapse on this core comes from fetches
+				// coalescing ACROSS loops; pin several loops so the test
+				// does not degenerate to full serialization on 1-CPU CI.
+				opts.LoopWorkers = 4
+			}
+			srv, addr := startServer(t, opts)
+
+			const conns = 16
+			const gets = 10
+			var wg sync.WaitGroup
+			for i := 0; i < conns; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					r, w, _ := dial(t, addr)
+					for j := 0; j < gets; j++ {
+						send(t, w, "get hot\r\n")
+						if got := readLine(t, r); got != "VALUE hot 0 1" {
+							t.Errorf("header = %q", got)
+							return
+						}
+						if got := readLine(t, r); got != "v" {
+							t.Errorf("value = %q", got)
+							return
+						}
+						if got := readLine(t, r); got != "END" {
+							t.Errorf("terminator = %q", got)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			total := int64(conns * gets)
+			fetched := filler.fetches.Load()
+			if fetched >= total/2 {
+				t.Fatalf("fetches = %d of %d gets; coalescing is not collapsing the herd", fetched, total)
+			}
+			st := srv.Coalescer().Stats()
+			if st.Fetches != fetched {
+				t.Errorf("coalescer fetches = %d, filler saw %d", st.Fetches, fetched)
+			}
+			if st.Fetches+st.FanIns != total {
+				t.Errorf("fetches(%d) + fanins(%d) != gets(%d)", st.Fetches, st.FanIns, total)
+			}
+			t.Logf("%s: %d gets -> %d fetches, %d fan-ins", core, total, st.Fetches, st.FanIns)
+		})
+	}
+}
+
+// TestReadThroughInvalidation: a set racing the in-flight fill must win
+// — the fetched value may be served to the waiting gets, but it must
+// not be written back over the set.
+func TestReadThroughInvalidation(t *testing.T) {
+	filler := &stubFiller{
+		values: map[string][]byte{"k": []byte("old")},
+		delay:  20 * time.Millisecond,
+	}
+	srv, addr := startServer(t, Options{Filler: filler, Coalesce: &coalesce.Policy{}})
+
+	getDone := make(chan struct{})
+	go func() {
+		defer close(getDone)
+		r, w, _ := dial(t, addr)
+		send(t, w, "get k\r\n")
+		readLine(t, r) // VALUE header (fetched value)
+		readLine(t, r) // body
+		readLine(t, r) // END
+	}()
+	// Let the fetch start, then set the key mid-fetch.
+	for srv.Coalescer().Stats().InflightKeys == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	r, w, _ := dial(t, addr)
+	send(t, w, "set k 0 0 3\r\nnew\r\n")
+	if got := readLine(t, r); got != "STORED" {
+		t.Fatalf("set reply = %q", got)
+	}
+	<-getDone
+
+	// The fill's write-back must have been suppressed: k still holds
+	// the set value.
+	send(t, w, "get k\r\n")
+	if got := readLine(t, r); got != "VALUE k 0 3" {
+		t.Fatalf("post-race header = %q (stale write-back resurrected the fetched value?)", got)
+	}
+	if got := readLine(t, r); got != "new" {
+		t.Fatalf("post-race value = %q, want %q", got, "new")
+	}
+	if got := srv.Coalescer().Stats().Invalidations; got != 1 {
+		t.Fatalf("invalidations = %d, want 1", got)
+	}
+}

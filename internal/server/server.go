@@ -8,6 +8,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"memqlat/internal/cache"
+	"memqlat/internal/coalesce"
 	"memqlat/internal/fault"
 	"memqlat/internal/otrace"
 	"memqlat/internal/protocol"
@@ -95,6 +97,30 @@ type Options struct {
 	// LoopWorkers sets how many event-loop goroutines CoreEventLoop
 	// runs (default GOMAXPROCS). Ignored by CoreGoroutines.
 	LoopWorkers int
+	// Filler, when set, turns GET/GETS misses into server-side
+	// read-through: the missing key is fetched from the Filler (the
+	// store of record), stored with FillTTL and served in the same
+	// reply. dispatch is the seam shared by both connection cores, so
+	// goroutine and event-loop servers fill identically. Nil keeps the
+	// memcached default — misses are silently omitted — and the miss
+	// path stays a single branch.
+	Filler Filler
+	// FillTTL is the exptime applied to read-through fills (0 = never
+	// expires; negative stores the value already expired, which keeps a
+	// benchmark in steady-state miss).
+	FillTTL time.Duration
+	// Coalesce, when set alongside Filler, collapses concurrent
+	// read-through fetches for the same key into one in-flight backend
+	// call (single-flight miss coalescing; see internal/coalesce).
+	// Nil means every miss fetches independently.
+	Coalesce *coalesce.Policy
+}
+
+// Filler fetches a missed key from the store of record for the
+// server-side read-through path (same shape as client.Filler;
+// backend.DB satisfies both).
+type Filler interface {
+	Get(ctx context.Context, key string) ([]byte, error)
 }
 
 // Server is a memcached-protocol TCP server.
@@ -141,6 +167,12 @@ type Server struct {
 	// core owns connection handling after accept: either one goroutine
 	// per connection or the shared event loop (see core.go).
 	core connCore
+
+	// coalescer single-flights the read-through path when
+	// Options.Coalesce is set; nil otherwise (naive fills).
+	coalescer *coalesce.Group
+	fills     atomic.Int64 // read-through fetches served (hit after fill)
+	fillErrs  atomic.Int64 // read-through fetches that failed (miss kept)
 }
 
 // latencyStripes is the number of lock domains in latencyTracker
@@ -261,6 +293,16 @@ func New(opts Options) (*Server, error) {
 	opts.Cache.OnLockWait(func(seconds float64) {
 		s.rec.Observe(telemetry.StageLockWait, seconds)
 	})
+	if opts.Coalesce != nil {
+		if opts.Filler == nil {
+			return nil, errors.New("server: Coalesce requires Filler (nothing to coalesce)")
+		}
+		pol := *opts.Coalesce
+		if pol.Recorder == nil {
+			pol.Recorder = s.rec // coalesce_wait lands in "stats telemetry" too
+		}
+		s.coalescer = coalesce.New(pol)
+	}
 	if opts.LoopWorkers < 0 {
 		return nil, fmt.Errorf("server: LoopWorkers=%d must be >= 0", opts.LoopWorkers)
 	}
@@ -426,7 +468,19 @@ func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command, st *connSta
 		for _, key := range cmd.KeyList {
 			v, flags, cas, err := c.GetInto(key, st.val[:0])
 			if err != nil {
-				continue // missing keys are silently omitted
+				if s.opts.Filler == nil {
+					continue // missing keys are silently omitted
+				}
+				fv, ok := s.fillMiss(key)
+				if !ok {
+					continue // fetch failed or negative: stays a miss
+				}
+				// The filled value is shared with coalesced waiters, so
+				// it is served read-only and never copied into st.val.
+				if err := w.ValueBytes(key, 0, 0, fv, withCAS); err != nil {
+					return err
+				}
+				continue
 			}
 			st.val = v
 			if err := w.ValueBytes(key, flags, cas, v, withCAS); err != nil {
@@ -438,21 +492,28 @@ func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command, st *connSta
 	case protocol.OpSet:
 		// SetBytes copies key and value, so the parser scratch that
 		// cmd.Value aliases is safe to reuse on the next command.
+		s.invalidateFill(cmd.KeyB)
 		return s.storageReply(w, cmd, c.SetBytes(cmd.KeyB, cmd.Value, cmd.Flags, ttlFromExptime(cmd.Exptime, now)))
 	case protocol.OpAdd:
+		s.invalidateFill(cmd.KeyB)
 		return s.storageReply(w, cmd, c.Add(string(cmd.KeyB), bytes.Clone(cmd.Value), cmd.Flags, ttlFromExptime(cmd.Exptime, now)))
 	case protocol.OpReplace:
+		s.invalidateFill(cmd.KeyB)
 		return s.storageReply(w, cmd, c.Replace(string(cmd.KeyB), bytes.Clone(cmd.Value), cmd.Flags, ttlFromExptime(cmd.Exptime, now)))
 	case protocol.OpAppend:
 		// concat copies the suffix under the shard lock; no clone needed.
+		s.invalidateFill(cmd.KeyB)
 		return s.storageReply(w, cmd, c.Append(string(cmd.KeyB), cmd.Value))
 	case protocol.OpPrepend:
+		s.invalidateFill(cmd.KeyB)
 		return s.storageReply(w, cmd, c.Prepend(string(cmd.KeyB), cmd.Value))
 	case protocol.OpCas:
+		s.invalidateFill(cmd.KeyB)
 		return s.storageReply(w, cmd,
 			c.CompareAndSwap(string(cmd.KeyB), bytes.Clone(cmd.Value), cmd.Flags, ttlFromExptime(cmd.Exptime, now), cmd.CAS))
 
 	case protocol.OpDelete:
+		s.invalidateFill(cmd.KeyB)
 		err := c.Delete(string(cmd.KeyB))
 		switch {
 		case err == nil:
@@ -468,6 +529,7 @@ func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command, st *connSta
 		if cmd.Op == protocol.OpDecr {
 			delta = -delta
 		}
+		s.invalidateFill(cmd.KeyB)
 		n, err := c.IncrDecr(string(cmd.KeyB), delta)
 		switch {
 		case err == nil:
@@ -530,6 +592,54 @@ func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command, st *connSta
 }
 
 // storageReply maps cache errors of storage commands to protocol lines.
+// fillMiss runs the server-side read-through for one missed GET key:
+// fetch from the Filler (single-flighted when Options.Coalesce is set),
+// write the value back with FillTTL, and return it for serving. A fetch
+// error or negative result keeps memcached miss semantics — the key is
+// omitted from the reply. The returned slice may be shared with
+// coalesced waiters on other connections and must be treated read-only.
+func (s *Server) fillMiss(key []byte) ([]byte, bool) {
+	k := string(key)
+	var value []byte
+	var err error
+	if s.coalescer != nil {
+		var res coalesce.Result
+		res, err = s.coalescer.Do(context.Background(), k, func(ctx context.Context) ([]byte, error) {
+			return s.opts.Filler.Get(ctx, k)
+		})
+		if err == nil {
+			value = res.Value
+			// Only the leader writes back, and only if no storage verb
+			// invalidated the fetch while it was in flight.
+			if !res.Shared && !res.Stale && value != nil {
+				_ = s.opts.Cache.SetBytes(key, value, 0, s.opts.FillTTL)
+			}
+		}
+	} else {
+		value, err = s.opts.Filler.Get(context.Background(), k)
+		if err == nil && value != nil {
+			_ = s.opts.Cache.SetBytes(key, value, 0, s.opts.FillTTL)
+		}
+	}
+	if err != nil || value == nil {
+		if err != nil {
+			s.fillErrs.Add(1)
+		}
+		return nil, false
+	}
+	s.fills.Add(1)
+	return value, true
+}
+
+// invalidateFill marks any in-flight coalesced fetch for key stale so
+// its write-back cannot clobber the mutation this command is about to
+// apply. A single nil check when coalescing is off.
+func (s *Server) invalidateFill(key []byte) {
+	if s.coalescer != nil {
+		s.coalescer.Invalidate(string(key))
+	}
+}
+
 func (s *Server) storageReply(w *protocol.Writer, cmd *protocol.Command, err error) error {
 	switch {
 	case err == nil:
@@ -660,6 +770,19 @@ func (s *Server) writeStats(w *protocol.Writer, section string) error {
 		{"evictions", fmt.Sprintf("%d", st.Evictions)},
 		{"expired_unfetched", fmt.Sprintf("%d", st.Expirations)},
 	}
+	if s.opts.Filler != nil {
+		rows = append(rows,
+			struct{ k, v string }{"fill_hits", fmt.Sprintf("%d", s.fills.Load())},
+			struct{ k, v string }{"fill_errors", fmt.Sprintf("%d", s.fillErrs.Load())})
+		if cs := s.coalescer.Stats(); s.coalescer.Coalescing() {
+			rows = append(rows,
+				struct{ k, v string }{"coalesce_inflight_keys", fmt.Sprintf("%d", cs.InflightKeys)},
+				struct{ k, v string }{"coalesce_fetches", fmt.Sprintf("%d", cs.Fetches)},
+				struct{ k, v string }{"coalesce_fanins", fmt.Sprintf("%d", cs.FanIns)},
+				struct{ k, v string }{"coalesce_sheds", fmt.Sprintf("%d", cs.Sheds)},
+				struct{ k, v string }{"coalesce_invalidations", fmt.Sprintf("%d", cs.Invalidations)})
+		}
+	}
 	for _, row := range rows {
 		if err := w.Stat(row.k, row.v); err != nil {
 			return err
@@ -712,6 +835,17 @@ func (s *Server) LoopStats() []LoopStat { return s.core.loopStats() }
 
 // Cache exposes the backing store for occupancy metrics.
 func (s *Server) Cache() *cache.Cache { return s.opts.Cache }
+
+// Coalescer exposes the single-flight group behind the read-through
+// path for stats and metrics scraping; nil unless Options.Coalesce was
+// set.
+func (s *Server) Coalescer() *coalesce.Group { return s.coalescer }
+
+// FillCounts reports read-through outcomes: fills served and fetch
+// errors. Both are zero without Options.Filler.
+func (s *Server) FillCounts() (fills, errs int64) {
+	return s.fills.Load(), s.fillErrs.Load()
+}
 
 // LatencyHistogram snapshots the merged per-command latency histogram
 // behind "stats latency". The copy is private to the caller.

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"memqlat/internal/core"
+	"memqlat/internal/telemetry"
+)
+
+// hotMissModel is a small cluster with a heavy miss ratio so the
+// coalesced draw sees plenty of overlapping fetch windows.
+func hotMissModel() *core.Config {
+	return &core.Config{
+		N:              10,
+		LoadRatios:     core.BalancedLoad(2),
+		TotalKeyRate:   20000,
+		Q:              0.1,
+		Xi:             0.15,
+		MuS:            80000,
+		MissRatio:      0.3,
+		MuD:            200,
+		NetworkLatency: 20e-6,
+	}
+}
+
+// TestCoalescedMissInvariants pins the coalesced draw's accounting:
+// every miss is either a backend fetch or a delayed hit, a hot Zipf
+// keyspace collapses most fetches, and the delayed hits land in the
+// coalesce_wait stage while fetches keep miss_penalty.
+func TestCoalescedMissInvariants(t *testing.T) {
+	col := telemetry.NewCollector()
+	res, err := SimulateRequests(RequestConfig{
+		Model:     hotMissModel(),
+		Requests:  8000,
+		Seed:      7,
+		Coalesce:  true,
+		MissKeys:  50,
+		MissZipfS: 1.2,
+		Recorder:  col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BackendFetches+res.DelayedHits != res.MissCount {
+		t.Fatalf("fetches(%d) + delayed(%d) != misses(%d)",
+			res.BackendFetches, res.DelayedHits, res.MissCount)
+	}
+	if res.DelayedHits == 0 {
+		t.Fatal("hot-key coalesced run produced no delayed hits")
+	}
+	if res.BackendFetches*2 > res.MissCount {
+		t.Fatalf("fetches = %d of %d misses; hot keyspace should collapse most fetches",
+			res.BackendFetches, res.MissCount)
+	}
+	b := col.Breakdown()
+	if got := b[telemetry.StageCoalesceWait].Count; got != res.DelayedHits {
+		t.Errorf("coalesce_wait count = %d, want %d delayed hits", got, res.DelayedHits)
+	}
+	if got := b[telemetry.StageMissPenalty].Count; got != res.BackendFetches {
+		t.Errorf("miss_penalty count = %d, want %d fetches", got, res.BackendFetches)
+	}
+}
+
+// TestNaiveMissUnchanged: with Coalesce off every miss fetches, no
+// delayed hits appear, and the draw stays byte-identical to the
+// pre-coalescing simulator (same seed, same TD histogram).
+func TestNaiveMissUnchanged(t *testing.T) {
+	run := func(coalesce bool) *RequestResult {
+		res, err := SimulateRequests(RequestConfig{
+			Model:    hotMissModel(),
+			Requests: 4000,
+			Seed:     7,
+			Coalesce: coalesce,
+			MissKeys: 50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	naive := run(false)
+	if naive.BackendFetches != naive.MissCount || naive.DelayedHits != 0 {
+		t.Fatalf("naive run: fetches=%d delayed=%d misses=%d, want every miss to fetch",
+			naive.BackendFetches, naive.DelayedHits, naive.MissCount)
+	}
+	again := run(false)
+	if naive.Total.Mean() != again.Total.Mean() || naive.MissCount != again.MissCount {
+		t.Fatal("naive run is not deterministic under the seed")
+	}
+}
+
+// TestCoalescedTDDistributionMatchesNaive: by memorylessness the
+// residual of an Exp(µ_D) window is Exp(µ_D), so coalescing must not
+// move the per-miss latency distribution — that is what keeps the
+// cross-plane consistency band valid with coalescing on.
+func TestCoalescedTDDistributionMatchesNaive(t *testing.T) {
+	run := func(coalesce bool) *RequestResult {
+		res, err := SimulateRequests(RequestConfig{
+			Model:     hotMissModel(),
+			Requests:  20000,
+			Seed:      11,
+			Coalesce:  coalesce,
+			MissKeys:  50,
+			MissZipfS: 1.2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	naive, coal := run(false), run(true)
+	want := 1.0 / hotMissModel().MuD
+	for label, res := range map[string]*RequestResult{"naive": naive, "coalesced": coal} {
+		got := res.DBLat.Mean()
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("%s per-miss latency mean = %v, want ~%v (Exp(µ_D))", label, got, want)
+		}
+	}
+	// Correlation, not the marginal, is what coalescing changes: misses
+	// of one request that share a window all join at the SAME fetch, so
+	// the per-request max over misses shrinks versus max-of-iid. Totals
+	// may therefore only improve (bounded here at ~15% for this very
+	// hot config), never regress.
+	if coal.Total.Mean() > naive.Total.Mean()*1.01 {
+		t.Errorf("coalesced total mean %v exceeds naive %v; coalescing must not add latency",
+			coal.Total.Mean(), naive.Total.Mean())
+	}
+	if coal.Total.Mean() < naive.Total.Mean()*0.85 {
+		t.Errorf("coalesced total mean %v is implausibly far below naive %v",
+			coal.Total.Mean(), naive.Total.Mean())
+	}
+}

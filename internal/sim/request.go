@@ -62,6 +62,24 @@ type RequestConfig struct {
 	// series — the simulator's counterpart of the live plane's
 	// wall-clock traces. Nil disables tracing.
 	Tracer *otrace.Tracer
+	// Coalesce gives every miss a key identity and single-flights the
+	// backend fetch per key on the virtual timeline: a miss whose key
+	// already has a fetch in flight rides it as a delayed hit, paying
+	// only the residual wait (recorded as StageCoalesceWait) instead of
+	// issuing its own fetch. Because the exponential miss latency is
+	// memoryless, the residual is itself Exp(µ_D)-distributed, so the
+	// per-miss TD distribution — and the cross-plane totals — match the
+	// naive draw; only the backend fetch count drops. False keeps the
+	// naive one-fetch-per-miss draw byte-identical to prior runs.
+	Coalesce bool
+	// MissKeys sizes the miss-key population the coalesced draw samples
+	// from (default 2000, the live plane's loadgen keyspace). Ignored
+	// without Coalesce.
+	MissKeys int
+	// MissZipfS skews miss-key popularity by a Zipf(s) law (0 =
+	// uniform): hot keys overlap their fetch windows, which is what
+	// makes coalescing collapse the herd. Ignored without Coalesce.
+	MissZipfS float64
 }
 
 // RequestResult aggregates the measured latency decomposition, mirroring
@@ -106,6 +124,13 @@ type RequestResult struct {
 	// DegradedRequests counts requests that completed with >= 1 failed
 	// key — the degraded-mode fork-join outcome.
 	DegradedRequests int64
+	// BackendFetches counts misses that issued their own backend fetch.
+	// Without coalescing every miss fetches, so this equals MissCount.
+	BackendFetches int64
+	// DelayedHits counts misses that rode an already-in-flight fetch
+	// for their key instead of fetching (coalesced runs only).
+	// BackendFetches + DelayedHits == MissCount always.
+	DelayedHits int64
 }
 
 // SimulateRequests runs the two-stage experiment: simulate each server's
@@ -232,6 +257,30 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 	)
 	rec := telemetry.OrNop(cfg.Recorder)
 	rs := newSimResilience(cfg.Resilience, m, servers)
+	// Coalescing state: per-key in-flight fetch windows on the virtual
+	// timeline. The key rng (stream 106) is drawn only on coalesced
+	// runs, so naive runs keep their draw sequence byte-identical.
+	var (
+		rngMissKey    = dist.SubRand(cfg.Seed, 106)
+		missZipf      *dist.Zipf
+		inflightUntil []float64 // fetch window end per key (virtual s)
+		inflightFail  []bool    // window's fetch failed: error fans out
+	)
+	if cfg.Coalesce {
+		nKeys := cfg.MissKeys
+		if nKeys <= 0 {
+			nKeys = 2000
+		}
+		if cfg.MissZipfS > 0 {
+			z, err := dist.NewZipf(nKeys, cfg.MissZipfS)
+			if err != nil {
+				return nil, err
+			}
+			missZipf = z
+		}
+		inflightUntil = make([]float64, nKeys)
+		inflightFail = make([]bool, nKeys)
+	}
 	// Virtual request clock for Database fault windows: requests arrive
 	// at the aggregate rate Λ/N, matching the per-server streams' own
 	// virtual timelines.
@@ -289,20 +338,63 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 			// A failed key returns no value, so it cannot miss into the
 			// database; the caller sees its error instead.
 			if !failed && m.MissRatio > 0 && rngMiss.Float64() < m.MissRatio {
-				d := rngDB.ExpFloat64() / m.MuD
-				if act := inj.At(fault.Database, now); act.Faulted() {
-					d += act.Delay
-					if act.Outcome != fault.OK {
-						// Database outage: the fill fails after the delay
-						// and the key goes unanswered.
-						failedKeys++
-						out.FailedKeys++
+				var d float64
+				delayed := false
+				if cfg.Coalesce {
+					var k int
+					if missZipf != nil {
+						k = missZipf.SampleInt(rngMissKey)
+					} else {
+						k = rngMissKey.IntN(len(inflightUntil))
+					}
+					if end := inflightUntil[k]; end > now {
+						// Delayed hit: the key's fetch is already in
+						// flight, so this miss pays only the residual
+						// wait. The leader's fault delay is inside the
+						// window, and a failed fetch fans its error out
+						// to everyone attached.
+						d = end - now
+						delayed = true
+						if inflightFail[k] {
+							failedKeys++
+							out.FailedKeys++
+						}
+					} else {
+						d = rngDB.ExpFloat64() / m.MuD
+						fetchFailed := false
+						if act := inj.At(fault.Database, now); act.Faulted() {
+							d += act.Delay
+							if act.Outcome != fault.OK {
+								fetchFailed = true
+								failedKeys++
+								out.FailedKeys++
+							}
+						}
+						inflightUntil[k] = now + d
+						inflightFail[k] = fetchFailed
+					}
+				} else {
+					d = rngDB.ExpFloat64() / m.MuD
+					if act := inj.At(fault.Database, now); act.Faulted() {
+						d += act.Delay
+						if act.Outcome != fault.OK {
+							// Database outage: the fill fails after the delay
+							// and the key goes unanswered.
+							failedKeys++
+							out.FailedKeys++
+						}
 					}
 				}
 				misses++
 				out.MissCount++
 				out.DBLat.Record(d)
-				rec.Observe(telemetry.StageMissPenalty, d)
+				if delayed {
+					out.DelayedHits++
+					rec.Observe(telemetry.StageCoalesceWait, d)
+				} else {
+					out.BackendFetches++
+					rec.Observe(telemetry.StageMissPenalty, d)
+				}
 				if d > maxTD {
 					maxTD = d
 				}

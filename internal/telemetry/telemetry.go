@@ -57,13 +57,22 @@ const (
 	// simulator planes. Zero observations on a direct (unproxied) run,
 	// so existing topologies keep their decomposition unchanged.
 	StageProxyHop
+	// StageCoalesceWait is the time a delayed hit spent attached to
+	// another request's in-flight backend fetch (single-flight miss
+	// coalescing): the residual of the leader's miss penalty. Zero
+	// observations with coalescing off, so naive topologies keep their
+	// decomposition unchanged; under coalescing the miss cost of a
+	// request is either a miss_penalty (it led the fetch) or a
+	// coalesce_wait (it fanned in), never both.
+	StageCoalesceWait
 	numStages
 )
 
 // Stages lists every stage in reporting order.
 func Stages() []Stage {
 	return []Stage{StageQueueWait, StageService, StageMissPenalty, StageForkJoin,
-		StageRetry, StageHedgeWait, StageBreakerShed, StageLockWait, StageProxyHop}
+		StageRetry, StageHedgeWait, StageBreakerShed, StageLockWait, StageProxyHop,
+		StageCoalesceWait}
 }
 
 // String returns the stable snake_case stage name used in reports and
@@ -88,6 +97,8 @@ func (s Stage) String() string {
 		return "lock_wait"
 	case StageProxyHop:
 		return "proxy_hop"
+	case StageCoalesceWait:
+		return "coalesce_wait"
 	default:
 		return fmt.Sprintf("stage(%d)", int(s))
 	}

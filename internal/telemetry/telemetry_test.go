@@ -9,15 +9,16 @@ import (
 
 func TestStageNames(t *testing.T) {
 	want := map[Stage]string{
-		StageQueueWait:   "queue_wait",
-		StageService:     "service",
-		StageMissPenalty: "miss_penalty",
-		StageForkJoin:    "fork_join",
-		StageRetry:       "retry",
-		StageHedgeWait:   "hedge_wait",
-		StageBreakerShed: "breaker_shed",
-		StageLockWait:    "lock_wait",
-		StageProxyHop:    "proxy_hop",
+		StageQueueWait:    "queue_wait",
+		StageService:      "service",
+		StageMissPenalty:  "miss_penalty",
+		StageForkJoin:     "fork_join",
+		StageRetry:        "retry",
+		StageHedgeWait:    "hedge_wait",
+		StageBreakerShed:  "breaker_shed",
+		StageLockWait:     "lock_wait",
+		StageProxyHop:     "proxy_hop",
+		StageCoalesceWait: "coalesce_wait",
 	}
 	if len(Stages()) != len(want) {
 		t.Fatalf("Stages() = %d entries, want %d", len(Stages()), len(want))
