@@ -32,9 +32,9 @@ faults:
 # installs them with `go install` (see .github/workflows/ci.yml).
 lint:
 	@command -v staticcheck >/dev/null || { \
-		echo "staticcheck not found: go install honnef.co/go/tools/cmd/staticcheck@latest"; exit 1; }
+		echo "staticcheck not found: go install honnef.co/go/tools/cmd/staticcheck@2024.1.1"; exit 1; }
 	@command -v govulncheck >/dev/null || { \
-		echo "govulncheck not found: go install golang.org/x/vuln/cmd/govulncheck@latest"; exit 1; }
+		echo "govulncheck not found: go install golang.org/x/vuln/cmd/govulncheck@v1.1.4"; exit 1; }
 	staticcheck ./...
 	govulncheck ./...
 
@@ -51,6 +51,7 @@ cover:
 	$(GO) test -coverprofile=cover_metrics.out ./internal/metrics/
 	$(GO) test -coverprofile=cover_server.out ./internal/server/
 	$(GO) test -coverprofile=cover_coalesce.out ./internal/coalesce/
+	$(GO) test -coverprofile=cover_tenant.out ./internal/tenant/
 	./scripts/coverfloor.sh cover_cache.out 95.2 internal/cache
 	./scripts/coverfloor.sh cover_protocol.out 90.6 internal/protocol
 	./scripts/coverfloor.sh cover_proxy.out 82.0 internal/proxy
@@ -59,6 +60,7 @@ cover:
 	./scripts/coverfloor.sh cover_metrics.out 90.0 internal/metrics
 	./scripts/coverfloor.sh cover_server.out 77.0 internal/server
 	./scripts/coverfloor.sh cover_coalesce.out 90.0 internal/coalesce
+	./scripts/coverfloor.sh cover_tenant.out 90.0 internal/tenant
 
 # Fuzz smoke: 30s over the reusable-buffer parser (ReadCommand and
 # Parser.Next must agree byte-for-byte on arbitrary input), 15s over
@@ -81,11 +83,12 @@ bench-plane:
 bench-server:
 	$(GO) test -run '^$$' -bench 'BenchmarkServerHotPath|BenchmarkCoalescedMiss' -benchmem ./internal/server/
 
-# Proxy hot-path benchmarks (pipelined get/set passthrough and the
-# multiget fork-join through a real proxy + server).
-# BENCH_proxy.json records the last blessed numbers.
+# Proxy hot-path benchmarks (pipelined get/set passthrough, the
+# multiget fork-join through a real proxy + server, and the tenant QoS
+# admission check, which must stay zero-alloc on both the admitted and
+# the shed path). BENCH_proxy.json records the last blessed numbers.
 bench-proxy:
-	$(GO) test -run '^$$' -bench BenchmarkProxyHotPath -benchmem ./internal/proxy/
+	$(GO) test -run '^$$' -bench 'BenchmarkProxyHotPath|BenchmarkProxyQoS' -benchmem ./internal/proxy/
 
 # Connection-count scaling (1k -> 100k parked connections on the
 # event-loop core; tiers beyond the fd limit skip). The fixed -benchtime
@@ -101,7 +104,7 @@ bench-conns:
 bench-check:
 	$(GO) test -run '^$$' -bench 'BenchmarkServerHotPath|BenchmarkCoalescedMiss' -benchmem ./internal/server/ \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_server.json
-	$(GO) test -run '^$$' -bench BenchmarkProxyHotPath -benchmem ./internal/proxy/ \
+	$(GO) test -run '^$$' -bench 'BenchmarkProxyHotPath|BenchmarkProxyQoS' -benchmem ./internal/proxy/ \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_proxy.json
 	$(GO) test -run '^$$' -bench 'BenchmarkSimPlane|BenchmarkLivePlane' -benchmem -benchtime 3x . \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_plane.json

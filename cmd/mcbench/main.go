@@ -55,6 +55,7 @@ import (
 	"memqlat/internal/proxy"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
+	"memqlat/internal/tenant"
 	"memqlat/internal/trace"
 )
 
@@ -101,6 +102,7 @@ func run(args []string, out io.Writer) error {
 		proxied      = fs.Bool("proxy", false, "interpose the proxy tier (in-process mcproxy in front of -servers, or a ProxySpec on -plane runs)")
 		routePolicy  = fs.String("route", "direct", "proxy routing policy for -proxy (direct|failover|replicate)")
 		routeReplica = fs.Int("replicas", 2, "replication degree for -route=replicate")
+		tenantsSpec  = fs.String("tenants", "", `tenant QoS specs armed at the proxy, e.g. "acme:rate=500,share=0.5;evil:rate=200,share=0.5" (needs -proxy)`)
 
 		planeName  = fs.String("plane", "", "run against an internal plane (model|sim|sim-integrated|live) instead of -servers")
 		mus        = fs.Float64("mus", 2000, "per-server shaped service rate for -plane modes")
@@ -132,6 +134,17 @@ func run(args []string, out io.Writer) error {
 		}
 		return runConns(out, strings.Split(*servers, ",")[0], tiers, *connHot, *ops, *valueSize, *timeout)
 	}
+	var tenantSpecs []tenant.Spec
+	if *tenantsSpec != "" {
+		if !*proxied {
+			return fmt.Errorf("-tenants needs -proxy (QoS lives at the proxy tier)")
+		}
+		var err error
+		tenantSpecs, err = tenant.ParseSpecs(*tenantsSpec)
+		if err != nil {
+			return err
+		}
+	}
 	resilience := fault.Resilience{
 		Retries:          *retries,
 		RetryBackoff:     retryBackoff.Seconds(),
@@ -162,7 +175,7 @@ func run(args []string, out io.Writer) error {
 			ops: *ops, workers: *workers, seed: *seed, timeout: *timeout,
 			faults: faults, resilience: resilience, tracer: tracer,
 			coalesce: *coalesced, zipfS: *hotZipf, fillTTL: *fillTTL,
-			dbQueue: *dbQueue,
+			dbQueue: *dbQueue, tenants: tenantSpecs,
 		}
 		if flagSet["keys"] {
 			ps.keys = *keys
@@ -198,6 +211,7 @@ func run(args []string, out io.Writer) error {
 	addrs := strings.Split(*servers, ",")
 	collector := telemetry.NewCollector()
 	var px *proxy.Proxy
+	var lim *tenant.Limiter
 	if *proxied {
 		// Interpose an in-process proxy: the client talks to it, it
 		// multiplexes onto the configured servers.
@@ -205,12 +219,18 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if len(tenantSpecs) > 0 {
+			if lim, err = tenant.New(tenantSpecs); err != nil {
+				return err
+			}
+		}
 		px, err = proxy.New(proxy.Options{
 			Upstreams: addrs,
 			Policy:    pol,
 			Replicas:  *routeReplica,
 			Recorder:  collector,
 			Tracer:    tracer,
+			Tenants:   lim,
 			Logger:    log.New(io.Discard, "", 0),
 		})
 		if err != nil {
@@ -264,6 +284,7 @@ func run(args []string, out io.Writer) error {
 		reg := metrics.NewRegistry()
 		metrics.RegisterClient(reg, cl)
 		metrics.RegisterProxy(reg, px)
+		metrics.RegisterTenants(reg, lim)
 		metrics.RegisterTelemetry(reg, collector)
 		metrics.RegisterTracer(reg, tracer)
 		admin := metrics.NewAdmin(reg)
@@ -297,6 +318,7 @@ func run(args []string, out io.Writer) error {
 		UseGetThrough: *fill,
 		ClosedLoop:    *closed,
 		Recorder:      collector,
+		Tenants:       tenantSpecs,
 	}
 	if *keyTrace != "" {
 		f, err := os.Create(*keyTrace)
@@ -352,11 +374,34 @@ func run(args []string, out io.Writer) error {
 			res.Misses, dbs.Lookups, cs.FanIns, cs.Sheds, dbs.QueuePeak)
 	}
 	printResilience(out, res.Shed, collector.Breakdown())
+	if len(res.Tenants) > 0 {
+		// One machine-parseable row per tenant: the QoS smoke script
+		// greps shed= and p99us= off these lines.
+		for i, ts := range res.Tenants {
+			head := "           "
+			if i == 0 {
+				head = "tenants    "
+			}
+			fmt.Fprintf(out, "%s %s\n", head, tenantRow(ts.Name, ts.Issued, ts.Sheds, ts.Latency))
+		}
+	}
 	fmt.Fprintf(out, "latency     mean %v\n", secs(res.Latency.Mean()))
 	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
 		fmt.Fprintf(out, "            p%-5g %v\n", p*100, secs(res.Latency.MustQuantile(p)))
 	}
 	return writeChromeTrace(tracer, *traceOut, out)
+}
+
+// tenantRow formats one tenant's outcome as a stable key=value row so
+// shell smokes can awk the counters out: p99us is the tenant's
+// admitted-traffic p99 in whole microseconds (0 when it has no
+// samples).
+func tenantRow(name string, issued, shed int64, lat *stats.Histogram) string {
+	p99 := 0.0
+	if lat != nil && lat.Count() > 0 {
+		p99 = lat.MustQuantile(0.99)
+	}
+	return fmt.Sprintf("%s: issued=%d shed=%d p99us=%.0f", name, issued, shed, p99*1e6)
 }
 
 // printResilience is the one-line recovery summary: the loadgen's
@@ -433,6 +478,7 @@ type planeScenario struct {
 	zipfS                    float64
 	fillTTL                  time.Duration
 	keys, dbQueue            int
+	tenants                  []tenant.Spec
 }
 
 // runPlane evaluates the flag-described scenario on the named internal
@@ -467,6 +513,7 @@ func runPlane(name string, ps planeScenario, out io.Writer) error {
 		FillTTL:      ps.fillTTL,
 		Keys:         ps.keys,
 		DBQueueDepth: ps.dbQueue,
+		Tenants:      ps.tenants,
 	}
 	if ps.proxy != nil {
 		fmt.Fprintf(out, "interposing proxy tier (%s routing)\n", ps.proxy.Policy)
@@ -517,6 +564,14 @@ func runPlane(name string, ps planeScenario, out io.Writer) error {
 		shed = res.Live.Shed
 	}
 	printResilience(out, shed, res.Breakdown)
+	for i, tr := range res.Tenants {
+		head := "           "
+		if i == 0 {
+			head = "tenants    "
+		}
+		fmt.Fprintf(out, "%s %s offered=%.0f admitted=%.0f\n",
+			head, tenantRow(tr.Name, tr.Issued, tr.Shed, tr.Latency), tr.Offered, tr.Admitted)
+	}
 	if res.Sample != nil && res.Sample.Count() > 0 {
 		printSample(out, res.Sample, res.MeanCI)
 	}

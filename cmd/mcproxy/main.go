@@ -32,6 +32,7 @@ import (
 	"memqlat/internal/metrics"
 	"memqlat/internal/otrace"
 	"memqlat/internal/proxy"
+	"memqlat/internal/tenant"
 )
 
 func main() {
@@ -51,6 +52,7 @@ func run(args []string) error {
 		conns     = fs.Int("upstream-conns", 2, "pipelined connections per upstream server")
 		adminAddr = fs.String("admin", "", "observability listener address for /metrics, /healthz, /debug/pprof (empty = off)")
 		traceRing = fs.Int("trace-ring", 0, "retain this many proxy-hop spans of in-band-traced requests, served on <admin>/trace (0 = off)")
+		tenants   = fs.String("tenants", "", `tenant QoS specs, e.g. "acme:class=gold,rate=500;evil:rate=200,share=0.5" (empty = QoS off)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,12 +65,23 @@ func run(args []string) error {
 	if *traceRing > 0 {
 		tracer = otrace.New(otrace.Options{RingSize: *traceRing})
 	}
+	var lim *tenant.Limiter
+	if *tenants != "" {
+		specs, err := tenant.ParseSpecs(*tenants)
+		if err != nil {
+			return err
+		}
+		if lim, err = tenant.New(specs); err != nil {
+			return err
+		}
+	}
 	p, err := proxy.New(proxy.Options{
 		Upstreams:     strings.Split(*servers, ","),
 		Policy:        pol,
 		Replicas:      *replicas,
 		UpstreamConns: *conns,
 		Tracer:        tracer,
+		Tenants:       lim,
 		Logger:        log.New(os.Stderr, "mcproxy: ", log.LstdFlags),
 	})
 	if err != nil {
@@ -77,6 +90,7 @@ func run(args []string) error {
 	if *adminAddr != "" {
 		reg := metrics.NewRegistry()
 		metrics.RegisterProxy(reg, p)
+		metrics.RegisterTenants(reg, lim)
 		metrics.RegisterTracer(reg, tracer)
 		admin := metrics.NewAdmin(reg)
 		if tracer.Enabled() {

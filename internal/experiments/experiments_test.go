@@ -16,7 +16,7 @@ func TestAllRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "table4", "prop1", "prop2",
 		"ext-tails", "ext-arrivals", "ext-eq6", "ext-redundancy",
 		"ext-integrated", "ext-elasticity", "ext-resilience", "crossplane",
-		"hotkey", "proxied", "live"}
+		"hotkey", "noisy", "proxied", "live"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
@@ -372,6 +372,40 @@ func TestProxiedExperiment(t *testing.T) {
 		// Proxied rows carry a positive measured total and hop mean.
 		if row[1] == "proxied" && (row[3] == "-" || row[4] == "-" || row[4] == "0µs") {
 			t.Errorf("proxied row missing measurements: %v", row)
+		}
+	}
+}
+
+func TestNoisyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("includes a live stack run")
+	}
+	r, err := Noisy(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 legs × (2 tenants + the "all" row).
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Columns) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(r.Columns))
+		}
+		switch {
+		case strings.HasPrefix(row[1], "victim"):
+			// The victim never sheds: analytic 0% on the model row, a
+			// measured shed count of 0 on the sim and live rows.
+			if row[4] != "0%" && row[6] != "0" {
+				t.Errorf("victim row shows sheds: %v", row)
+			}
+		case strings.HasPrefix(row[1], "aggressor"):
+			if shed, err := strconv.Atoi(row[6]); row[6] != "-" && (err != nil || shed <= 0) {
+				t.Errorf("aggressor row shed nothing: %v", row)
+			}
+			if row[4] == "0%" {
+				t.Errorf("aggressor row shows 0%% shed: %v", row)
+			}
 		}
 	}
 }

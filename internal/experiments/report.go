@@ -175,6 +175,7 @@ func All() []Experiment {
 		{"ext-resilience", "Extension: recovery policies under fault injection", ExtResilience},
 		{"crossplane", "One scenario through every deterministic plane", CrossPlane},
 		{"hotkey", "Hot-key herd: naive vs coalesced miss path on every plane", HotKey},
+		{"noisy", "Noisy neighbor: token-bucket QoS sheds an over-quota aggressor on every plane", Noisy},
 		{"proxied", "Proxy tier: direct vs proxied vs replicated on every plane", Proxied},
 		{"live", "Live TCP stack end-to-end check", Live},
 	}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -16,8 +17,10 @@ import (
 
 	"memqlat/internal/client"
 	"memqlat/internal/dist"
+	"memqlat/internal/protocol"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
+	"memqlat/internal/tenant"
 )
 
 // Options configures a run.
@@ -73,6 +76,14 @@ type Options struct {
 	// fork-join join overhead. Open-loop mode only (closed loops have
 	// no batches).
 	Recorder telemetry.Recorder
+	// Tenants, when non-empty, draws a tenant per issued key from the
+	// Share mix (rng stream 15) and prefixes the key with "<name>:" so
+	// a QoS-armed proxy meters it against that tenant's bucket.
+	// Populate stores every tenant's keyspace. A reply matching
+	// tenant.ShedMsg counts as a tenant shed — in Issued but in none
+	// of Hits/Misses/Errors, and excluded from every latency histogram
+	// (an admission refusal is not a service latency).
+	Tenants []tenant.Spec
 }
 
 // Result summarizes a run.
@@ -90,6 +101,25 @@ type Result struct {
 	Issued int64
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// TenantSheds counts operations the proxy's QoS layer refused with
+	// tenant.ShedMsg (zero without Tenants / without a QoS proxy).
+	TenantSheds int64
+	// Tenants carries per-tenant outcomes in declaration order when
+	// the run drew tenants (nil otherwise).
+	Tenants []TenantStats
+}
+
+// TenantStats is one tenant's slice of a run.
+type TenantStats struct {
+	// Name echoes the spec.
+	Name string
+	// Issued counts the tenant's attempted operations; Sheds the
+	// subset the proxy refused with tenant.ShedMsg.
+	Issued int64
+	Sheds  int64
+	// Latency is the tenant's per-key latency histogram, sheds
+	// excluded.
+	Latency *stats.Histogram
 }
 
 // AchievedRate returns issued ops per second.
@@ -150,6 +180,11 @@ func (o *Options) withDefaults() (Options, error) {
 	if out.Workers < 1 {
 		return out, fmt.Errorf("loadgen: Workers=%d must be >= 1", out.Workers)
 	}
+	if len(out.Tenants) > 0 {
+		if _, err := tenant.New(out.Tenants); err != nil {
+			return out, fmt.Errorf("loadgen: %w", err)
+		}
+	}
 	return out, nil
 }
 
@@ -175,9 +210,21 @@ func Populate(opts Options) error {
 	for i := range value {
 		value[i] = 'a' + byte(rng.IntN(26))
 	}
-	for i := 0; i < o.Keys; i++ {
-		if err := o.Client.Set(keyName(o.KeyPrefix, i), value, 0, 0); err != nil {
-			return fmt.Errorf("loadgen: populate key %d: %w", i, err)
+	// Every tenant gets its own full keyspace; the no-tenant run keeps
+	// the single unprefixed one. Populate runs before the run clock
+	// starts, so a -Inf tenant clock admits the stores unthrottled.
+	prefixes := []string{""}
+	if len(o.Tenants) > 0 {
+		prefixes = prefixes[:0]
+		for _, sp := range o.Tenants {
+			prefixes = append(prefixes, sp.Name+":")
+		}
+	}
+	for _, tp := range prefixes {
+		for i := 0; i < o.Keys; i++ {
+			if err := o.Client.Set(tp+keyName(o.KeyPrefix, i), value, 0, 0); err != nil {
+				return fmt.Errorf("loadgen: populate key %s%d: %w", tp, i, err)
+			}
 		}
 	}
 	return nil
@@ -203,24 +250,54 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	var tenantMix *dist.Weighted
+	if len(o.Tenants) > 0 {
+		tenantMix, err = dist.NewWeighted(tenant.Shares(o.Tenants))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: tenant shares: %w", err)
+		}
+	}
 	var (
-		rngGap   = dist.SubRand(o.Seed, 11)
-		rngBatch = dist.SubRand(o.Seed, 12)
-		rngKey   = dist.SubRand(o.Seed, 13)
-		rngMiss  = dist.SubRand(o.Seed, 14)
+		rngGap    = dist.SubRand(o.Seed, 11)
+		rngBatch  = dist.SubRand(o.Seed, 12)
+		rngKey    = dist.SubRand(o.Seed, 13)
+		rngMiss   = dist.SubRand(o.Seed, 14)
+		rngTenant = dist.SubRand(o.Seed, 15)
 	)
 	res := &Result{Latency: stats.NewHistogram()}
 	var (
-		mu      sync.Mutex // guards res.Latency (and Observer in closed loop)
-		hits    atomic.Int64
-		misses  atomic.Int64
-		errs    atomic.Int64
-		shed    atomic.Int64
-		issued  atomic.Int64
-		wg      sync.WaitGroup
-		started = time.Now()
+		mu          sync.Mutex // guards the latency histograms (and Observer in closed loop)
+		hits        atomic.Int64
+		misses      atomic.Int64
+		errs        atomic.Int64
+		shed        atomic.Int64
+		issued      atomic.Int64
+		tenantSheds atomic.Int64
+		wg          sync.WaitGroup
+		started     = time.Now()
 	)
-	executeKey := func(key string) float64 {
+	type tenantCount struct{ issued, sheds atomic.Int64 }
+	tcount := make([]tenantCount, len(o.Tenants))
+	tenantLat := make([]*stats.Histogram, len(o.Tenants))
+	for i := range tenantLat {
+		tenantLat[i] = stats.NewHistogram()
+	}
+	// drawKey picks the next key — and, under a tenant mix, its tenant
+	// (rng stream 15; -1 without tenants).
+	drawKey := func(rngKey, rngMiss, rngTenant *rand.Rand, popularity *dist.Zipf) (string, int) {
+		var key string
+		if o.MissRatio > 0 && rngMiss.Float64() < o.MissRatio {
+			key = missKeyName(o.KeyPrefix, popularity.SampleInt(rngKey))
+		} else {
+			key = keyName(o.KeyPrefix, popularity.SampleInt(rngKey))
+		}
+		if tenantMix == nil {
+			return key, -1
+		}
+		t := tenantMix.SampleInt(rngTenant)
+		return o.Tenants[t].Name + ":" + key, t
+	}
+	executeKey := func(key string, tIdx int) float64 {
 		t0 := time.Now()
 		var err error
 		var hit bool
@@ -231,6 +308,20 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 			hit = err == nil
 		}
 		lat := time.Since(t0).Seconds()
+		if tIdx >= 0 {
+			tcount[tIdx].issued.Add(1)
+		}
+		var se *protocol.ServerError
+		if errors.As(err, &se) && se.Line == tenant.ShedMsg {
+			// Tenant QoS refusal: counted on its own, no latency sample
+			// (the proxy answered from its admission check, not from
+			// service).
+			tenantSheds.Add(1)
+			if tIdx >= 0 {
+				tcount[tIdx].sheds.Add(1)
+			}
+			return lat
+		}
 		switch {
 		case err == nil:
 			if hit {
@@ -248,25 +339,44 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		}
 		mu.Lock()
 		res.Latency.Record(lat)
+		if tIdx >= 0 {
+			tenantLat[tIdx].Record(lat)
+		}
 		mu.Unlock()
 		return lat
 	}
-	execute := func(key string) { executeKey(key) }
-
-	if o.ClosedLoop {
-		runClosedLoop(ctx, &o, execute, &issued, &mu, started)
+	execute := func(key string, tIdx int) { executeKey(key, tIdx) }
+	finish := func() *Result {
 		res.Elapsed = time.Since(started)
 		res.Hits = hits.Load()
 		res.Misses = misses.Load()
 		res.Errors = errs.Load()
 		res.Shed = shed.Load()
 		res.Issued = issued.Load()
-		return res, nil
+		res.TenantSheds = tenantSheds.Load()
+		if len(o.Tenants) > 0 {
+			res.Tenants = make([]TenantStats, len(o.Tenants))
+			for i, sp := range o.Tenants {
+				res.Tenants[i] = TenantStats{
+					Name:    sp.Name,
+					Issued:  tcount[i].issued.Load(),
+					Sheds:   tcount[i].sheds.Load(),
+					Latency: tenantLat[i],
+				}
+			}
+		}
+		return res
+	}
+
+	if o.ClosedLoop {
+		runClosedLoop(ctx, &o, drawKey, execute, &issued, &mu, started)
+		return finish(), nil
 	}
 
 	type workItem struct {
-		key string
-		agg *batchAgg
+		key  string
+		tIdx int
+		agg  *batchAgg
 	}
 	work := make(chan workItem, o.Workers)
 	for w := 0; w < o.Workers; w++ {
@@ -274,7 +384,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for it := range work {
-				lat := executeKey(it.key)
+				lat := executeKey(it.key, it.tIdx)
 				if it.agg != nil {
 					it.agg.done(lat)
 				}
@@ -306,14 +416,9 @@ pacing:
 		}
 		agg := &batchAgg{remaining: n, n: n, rec: rec}
 		for i := 0; i < n; i++ {
-			var key string
-			if o.MissRatio > 0 && rngMiss.Float64() < o.MissRatio {
-				key = missKeyName(o.KeyPrefix, popularity.SampleInt(rngKey))
-			} else {
-				key = keyName(o.KeyPrefix, popularity.SampleInt(rngKey))
-			}
+			key, tIdx := drawKey(rngKey, rngMiss, rngTenant, popularity)
 			select {
-			case work <- workItem{key: key, agg: agg}:
+			case work <- workItem{key: key, tIdx: tIdx, agg: agg}:
 				sent++
 				issued.Add(1)
 				if o.Observer != nil {
@@ -327,13 +432,7 @@ pacing:
 	}
 	close(work)
 	wg.Wait()
-	res.Elapsed = time.Since(started)
-	res.Hits = hits.Load()
-	res.Misses = misses.Load()
-	res.Errors = errs.Load()
-	res.Shed = shed.Load()
-	res.Issued = issued.Load()
-	return res, nil
+	return finish(), nil
 }
 
 // batchAgg joins the completion latencies of one concurrently-issued
@@ -377,7 +476,9 @@ func (a *batchAgg) abandon(k int) {
 // runClosedLoop issues ops from Workers independent closed loops, each
 // waiting an exponential think time between its operations so the
 // aggregate target rate is approximately Lambda.
-func runClosedLoop(ctx context.Context, o *Options, execute func(string),
+func runClosedLoop(ctx context.Context, o *Options,
+	drawKey func(rngKey, rngMiss, rngTenant *rand.Rand, popularity *dist.Zipf) (string, int),
+	execute func(string, int),
 	issued *atomic.Int64, mu *sync.Mutex, started time.Time) {
 	popularity, err := dist.NewZipf(o.Keys, o.ZipfS)
 	if err != nil {
@@ -392,9 +493,10 @@ func runClosedLoop(ctx context.Context, o *Options, execute func(string),
 		go func() {
 			defer wg.Done()
 			var (
-				rngThink = dist.SubRand(o.Seed, 2000+id)
-				rngKey   = dist.SubRand(o.Seed, 3000+id)
-				rngMiss  = dist.SubRand(o.Seed, 4000+id)
+				rngThink  = dist.SubRand(o.Seed, 2000+id)
+				rngKey    = dist.SubRand(o.Seed, 3000+id)
+				rngMiss   = dist.SubRand(o.Seed, 4000+id)
+				rngTenant = dist.SubRand(o.Seed, 5000+id)
 			)
 			for {
 				if quota.Add(1) > int64(o.Ops) {
@@ -408,19 +510,14 @@ func runClosedLoop(ctx context.Context, o *Options, execute func(string),
 					timer.Stop()
 					return
 				}
-				var key string
-				if o.MissRatio > 0 && rngMiss.Float64() < o.MissRatio {
-					key = missKeyName(o.KeyPrefix, popularity.SampleInt(rngKey))
-				} else {
-					key = keyName(o.KeyPrefix, popularity.SampleInt(rngKey))
-				}
+				key, tIdx := drawKey(rngKey, rngMiss, rngTenant, popularity)
 				issued.Add(1)
 				if o.Observer != nil {
 					mu.Lock()
 					o.Observer(time.Since(started), key)
 					mu.Unlock()
 				}
-				execute(key)
+				execute(key, tIdx)
 			}
 		}()
 	}

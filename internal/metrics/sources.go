@@ -12,6 +12,7 @@ import (
 	"memqlat/internal/server"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
+	"memqlat/internal/tenant"
 )
 
 // RegisterTelemetry exposes a telemetry Collector's per-stage latency
@@ -235,6 +236,96 @@ func RegisterProxy(r *Registry, p *proxy.Proxy) {
 		func(emit func(Labels, float64)) {
 			for i := 0; i < p.Stats().Upstreams; i++ {
 				emit(L("upstream", itoa(i)), breakerStateValue(p.BreakerState(i)))
+			}
+		})
+}
+
+// RegisterTenants exposes the QoS limiter's per-tenant ledger: the
+// admitted/shed op and byte counters the noisy-neighbor smoke asserts
+// on, the live bucket levels, and the admitted-traffic latency
+// histogram with its headline quantiles. The "tenant" label is the
+// spec name; the implicit catch-all appears as "*" once it has seen
+// traffic.
+func RegisterTenants(r *Registry, lim *tenant.Limiter) {
+	if r == nil || lim == nil {
+		return
+	}
+	// handles returns every tenant with traffic-bearing state: the
+	// declared ones in order, then the implicit catch-all if active.
+	handles := func() []*tenant.Tenant {
+		ts := lim.Tenants()
+		def := lim.Default()
+		for _, t := range ts {
+			if t == def {
+				return ts
+			}
+		}
+		if s := def.Snapshot(); s.Admitted > 0 || s.Shed > 0 {
+			ts = append(ts[:len(ts):len(ts)], def)
+		}
+		return ts
+	}
+	r.CounterVec("memqlat_tenant_admitted_total",
+		"Operations admitted past the tenant's token bucket.",
+		func(emit func(Labels, float64)) {
+			for _, s := range lim.Snapshots() {
+				emit(L("tenant", s.Name), float64(s.Admitted))
+			}
+		})
+	r.CounterVec("memqlat_tenant_shed_total",
+		"Operations refused by the tenant's token bucket (shed before queue).",
+		func(emit func(Labels, float64)) {
+			for _, s := range lim.Snapshots() {
+				emit(L("tenant", s.Name), float64(s.Shed))
+			}
+		})
+	r.CounterVec("memqlat_tenant_admitted_bytes_total",
+		"Stored bytes admitted past the tenant's byte bucket.",
+		func(emit func(Labels, float64)) {
+			for _, s := range lim.Snapshots() {
+				emit(L("tenant", s.Name), float64(s.AdmBytes))
+			}
+		})
+	r.CounterVec("memqlat_tenant_shed_bytes_total",
+		"Stored bytes refused by the tenant's byte bucket.",
+		func(emit func(Labels, float64)) {
+			for _, s := range lim.Snapshots() {
+				emit(L("tenant", s.Name), float64(s.ShedBytes))
+			}
+		})
+	r.GaugeVec("memqlat_tenant_tokens",
+		"Current op-token level of the tenant's bucket.",
+		func(emit func(Labels, float64)) {
+			for _, s := range lim.Snapshots() {
+				emit(L("tenant", s.Name), s.Tokens)
+			}
+		})
+	r.GaugeVec("memqlat_tenant_byte_tokens",
+		"Current byte-token level of the tenant's bucket.",
+		func(emit func(Labels, float64)) {
+			for _, s := range lim.Snapshots() {
+				emit(L("tenant", s.Name), s.ByteTokens)
+			}
+		})
+	r.Histogram("memqlat_tenant_latency_seconds",
+		"Admitted-traffic latency per tenant (proxy hop on the data plane).",
+		nil, func(emit func(Labels, *stats.Histogram)) {
+			for _, t := range handles() {
+				emit(L("tenant", t.Name()), t.Latency())
+			}
+		})
+	r.GaugeVec("memqlat_tenant_latency_quantile_seconds",
+		"Admitted-traffic latency quantiles per tenant.",
+		func(emit func(Labels, float64)) {
+			for _, t := range handles() {
+				h := t.Latency()
+				if h.Count() == 0 {
+					continue
+				}
+				name := t.Name()
+				emit(L("tenant", name, "q", "0.5"), h.MustQuantile(0.5))
+				emit(L("tenant", name, "q", "0.95"), h.MustQuantile(0.95))
+				emit(L("tenant", name, "q", "0.99"), h.MustQuantile(0.99))
 			}
 		})
 }

@@ -17,6 +17,7 @@ import (
 	"memqlat/internal/otrace"
 	"memqlat/internal/proxy"
 	"memqlat/internal/server"
+	"memqlat/internal/tenant"
 )
 
 // startStack brings up one server, a proxy in front of it, and a client
@@ -181,6 +182,58 @@ func TestRegisterCoalesceBackend(t *testing.T) {
 	}
 	if strings.Contains(sb.String(), "memqlat_coalesce") || strings.Contains(sb.String(), "memqlat_backend") {
 		t.Error("nil sources should register nothing")
+	}
+}
+
+// TestRegisterTenants drives a limiter directly (one admitted tenant,
+// one over quota, plus catch-all traffic) and checks the per-tenant
+// ledger surfaces on the exposition with the implicit "*" row.
+func TestRegisterTenants(t *testing.T) {
+	lim, err := tenant.New([]tenant.Spec{
+		{Name: "acme"},
+		{Name: "evil", Rate: 100, Burst: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim.FromKey([]byte("acme:k")).Admit(0, 1, 10)
+	lim.FromKey([]byte("acme:k")).Observe(0.002)
+	ev := lim.FromKey([]byte("evil:k"))
+	ev.Admit(0, 1, 0)                                // drains the 1-token burst
+	ev.Admit(0, 1, 5)                                // shed
+	lim.FromKey([]byte("unprefixed")).Admit(0, 1, 0) // catch-all
+
+	reg := NewRegistry()
+	RegisterTenants(reg, lim)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`memqlat_tenant_admitted_total{tenant="acme"} 1`,
+		`memqlat_tenant_shed_total{tenant="acme"} 0`,
+		`memqlat_tenant_admitted_total{tenant="evil"} 1`,
+		`memqlat_tenant_shed_total{tenant="evil"} 1`,
+		`memqlat_tenant_admitted_bytes_total{tenant="acme"} 10`,
+		`memqlat_tenant_shed_bytes_total{tenant="evil"} 5`,
+		`memqlat_tenant_tokens{tenant="evil"} 0`,
+		`memqlat_tenant_admitted_total{tenant="*"} 1`,
+		`memqlat_tenant_latency_quantile_seconds{tenant="acme",q="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// A nil limiter registers nothing.
+	empty := NewRegistry()
+	RegisterTenants(empty, nil)
+	sb.Reset()
+	if err := empty.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "memqlat_tenant") {
+		t.Error("nil limiter should register nothing")
 	}
 }
 

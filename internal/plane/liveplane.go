@@ -47,6 +47,10 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	lim, err := s.validateTenants()
+	if err != nil {
+		return nil, err
+	}
 	collector := telemetry.NewCollector()
 
 	// --- faults ---
@@ -142,6 +146,12 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 			Recorder:  collector,
 			Logger:    log.New(io.Discard, "", 0),
 			Tracer:    s.Tracer,
+			// The QoS buckets meter on the shared run clock: -Inf until
+			// clock.Start() fires (populate admits unthrottled), then
+			// seconds from the same epoch the fault schedule and the
+			// sim's virtual timeline use.
+			Tenants:     lim,
+			TenantClock: clock.Now,
 		})
 		if err != nil {
 			return nil, err
@@ -192,6 +202,7 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		Seed:          s.Seed,
 		UseGetThrough: s.MissRatio > 0,
 		Recorder:      collector,
+		Tenants:       s.Tenants,
 	}
 	if err := loadgen.Populate(opts); err != nil {
 		return nil, err
@@ -246,6 +257,26 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	if g := cl.Coalescer(); g.Coalescing() {
 		cs := g.Stats()
 		res.Coalesce = &cs
+	}
+	if len(lg.Tenants) > 0 {
+		offered, _, _ := s.tenantRates()
+		handles := lim.Tenants()
+		res.Tenants = make([]TenantResult, len(lg.Tenants))
+		for i, ts := range lg.Tenants {
+			admittedRate := 0.0
+			if lg.Elapsed > 0 {
+				admittedRate = float64(ts.Issued-ts.Sheds) / lg.Elapsed.Seconds()
+			}
+			res.Tenants[i] = TenantResult{
+				Name:     ts.Name,
+				Class:    handles[i].Snapshot().Class,
+				Offered:  offered[i],
+				Admitted: admittedRate,
+				Issued:   ts.Issued,
+				Shed:     ts.Sheds,
+				Latency:  ts.Latency,
+			}
+		}
 	}
 	return res, nil
 }

@@ -23,7 +23,16 @@ func (p ModelPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	model, err := s.Config()
+	lim, err := s.validateTenants()
+	if err != nil {
+		return nil, err
+	}
+	// QoS sheds ahead of every queue, so the shared stages are priced at
+	// the admitted rate Λ' (identity without tenants). That is the whole
+	// analytic story of the noisy-neighbor scenario: the aggressor's
+	// excess never enters λ, so the victims' band is the Λ' band.
+	priced := s.admittedScenario()
+	model, err := priced.Config()
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +64,7 @@ func (p ModelPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		res.Breakdown[telemetry.StageCoalesceWait] = expStage(1 / s.MuD)
 	}
 	if s.Proxy != nil {
-		pc, err := s.proxyConfig()
+		pc, err := priced.proxyConfig()
 		if err != nil {
 			return nil, err
 		}
@@ -75,6 +84,18 @@ func (p ModelPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		// Per-key proxy sojourn: exponential shape around the predicted
 		// mean, matching the queue-wait treatment.
 		res.Breakdown[telemetry.StageProxyHop] = expStage(hop)
+	}
+	if lim != nil {
+		offered, admitted, _ := s.tenantRates()
+		res.Tenants = make([]TenantResult, len(s.Tenants))
+		for i, tn := range lim.Tenants() {
+			res.Tenants[i] = TenantResult{
+				Name:     tn.Name(),
+				Class:    tn.Class(),
+				Offered:  offered[i],
+				Admitted: admitted[i],
+			}
+		}
 	}
 	return res, nil
 }

@@ -17,6 +17,7 @@ package plane
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"memqlat/internal/backend"
@@ -29,6 +30,7 @@ import (
 	"memqlat/internal/sim"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
+	"memqlat/internal/tenant"
 )
 
 // ProxySpec interposes the proxy tier (internal/proxy) between the
@@ -114,6 +116,18 @@ type Scenario struct {
 	// Proxy, when non-nil, interposes the proxy tier on every plane.
 	Proxy *ProxySpec
 
+	// Tenants, when non-empty, arms the multi-tenant QoS layer (which
+	// lives at the proxy, so Proxy must be set too). Each spec's Share
+	// is its slice of the offered load Λ; its bucket decides how much
+	// of that slice is admitted. The model plane prices each tenant's
+	// admitted rate as its own arrival stream into the shared stages
+	// (Λ' = Σ_t admitted_t replaces Λ, so the victim tenants' Theorem-1
+	// band is computable with the aggressor's excess shed out of λ);
+	// the composition sim draws per-request tenants from the Share mix
+	// and runs the same token buckets on virtual time; the live plane
+	// runs the real limiter at the proxy under a tenant-mixed loadgen.
+	Tenants []tenant.Spec
+
 	// Coalesce turns on single-flight miss coalescing on every plane:
 	// the live client's GetThrough single-flights its backend fills,
 	// the composition sim gives misses key identities with per-key
@@ -173,6 +187,11 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Keys == 0 {
 		s.Keys = 2000
 	}
+	if s.ConnCore == "" {
+		// CI matrixes the live plane over both connection cores by
+		// exporting MEMQLAT_CONN_CORE; explicit scenarios still win.
+		s.ConnCore = os.Getenv("MEMQLAT_CONN_CORE")
+	}
 	if s.Proxy != nil {
 		p := *s.Proxy
 		if p.Rate == 0 {
@@ -183,6 +202,52 @@ func (s Scenario) withDefaults() Scenario {
 		}
 		s.Proxy = &p
 	}
+	return s
+}
+
+// validateTenants checks the QoS side of a scenario: tenant specs must
+// parse and the proxy tier must be present (admission lives there).
+func (s Scenario) validateTenants() (*tenant.Limiter, error) {
+	if len(s.Tenants) == 0 {
+		return nil, nil
+	}
+	if s.Proxy == nil {
+		return nil, fmt.Errorf("plane: scenario %q declares tenants but no proxy (QoS lives at the proxy tier)", s.Name)
+	}
+	l, err := tenant.New(s.Tenants)
+	if err != nil {
+		return nil, fmt.Errorf("plane: scenario %q: %w", s.Name, err)
+	}
+	return l, nil
+}
+
+// tenantRates prices the QoS layer the way every plane agrees on: each
+// declared tenant offers Share_t × Λ; its bucket sustains
+// admitted_t = min(offered_t, Rate_t) (gold and unlimited tenants pass
+// through); Λ' = Σ_t admitted_t is the post-shedding aggregate rate the
+// shared stages actually see.
+func (s Scenario) tenantRates() (offered, admitted []float64, total float64) {
+	shares := tenant.Shares(s.Tenants)
+	offered = make([]float64, len(s.Tenants))
+	admitted = make([]float64, len(s.Tenants))
+	for i, sp := range s.Tenants {
+		offered[i] = shares[i] * s.TotalKeyRate
+		admitted[i] = sp.AdmittedRate(offered[i])
+		total += admitted[i]
+	}
+	return offered, admitted, total
+}
+
+// admittedScenario returns the scenario with Λ replaced by the
+// admitted Λ', which is what the shared GI^X/M/1 stages are priced at
+// when QoS sheds traffic ahead of them. Without tenants it is the
+// identity.
+func (s Scenario) admittedScenario() Scenario {
+	if len(s.Tenants) == 0 {
+		return s
+	}
+	_, _, total := s.tenantRates()
+	s.TotalKeyRate = total
 	return s
 }
 
@@ -296,6 +361,31 @@ type Result struct {
 	// fetches) and, in single-queue mode, the queue-depth high-water
 	// mark. Nil on the model and simulator planes.
 	DB *backend.Stats
+	// Tenants carries the per-tenant QoS outcome when the scenario
+	// declares tenants (declaration order; empty otherwise).
+	Tenants []TenantResult
+}
+
+// TenantResult is one tenant's cross-plane surface: the model plane
+// fills the analytic rates; measured planes add realized counters and
+// the admitted-traffic latency histogram.
+type TenantResult struct {
+	// Name / Class echo the spec.
+	Name  string
+	Class string
+	// Offered is the tenant's offered key rate λ_t = Share_t × Λ.
+	Offered float64
+	// Admitted is the post-bucket key rate the shared stages see: the
+	// analytic min(λ_t, Rate_t) on the model plane, the realized rate
+	// on measured planes.
+	Admitted float64
+	// Issued / Shed count keys on the measured planes (zero on model).
+	Issued int64
+	Shed   int64
+	// Latency is the admitted-traffic latency histogram: per composed
+	// request on the sim plane, per key op on the live plane; nil on
+	// the model plane.
+	Latency *stats.Histogram
 }
 
 // Point returns the scalar each plane nominates for cross-plane

@@ -8,6 +8,7 @@ import (
 
 	"memqlat/internal/otrace"
 	"memqlat/internal/telemetry"
+	"memqlat/internal/tenant"
 	"memqlat/internal/workload"
 )
 
@@ -79,6 +80,10 @@ func TestModelPlaneDeterministic(t *testing.T) {
 		case telemetry.StageCoalesceWait:
 			// Delayed hits only materialize when the scenario enables
 			// miss coalescing; the naive baseline never does.
+			continue
+		case telemetry.StageTenantShed:
+			// Tenant sheds only materialize when the scenario declares
+			// tenant specs; the single-tenant baseline never does.
 			continue
 		}
 		if _, ok := a.Breakdown[st]; !ok {
@@ -306,6 +311,102 @@ func TestCrossPlaneProxiedConsistency(t *testing.T) {
 	}
 	if _, err := (SimPlane{}).Run(ctx, bad); err == nil {
 		t.Error("sim plane accepted unknown proxy policy")
+	}
+}
+
+// TestCrossPlaneNoisyNeighbor extends the cross-validation to the
+// tenant QoS layer: a two-tenant mix (a victim inside its contract, an
+// aggressor offering 3× its op quota) behind the proxy's token
+// buckets. The composition simulator runs the same bucket code on the
+// offered virtual timeline; its total over the admitted traffic must
+// land inside the model plane's Theorem 1 band priced at the admitted
+// Λ′ — and both planes must agree on who shed: the victim nothing,
+// the aggressor ≈2/3 of its offer.
+func TestCrossPlaneNoisyNeighbor(t *testing.T) {
+	ctx := context.Background()
+	s := scenarios()[0]
+	s.Name = "facebook-noisy"
+	s.Proxy = &ProxySpec{}
+	quota := s.TotalKeyRate / 2 / 3 // a third of the aggressor's half
+	s.Tenants = []tenant.Spec{
+		{Name: "victim", Share: 0.5},
+		{Name: "aggressor", Rate: quota, Share: 0.5},
+	}
+
+	mres, err := ModelPlane{}.Run(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := (SimPlane{}).Run(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mres.Total.Contains(sres.Point(), 0.08) {
+		t.Errorf("tenant-shed sim total %v outside model band [%v, %v] (+8%%)",
+			sres.Point(), mres.Total.Lo, mres.Total.Hi)
+	}
+	// The model's band is exactly the no-tenant band at Λ′: pricing at
+	// the admitted rate is the whole analytic treatment of shedding.
+	admitted := s
+	admitted.Tenants = nil
+	admitted.TotalKeyRate = s.TotalKeyRate/2 + quota
+	ares, err := ModelPlane{}.Run(ctx, admitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Total != ares.Total {
+		t.Errorf("tenant model band [%v, %v] != admitted-rate band [%v, %v]",
+			mres.Total.Lo, mres.Total.Hi, ares.Total.Lo, ares.Total.Hi)
+	}
+	// Both planes report per-tenant results in declared order.
+	for _, res := range []*Result{mres, sres} {
+		if len(res.Tenants) != 2 || res.Tenants[0].Name != "victim" ||
+			res.Tenants[1].Name != "aggressor" {
+			t.Fatalf("%s plane tenants = %+v", res.Plane, res.Tenants)
+		}
+	}
+	victim, aggr := sres.Tenants[0], sres.Tenants[1]
+	if victim.Shed != 0 {
+		t.Errorf("victim shed %d keys, want 0", victim.Shed)
+	}
+	if aggr.Shed == 0 {
+		t.Error("aggressor shed nothing at 3× quota")
+	}
+	// The aggressor's realized shed fraction tracks the analytic 2/3
+	// (loose band: the bucket burst admits a little above quota).
+	offeredKeys := float64(aggr.Issued)
+	if frac := float64(aggr.Shed) / offeredKeys; frac < 0.5 || frac > 0.8 {
+		t.Errorf("aggressor shed fraction %.3f, want ≈2/3", frac)
+	}
+	// Model rates: victim admitted in full, aggressor clamped to quota.
+	mv, ma := mres.Tenants[0], mres.Tenants[1]
+	if mv.Admitted != mv.Offered || ma.Admitted != quota {
+		t.Errorf("model rates: victim %v/%v, aggressor %v (quota %v)",
+			mv.Admitted, mv.Offered, ma.Admitted, quota)
+	}
+	// Sheds surface on the shared stage ledger, and the per-tenant
+	// latency samples cover every admitted-key request.
+	ts, ok := sres.Breakdown[telemetry.StageTenantShed]
+	if !ok || ts.Count != sres.Sim.TenantShedKeys || sres.Sim.TenantShedKeys == 0 {
+		t.Errorf("tenant_shed stage count %v != sim shed keys %d",
+			ts.Count, sres.Sim.TenantShedKeys)
+	}
+	if victim.Latency == nil || victim.Latency.Count() == 0 ||
+		aggr.Latency == nil || aggr.Latency.Count() == 0 {
+		t.Error("sim per-tenant latency histograms empty")
+	}
+	// The integrated simulator has no tenant stream: explicit error.
+	if _, err := (SimPlane{Mode: SimIntegrated}).Run(ctx, s); err == nil {
+		t.Error("sim-integrated accepted tenant specs")
+	}
+	// Tenants without a proxy are rejected up front on every plane.
+	noProxy := s
+	noProxy.Proxy = nil
+	if _, err := (ModelPlane{}).Run(ctx, noProxy); err == nil {
+		t.Error("model plane accepted tenants without a proxy")
+	}
+	if _, err := (SimPlane{}).Run(ctx, noProxy); err == nil {
+		t.Error("sim plane accepted tenants without a proxy")
 	}
 }
 

@@ -47,7 +47,17 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	model, err := s.Config()
+	if _, err := s.validateTenants(); err != nil {
+		return nil, err
+	}
+	if len(s.Tenants) > 0 && p.Mode == SimIntegrated {
+		return nil, fmt.Errorf("plane: scenario %q: the integrated simulator does not model tenant QoS (use the composition sim)", s.Name)
+	}
+	// The surviving streams run at the admitted rate Λ' (identity
+	// without tenants); the virtual request clock — and hence the
+	// buckets — run at the offered Λ via OfferedKeyRate below.
+	priced := s.admittedScenario()
+	model, err := priced.Config()
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +66,7 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		if p.Mode == SimIntegrated {
 			return nil, fmt.Errorf("plane: scenario %q: the integrated simulator does not model a proxy tier (use the composition sim)", s.Name)
 		}
-		proxyModel, err = s.proxyConfig()
+		proxyModel, err = priced.proxyConfig()
 		if err != nil {
 			return nil, err
 		}
@@ -89,18 +99,20 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		res.Integrated = integ
 	default:
 		rc := sim.RequestConfig{
-			Model:         model,
-			Requests:      s.Requests,
-			KeysPerServer: s.KeysPerServer,
-			Seed:          s.Seed,
-			Recorder:      collector,
-			Faults:        s.Faults,
-			Resilience:    s.Resilience,
-			ProxyModel:    proxyModel,
-			Tracer:        s.Tracer,
-			Coalesce:      s.Coalesce,
-			MissKeys:      s.Keys,
-			MissZipfS:     s.ZipfS,
+			Model:          model,
+			Requests:       s.Requests,
+			KeysPerServer:  s.KeysPerServer,
+			Seed:           s.Seed,
+			Recorder:       collector,
+			Faults:         s.Faults,
+			Resilience:     s.Resilience,
+			ProxyModel:     proxyModel,
+			Tracer:         s.Tracer,
+			Coalesce:       s.Coalesce,
+			MissKeys:       s.Keys,
+			MissZipfS:      s.ZipfS,
+			Tenants:        s.Tenants,
+			OfferedKeyRate: s.TotalKeyRate,
 		}
 		if s.Proxy != nil && s.Proxy.Policy == "replicate" {
 			rc.ReadReplicas = s.Proxy.Replicas
@@ -127,6 +139,24 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		res.TD = tdEst
 		res.Sample = comp.Total
 		res.Sim = comp
+		if len(comp.Tenants) > 0 {
+			// Realized per-tenant rates on the virtual clock: the run
+			// spans Requests×N offered keys at rate Λ.
+			offered, _, _ := s.tenantRates()
+			virtualDur := float64(s.Requests) * float64(model.N) / s.TotalKeyRate
+			res.Tenants = make([]TenantResult, len(comp.Tenants))
+			for i, tr := range comp.Tenants {
+				res.Tenants[i] = TenantResult{
+					Name:     tr.Snapshot.Name,
+					Class:    tr.Snapshot.Class,
+					Offered:  offered[i],
+					Admitted: float64(tr.Snapshot.Admitted) / virtualDur,
+					Issued:   tr.Snapshot.Admitted + tr.Snapshot.Shed,
+					Shed:     tr.Snapshot.Shed,
+					Latency:  tr.Latency,
+				}
+			}
+		}
 	}
 	res.MeanCI = stats.HistMeanCI(res.Sample, ci95)
 	res.Breakdown = collector.Breakdown()

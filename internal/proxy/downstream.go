@@ -12,6 +12,7 @@ import (
 	"memqlat/internal/protocol"
 	"memqlat/internal/route"
 	"memqlat/internal/telemetry"
+	"memqlat/internal/tenant"
 )
 
 // replyKind is the wire framing of one upstream reply.
@@ -130,8 +131,12 @@ func (p *Proxy) handleConn(nc net.Conn, hint uint64) {
 			continue
 		}
 		start := time.Now()
-		p.dispatch(d, cmd, parser.Frame(), br.Buffered() == 0)
-		d.rec.Observe(telemetry.StageProxyHop, time.Since(start).Seconds())
+		tn := p.dispatch(d, cmd, parser.Frame(), br.Buffered() == 0)
+		hop := time.Since(start).Seconds()
+		d.rec.Observe(telemetry.StageProxyHop, hop)
+		if tn != nil {
+			tn.Observe(hop)
+		}
 		if d.poisoned() {
 			return
 		}
@@ -140,9 +145,26 @@ func (p *Proxy) handleConn(nc net.Conn, hint uint64) {
 
 // dispatch routes one parsed command. frame is the exact wire bytes
 // (Parser.Frame), valid only for the duration of the call — sends copy
-// it into upstream write buffers synchronously.
-func (p *Proxy) dispatch(d *downstream, cmd *protocol.Command, frame []byte, flush bool) {
+// it into upstream write buffers synchronously. It returns the tenant
+// the command was admitted for (nil when QoS is off, the command is
+// control-plane, or it was shed) so the caller can charge the hop
+// latency to the right tenant.
+func (p *Proxy) dispatch(d *downstream, cmd *protocol.Command, frame []byte, flush bool) *tenant.Tenant {
 	p.cmds.Add(1)
+	var tn *tenant.Tenant
+	if p.tenants != nil {
+		var admitted bool
+		tn, admitted = p.admit(cmd)
+		if !admitted {
+			p.tenantSheds.Add(1)
+			d.rec.Observe(telemetry.StageTenantShed, 0)
+			d.trace = otrace.Ctx{} // a shed command consumes its trace scope
+			if !cmd.Noreply {
+				d.localLine(tenantShedLine)
+			}
+			return nil
+		}
+	}
 	// A traced command gets a hop span covering the forward path (the
 	// same window StageProxyHop measures) and a regenerated header that
 	// parents every upstream leg under the hop.
@@ -180,6 +202,33 @@ func (p *Proxy) dispatch(d *downstream, cmd *protocol.Command, frame []byte, flu
 			p.forward(d, frame, kindLine, p.routeKey(cmd.KeyB), p.connFor(h), flush, cmd.Noreply)
 		}
 	}
+	return tn
+}
+
+// admit runs the tenant QoS check for one command: keyed commands are
+// charged to the tenant their (first) key's prefix names — one op
+// token per key, plus stored bytes for the storage family — and
+// control-plane commands (stats, version, verbosity, flush_all) pass
+// free. Zero-alloc: prefix lookup and bucket math only.
+func (p *Proxy) admit(cmd *protocol.Command) (*tenant.Tenant, bool) {
+	var key []byte
+	ops, nbytes := 1, 0
+	switch cmd.Op {
+	case protocol.OpGet, protocol.OpGets, protocol.OpGat, protocol.OpGats:
+		if len(cmd.KeyList) == 0 {
+			return nil, true
+		}
+		key, ops = cmd.KeyList[0], len(cmd.KeyList)
+	case protocol.OpStats, protocol.OpVersion, protocol.OpVerbosity, protocol.OpFlushAll:
+		return nil, true
+	default:
+		key, nbytes = cmd.KeyB, len(cmd.Value)
+	}
+	tn := p.tenants.FromKey(key)
+	if !tn.Admit(p.tenantNow(), ops, nbytes) {
+		return tn, false
+	}
+	return tn, true
 }
 
 // dispatchRead handles the retrieval family: direct passthrough when
@@ -397,6 +446,10 @@ const serverErrorLine = "SERVER_ERROR proxy: upstream unavailable\r\n"
 
 var serverErrorBytes = []byte(serverErrorLine)
 
+// tenantShedLine is the reply of a QoS-shed command; tenant.ShedMsg so
+// clients and loadgen classify sheds without importing the proxy.
+const tenantShedLine = tenant.ShedMsg + "\r\n"
+
 // --- queue machinery -------------------------------------------------
 
 // allocLocked pops a recycled pending (caller holds mu).
@@ -588,6 +641,13 @@ func (d *downstream) localStats() {
 	buf = appendStatInt(buf, "cmd_total", st.Commands)
 	buf = appendStatInt(buf, "forwarded", st.Forwarded)
 	buf = appendStatInt(buf, "failovers", st.Failovers)
+	if tl := d.p.tenants; tl != nil {
+		buf = appendStatInt(buf, "tenant_sheds", st.TenantSheds)
+		for _, s := range tl.Snapshots() {
+			buf = appendStatInt(buf, "tenant_"+s.Name+"_admitted", s.Admitted)
+			buf = appendStatInt(buf, "tenant_"+s.Name+"_shed", s.Shed)
+		}
+	}
 	buf = append(buf, "END\r\n"...)
 	d.mu.Lock()
 	pd := d.allocLocked()

@@ -27,6 +27,7 @@ import (
 	"memqlat/internal/otrace"
 	"memqlat/internal/route"
 	"memqlat/internal/telemetry"
+	"memqlat/internal/tenant"
 )
 
 // Policy selects how the proxy routes keys to upstream servers.
@@ -107,6 +108,16 @@ type Options struct {
 	// mq_trace header) with a proxy hop span and re-propagates the
 	// context to the upstream servers. Nil disables tracing.
 	Tracer *otrace.Tracer
+	// Tenants, when set, arms the multi-tenant QoS layer: every keyed
+	// command is charged to the tenant its key prefix names, and
+	// over-limit silver/bronze tenants are shed with a SERVER_ERROR
+	// before anything queues upstream. Nil disables QoS entirely (no
+	// per-command overhead).
+	Tenants *tenant.Limiter
+	// TenantClock supplies the admission clock in seconds for Tenants
+	// (the run's fault.Clock on the live plane, so throttling starts at
+	// the shared epoch). Default: wall seconds since proxy creation.
+	TenantClock func() float64
 	// Logger, when set, receives accept/teardown diagnostics.
 	Logger *log.Logger
 }
@@ -164,10 +175,15 @@ type Proxy struct {
 	ups      [][]*upstream    // [server][conn]
 	breakers []*route.Breaker // per server; nil unless PolicyFailover
 
-	cmds      atomic.Int64 // commands dispatched
-	forwarded atomic.Int64 // upstream sends (legs count individually)
-	failovers atomic.Int64 // keys routed off their owner
-	connSeq   atomic.Uint64
+	tenants   *tenant.Limiter // nil = QoS disabled
+	tenantNow func() float64
+	epoch     time.Time // default TenantClock base
+
+	cmds        atomic.Int64 // commands dispatched
+	forwarded   atomic.Int64 // upstream sends (legs count individually)
+	failovers   atomic.Int64 // keys routed off their owner
+	tenantSheds atomic.Int64 // commands shed by tenant QoS
+	connSeq     atomic.Uint64
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -188,8 +204,14 @@ func New(opts Options) (*Proxy, error) {
 		rec:       telemetry.OrNop(opts.Recorder),
 		tracer:    opts.Tracer,
 		log:       opts.Logger,
+		tenants:   opts.Tenants,
+		epoch:     time.Now(),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
+	}
+	p.tenantNow = opts.TenantClock
+	if p.tenantNow == nil {
+		p.tenantNow = func() float64 { return time.Since(p.epoch).Seconds() }
 	}
 	p.ups = make([][]*upstream, len(opts.Upstreams))
 	for s, addr := range opts.Upstreams {
@@ -283,23 +305,29 @@ func (p *Proxy) Close() error {
 
 // Stats is the proxy's introspection surface (and its "stats" reply).
 type Stats struct {
-	Commands  int64
-	Forwarded int64
-	Failovers int64
-	Policy    Policy
-	Upstreams int
+	Commands    int64
+	Forwarded   int64
+	Failovers   int64
+	TenantSheds int64
+	Policy      Policy
+	Upstreams   int
 }
 
 // Stats snapshots the counters.
 func (p *Proxy) Stats() Stats {
 	return Stats{
-		Commands:  p.cmds.Load(),
-		Forwarded: p.forwarded.Load(),
-		Failovers: p.failovers.Load(),
-		Policy:    p.opts.Policy,
-		Upstreams: len(p.opts.Upstreams),
+		Commands:    p.cmds.Load(),
+		Forwarded:   p.forwarded.Load(),
+		Failovers:   p.failovers.Load(),
+		TenantSheds: p.tenantSheds.Load(),
+		Policy:      p.opts.Policy,
+		Upstreams:   len(p.opts.Upstreams),
 	}
 }
+
+// Tenants exposes the QoS limiter (nil when QoS is disabled) so the
+// admin plane can register per-tenant metric families.
+func (p *Proxy) Tenants() *tenant.Limiter { return p.tenants }
 
 // BreakerState reports upstream srv's breaker state ("disabled" unless
 // PolicyFailover).

@@ -10,6 +10,7 @@ import (
 	"memqlat/internal/otrace"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
+	"memqlat/internal/tenant"
 )
 
 // RequestConfig parameterizes the fork-join composition stage: it takes
@@ -80,6 +81,22 @@ type RequestConfig struct {
 	// uniform): hot keys overlap their fetch windows, which is what
 	// makes coalescing collapse the herd. Ignored without Coalesce.
 	MissZipfS float64
+	// Tenants arms the multi-tenant QoS admission ahead of every key
+	// draw: each request draws its tenant from the Share mix (rng
+	// stream 107) and each of its N keys charges one op token to that
+	// tenant's bucket at the request's virtual arrival time — the same
+	// tenant.Admit the live proxy runs, on virtual time. A shed key
+	// skips the proxy/server/miss draws entirely (shed-before-queue)
+	// and is recorded as telemetry.StageTenantShed; a request whose
+	// keys all shed is excluded from the latency sample (its caller
+	// saw only error lines). Empty keeps every draw sequence
+	// byte-identical to prior runs.
+	Tenants []tenant.Spec
+	// OfferedKeyRate is the pre-shedding aggregate key rate Λ driving
+	// the virtual request clock when Tenants is set; Model.TotalKeyRate
+	// should then carry the admitted Λ' the surviving streams are
+	// priced at. Zero defaults to Model.TotalKeyRate.
+	OfferedKeyRate float64
 }
 
 // RequestResult aggregates the measured latency decomposition, mirroring
@@ -131,6 +148,24 @@ type RequestResult struct {
 	// for their key instead of fetching (coalesced runs only).
 	// BackendFetches + DelayedHits == MissCount always.
 	DelayedHits int64
+	// Tenants carries the per-tenant QoS outcome in declaration order
+	// (nil without tenant specs).
+	Tenants []TenantSimResult
+	// TenantShedKeys counts keys refused by tenant admission; shed
+	// keys never enter KeyCount or any queue.
+	TenantShedKeys int64
+	// ShedRequests counts requests whose N keys were all shed — the
+	// caller saw nothing but error lines, so they contribute no
+	// latency sample.
+	ShedRequests int64
+}
+
+// TenantSimResult is one tenant's simulated outcome: the final bucket
+// and counter snapshot plus the latency histogram of its requests that
+// had at least one admitted key.
+type TenantSimResult struct {
+	Snapshot tenant.Snapshot
+	Latency  *stats.Histogram
 }
 
 // SimulateRequests runs the two-stage experiment: simulate each server's
@@ -257,6 +292,32 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 	)
 	rec := telemetry.OrNop(cfg.Recorder)
 	rs := newSimResilience(cfg.Resilience, m, servers)
+	// Tenant QoS state: the limiter runs the same bucket code the live
+	// proxy runs, on the virtual request clock. The tenant rng (stream
+	// 107) is drawn only when tenants are declared, so untenanted runs
+	// keep their draw sequence byte-identical.
+	var (
+		lim       *tenant.Limiter
+		tenants   []*tenant.Tenant
+		tenantMix *dist.Weighted
+		rngTenant = dist.SubRand(cfg.Seed, 107)
+		tenantLat []*stats.Histogram
+	)
+	if len(cfg.Tenants) > 0 {
+		lim, err = tenant.New(cfg.Tenants)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		tenants = lim.Tenants()
+		tenantMix, err = dist.NewWeighted(tenant.Shares(cfg.Tenants))
+		if err != nil {
+			return nil, fmt.Errorf("sim: tenant shares: %w", err)
+		}
+		tenantLat = make([]*stats.Histogram, len(cfg.Tenants))
+		for i := range tenantLat {
+			tenantLat[i] = stats.NewHistogram()
+		}
+	}
 	// Coalescing state: per-key in-flight fetch windows on the virtual
 	// timeline. The key rng (stream 106) is drawn only on coalesced
 	// runs, so naive runs keep their draw sequence byte-identical.
@@ -281,17 +342,38 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		inflightUntil = make([]float64, nKeys)
 		inflightFail = make([]bool, nKeys)
 	}
-	// Virtual request clock for Database fault windows: requests arrive
-	// at the aggregate rate Λ/N, matching the per-server streams' own
-	// virtual timelines.
-	reqRate := m.TotalKeyRate / float64(m.N)
+	// Virtual request clock for Database fault windows and tenant
+	// buckets: requests arrive at the aggregate rate Λ/N, matching the
+	// per-server streams' own virtual timelines. Under QoS the clock
+	// runs at the OFFERED rate — sheds happen at arrival, before any
+	// queue, so the admission process sees the pre-shedding stream.
+	offeredRate := cfg.OfferedKeyRate
+	if offeredRate <= 0 {
+		offeredRate = m.TotalKeyRate
+	}
+	reqRate := offeredRate / float64(m.N)
 	for req := 0; req < cfg.Requests; req++ {
 		var (
 			maxTS, maxTD, maxTP, sumTS float64
 			misses, failedKeys         int
+			admittedKeys               int
 		)
 		now := float64(req) / reqRate
+		var tn *tenant.Tenant
+		tenantIdx := -1
+		if lim != nil {
+			tenantIdx = tenantMix.SampleInt(rngTenant)
+			tn = tenants[tenantIdx]
+		}
 		for i := 0; i < m.N; i++ {
+			if tn != nil && !tn.Admit(now, 1, 0) {
+				// Shed before queue: the key never reaches the proxy or
+				// a server, so it draws nothing downstream.
+				out.TenantShedKeys++
+				rec.Observe(telemetry.StageTenantShed, 0)
+				continue
+			}
+			admittedKeys++
 			if proxySrv != nil {
 				tp := proxySrv.Sample(rngProxy)
 				if tp > maxTP {
@@ -407,6 +489,12 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		if failedKeys > 0 {
 			out.DegradedRequests++
 		}
+		if admittedKeys == 0 {
+			// Every key was shed: the caller saw only error lines, so
+			// the request leaves no latency sample on any plane.
+			out.ShedRequests++
+			continue
+		}
 		out.TS.Record(maxTS)
 		out.TD.Record(maxTD)
 		if out.TP != nil {
@@ -414,9 +502,18 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		}
 		total := m.NetworkLatency + maxTS + maxTD + maxTP
 		out.Total.Record(total)
-		rec.Observe(telemetry.StageForkJoin, maxTS-sumTS/float64(m.N))
+		if tenantIdx >= 0 {
+			tenantLat[tenantIdx].Record(total)
+		}
+		rec.Observe(telemetry.StageForkJoin, maxTS-sumTS/float64(admittedKeys))
 		if cfg.Tracer.Enabled() {
 			emitRequestSpans(cfg.Tracer, now, total, maxTP, maxTS, maxTD)
+		}
+	}
+	if lim != nil {
+		out.Tenants = make([]TenantSimResult, len(tenants))
+		for i, h := range tenants {
+			out.Tenants[i] = TenantSimResult{Snapshot: h.Snapshot(), Latency: tenantLat[i]}
 		}
 	}
 	return out, nil

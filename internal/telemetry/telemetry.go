@@ -65,6 +65,13 @@ const (
 	// request is either a miss_penalty (it led the fetch) or a
 	// coalesce_wait (it fanned in), never both.
 	StageCoalesceWait
+	// StageTenantShed is observed once per key the proxy's tenant QoS
+	// layer shed before it could queue upstream (token/byte bucket
+	// empty for a silver/bronze tenant); the value is the (near-zero)
+	// admission-check latency, so the Count is the signal. Zero
+	// observations without tenant specs, so single-tenant topologies
+	// keep their decomposition unchanged.
+	StageTenantShed
 	numStages
 )
 
@@ -72,7 +79,7 @@ const (
 func Stages() []Stage {
 	return []Stage{StageQueueWait, StageService, StageMissPenalty, StageForkJoin,
 		StageRetry, StageHedgeWait, StageBreakerShed, StageLockWait, StageProxyHop,
-		StageCoalesceWait}
+		StageCoalesceWait, StageTenantShed}
 }
 
 // String returns the stable snake_case stage name used in reports and
@@ -99,6 +106,8 @@ func (s Stage) String() string {
 		return "proxy_hop"
 	case StageCoalesceWait:
 		return "coalesce_wait"
+	case StageTenantShed:
+		return "tenant_shed"
 	default:
 		return fmt.Sprintf("stage(%d)", int(s))
 	}

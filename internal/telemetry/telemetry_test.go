@@ -19,6 +19,7 @@ func TestStageNames(t *testing.T) {
 		StageLockWait:     "lock_wait",
 		StageProxyHop:     "proxy_hop",
 		StageCoalesceWait: "coalesce_wait",
+		StageTenantShed:   "tenant_shed",
 	}
 	if len(Stages()) != len(want) {
 		t.Fatalf("Stages() = %d entries, want %d", len(Stages()), len(want))

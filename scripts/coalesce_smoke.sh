@@ -1,10 +1,10 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # coalesce_smoke.sh — boot a live memcached-server, drive a hot-key
 # steady-miss workload through mcbench with single-flight coalescing,
 # and assert the backend fetch count sits far below the miss count
 # (the thundering-herd protection working end to end over real TCP).
 # Used by the CI verify job; runnable locally from the repo root.
-set -eu
+set -euo pipefail
 
 srv=$(mktemp -t memcached-server-coalesce.XXXXXX)
 bench=$(mktemp -t mcbench-coalesce.XXXXXX)

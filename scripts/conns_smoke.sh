@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # conns_smoke.sh — boot memcached-server on the epoll event-loop core
 # and park 5000 mostly-idle connections on it with mcbench -conns while
 # a hot subset issues gets: proves the multiplexed core serves real
@@ -6,7 +6,7 @@
 # never exercise. Used by the CI verify job; runnable locally from the
 # repo root (needs a few thousand spare fds; mcbench raises its own
 # soft limit, the server side is raised here with ulimit when allowed).
-set -eu
+set -euo pipefail
 
 ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
 

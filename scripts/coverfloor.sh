@@ -1,10 +1,10 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # coverfloor.sh PROFILE FLOOR LABEL — fail when a package's total
 # statement coverage (from `go test -coverprofile`) drops below FLOOR
 # percent. The floors checked in CI are the pre-shard coverage levels of
 # internal/cache and internal/protocol, so hot-path rework cannot shed
 # tests silently.
-set -eu
+set -euo pipefail
 
 profile=$1
 floor=$2

@@ -1,8 +1,8 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # obs_smoke.sh — boot memcached-server with the admin plane and check
 # that /healthz, /metrics and /trace answer with the expected content.
 # Used by the CI verify job; runnable locally from the repo root.
-set -eu
+set -euo pipefail
 
 bin=$(mktemp -t memcached-server-smoke.XXXXXX)
 go build -o "$bin" ./cmd/memcached-server
