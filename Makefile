@@ -3,8 +3,8 @@
 GO ?= go
 
 .PHONY: build test vet race verify faults lint cover fuzz-smoke \
-	bench-plane bench-server bench-proxy bench-conns bench-check obs \
-	repro clean
+	bench-plane bench-server bench-proxy bench-conns bench-extstore \
+	bench-check obs repro clean
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,7 @@ cover:
 	$(GO) test -coverprofile=cover_server.out ./internal/server/
 	$(GO) test -coverprofile=cover_coalesce.out ./internal/coalesce/
 	$(GO) test -coverprofile=cover_tenant.out ./internal/tenant/
+	$(GO) test -coverprofile=cover_extstore.out ./internal/extstore/
 	./scripts/coverfloor.sh cover_cache.out 95.2 internal/cache
 	./scripts/coverfloor.sh cover_protocol.out 90.6 internal/protocol
 	./scripts/coverfloor.sh cover_proxy.out 82.0 internal/proxy
@@ -61,6 +62,7 @@ cover:
 	./scripts/coverfloor.sh cover_server.out 77.0 internal/server
 	./scripts/coverfloor.sh cover_coalesce.out 90.0 internal/coalesce
 	./scripts/coverfloor.sh cover_tenant.out 90.0 internal/tenant
+	./scripts/coverfloor.sh cover_extstore.out 85.0 internal/extstore
 
 # Fuzz smoke: 30s over the reusable-buffer parser (ReadCommand and
 # Parser.Next must agree byte-for-byte on arbitrary input), 15s over
@@ -98,6 +100,12 @@ bench-conns:
 	$(GO) test -run '^$$' -bench BenchmarkConnScaling -benchmem \
 		-benchtime 500000x ./internal/server/
 
+# Extstore disk-tier benchmarks (indexed read path against a populated
+# segment log, and the bounded sync write path). BENCH_extstore.json
+# records the last blessed numbers.
+bench-extstore:
+	$(GO) test -run '^$$' -bench 'BenchmarkExtstoreRead|BenchmarkExtstoreWrite' -benchmem ./internal/extstore/
+
 # Compare current benchmark runs against the checked-in baselines the
 # way CI does: >20% ns/op regression or any allocation appearing on a
 # zero-alloc path fails.
@@ -111,6 +119,8 @@ bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkConnScaling -benchmem \
 		-benchtime 500000x ./internal/server/ \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_conns.json
+	$(GO) test -run '^$$' -bench 'BenchmarkExtstoreRead|BenchmarkExtstoreWrite' -benchmem ./internal/extstore/ \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_extstore.json
 
 # Observability smoke: a short live-plane run with the admin plane and
 # span recording armed (mcbench re-parses the Chrome trace it wrote and

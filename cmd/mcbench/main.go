@@ -40,6 +40,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -69,26 +70,28 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mcbench", flag.ContinueOnError)
 	var (
-		servers   = fs.String("servers", "127.0.0.1:11211", "comma-separated server addresses")
-		keys      = fs.Int("keys", 10000, "keyspace size")
-		valueSize = fs.Int("value-size", 100, "value size in bytes")
-		zipfS     = fs.Float64("zipf", 0, "Zipf popularity exponent (0 = uniform)")
-		lambda    = fs.Float64("lambda", 2000, "target aggregate key rate (keys/s)")
-		xi        = fs.Float64("xi", 0.15, "burst degree of batch gaps")
-		q         = fs.Float64("q", 0.1, "concurrent probability (batching)")
-		missRatio = fs.Float64("miss-ratio", 0, "fraction of gets forced to miss")
-		ops       = fs.Int("ops", 10000, "operations to issue")
-		workers   = fs.Int("workers", 32, "max in-flight operations")
-		seed      = fs.Uint64("seed", 1, "random seed")
-		fill      = fs.Bool("fill-misses", false, "relay misses to a simulated database")
-		mud       = fs.Float64("mud", 1000, "simulated database service rate for -fill-misses")
-		coalesced = fs.Bool("coalesce", false, "single-flight coalesce concurrent misses per key (needs -fill-misses on external runs)")
-		hotZipf   = fs.Float64("hot-zipf", 0, "Zipf exponent for the hot-key miss keyspace (plane modes; overrides -zipf on external runs when set)")
-		fillTTL   = fs.Duration("fill-ttl", 0, "write-back TTL for filled misses (negative = store already expired, keeping misses steady)")
-		dbQueue   = fs.Int("db-queue", 0, "bound the simulated database to a single serving queue of this depth (0 = concurrent)")
-		timeout   = fs.Duration("timeout", 10*time.Minute, "overall run timeout")
-		keyTrace  = fs.String("trace", "", "journal the issued key stream to this file (mrc/replay input)")
-		closed    = fs.Bool("closed-loop", false, "closed-loop mode (fixed concurrency + think time) instead of open-loop pacing")
+		servers    = fs.String("servers", "127.0.0.1:11211", "comma-separated server addresses")
+		keys       = fs.Int("keys", 10000, "keyspace size")
+		valueSize  = fs.Int("value-size", 100, "value size in bytes (the mean under -value-dist=lognormal)")
+		valueDist  = fs.String("value-dist", "fixed", "per-key value-size law: fixed|lognormal (mixed object sizes for a disk tier)")
+		valueSigma = fs.Float64("value-sigma", 0, "lognormal shape for -value-dist=lognormal (0 = default 0.5)")
+		zipfS      = fs.Float64("zipf", 0, "Zipf popularity exponent (0 = uniform)")
+		lambda     = fs.Float64("lambda", 2000, "target aggregate key rate (keys/s)")
+		xi         = fs.Float64("xi", 0.15, "burst degree of batch gaps")
+		q          = fs.Float64("q", 0.1, "concurrent probability (batching)")
+		missRatio  = fs.Float64("miss-ratio", 0, "fraction of gets forced to miss")
+		ops        = fs.Int("ops", 10000, "operations to issue")
+		workers    = fs.Int("workers", 32, "max in-flight operations")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		fill       = fs.Bool("fill-misses", false, "relay misses to a simulated database")
+		mud        = fs.Float64("mud", 1000, "simulated database service rate for -fill-misses")
+		coalesced  = fs.Bool("coalesce", false, "single-flight coalesce concurrent misses per key (needs -fill-misses on external runs)")
+		hotZipf    = fs.Float64("hot-zipf", 0, "Zipf exponent for the hot-key miss keyspace (plane modes; overrides -zipf on external runs when set)")
+		fillTTL    = fs.Duration("fill-ttl", 0, "write-back TTL for filled misses (negative = store already expired, keeping misses steady)")
+		dbQueue    = fs.Int("db-queue", 0, "bound the simulated database to a single serving queue of this depth (0 = concurrent)")
+		timeout    = fs.Duration("timeout", 10*time.Minute, "overall run timeout")
+		keyTrace   = fs.String("trace", "", "journal the issued key stream to this file (mrc/replay input)")
+		closed     = fs.Bool("closed-loop", false, "closed-loop mode (fixed concurrency + think time) instead of open-loop pacing")
 
 		conns    = fs.Int("conns", 0, "connection-scaling mode: park this many mostly-idle connections on the first server while -conn-hot connections issue gets (0 = off)")
 		connRamp = fs.String("conn-ramp", "", `connection-scaling ramp, e.g. "1000,5000,10000": grow the idle fleet through each tier, reporting p50/p95/p99 per connection count`)
@@ -104,10 +107,11 @@ func run(args []string, out io.Writer) error {
 		routeReplica = fs.Int("replicas", 2, "replication degree for -route=replicate")
 		tenantsSpec  = fs.String("tenants", "", `tenant QoS specs armed at the proxy, e.g. "acme:rate=500,share=0.5;evil:rate=200,share=0.5" (needs -proxy)`)
 
-		planeName  = fs.String("plane", "", "run against an internal plane (model|sim|sim-integrated|live) instead of -servers")
-		mus        = fs.Float64("mus", 2000, "per-server shaped service rate for -plane modes")
-		planeSrv   = fs.Int("plane-servers", 2, "server count for -plane modes")
-		keysPerReq = fs.Int("n", 10, "keys per end-user request for the model/sim planes")
+		planeName    = fs.String("plane", "", "run against an internal plane (model|sim|sim-integrated|live) instead of -servers")
+		extstoreSpec = fs.String("extstore", "", `arm an SSD extstore tier on -plane runs, e.g. "ram=200,total=1200,mud=2000[,dist=lognormal][,sigma=0.5]" (RAM/total item budgets, disk reads/s)`)
+		mus          = fs.Float64("mus", 2000, "per-server shaped service rate for -plane modes")
+		planeSrv     = fs.Int("plane-servers", 2, "server count for -plane modes")
+		keysPerReq   = fs.Int("n", 10, "keys per end-user request for the model/sim planes")
 
 		faultSpec = fs.String("faults", "", `fault schedule for -plane modes, e.g. "slow:srv=0,delay=200us;drop:srv=1,p=0.1,delay=5ms"`)
 
@@ -169,13 +173,18 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		ext, err := parseExtstoreSpec(*extstoreSpec)
+		if err != nil {
+			return err
+		}
 		ps := planeScenario{
 			servers: *planeSrv, n: *keysPerReq, lambda: *lambda,
 			xi: *xi, q: *q, mus: *mus, missRatio: *missRatio, mud: *mud,
 			ops: *ops, workers: *workers, seed: *seed, timeout: *timeout,
 			faults: faults, resilience: resilience, tracer: tracer,
 			coalesce: *coalesced, zipfS: *hotZipf, fillTTL: *fillTTL,
-			dbQueue: *dbQueue, tenants: tenantSpecs,
+			dbQueue: *dbQueue, tenants: tenantSpecs, extstore: ext,
+			valueDist: *valueDist, valueSigma: *valueSigma,
 		}
 		if flagSet["keys"] {
 			ps.keys = *keys
@@ -207,6 +216,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *faultSpec != "" {
 		return fmt.Errorf("-faults needs a -plane mode (external -servers cannot be injected)")
+	}
+	if *extstoreSpec != "" {
+		return fmt.Errorf("-extstore needs a -plane mode (external servers run their own tier via memcached-server -extstore-dir)")
 	}
 	addrs := strings.Split(*servers, ",")
 	collector := telemetry.NewCollector()
@@ -307,6 +319,8 @@ func run(args []string, out io.Writer) error {
 		Client:        cl,
 		Keys:          *keys,
 		ValueSize:     *valueSize,
+		ValueDist:     *valueDist,
+		ValueSigma:    *valueSigma,
 		ZipfS:         popZipf,
 		Lambda:        *lambda,
 		Xi:            *xi,
@@ -373,6 +387,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "fills       %d misses, %d db fetches, %d fan-ins, %d sheds, queue peak %d\n",
 			res.Misses, dbs.Lookups, cs.FanIns, cs.Sheds, dbs.QueuePeak)
 	}
+	printExternalExtstore(out, cl, len(addrs))
 	printResilience(out, res.Shed, collector.Breakdown())
 	if len(res.Tenants) > 0 {
 		// One machine-parseable row per tenant: the QoS smoke script
@@ -479,6 +494,89 @@ type planeScenario struct {
 	fillTTL                  time.Duration
 	keys, dbQueue            int
 	tenants                  []tenant.Spec
+	extstore                 *plane.ExtstoreSpec
+	valueDist                string
+	valueSigma               float64
+}
+
+// parseExtstoreSpec reads the -extstore tier description:
+// comma-separated key=value pairs with ram/total item budgets and the
+// disk service rate, e.g. "ram=200,total=1200,mud=2000".
+func parseExtstoreSpec(s string) (*plane.ExtstoreSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	spec := &plane.ExtstoreSpec{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[1] == "" {
+			return nil, fmt.Errorf("-extstore: %q is not key=value", part)
+		}
+		var err error
+		switch kv[0] {
+		case "ram":
+			spec.RAMItems, err = strconv.Atoi(kv[1])
+		case "total":
+			spec.TotalItems, err = strconv.Atoi(kv[1])
+		case "mud", "mudisk":
+			spec.MuDisk, err = strconv.ParseFloat(kv[1], 64)
+		case "dist":
+			spec.DiskDist = kv[1]
+		case "sigma":
+			spec.DiskSigma, err = strconv.ParseFloat(kv[1], 64)
+		default:
+			return nil, fmt.Errorf("-extstore: unknown field %q (ram, total, mud, dist, sigma)", kv[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("-extstore: field %q: %w", kv[0], err)
+		}
+	}
+	return spec, nil
+}
+
+// printExtstore is the one-line tier summary of a plane run: the
+// measured disk-path counters next to the MRC-predicted hit fraction
+// (model/sim runs leave the live-only counters at zero).
+func printExtstore(out io.Writer, er *plane.ExtstoreResult) {
+	if er == nil {
+		return
+	}
+	fmt.Fprintf(out, "extstore    %d disk hits, %d promotions, %d segment bytes, %d compactions (β pred %.2f)\n",
+		er.DiskHits, er.Promotions, er.SegmentBytes, er.Compactions, er.Predicted.DiskHitFraction())
+}
+
+// printExternalExtstore sums the extstore_* stats rows across external
+// servers and prints the same one-line summary; servers without a disk
+// tier (or a proxy that does not relay stats) stay silent.
+func printExternalExtstore(out io.Writer, cl *client.Client, n int) {
+	var hits, promotions, segBytes, compactions int64
+	found := false
+	for i := 0; i < n; i++ {
+		m, err := cl.ServerStats(i)
+		if err != nil {
+			continue
+		}
+		if _, ok := m["extstore_disk_hits"]; !ok {
+			continue
+		}
+		found = true
+		hits += statInt(m, "extstore_disk_hits")
+		promotions += statInt(m, "extstore_promotions")
+		segBytes += statInt(m, "extstore_segment_bytes")
+		compactions += statInt(m, "extstore_compactions")
+	}
+	if found {
+		fmt.Fprintf(out, "extstore    %d disk hits, %d promotions, %d segment bytes, %d compactions\n",
+			hits, promotions, segBytes, compactions)
+	}
+}
+
+func statInt(m map[string]string, k string) int64 {
+	v, err := strconv.ParseInt(m[k], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
 }
 
 // runPlane evaluates the flag-described scenario on the named internal
@@ -514,6 +612,13 @@ func runPlane(name string, ps planeScenario, out io.Writer) error {
 		Keys:         ps.keys,
 		DBQueueDepth: ps.dbQueue,
 		Tenants:      ps.tenants,
+		Extstore:     ps.extstore,
+		ValueDist:    ps.valueDist,
+		ValueSigma:   ps.valueSigma,
+	}
+	if s.ValueDist == loadgen.ValueDistFixed {
+		// The flag default; the Scenario treats "" as fixed.
+		s.ValueDist = ""
 	}
 	if ps.proxy != nil {
 		fmt.Fprintf(out, "interposing proxy tier (%s routing)\n", ps.proxy.Policy)
@@ -559,6 +664,7 @@ func runPlane(name string, ps planeScenario, out io.Writer) error {
 		fmt.Fprintf(out, "fills       %d misses, %d db fetches, %d fan-ins, %d sheds, queue peak %d\n",
 			res.Live.Misses, res.DB.Lookups, fanIns, sheds, res.DB.QueuePeak)
 	}
+	printExtstore(out, res.Extstore)
 	var shed int64
 	if res.Live != nil {
 		shed = res.Live.Shed

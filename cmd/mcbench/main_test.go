@@ -146,6 +146,74 @@ func TestRunLivePlane(t *testing.T) {
 	}
 }
 
+func TestRunSimPlaneExtstore(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{
+		"-plane", "sim",
+		"-lambda", "20000", "-mus", "80000", "-plane-servers", "2",
+		"-n", "10", "-miss-ratio", "0.37", "-ops", "1000",
+		"-keys", "2000", "-hot-zipf", "1",
+		"-extstore", "ram=200,total=1200,mud=2000",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"extstore", "disk hits", "β pred", "disk_read"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "0 disk hits") {
+		t.Errorf("tiered sim run served no disk hits:\n%s", s)
+	}
+}
+
+func TestParseExtstoreSpec(t *testing.T) {
+	spec, err := parseExtstoreSpec("ram=200, total=1200,mudisk=2000,dist=lognormal,sigma=0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.RAMItems != 200 || spec.TotalItems != 1200 || spec.MuDisk != 2000 ||
+		spec.DiskDist != "lognormal" || spec.DiskSigma != 0.7 {
+		t.Errorf("parsed %+v", spec)
+	}
+	for _, bad := range []string{"ram", "ram=", "ram=x", "watts=3"} {
+		if _, err := parseExtstoreSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	if spec, err := parseExtstoreSpec(""); spec != nil || err != nil {
+		t.Errorf("empty spec: %+v, %v", spec, err)
+	}
+}
+
+func TestRunValueDist(t *testing.T) {
+	addr := startTestServer(t)
+	var out bytes.Buffer
+	args := []string{
+		"-servers", addr,
+		"-keys", "200", "-ops", "300", "-lambda", "50000", "-workers", "8",
+		"-value-dist", "lognormal", "-value-sigma", "0.6",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), " 0 hits") {
+		t.Errorf("no hits recorded:\n%s", out.String())
+	}
+	// The external path has no extstore tier, so no summary line.
+	if strings.Contains(out.String(), "extstore") {
+		t.Errorf("extstore summary on a tierless run:\n%s", out.String())
+	}
+	if err := run([]string{"-servers", addr, "-value-dist", "pareto", "-ops", "10"}, &out); err == nil {
+		t.Error("unknown value dist accepted")
+	}
+	if err := run([]string{"-servers", addr, "-extstore", "ram=1,total=2,mud=1"}, &out); err == nil {
+		t.Error("-extstore without -plane accepted")
+	}
+}
+
 func TestRunUnknownPlane(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-plane", "quantum"}, &out); err == nil {

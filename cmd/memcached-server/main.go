@@ -10,6 +10,12 @@
 // turns the server into a physical realization of the paper's GI^X/M/1
 // model for latency experiments.
 //
+// -extstore-dir arms the log-structured SSD cache tier: RAM LRU
+// victims spill into append-only segment files under the directory,
+// GET misses read back through the tier, and reopening the same
+// directory after a crash rebuilds the disk index from the segment
+// log (the startup line reports how many keys were recovered).
+//
 // -admin exposes the observability plane on a second listener:
 // /metrics (Prometheus text exposition of the command, cache-shard and
 // stage-latency families), /healthz, /debug/pprof and — with
@@ -26,6 +32,7 @@ import (
 	"syscall"
 
 	"memqlat/internal/cache"
+	"memqlat/internal/extstore"
 	"memqlat/internal/metrics"
 	"memqlat/internal/otrace"
 	"memqlat/internal/server"
@@ -50,6 +57,9 @@ func run(args []string) error {
 		serviceCh   = fs.Int("service-channels", 1, "independent service channels for the shaped path (1 = the paper's single-server queue)")
 		seed        = fs.Uint64("seed", 1, "seed for service-time shaping")
 		timingSmpl  = fs.Int("timing-sample", 0, "time 1-in-N unshaped commands for stats latency/telemetry (0 = default 8, 1 = every command, negative = off)")
+		extDir      = fs.String("extstore-dir", "", "arm a log-structured SSD cache tier on this directory (RAM evictions spill there; empty = off)")
+		extMB       = fs.Int64("extstore-mb", 64, "extstore on-disk budget in MiB")
+		extSegKB    = fs.Int64("extstore-segment-kb", 0, "extstore segment size in KiB (0 = default 4096)")
 		connCore    = fs.String("conn-core", server.CoreGoroutines, "connection core: goroutines (one per connection) or eventloop (epoll loops, linux)")
 		loopWorkers = fs.Int("loop-workers", 0, "event-loop goroutines for -conn-core eventloop (0 = GOMAXPROCS)")
 		idleTimeout = fs.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
@@ -79,8 +89,26 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var ext *extstore.Store
+	if *extDir != "" {
+		// Reopening an existing directory replays the segment log: the
+		// recovered-keys line is what the smoke script greps to prove a
+		// SIGKILLed tier comes back with its durable prefix intact.
+		ext, err = extstore.Open(extstore.Options{
+			Dir:          *extDir,
+			MaxBytes:     *extMB << 20,
+			SegmentBytes: *extSegKB << 10,
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = ext.Close() }()
+		log.Printf("memcached-server: extstore tier on %s (%d MiB budget, %d keys recovered in %d segments)",
+			*extDir, *extMB, ext.Len(), ext.Stats().Segments)
+	}
 	srv, err := server.New(server.Options{
 		Cache:           c,
+		Extstore:        ext,
 		MaxConns:        *maxConns,
 		ServiceRate:     *serviceRate,
 		ServiceChannels: *serviceCh,

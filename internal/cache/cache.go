@@ -93,6 +93,12 @@ type Cache struct {
 	// on healthy runs.
 	onLockWait atomic.Pointer[func(float64)]
 
+	// onEvict, when set, receives each non-expired LRU victim as it is
+	// evicted (expired reaping is not an eviction — those values are
+	// dead, not displaced). One atomic load per victim when unset; the
+	// store hot path is untouched when no evictions occur.
+	onEvict atomic.Pointer[EvictFunc]
+
 	gets        atomic.Int64
 	hits        atomic.Int64
 	misses      atomic.Int64
@@ -220,6 +226,27 @@ func (c *Cache) ShardIndex(key []byte) int {
 
 // Shards reports the number of lock domains.
 func (c *Cache) Shards() int { return len(c.shards) }
+
+// EvictFunc observes one LRU victim: the key, the stored value, its
+// flags and its absolute expiry (zero when none). It is called with
+// the victim's shard lock held, so it must be fast and must not call
+// back into the cache; the value slice is owned by the evicted entry
+// and must be copied if retained beyond the call. The extstore tier
+// hangs off this hook: victims are enqueued to the SSD log instead of
+// vanishing.
+type EvictFunc func(key string, value []byte, flags uint32, expires time.Time)
+
+// OnEvict installs f as the eviction observer (nil removes it). Safe
+// to call concurrently with cache use. Only genuine LRU displacements
+// are reported — entries reaped because their TTL passed are counted
+// as expirations and never observed here.
+func (c *Cache) OnEvict(f EvictFunc) {
+	if f == nil {
+		c.onEvict.Store(nil)
+		return
+	}
+	c.onEvict.Store(&f)
+}
 
 // OnLockWait installs f as the lock-wait observer: it receives the
 // seconds any shard-lock acquisition spent blocked (contended case
@@ -365,7 +392,7 @@ func (c *Cache) SetBytes(key, value []byte, flags uint32, ttl time.Duration) err
 	now := c.clock()
 	c.lock(s)
 	defer s.mu.Unlock()
-	s.store(string(key), owned, flags, c.expiryFrom(ttl), c.nextCAS(), now, &c.evictions, &c.expirations)
+	s.store(string(key), owned, flags, c.expiryFrom(ttl), c.nextCAS(), now, c)
 	c.sets.Add(1)
 	return nil
 }
@@ -411,7 +438,7 @@ func (c *Cache) Set(key string, value []byte, flags uint32, ttl time.Duration) e
 	now := c.clock()
 	c.lock(s)
 	defer s.mu.Unlock()
-	s.store(key, value, flags, c.expiryFrom(ttl), c.nextCAS(), now, &c.evictions, &c.expirations)
+	s.store(key, value, flags, c.expiryFrom(ttl), c.nextCAS(), now, c)
 	c.sets.Add(1)
 	return nil
 }
@@ -431,7 +458,7 @@ func (c *Cache) Add(key string, value []byte, flags uint32, ttl time.Duration) e
 	if s.lookup(key, now, &c.expirations) != nil {
 		return ErrNotStored
 	}
-	s.store(key, value, flags, c.expiryFrom(ttl), c.nextCAS(), now, &c.evictions, &c.expirations)
+	s.store(key, value, flags, c.expiryFrom(ttl), c.nextCAS(), now, c)
 	c.sets.Add(1)
 	return nil
 }
@@ -451,7 +478,7 @@ func (c *Cache) Replace(key string, value []byte, flags uint32, ttl time.Duratio
 	if s.lookup(key, now, &c.expirations) == nil {
 		return ErrNotStored
 	}
-	s.store(key, value, flags, c.expiryFrom(ttl), c.nextCAS(), now, &c.evictions, &c.expirations)
+	s.store(key, value, flags, c.expiryFrom(ttl), c.nextCAS(), now, c)
 	c.sets.Add(1)
 	return nil
 }
@@ -488,7 +515,7 @@ func (c *Cache) concat(key string, value []byte, after bool) error {
 	if err := c.validateValue(combined); err != nil {
 		return err
 	}
-	s.store(key, combined, e.flags, e.expires, c.nextCAS(), now, &c.evictions, &c.expirations)
+	s.store(key, combined, e.flags, e.expires, c.nextCAS(), now, c)
 	c.sets.Add(1)
 	return nil
 }
@@ -513,7 +540,7 @@ func (c *Cache) CompareAndSwap(key string, value []byte, flags uint32, ttl time.
 	if e.cas != casToken {
 		return ErrExists
 	}
-	s.store(key, value, flags, c.expiryFrom(ttl), c.nextCAS(), now, &c.evictions, &c.expirations)
+	s.store(key, value, flags, c.expiryFrom(ttl), c.nextCAS(), now, c)
 	c.sets.Add(1)
 	return nil
 }
@@ -583,7 +610,7 @@ func (c *Cache) IncrDecr(key string, delta int64) (uint64, error) {
 		}
 	}
 	s.store(key, []byte(strconv.FormatUint(next, 10)), e.flags, e.expires,
-		c.nextCAS(), now, &c.evictions, &c.expirations)
+		c.nextCAS(), now, c)
 	return next, nil
 }
 
@@ -677,7 +704,15 @@ type entry struct {
 }
 
 func (e *entry) cost() int64 {
-	return int64(len(e.key)) + int64(len(e.value)) + itemOverhead
+	return ItemCost(len(e.key), len(e.value))
+}
+
+// ItemCost reports the byte-budget charge of one cached item — the key
+// and value payloads plus the fixed per-item bookkeeping overhead — so
+// capacity planners (e.g. the live plane's tier sizing) can convert an
+// item budget into a MaxBytes budget.
+func ItemCost(keyLen, valueLen int) int64 {
+	return int64(keyLen) + int64(valueLen) + itemOverhead
 }
 
 func (e *entry) expired(now time.Time) bool {
@@ -772,7 +807,7 @@ func (s *shard) pushFront(e *entry) {
 // store inserts or replaces key, evicting LRU entries to fit the budget.
 // Caller holds mu.
 func (s *shard) store(key string, value []byte, flags uint32, expires time.Time,
-	cas uint64, now time.Time, evictions, expirations *atomic.Int64) {
+	cas uint64, now time.Time, c *Cache) {
 	if old, ok := s.items[key]; ok {
 		s.bytes -= old.cost()
 		s.unlink(old)
@@ -785,9 +820,15 @@ func (s *shard) store(key string, value []byte, flags uint32, expires time.Time,
 		victim := s.tail
 		s.remove(victim.key)
 		if victim.expired(now) {
-			expirations.Add(1)
+			c.expirations.Add(1)
 		} else {
-			evictions.Add(1)
+			c.evictions.Add(1)
+			// Displaced-but-live victims are observable: the second
+			// cache tier catches them here. The entry is already
+			// unlinked, so the callback is the value's sole referent.
+			if f := c.onEvict.Load(); f != nil {
+				(*f)(victim.key, victim.value, victim.flags, victim.expires)
+			}
 		}
 	}
 	s.items[key] = e

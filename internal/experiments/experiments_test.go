@@ -16,7 +16,7 @@ func TestAllRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "table4", "prop1", "prop2",
 		"ext-tails", "ext-arrivals", "ext-eq6", "ext-redundancy",
 		"ext-integrated", "ext-elasticity", "ext-resilience", "crossplane",
-		"hotkey", "noisy", "proxied", "live"}
+		"hotkey", "noisy", "proxied", "tiered", "live"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
@@ -405,6 +405,53 @@ func TestNoisyExperiment(t *testing.T) {
 			}
 			if row[4] == "0%" {
 				t.Errorf("aggressor row shows 0%% shed: %v", row)
+			}
+		}
+	}
+}
+
+func TestTieredExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("includes a live stack run")
+	}
+	r, err := Tiered(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 sweep rows + 1 live row.
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		if len(row) != len(r.Columns) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(r.Columns))
+		}
+		switch {
+		case i == 0:
+			// The all-RAM split has no tier: no disk hits, no β.
+			if row[6] != "0" || row[8] != "-" {
+				t.Errorf("all-RAM row shows tier activity: %v", row)
+			}
+		default:
+			// Every tiered row measured real disk hits at roughly the
+			// MRC-predicted fraction.
+			hits, err := strconv.Atoi(row[6])
+			if err != nil || hits <= 0 {
+				t.Errorf("row %d measured no disk hits: %v", i, row)
+				continue
+			}
+			pred, err1 := strconv.ParseFloat(row[2], 64)
+			meas, err2 := strconv.ParseFloat(row[8], 64)
+			if err1 != nil || err2 != nil {
+				t.Errorf("row %d has unparseable β cells: %v", i, row)
+				continue
+			}
+			slack := 0.15
+			if strings.HasPrefix(row[0], "live") {
+				slack = pred / 2 // live gets the 1.5× band of the cross-plane test
+			}
+			if meas < pred-slack || meas > pred+slack {
+				t.Errorf("row %d: measured β %.2f far from predicted %.2f: %v", i, meas, pred, row)
 			}
 		}
 	}

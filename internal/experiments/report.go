@@ -177,6 +177,7 @@ func All() []Experiment {
 		{"hotkey", "Hot-key herd: naive vs coalesced miss path on every plane", HotKey},
 		{"noisy", "Noisy neighbor: token-bucket QoS sheds an over-quota aggressor on every plane", Noisy},
 		{"proxied", "Proxy tier: direct vs proxied vs replicated on every plane", Proxied},
+		{"tiered", "Tiered storage: RAM:SSD splits at fixed cost via the shared MRC", Tiered},
 		{"live", "Live TCP stack end-to-end check", Live},
 	}
 }

@@ -1,0 +1,161 @@
+package extstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// recover rebuilds the in-memory index from the segment files on
+// disk, in segment-id order so later records win. The invariants:
+//
+//   - every frame is checksum-verified; the scan of a segment stops at
+//     the first frame that fails (torn tail or bit rot), so the index
+//     covers exactly the durable prefix of the log;
+//   - the highest-id unsealed segment is the live one: its torn tail
+//     is physically truncated and appends resume at the cut;
+//   - tombstones erase earlier puts, so invalidations survive the
+//     crash too;
+//   - sealed segments with damage are not truncated (they are
+//     read-only); indexing just stops at the damage and the skipped
+//     bytes are accounted as truncated.
+//
+// Called from Open before any concurrency exists.
+func (s *Store) recover() error {
+	entries, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("extstore: %w", err)
+	}
+	type found struct {
+		id   uint64
+		path string
+	}
+	var files []found
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		id, ok := parseSegFileName(e.Name())
+		if !ok {
+			continue
+		}
+		files = append(files, found{id: id, path: filepath.Join(s.opts.Dir, e.Name())})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].id < files[j].id })
+
+	for i, f := range files {
+		last := i == len(files)-1
+		if err := s.recoverSegment(f.id, f.path, last); err != nil {
+			return err
+		}
+	}
+	if len(files) > 0 {
+		s.nextID = files[len(files)-1].id + 1
+	}
+	return nil
+}
+
+func parseSegFileName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".log")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// recoverSegment scans one file, indexing its records. When last is
+// true and the segment is unsealed it becomes the active segment,
+// truncated at the valid prefix.
+func (s *Store) recoverSegment(id uint64, path string, last bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("extstore: %w", err)
+	}
+	hdrID, ok := parseSegHeader(data)
+	if !ok || hdrID != id {
+		// Foreign or mangled file: leave it alone, index nothing.
+		s.truncated.Add(int64(len(data)))
+		return nil
+	}
+	seg := &segment{id: id, path: path}
+	// Register before scanning so same-segment overwrites credit their
+	// dead bytes here (creditDeadRecovery resolves through the map).
+	s.segments[id] = seg
+	validEnd, sealed := s.iterFrames(data, func(off int64, h frameHeader, key, value []byte) bool {
+		switch h.typ {
+		case recPut:
+			lc := loc{seg: id, off: off, size: uint32(frameSize(h.keyLen, h.valLen)), expires: h.expires}
+			sh := s.shardFor(key)
+			old, existed := sh.m[string(key)]
+			sh.m[string(key)] = lc
+			if existed {
+				s.creditDeadRecovery(old)
+			} else {
+				s.keys.Add(1)
+			}
+		case recDelete:
+			sh := s.shardFor(key)
+			if old, existed := sh.m[string(key)]; existed {
+				delete(sh.m, string(key))
+				s.keys.Add(-1)
+				s.creditDeadRecovery(old)
+			}
+			seg.dead.Add(frameSize(h.keyLen, 0)) // tombstone is dead weight
+		}
+		return true
+	})
+	if torn := int64(len(data)) - validEnd; torn > 0 {
+		s.truncated.Add(torn)
+	}
+	seg.size.Store(validEnd)
+	seg.sealed = sealed
+
+	mode := os.O_RDONLY
+	liveTail := last && !sealed
+	if liveTail {
+		mode = os.O_RDWR
+	}
+	f, err := os.OpenFile(path, mode, 0o644)
+	if err != nil {
+		return fmt.Errorf("extstore: %w", err)
+	}
+	seg.file = f
+	if liveTail {
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return fmt.Errorf("extstore: truncate torn tail: %w", err)
+		}
+		s.active = seg
+	} else {
+		// A damaged sealed segment, or a non-final unsealed one (the
+		// process died before the footer landed): read-only from here.
+		seg.sealed = true
+	}
+	return nil
+}
+
+// creditDeadRecovery accounts an overwritten/erased record's bytes to
+// its segment during recovery, when the segment may not be registered
+// yet (same-segment overwrites) — so it resolves through s.segments
+// first and falls back to the torn counter only if the segment is
+// genuinely gone.
+func (s *Store) creditDeadRecovery(old loc) {
+	if seg := s.segments[old.seg]; seg != nil {
+		seg.dead.Add(int64(old.size))
+	}
+}
+
+// finishRecovery finalizes the RecoveredRecords stat after recovery.
+func (s *Store) finishRecovery() {
+	s.recovered = s.keys.Load()
+}

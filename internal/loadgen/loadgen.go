@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"strconv"
 	"sync"
@@ -23,6 +24,12 @@ import (
 	"memqlat/internal/tenant"
 )
 
+// Value-size laws for Options.ValueDist.
+const (
+	ValueDistFixed     = "fixed"
+	ValueDistLogNormal = "lognormal"
+)
+
 // Options configures a run.
 type Options struct {
 	// Client issues the operations (required).
@@ -31,8 +38,19 @@ type Options struct {
 	Keys int
 	// KeyPrefix namespaces the keyspace (default "mq:").
 	KeyPrefix string
-	// ValueSize is the stored value size in bytes (default 100).
+	// ValueSize is the stored value size in bytes (default 100). Under
+	// ValueDistLogNormal it is the mean of the size law instead.
 	ValueSize int
+	// ValueDist selects the per-key value-size law for Populate:
+	// ValueDistFixed (the default) stores ValueSize bytes for every
+	// key; ValueDistLogNormal draws each key's size from a lognormal
+	// with mean ValueSize and shape ValueSigma, clamped to
+	// [1, 8·ValueSize] — mixed object sizes as a disk tier would see
+	// them. Sizes are a deterministic function of (Seed, key index).
+	ValueDist string
+	// ValueSigma is the lognormal shape parameter for
+	// ValueDistLogNormal (default 0.5).
+	ValueSigma float64
 	// ZipfS skews key popularity (0 = uniform; the Facebook trace is
 	// heavily skewed, ~1).
 	ZipfS float64
@@ -150,6 +168,19 @@ func (o *Options) withDefaults() (Options, error) {
 	if out.ValueSize < 0 {
 		return out, fmt.Errorf("loadgen: ValueSize=%d must be >= 0", out.ValueSize)
 	}
+	switch out.ValueDist {
+	case "", ValueDistFixed:
+	case ValueDistLogNormal:
+		if out.ValueSigma == 0 {
+			out.ValueSigma = 0.5
+		}
+		if out.ValueSigma < 0 {
+			return out, fmt.Errorf("loadgen: ValueSigma=%v must be positive", out.ValueSigma)
+		}
+	default:
+		return out, fmt.Errorf("loadgen: ValueDist=%q unknown (%s, %s)",
+			out.ValueDist, ValueDistFixed, ValueDistLogNormal)
+	}
 	if out.ZipfS < 0 {
 		return out, fmt.Errorf("loadgen: ZipfS=%v must be >= 0", out.ZipfS)
 	}
@@ -206,7 +237,11 @@ func Populate(opts Options) error {
 		return err
 	}
 	rng := dist.SubRand(o.Seed, 1)
-	value := make([]byte, o.ValueSize)
+	sizes, maxSize, err := valueSizes(o)
+	if err != nil {
+		return err
+	}
+	value := make([]byte, maxSize)
 	for i := range value {
 		value[i] = 'a' + byte(rng.IntN(26))
 	}
@@ -222,12 +257,48 @@ func Populate(opts Options) error {
 	}
 	for _, tp := range prefixes {
 		for i := 0; i < o.Keys; i++ {
-			if err := o.Client.Set(tp+keyName(o.KeyPrefix, i), value, 0, 0); err != nil {
+			v := value
+			if sizes != nil {
+				v = value[:sizes[i]]
+			}
+			if err := o.Client.Set(tp+keyName(o.KeyPrefix, i), v, 0, 0); err != nil {
 				return fmt.Errorf("loadgen: populate key %s%d: %w", tp, i, err)
 			}
 		}
 	}
 	return nil
+}
+
+// valueSizes draws the per-key value sizes for Populate: nil (use
+// ValueSize) under the fixed law, one size per key index under the
+// lognormal law. The draws use their own rng stream (16) so arming
+// the size law never perturbs the value bytes of a fixed-size run.
+func valueSizes(o Options) ([]int, int, error) {
+	if o.ValueDist != ValueDistLogNormal {
+		return nil, o.ValueSize, nil
+	}
+	mean := float64(o.ValueSize)
+	ln, err := dist.NewLogNormal(math.Log(mean)-o.ValueSigma*o.ValueSigma/2, o.ValueSigma)
+	if err != nil {
+		return nil, 0, fmt.Errorf("loadgen: %w", err)
+	}
+	rng := dist.SubRand(o.Seed, 16)
+	sizes := make([]int, o.Keys)
+	maxSize := 1
+	for i := range sizes {
+		s := int(ln.Sample(rng))
+		if s < 1 {
+			s = 1
+		}
+		if limit := 8 * o.ValueSize; s > limit {
+			s = limit
+		}
+		sizes[i] = s
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	return sizes, maxSize, nil
 }
 
 // Run executes the open-loop workload until Ops operations are issued

@@ -76,10 +76,61 @@ func TestOptionsValidation(t *testing.T) {
 		{Client: cl, MissRatio: 2},
 		{Client: cl, Ops: -1},
 		{Client: cl, Workers: -1},
+		{Client: cl, ValueDist: "pareto"},
+		{Client: cl, ValueDist: ValueDistLogNormal, ValueSigma: -1},
 	}
 	for i, o := range bad {
 		if _, err := Run(context.Background(), o); err == nil {
 			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPopulateValueDist(t *testing.T) {
+	cl := startStack(t, 1, false)
+	opts := Options{
+		Client: cl, Keys: 300, ValueSize: 100, Seed: 3,
+		ValueDist: ValueDistLogNormal,
+	}
+	if err := Populate(opts); err != nil {
+		t.Fatal(err)
+	}
+	minLen, maxLen, sum := 1<<30, 0, 0
+	for i := 0; i < opts.Keys; i++ {
+		v, err := cl.Get("mq:" + strconv.Itoa(i))
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		n := len(v.Value)
+		if n < 1 || n > 8*opts.ValueSize {
+			t.Fatalf("key %d has size %d outside [1, %d]", i, n, 8*opts.ValueSize)
+		}
+		sum += n
+		minLen = min(minLen, n)
+		maxLen = max(maxLen, n)
+	}
+	if minLen == maxLen {
+		t.Errorf("lognormal sizes did not vary (all %d bytes)", minLen)
+	}
+	if mean := float64(sum) / float64(opts.Keys); mean < 70 || mean > 130 {
+		t.Errorf("mean size %.1f far from the configured mean 100", mean)
+	}
+	// The size law is a pure function of (Seed, key index).
+	o, err := opts.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := valueSizes(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := valueSizes(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("size draw %d not deterministic: %d vs %d", i, a[i], b[i])
 		}
 	}
 }

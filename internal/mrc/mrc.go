@@ -170,7 +170,9 @@ func (c *Curve) UniqueKeys() int { return c.uniques }
 
 // CapacityForMissRatio returns the smallest LRU capacity (in items)
 // whose miss ratio is <= target. It returns an error when the target is
-// below the compulsory floor.
+// below the compulsory floor. Degenerate curves (a single observed
+// stack distance, or no reuse at all) would make the search bottom out
+// at a meaningless zero-item cache; the result is floored at 1 item.
 func (c *Curve) CapacityForMissRatio(target float64) (int, error) {
 	if math.IsNaN(target) || target < 0 || target > 1 {
 		return 0, fmt.Errorf("mrc: target %v out of [0, 1]", target)
@@ -189,7 +191,53 @@ func (c *Curve) CapacityForMissRatio(target float64) (int, error) {
 			lo = mid + 1
 		}
 	}
+	if lo < 1 {
+		lo = 1
+	}
 	return lo, nil
+}
+
+// TierSplit is the per-access outcome split of a two-tier (RAM + SSD)
+// cache: the three probabilities sum to 1.
+type TierSplit struct {
+	// RAMHit: stack distance <= RAM capacity.
+	RAMHit float64
+	// DiskHit: the access misses RAM but its distance fits RAM+SSD —
+	// exactly the population an extstore tier converts from backend
+	// fetches into disk reads.
+	DiskHit float64
+	// DBMiss: distance beyond both tiers, plus compulsory misses.
+	DBMiss float64
+}
+
+// Split evaluates the curve at two capacity points — RAM alone versus
+// RAM+SSD — giving the tier hit ratios of an inclusive two-tier LRU:
+// every access with stack distance in (ramItems, totalItems] is a
+// disk hit. This is the two-point evaluation the model plane uses to
+// price the extstore service stage.
+func (c *Curve) Split(ramItems, totalItems int) (TierSplit, error) {
+	if ramItems < 0 || totalItems < ramItems {
+		return TierSplit{}, fmt.Errorf("mrc: invalid tier capacities ram=%d total=%d",
+			ramItems, totalItems)
+	}
+	mRAM := c.MissRatio(ramItems)
+	mTot := c.MissRatio(totalItems)
+	return TierSplit{
+		RAMHit:  1 - mRAM,
+		DiskHit: mRAM - mTot,
+		DBMiss:  mTot,
+	}, nil
+}
+
+// DiskHitFraction is the conditional probability that a RAM miss is
+// served by the disk tier — the number a live extstore's
+// hits/(hits+misses) counters should converge to.
+func (t TierSplit) DiskHitFraction() float64 {
+	miss := t.DiskHit + t.DBMiss
+	if miss <= 0 {
+		return 0
+	}
+	return t.DiskHit / miss
 }
 
 // Points samples the curve at the given capacities (for plotting).

@@ -223,3 +223,101 @@ func almostEqual(a, b, tol float64) bool {
 	}
 	return math.Abs(a-b) <= tol*math.Max(1e-15, math.Max(math.Abs(a), math.Abs(b)))
 }
+
+func TestDegenerateSinglePointCurve(t *testing.T) {
+	// One key, repeated: the histogram holds a single stack distance,
+	// so every query hits the same step edge.
+	curve, err := Compute([]string{"a", "a", "a", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := curve.MissRatio(0); got != 1 {
+		t.Errorf("MissRatio(0) = %v, want 1", got)
+	}
+	if got := curve.MissRatio(1); got != 0.25 {
+		t.Errorf("MissRatio(1) = %v, want 0.25 (only the compulsory miss)", got)
+	}
+	if got := curve.MissRatio(100); got != 0.25 {
+		t.Errorf("MissRatio(100) = %v, want floor 0.25", got)
+	}
+	capNeeded, err := curve.CapacityForMissRatio(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capNeeded != 1 {
+		t.Errorf("CapacityForMissRatio(0.25) = %d, want 1", capNeeded)
+	}
+}
+
+func TestDegenerateNoReuseCurve(t *testing.T) {
+	// Every access is cold: the histogram is empty, the distance grid
+	// has zero points, and no capacity beats the compulsory floor.
+	curve, err := Compute([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := curve.MissRatio(2); got != 1 {
+		t.Errorf("MissRatio(2) = %v, want 1", got)
+	}
+	if got := curve.ColdMissRatio(); got != 1 {
+		t.Errorf("ColdMissRatio = %v, want 1", got)
+	}
+	// A capacity of zero items is never a meaningful provisioning
+	// answer, even when the target is trivially met everywhere.
+	capNeeded, err := curve.CapacityForMissRatio(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capNeeded < 1 {
+		t.Errorf("CapacityForMissRatio(1) = %d, want >= 1", capNeeded)
+	}
+}
+
+func TestTierSplit(t *testing.T) {
+	// Trace engineered so distances 1..3 each occur: a cache of 1 is
+	// the RAM tier, 3 the RAM+SSD total.
+	trace := []string{"a", "a", "b", "a", "c", "b", "a", "c", "b", "a"}
+	curve, err := Compute(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := curve.Split(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := split.RAMHit + split.DiskHit + split.DBMiss
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("split sums to %v, want 1 (%+v)", sum, split)
+	}
+	if !almostEqual(split.RAMHit, 1-curve.MissRatio(1), 1e-9) {
+		t.Errorf("RAMHit = %v, want %v", split.RAMHit, 1-curve.MissRatio(1))
+	}
+	if !almostEqual(split.DBMiss, curve.MissRatio(3), 1e-9) {
+		t.Errorf("DBMiss = %v, want %v", split.DBMiss, curve.MissRatio(3))
+	}
+	if split.DiskHit <= 0 {
+		t.Errorf("DiskHit = %v, want > 0 for a reuse-heavy trace", split.DiskHit)
+	}
+	want := split.DiskHit / (split.DiskHit + split.DBMiss)
+	if got := split.DiskHitFraction(); !almostEqual(got, want, 1e-9) {
+		t.Errorf("DiskHitFraction = %v, want %v", got, want)
+	}
+
+	// Validation and degenerate edges.
+	if _, err := curve.Split(-1, 3); err == nil {
+		t.Error("Split(-1, 3) should fail")
+	}
+	if _, err := curve.Split(3, 1); err == nil {
+		t.Error("Split(3, 1) should fail")
+	}
+	same, err := curve.Split(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.DiskHit != 0 {
+		t.Errorf("zero-size SSD tier DiskHit = %v, want 0", same.DiskHit)
+	}
+	if same.DiskHitFraction() != 0 {
+		t.Errorf("zero-size SSD DiskHitFraction = %v, want 0", same.DiskHitFraction())
+	}
+}

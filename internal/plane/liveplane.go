@@ -6,6 +6,8 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
+	"strconv"
 	"time"
 
 	"memqlat/internal/backend"
@@ -13,13 +15,49 @@ import (
 	"memqlat/internal/client"
 	"memqlat/internal/coalesce"
 	"memqlat/internal/core"
+	"memqlat/internal/extstore"
 	"memqlat/internal/fault"
 	"memqlat/internal/loadgen"
+	"memqlat/internal/mrc"
 	"memqlat/internal/proxy"
 	"memqlat/internal/server"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
 )
+
+// liveValueSize is the loadgen payload the live plane stores (the
+// loadgen default, pinned here because the tier sizing below converts
+// the spec's item budgets into byte budgets at this value size).
+const liveValueSize = 100
+
+// liveExtSegmentBytes keeps live-plane segments small so modest SSD
+// budgets still roll across several segments (eviction granularity is
+// a whole segment).
+const liveExtSegmentBytes = 16 << 10
+
+// liveTier sizes one server's share of a tiered scenario: a RAM cache
+// holding ~RAMItems/M items and an extstore budget for the SSD share,
+// both converted to bytes at the loadgen's key/value sizes.
+func liveTier(s Scenario, m int) (cache.Options, extstore.Options) {
+	e := s.Extstore
+	keyLen := len("mq:" + strconv.Itoa(s.Keys-1))
+	ramPer := (e.RAMItems + m - 1) / m
+	diskPer := (e.TotalItems - e.RAMItems + m - 1) / m
+	copts := cache.Options{
+		// One shard: a sharded LRU partitions its budget per shard,
+		// which blurs the item capacity this sizing is trying to pin.
+		MaxBytes:    int64(ramPer) * cache.ItemCost(keyLen, liveValueSize),
+		Shards:      1,
+		MaxItemSize: 1024,
+	}
+	eopts := extstore.Options{
+		SegmentBytes: liveExtSegmentBytes,
+		// One segment of slack absorbs footers and the active segment's
+		// unsealed tail.
+		MaxBytes: int64(diskPer)*extstore.FrameCost(keyLen, liveValueSize) + liveExtSegmentBytes,
+	}
+	return copts, eopts
+}
 
 // LivePlane evaluates a Scenario on the real TCP stack: it brings up
 // one shaped memcached server per load-ratio entry, a simulated
@@ -75,6 +113,31 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		return &fault.Point{Inj: inj, Server: target, Now: clock.Now}
 	}
 
+	// --- tiered storage ---
+	// The MRC prediction is computed up front (it is also the Result's
+	// cross-plane surface); per-server stores live in temp dirs removed
+	// AFTER the servers close (defer order matters: reads race Close).
+	var (
+		split   mrc.TierSplit
+		exts    []*extstore.Store
+		extDirs []string
+		caches  []*cache.Cache
+	)
+	defer func() {
+		for _, e := range exts {
+			_ = e.Close()
+		}
+		for _, d := range extDirs {
+			_ = os.RemoveAll(d)
+		}
+	}()
+	if s.Extstore != nil {
+		split, err = s.ExtstoreSplit()
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	// --- cluster ---
 	addrs := make([]string, model.M())
 	var servers []*server.Server
@@ -84,12 +147,31 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		}
 	}()
 	for i := range addrs {
-		c, err := cache.New(cache.Options{})
+		copts := cache.Options{}
+		var ext *extstore.Store
+		if s.Extstore != nil {
+			var eopts extstore.Options
+			copts, eopts = liveTier(s, model.M())
+			dir, err := os.MkdirTemp("", "memqlat-extstore-*")
+			if err != nil {
+				return nil, err
+			}
+			extDirs = append(extDirs, dir)
+			eopts.Dir = dir
+			ext, err = extstore.Open(eopts)
+			if err != nil {
+				return nil, err
+			}
+			exts = append(exts, ext)
+		}
+		c, err := cache.New(copts)
 		if err != nil {
 			return nil, err
 		}
+		caches = append(caches, c)
 		srv, err := server.New(server.Options{
 			Cache:       c,
+			Extstore:    ext,
 			ServiceRate: s.MuS,
 			Seed:        s.Seed + uint64(i),
 			Logger:      log.New(io.Discard, "", 0),
@@ -190,22 +272,33 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 
 	// --- drive ---
 	opts := loadgen.Options{
-		Client:        cl,
-		Keys:          s.Keys,
-		ZipfS:         s.ZipfS,
-		Lambda:        s.TotalKeyRate,
-		Xi:            s.Xi,
-		Q:             s.Q,
-		MissRatio:     s.MissRatio,
-		Ops:           s.Ops,
-		Workers:       s.Workers,
-		Seed:          s.Seed,
-		UseGetThrough: s.MissRatio > 0,
+		Client:     cl,
+		Keys:       s.Keys,
+		ValueSize:  liveValueSize,
+		ValueDist:  s.ValueDist,
+		ValueSigma: s.ValueSigma,
+		ZipfS:      s.ZipfS,
+		Lambda:     s.TotalKeyRate,
+		Xi:         s.Xi,
+		Q:          s.Q,
+		MissRatio:  s.MissRatio,
+		Ops:        s.Ops,
+		Workers:    s.Workers,
+		Seed:       s.Seed,
+		// A tiered run's misses are capacity misses (the RAM cache holds
+		// only RAMItems of the populated keyspace), and whatever falls
+		// past the disk tier must still read through to the backend.
+		UseGetThrough: s.MissRatio > 0 || s.Extstore != nil,
 		Recorder:      collector,
 		Tenants:       s.Tenants,
 	}
 	if err := loadgen.Populate(opts); err != nil {
 		return nil, err
+	}
+	for _, e := range exts {
+		// Drain the eviction queues so the measured run starts with the
+		// populate spill fully indexed on disk.
+		e.Flush()
 	}
 	runCtx, cancel := context.WithTimeout(ctx, s.Duration)
 	defer cancel()
@@ -236,6 +329,14 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		td = (b[telemetry.StageMissPenalty].Total +
 			b[telemetry.StageCoalesceWait].Total) / float64(lg.Issued)
 	}
+	if s.Extstore != nil {
+		// A tiered run splits the per-miss cost across backend fills,
+		// coalesced waits and disk reads; amortizing the combined stage
+		// mass over issued keys matches the model's blended TD stage.
+		td = (b[telemetry.StageMissPenalty].Total +
+			b[telemetry.StageCoalesceWait].Total +
+			b[telemetry.StageDiskRead].Total) / float64(lg.Issued)
+	}
 	res := &Result{
 		Plane:    "live",
 		Scenario: s,
@@ -254,6 +355,26 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	}
 	dbStats := db.Stats()
 	res.DB = &dbStats
+	if s.Extstore != nil {
+		er := &ExtstoreResult{Predicted: split}
+		for _, srv := range servers {
+			dh, pr := srv.ExtstoreCounts()
+			er.DiskHits += dh
+			er.Promotions += pr
+		}
+		for _, c := range caches {
+			// Populate only writes, so Misses counts the measured gets.
+			er.RAMMisses += c.Stats().Misses
+		}
+		for _, e := range exts {
+			st := e.Stats()
+			er.SegmentBytes += st.SegmentBytes
+			er.Segments += st.Segments
+			er.Compactions += st.Compactions
+			er.Drops += st.Drops
+		}
+		res.Extstore = er
+	}
 	if g := cl.Coalescer(); g.Coalescing() {
 		cs := g.Stats()
 		res.Coalesce = &cs

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"memqlat/internal/mrc"
 	"memqlat/internal/telemetry"
 )
 
@@ -36,6 +37,20 @@ func (p ModelPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var split mrc.TierSplit
+	if s.Extstore != nil {
+		split, err = s.ExtstoreSplit()
+		if err != nil {
+			return nil, err
+		}
+		// Tiered miss stage: a RAM miss is absorbed by the disk tier
+		// with probability β (the MRC's conditional disk-hit fraction)
+		// at mean 1/µ_disk, else it pays the backend's 1/µ_D — so the
+		// per-miss mean is the mixture and Theorem 1's database stage
+		// is priced at the blended rate 1/µ' = β/µ_disk + (1−β)/µ_D.
+		beta := split.DiskHitFraction()
+		model.MuD = 1 / (beta/s.Extstore.MuDisk + (1-beta)/s.MuD)
+	}
 	est, err := model.Estimate()
 	if err != nil {
 		return nil, err
@@ -52,6 +67,17 @@ func (p ModelPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	res.Breakdown, err = predictBreakdown(model, est.TS.Mid())
 	if err != nil {
 		return nil, err
+	}
+	if s.Extstore != nil {
+		// The bounds price the blend, but the breakdown keeps the
+		// stages separate the way the measured planes record them:
+		// miss_penalty stays the backend's Exp(µ_D) and the disk reads
+		// get their own disk_read stage.
+		if s.MissRatio > 0 {
+			res.Breakdown[telemetry.StageMissPenalty] = expStage(1 / s.MuD)
+			res.Breakdown[telemetry.StageDiskRead] = diskStage(*s.Extstore)
+		}
+		res.Extstore = &ExtstoreResult{Predicted: split}
 	}
 	if s.Coalesce && s.MissRatio > 0 {
 		// Delayed-hit stage: a coalesced miss that attaches to an

@@ -152,6 +152,26 @@ type Scenario struct {
 	// concurrent backend (the paper's ρ_D ≈ 0 stage).
 	DBQueueDepth int
 
+	// ValueDist selects the live plane's per-key value-size law
+	// (loadgen.ValueDistFixed or loadgen.ValueDistLogNormal; "" =
+	// fixed). The lognormal keeps the fixed law's 100-byte mean — the
+	// tier sizing assumes it — but gives the disk tier mixed object
+	// sizes. ValueSigma is its shape (0 = loadgen's default). The
+	// model and sim planes ignore both: they price service stages,
+	// not payloads.
+	ValueDist  string
+	ValueSigma float64
+
+	// Extstore, when non-nil, adds a log-structured SSD cache tier
+	// behind the RAM tier on every plane. All three planes derive the
+	// tier split from the same miss-ratio curve (see ExtstoreSpec and
+	// ExtstoreSplit): the model blends the miss-stage service rate and
+	// prices a disk_read breakdown stage, the composition simulator
+	// draws per-miss disk reads with the predicted hit fraction, and
+	// the live plane runs real segment files in a temp dir behind a
+	// capacity-sized RAM cache.
+	Extstore *ExtstoreSpec
+
 	// ConnCore selects the live-plane servers' connection core
 	// (server.CoreGoroutines by default; server.CoreEventLoop multiplexes
 	// every connection onto a few epoll loops). Model and simulator
@@ -201,6 +221,10 @@ func (s Scenario) withDefaults() Scenario {
 			p.Replicas = 2
 		}
 		s.Proxy = &p
+	}
+	if s.Extstore != nil {
+		e := s.Extstore.withDefaults()
+		s.Extstore = &e
 	}
 	return s
 }
@@ -364,6 +388,10 @@ type Result struct {
 	// Tenants carries the per-tenant QoS outcome when the scenario
 	// declares tenants (declaration order; empty otherwise).
 	Tenants []TenantResult
+	// Extstore carries the tiered-storage surface when the scenario
+	// arms the SSD tier: the shared MRC prediction plus the plane's
+	// measured disk-hit counters (nil otherwise).
+	Extstore *ExtstoreResult
 }
 
 // TenantResult is one tenant's cross-plane surface: the model plane

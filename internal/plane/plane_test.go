@@ -85,6 +85,10 @@ func TestModelPlaneDeterministic(t *testing.T) {
 			// Tenant sheds only materialize when the scenario declares
 			// tenant specs; the single-tenant baseline never does.
 			continue
+		case telemetry.StageDiskRead:
+			// Disk reads only materialize when the scenario arms the
+			// extstore tier; the RAM-only baseline never does.
+			continue
 		}
 		if _, ok := a.Breakdown[st]; !ok {
 			t.Errorf("model breakdown missing stage %v", st)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"memqlat/internal/core"
+	"memqlat/internal/mrc"
 	"memqlat/internal/sim"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
@@ -52,6 +53,17 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	}
 	if len(s.Tenants) > 0 && p.Mode == SimIntegrated {
 		return nil, fmt.Errorf("plane: scenario %q: the integrated simulator does not model tenant QoS (use the composition sim)", s.Name)
+	}
+	var split mrc.TierSplit
+	if s.Extstore != nil {
+		if p.Mode == SimIntegrated {
+			return nil, fmt.Errorf("plane: scenario %q: the integrated simulator does not model the extstore tier (use the composition sim)", s.Name)
+		}
+		var err error
+		split, err = s.ExtstoreSplit()
+		if err != nil {
+			return nil, err
+		}
 	}
 	// The surviving streams run at the admitted rate Λ' (identity
 	// without tenants); the virtual request clock — and hence the
@@ -117,6 +129,14 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		if s.Proxy != nil && s.Proxy.Policy == "replicate" {
 			rc.ReadReplicas = s.Proxy.Replicas
 		}
+		if e := s.Extstore; e != nil {
+			rc.Extstore = &sim.ExtstoreSim{
+				DiskHitFraction: split.DiskHitFraction(),
+				MuDisk:          e.MuDisk,
+				Dist:            e.DiskDist,
+				Sigma:           e.DiskSigma,
+			}
+		}
 		comp, err := sim.SimulateRequests(rc)
 		if err != nil {
 			return nil, err
@@ -139,6 +159,13 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		res.TD = tdEst
 		res.Sample = comp.Total
 		res.Sim = comp
+		if s.Extstore != nil {
+			res.Extstore = &ExtstoreResult{
+				Predicted: split,
+				DiskHits:  comp.DiskHits,
+				RAMMisses: comp.MissCount,
+			}
+		}
 		if len(comp.Tenants) > 0 {
 			// Realized per-tenant rates on the virtual clock: the run
 			// spans Requests×N offered keys at rate Λ.

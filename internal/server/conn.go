@@ -136,7 +136,7 @@ func (s *Server) serveCommand(w *protocol.Writer, cmd *protocol.Command, cs *con
 		}
 		out = cs.blackhole
 	}
-	if err := s.dispatch(out, cmd, &cs.st); err != nil {
+	if err := s.dispatch(out, cmd, cs); err != nil {
 		return false, err
 	}
 	if timed {

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"memqlat/internal/cache"
+	"memqlat/internal/extstore"
+	"memqlat/internal/protocol"
+)
+
+// tieredServer starts a server whose RAM tier holds only a couple of
+// small items, backed by an extstore tier in a temp dir, so a handful
+// of sets reliably spills the LRU tail to disk.
+func tieredServer(t *testing.T, core string) (*Server, *extstore.Store, string) {
+	t.Helper()
+	ext, err := extstore.Open(extstore.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ext.Close() })
+	c, err := cache.New(cache.Options{MaxBytes: 1, Shards: 1, MaxItemSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, Options{Cache: c, Extstore: ext, ConnCore: core})
+	return srv, ext, addr
+}
+
+// expectValue reads one VALUE reply plus terminator.
+func expectValue(t *testing.T, r *bufio.Reader, key, flags, body string) {
+	t.Helper()
+	want := []string{fmt.Sprintf("VALUE %s %s %d", key, flags, len(body)), body, "END"}
+	for i, w := range want {
+		if got := readLine(t, r); got != w {
+			t.Fatalf("line %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestTieredReadPathBothCores drives the full RAM→disk→RAM cycle
+// through the protocol on each connection core (dispatch is the shared
+// seam): evicted values are served from the disk tier, re-promoted
+// into RAM, mutations invalidate the disk index, and flush_all clears
+// both tiers.
+func TestTieredReadPathBothCores(t *testing.T) {
+	cores := []string{CoreGoroutines}
+	if runtime.GOOS == "linux" {
+		cores = append(cores, CoreEventLoop)
+	}
+	for _, core := range cores {
+		t.Run(core, func(t *testing.T) {
+			srv, ext, addr := tieredServer(t, core)
+			r, w, _ := dial(t, addr)
+
+			// Spill: the tiny RAM tier evicts all but the newest keys.
+			for i := 0; i < 10; i++ {
+				send(t, w, fmt.Sprintf("set key-%04d 7 0 8\r\nvalue-%02d\r\n", i, i))
+				if got := readLine(t, r); got != "STORED" {
+					t.Fatalf("set %d reply = %q", i, got)
+				}
+			}
+			ext.Flush()
+			if ext.Len() == 0 {
+				t.Fatal("no evictions reached the disk tier")
+			}
+
+			// The oldest key left RAM long ago; the disk tier must serve
+			// it with its original flags and value.
+			send(t, w, "get key-0000\r\n")
+			expectValue(t, r, "key-0000", "7", "value-00")
+			hits, promos := srv.ExtstoreCounts()
+			if hits != 1 || promos != 1 {
+				t.Fatalf("extstore counts = (%d hits, %d promotions), want (1, 1)", hits, promos)
+			}
+			// Re-promotion makes the next read a RAM hit: disk counters
+			// must not move.
+			send(t, w, "get key-0000\r\n")
+			expectValue(t, r, "key-0000", "7", "value-00")
+			if hits, _ := srv.ExtstoreCounts(); hits != 1 {
+				t.Fatalf("disk hits after re-promotion = %d, want still 1", hits)
+			}
+
+			// A delete must drop the disk record even when the key is no
+			// longer in RAM — otherwise the next get would resurrect it.
+			send(t, w, "delete key-0001\r\n")
+			readLine(t, r) // DELETED or NOT_FOUND depending on RAM residency
+			send(t, w, "get key-0001\r\n")
+			if got := readLine(t, r); got != "END" {
+				t.Fatalf("get after delete = %q, want END (stale disk copy served?)", got)
+			}
+
+			// An overwrite of a disk-resident key invalidates the old
+			// record; once the new value is evicted in turn, the disk
+			// tier must serve the fresh bytes.
+			send(t, w, "set key-0002 0 0 8\r\nfresh-02\r\n")
+			if got := readLine(t, r); got != "STORED" {
+				t.Fatalf("overwrite reply = %q", got)
+			}
+			for i := 10; i < 14; i++ {
+				send(t, w, fmt.Sprintf("set key-%04d 0 0 8\r\nvalue-%02d\r\n", i, i))
+				readLine(t, r)
+			}
+			ext.Flush()
+			send(t, w, "get key-0002\r\n")
+			expectValue(t, r, "key-0002", "0", "fresh-02")
+
+			// gets on a disk hit serves the value without a CAS (the
+			// promoted copy owns a fresh one), mirroring the fill path.
+			send(t, w, "set gets-key 0 0 4\r\nbody\r\n")
+			readLine(t, r)
+			for i := 14; i < 18; i++ {
+				send(t, w, fmt.Sprintf("set key-%04d 0 0 8\r\nvalue-%02d\r\n", i, i))
+				readLine(t, r)
+			}
+			ext.Flush()
+			send(t, w, "gets gets-key\r\n")
+			if got := readLine(t, r); got != "VALUE gets-key 0 4 0" {
+				t.Fatalf("gets disk-hit header = %q, want CAS 0", got)
+			}
+			readLine(t, r) // body
+			readLine(t, r) // END
+
+			// The stats surface reports the tier.
+			send(t, w, "stats\r\n")
+			sawDiskHits := false
+			for {
+				line := readLine(t, r)
+				if line == "END" {
+					break
+				}
+				if line == fmt.Sprintf("STAT extstore_disk_hits %d", srv.diskHits.Load()) {
+					sawDiskHits = true
+				}
+			}
+			if !sawDiskHits {
+				t.Fatal("stats did not report extstore_disk_hits")
+			}
+
+			// flush_all clears BOTH tiers: nothing may resurrect from disk.
+			send(t, w, "flush_all\r\n")
+			if got := readLine(t, r); got != "OK" {
+				t.Fatalf("flush_all reply = %q", got)
+			}
+			if ext.Len() != 0 {
+				t.Fatalf("disk tier holds %d keys after flush_all", ext.Len())
+			}
+			send(t, w, "get key-0003\r\n")
+			if got := readLine(t, r); got != "END" {
+				t.Fatalf("get after flush_all = %q, want END", got)
+			}
+		})
+	}
+}
+
+// TestTieredTTLSurvivesDemotion: a key stored with a TTL keeps its
+// deadline across eviction to disk and re-promotion — the promoted RAM
+// copy must not outlive the original exptime.
+func TestTieredTTLSurvivesDemotion(t *testing.T) {
+	srv, ext, addr := tieredServer(t, CoreGoroutines)
+	r, w, _ := dial(t, addr)
+
+	send(t, w, "set ttl-key 0 1 7\r\nexpires\r\n")
+	if got := readLine(t, r); got != "STORED" {
+		t.Fatalf("set reply = %q", got)
+	}
+	// Push it to disk.
+	for i := 0; i < 4; i++ {
+		send(t, w, fmt.Sprintf("set pad-%04d 0 0 8\r\npadding!\r\n", i))
+		readLine(t, r)
+	}
+	ext.Flush()
+
+	// Served from disk and re-promoted while still live.
+	send(t, w, "get ttl-key\r\n")
+	expectValue(t, r, "ttl-key", "0", "expires")
+	if hits, _ := srv.ExtstoreCounts(); hits != 1 {
+		t.Fatalf("disk hits = %d, want 1", hits)
+	}
+
+	// After the deadline the promoted copy must be gone too.
+	time.Sleep(1100 * time.Millisecond)
+	send(t, w, "get ttl-key\r\n")
+	if got := readLine(t, r); got != "END" {
+		t.Fatalf("get after expiry = %q, want END (promotion dropped the TTL?)", got)
+	}
+}
+
+// TestTieredMissFallsThroughToFiller: with both a disk tier and a
+// Filler, a key on neither tier still read-throughs from the store of
+// record.
+func TestTieredMissFallsThroughToFiller(t *testing.T) {
+	ext, err := extstore.Open(extstore.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ext.Close() })
+	filler := &stubFiller{values: map[string][]byte{"db-only": []byte("from-db")}}
+	srv, addr := startServer(t, Options{Extstore: ext, Filler: filler})
+	r, w, _ := dial(t, addr)
+
+	send(t, w, "get db-only\r\n")
+	expectValue(t, r, "db-only", "0", "from-db")
+	if hits, _ := srv.ExtstoreCounts(); hits != 0 {
+		t.Fatalf("disk hits = %d, want 0 (key was never evicted)", hits)
+	}
+	if fills, _ := srv.FillCounts(); fills != 1 {
+		t.Fatalf("fills = %d, want 1", fills)
+	}
+	if srv.Extstore() != ext {
+		t.Fatal("Extstore() accessor does not expose the tier")
+	}
+	if srv.OpCount(protocol.OpGet) != 1 {
+		t.Fatalf("get count = %d", srv.OpCount(protocol.OpGet))
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"memqlat/internal/cache"
 	"memqlat/internal/coalesce"
+	"memqlat/internal/extstore"
 	"memqlat/internal/fault"
 	"memqlat/internal/otrace"
 	"memqlat/internal/protocol"
@@ -114,6 +115,15 @@ type Options struct {
 	// call (single-flight miss coalescing; see internal/coalesce).
 	// Nil means every miss fetches independently.
 	Coalesce *coalesce.Policy
+	// Extstore, when set, adds a log-structured SSD tier behind the RAM
+	// cache: LRU victims are appended to it asynchronously (the server
+	// installs the cache's OnEvict hook), GET misses consult it before
+	// the Filler, disk hits are re-promoted into RAM with their
+	// remaining TTL, and every mutation invalidates the key's disk
+	// record alongside the coalescer. The server does not own the
+	// store's lifecycle — the caller opens and closes it. Nil keeps the
+	// RAM-only configuration: the miss path pays one nil check.
+	Extstore *extstore.Store
 }
 
 // Filler fetches a missed key from the store of record for the
@@ -173,6 +183,11 @@ type Server struct {
 	coalescer *coalesce.Group
 	fills     atomic.Int64 // read-through fetches served (hit after fill)
 	fillErrs  atomic.Int64 // read-through fetches that failed (miss kept)
+
+	// diskHits/promotions count GET misses the extstore tier absorbed
+	// and how many of those were stored back into the RAM tier.
+	diskHits   atomic.Int64
+	promotions atomic.Int64
 }
 
 // latencyStripes is the number of lock domains in latencyTracker
@@ -293,6 +308,14 @@ func New(opts Options) (*Server, error) {
 	opts.Cache.OnLockWait(func(seconds float64) {
 		s.rec.Observe(telemetry.StageLockWait, seconds)
 	})
+	if ext := opts.Extstore; ext != nil {
+		// LRU victims feed the disk tier. PutAsync never blocks (the
+		// hook runs under the cache shard lock): a full queue sheds the
+		// write, which the tier's drop counter records.
+		opts.Cache.OnEvict(func(key string, value []byte, flags uint32, expires time.Time) {
+			ext.PutAsync(key, value, flags, expires)
+		})
+	}
 	if opts.Coalesce != nil {
 		if opts.Filler == nil {
 			return nil, errors.New("server: Coalesce requires Filler (nothing to coalesce)")
@@ -455,8 +478,9 @@ func reply(w *protocol.Writer, cmd *protocol.Command, line string) error {
 	return w.Line(line)
 }
 
-func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command, st *connState) error {
+func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command, cs *connSession) error {
 	c := s.opts.Cache
+	st := &cs.st
 	now := time.Now()
 	switch cmd.Op {
 	case protocol.OpGet, protocol.OpGets:
@@ -468,6 +492,18 @@ func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command, st *connSta
 		for _, key := range cmd.KeyList {
 			v, flags, cas, err := c.GetInto(key, st.val[:0])
 			if err != nil {
+				if s.opts.Extstore != nil {
+					dv, dflags, ok := s.diskFill(key, cs)
+					if ok {
+						// The re-promoted RAM copy carries a fresh CAS
+						// this reply never saw; like the fill path, the
+						// disk hit is served without one.
+						if err := w.ValueBytes(key, dflags, 0, dv, withCAS); err != nil {
+							return err
+						}
+						continue
+					}
+				}
 				if s.opts.Filler == nil {
 					continue // missing keys are silently omitted
 				}
@@ -578,6 +614,11 @@ func (s *Server) dispatch(w *protocol.Writer, cmd *protocol.Command, st *connSta
 
 	case protocol.OpFlushAll:
 		c.FlushAll()
+		if ext := s.opts.Extstore; ext != nil {
+			// Both tiers flush: a disk record surviving flush_all would
+			// resurrect on the next miss.
+			_ = ext.FlushAll()
+		}
 		return reply(w, cmd, protocol.RespOK)
 
 	case protocol.OpVersion:
@@ -631,12 +672,48 @@ func (s *Server) fillMiss(key []byte) ([]byte, bool) {
 	return value, true
 }
 
+// diskFill serves one missed GET key from the extstore tier: a timed
+// segment read (the disk_read telemetry stage) followed by
+// re-promotion into the RAM tier under the record's remaining TTL, so
+// the next read of a hot key is a RAM hit again. The value lands in
+// the connection scratch like a RAM hit; a steady-state disk hit
+// allocates nothing once the scratch has grown.
+func (s *Server) diskFill(key []byte, cs *connSession) ([]byte, uint32, bool) {
+	began := time.Now()
+	v, flags, expires, err := s.opts.Extstore.Lookup(key, cs.st.val[:0])
+	if err != nil {
+		return nil, 0, false
+	}
+	cs.rec.Observe(telemetry.StageDiskRead, time.Since(began).Seconds())
+	s.diskHits.Add(1)
+	cs.st.val = v
+	var ttl time.Duration
+	if !expires.IsZero() {
+		// Lookup only returns unexpired records, so the remaining TTL is
+		// positive barring a clock race (which stores it pre-expired —
+		// harmless).
+		ttl = time.Until(expires)
+	}
+	// SetBytes copies key and value; the disk record stays indexed and
+	// is simply shadowed by the RAM copy until the next eviction
+	// supersedes it.
+	if s.opts.Cache.SetBytes(key, v, flags, ttl) == nil {
+		s.promotions.Add(1)
+	}
+	return v, flags, true
+}
+
 // invalidateFill marks any in-flight coalesced fetch for key stale so
 // its write-back cannot clobber the mutation this command is about to
-// apply. A single nil check when coalescing is off.
+// apply, and drops the key's extstore record so a stale disk copy
+// cannot outlive the mutation. A pair of nil checks when both features
+// are off.
 func (s *Server) invalidateFill(key []byte) {
 	if s.coalescer != nil {
 		s.coalescer.Invalidate(string(key))
+	}
+	if ext := s.opts.Extstore; ext != nil {
+		ext.Delete(key)
 	}
 }
 
@@ -770,6 +847,20 @@ func (s *Server) writeStats(w *protocol.Writer, section string) error {
 		{"evictions", fmt.Sprintf("%d", st.Evictions)},
 		{"expired_unfetched", fmt.Sprintf("%d", st.Expirations)},
 	}
+	if ext := s.opts.Extstore; ext != nil {
+		es := ext.Stats()
+		rows = append(rows,
+			struct{ k, v string }{"extstore_disk_hits", fmt.Sprintf("%d", s.diskHits.Load())},
+			struct{ k, v string }{"extstore_promotions", fmt.Sprintf("%d", s.promotions.Load())},
+			struct{ k, v string }{"extstore_keys", fmt.Sprintf("%d", es.Keys)},
+			struct{ k, v string }{"extstore_segments", fmt.Sprintf("%d", es.Segments)},
+			struct{ k, v string }{"extstore_segment_bytes", fmt.Sprintf("%d", es.SegmentBytes)},
+			struct{ k, v string }{"extstore_dead_bytes", fmt.Sprintf("%d", es.DeadBytes)},
+			struct{ k, v string }{"extstore_puts", fmt.Sprintf("%d", es.Puts)},
+			struct{ k, v string }{"extstore_drops", fmt.Sprintf("%d", es.Drops)},
+			struct{ k, v string }{"extstore_compactions", fmt.Sprintf("%d", es.Compactions)},
+			struct{ k, v string }{"extstore_relocated", fmt.Sprintf("%d", es.Relocated)})
+	}
 	if s.opts.Filler != nil {
 		rows = append(rows,
 			struct{ k, v string }{"fill_hits", fmt.Sprintf("%d", s.fills.Load())},
@@ -845,6 +936,17 @@ func (s *Server) Coalescer() *coalesce.Group { return s.coalescer }
 // errors. Both are zero without Options.Filler.
 func (s *Server) FillCounts() (fills, errs int64) {
 	return s.fills.Load(), s.fillErrs.Load()
+}
+
+// Extstore exposes the disk tier behind the RAM cache; nil unless
+// Options.Extstore was set.
+func (s *Server) Extstore() *extstore.Store { return s.opts.Extstore }
+
+// ExtstoreCounts reports how many GET misses the disk tier served and
+// how many of those were re-promoted into RAM. Both are zero without
+// Options.Extstore.
+func (s *Server) ExtstoreCounts() (diskHits, promotions int64) {
+	return s.diskHits.Load(), s.promotions.Load()
 }
 
 // LatencyHistogram snapshots the merged per-command latency histogram

@@ -81,6 +81,15 @@ type RequestConfig struct {
 	// uniform): hot keys overlap their fetch windows, which is what
 	// makes coalescing collapse the herd. Ignored without Coalesce.
 	MissZipfS float64
+	// Extstore, when non-nil, interposes the SSD cache tier on the miss
+	// path: each miss is absorbed by the disk tier with probability
+	// DiskHitFraction (rng stream 108, drawn only on tiered runs so
+	// untiered runs keep their draw sequence byte-identical), paying a
+	// disk read from the configured service-time family instead of the
+	// Exp(µ_D) backend fetch. Disk hits are local reads, so they never
+	// enter the coalescing windows or the Database fault path; they are
+	// recorded as telemetry.StageDiskRead and counted in DiskHits.
+	Extstore *ExtstoreSim
 	// Tenants arms the multi-tenant QoS admission ahead of every key
 	// draw: each request draws its tenant from the Share mix (rng
 	// stream 107) and each of its N keys charges one op token to that
@@ -99,6 +108,20 @@ type RequestConfig struct {
 	OfferedKeyRate float64
 }
 
+// ExtstoreSim parameterizes the simulated SSD tier.
+type ExtstoreSim struct {
+	// DiskHitFraction is β = P{disk hit | RAM miss}, typically the
+	// mrc.TierSplit prediction the plane layer computes.
+	DiskHitFraction float64
+	// MuDisk is the disk read service rate (mean read 1/MuDisk).
+	MuDisk float64
+	// Dist selects the disk service-time family: "exp" (default) or
+	// "lognormal" (mean preserved at 1/MuDisk).
+	Dist string
+	// Sigma is the lognormal shape parameter (default 0.5).
+	Sigma float64
+}
+
 // RequestResult aggregates the measured latency decomposition, mirroring
 // the paper's Table 3 columns.
 type RequestResult struct {
@@ -114,7 +137,9 @@ type RequestResult struct {
 	// Servers exposes the per-server key-latency samples (Fig. 4 uses
 	// the heaviest server's quantiles).
 	Servers []*ServerResult
-	// DBLat records the per-miss database latency sample.
+	// DBLat records the per-miss penalty sample: backend fetches,
+	// coalesced residual waits, and (on tiered runs) disk reads — the
+	// full cost a RAM miss pays, whoever serves it.
 	DBLat *stats.Histogram
 	// TP is T_P(N): the max proxy-stage sojourn per request (nil when
 	// the run had no proxy tier).
@@ -142,12 +167,16 @@ type RequestResult struct {
 	// key — the degraded-mode fork-join outcome.
 	DegradedRequests int64
 	// BackendFetches counts misses that issued their own backend fetch.
-	// Without coalescing every miss fetches, so this equals MissCount.
+	// Without coalescing or a disk tier every miss fetches, so this
+	// equals MissCount.
 	BackendFetches int64
 	// DelayedHits counts misses that rode an already-in-flight fetch
 	// for their key instead of fetching (coalesced runs only).
-	// BackendFetches + DelayedHits == MissCount always.
+	// BackendFetches + DelayedHits + DiskHits == MissCount always.
 	DelayedHits int64
+	// DiskHits counts misses the simulated SSD tier absorbed (tiered
+	// runs only; see RequestConfig.Extstore).
+	DiskHits int64
 	// Tenants carries the per-tenant QoS outcome in declaration order
 	// (nil without tenant specs).
 	Tenants []TenantSimResult
@@ -342,6 +371,38 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		inflightUntil = make([]float64, nKeys)
 		inflightFail = make([]bool, nKeys)
 	}
+	// Tiered miss state: the disk rng (stream 108) is drawn only on
+	// tiered runs — both for the β coin and the service draw — so
+	// untiered runs keep their draw sequence byte-identical.
+	var (
+		rngDisk  = dist.SubRand(cfg.Seed, 108)
+		diskDraw func() float64
+	)
+	if e := cfg.Extstore; e != nil {
+		if e.DiskHitFraction < 0 || e.DiskHitFraction > 1 {
+			return nil, fmt.Errorf("sim: extstore disk-hit fraction %v out of [0, 1]", e.DiskHitFraction)
+		}
+		if e.MuDisk <= 0 {
+			return nil, fmt.Errorf("sim: extstore MuDisk=%v must be positive", e.MuDisk)
+		}
+		switch e.Dist {
+		case "", "exp":
+			diskDraw = func() float64 { return rngDisk.ExpFloat64() / e.MuDisk }
+		case "lognormal":
+			sigma := e.Sigma
+			if sigma == 0 {
+				sigma = 0.5
+			}
+			// µ = ln(mean) − σ²/2 preserves the 1/MuDisk mean.
+			ln, err := dist.NewLogNormal(math.Log(1/e.MuDisk)-sigma*sigma/2, sigma)
+			if err != nil {
+				return nil, fmt.Errorf("sim: extstore: %w", err)
+			}
+			diskDraw = func() float64 { return ln.Sample(rngDisk) }
+		default:
+			return nil, fmt.Errorf("sim: extstore disk dist %q unknown (exp, lognormal)", e.Dist)
+		}
+	}
 	// Virtual request clock for Database fault windows and tenant
 	// buckets: requests arrive at the aggregate rate Λ/N, matching the
 	// per-server streams' own virtual timelines. Under QoS the clock
@@ -422,7 +483,14 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 			if !failed && m.MissRatio > 0 && rngMiss.Float64() < m.MissRatio {
 				var d float64
 				delayed := false
-				if cfg.Coalesce {
+				diskHit := false
+				if diskDraw != nil && rngDisk.Float64() < cfg.Extstore.DiskHitFraction {
+					// Disk hit: the SSD tier absorbs the RAM miss — a
+					// local segment read, so no backend fetch, no
+					// coalescing window and no Database fault exposure.
+					d = diskDraw()
+					diskHit = true
+				} else if cfg.Coalesce {
 					var k int
 					if missZipf != nil {
 						k = missZipf.SampleInt(rngMissKey)
@@ -470,10 +538,14 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 				misses++
 				out.MissCount++
 				out.DBLat.Record(d)
-				if delayed {
+				switch {
+				case diskHit:
+					out.DiskHits++
+					rec.Observe(telemetry.StageDiskRead, d)
+				case delayed:
 					out.DelayedHits++
 					rec.Observe(telemetry.StageCoalesceWait, d)
-				} else {
+				default:
 					out.BackendFetches++
 					rec.Observe(telemetry.StageMissPenalty, d)
 				}

@@ -72,6 +72,13 @@ const (
 	// observations without tenant specs, so single-tenant topologies
 	// keep their decomposition unchanged.
 	StageTenantShed
+	// StageDiskRead is the extstore tier's service time: a RAM miss
+	// that the SSD log absorbs pays one segment read instead of a
+	// backend fetch. Observed per disk hit on every plane (analytic
+	// mean on the model, drawn service times in the sim, measured
+	// reads live); zero observations without a tiered-storage spec, so
+	// RAM-only topologies keep their decomposition unchanged.
+	StageDiskRead
 	numStages
 )
 
@@ -79,7 +86,7 @@ const (
 func Stages() []Stage {
 	return []Stage{StageQueueWait, StageService, StageMissPenalty, StageForkJoin,
 		StageRetry, StageHedgeWait, StageBreakerShed, StageLockWait, StageProxyHop,
-		StageCoalesceWait, StageTenantShed}
+		StageCoalesceWait, StageTenantShed, StageDiskRead}
 }
 
 // String returns the stable snake_case stage name used in reports and
@@ -108,6 +115,8 @@ func (s Stage) String() string {
 		return "coalesce_wait"
 	case StageTenantShed:
 		return "tenant_shed"
+	case StageDiskRead:
+		return "disk_read"
 	default:
 		return fmt.Sprintf("stage(%d)", int(s))
 	}

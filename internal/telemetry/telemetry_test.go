@@ -20,6 +20,7 @@ func TestStageNames(t *testing.T) {
 		StageProxyHop:     "proxy_hop",
 		StageCoalesceWait: "coalesce_wait",
 		StageTenantShed:   "tenant_shed",
+		StageDiskRead:     "disk_read",
 	}
 	if len(Stages()) != len(want) {
 		t.Fatalf("Stages() = %d entries, want %d", len(Stages()), len(want))
