@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: build test vet race verify faults lint cover fuzz-smoke \
 	bench-plane bench-server bench-proxy bench-conns bench-extstore \
-	bench-check obs repro clean
+	bench-slo bench-check obs slo repro clean
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,8 @@ cover:
 	$(GO) test -coverprofile=cover_coalesce.out ./internal/coalesce/
 	$(GO) test -coverprofile=cover_tenant.out ./internal/tenant/
 	$(GO) test -coverprofile=cover_extstore.out ./internal/extstore/
+	$(GO) test -coverprofile=cover_sketch.out ./internal/sketch/
+	$(GO) test -coverprofile=cover_slo.out ./internal/slo/
 	./scripts/coverfloor.sh cover_cache.out 95.2 internal/cache
 	./scripts/coverfloor.sh cover_protocol.out 90.6 internal/protocol
 	./scripts/coverfloor.sh cover_proxy.out 82.0 internal/proxy
@@ -63,6 +65,8 @@ cover:
 	./scripts/coverfloor.sh cover_coalesce.out 90.0 internal/coalesce
 	./scripts/coverfloor.sh cover_tenant.out 90.0 internal/tenant
 	./scripts/coverfloor.sh cover_extstore.out 85.0 internal/extstore
+	./scripts/coverfloor.sh cover_sketch.out 90.0 internal/sketch
+	./scripts/coverfloor.sh cover_slo.out 85.0 internal/slo
 
 # Fuzz smoke: 30s over the reusable-buffer parser (ReadCommand and
 # Parser.Next must agree byte-for-byte on arbitrary input), 15s over
@@ -106,6 +110,14 @@ bench-conns:
 bench-extstore:
 	$(GO) test -run '^$$' -bench 'BenchmarkExtstoreRead|BenchmarkExtstoreWrite' -benchmem ./internal/extstore/
 
+# SLO watchdog benchmarks: the sketch's per-observation record cost
+# (must stay zero-alloc — it rides the telemetry hot path) and the
+# per-window watchdog tick. BENCH_slo.json records the last blessed
+# numbers.
+bench-slo:
+	$(GO) test -run '^$$' -bench 'BenchmarkSketchRecord|BenchmarkWatchdogTick' -benchmem \
+		./internal/sketch/ ./internal/slo/
+
 # Compare current benchmark runs against the checked-in baselines the
 # way CI does: >20% ns/op regression or any allocation appearing on a
 # zero-alloc path fails.
@@ -121,6 +133,9 @@ bench-check:
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_conns.json
 	$(GO) test -run '^$$' -bench 'BenchmarkExtstoreRead|BenchmarkExtstoreWrite' -benchmem ./internal/extstore/ \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_extstore.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSketchRecord|BenchmarkWatchdogTick' -benchmem \
+		./internal/sketch/ ./internal/slo/ \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_slo.json
 
 # Observability smoke: a short live-plane run with the admin plane and
 # span recording armed (mcbench re-parses the Chrome trace it wrote and
@@ -138,6 +153,17 @@ obs:
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_server.json
 	$(GO) test -run '^$$' -bench BenchmarkProxyHotPath -benchmem ./internal/proxy/ \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_proxy.json
+
+# SLO watchdog smoke: the drift experiment (sim determinism + live
+# detection + healthy-ramp false-alarm sweep), the shell smoke (server
+# overload attribution on /debug/watch, exemplars, live-plane db fault)
+# and the sketch/watchdog benchdiff gate.
+slo:
+	$(GO) test -run TestDrift -count=1 -v ./internal/experiments/
+	./scripts/slo_smoke.sh
+	$(GO) test -run '^$$' -bench 'BenchmarkSketchRecord|BenchmarkWatchdogTick' -benchmem \
+		./internal/sketch/ ./internal/slo/ \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_slo.json
 
 repro:
 	$(GO) run ./cmd/repro -run all

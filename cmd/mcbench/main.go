@@ -54,6 +54,7 @@ import (
 	"memqlat/internal/otrace"
 	"memqlat/internal/plane"
 	"memqlat/internal/proxy"
+	"memqlat/internal/slo"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
 	"memqlat/internal/tenant"
@@ -108,6 +109,7 @@ func run(args []string, out io.Writer) error {
 		tenantsSpec  = fs.String("tenants", "", `tenant QoS specs armed at the proxy, e.g. "acme:rate=500,share=0.5;evil:rate=200,share=0.5" (needs -proxy)`)
 
 		planeName    = fs.String("plane", "", "run against an internal plane (model|sim|sim-integrated|live) instead of -servers")
+		sloSpec      = fs.String("slo", "", `arm the model-anchored SLO watchdog on a -plane run, e.g. "window=250ms,k=2,band=2" (detector keys only; the Theorem-1 bands come from the scenario flags)`)
 		extstoreSpec = fs.String("extstore", "", `arm an SSD extstore tier on -plane runs, e.g. "ram=200,total=1200,mud=2000[,dist=lognormal][,sigma=0.5]" (RAM/total item budgets, disk reads/s)`)
 		mus          = fs.Float64("mus", 2000, "per-server shaped service rate for -plane modes")
 		planeSrv     = fs.Int("plane-servers", 2, "server count for -plane modes")
@@ -192,15 +194,36 @@ func run(args []string, out io.Writer) error {
 		if *proxied {
 			ps.proxy = &plane.ProxySpec{Policy: *routePolicy, Replicas: *routeReplica}
 		}
+		if *sloSpec != "" {
+			// The watchdog is anchored on the Theorem-1 bands of the
+			// exact scenario the flags describe; alert lines ride the
+			// benchmark's own output stream.
+			cfg, _, err := slo.ParseSpec(*sloSpec)
+			if err != nil {
+				return err
+			}
+			cfg.Predicted, err = plane.PredictedBands(ps.scenario())
+			if err != nil {
+				return err
+			}
+			cfg.AlertWriter = out
+			if ps.slo, err = slo.NewWatchdog(cfg); err != nil {
+				return err
+			}
+		}
 		if *adminAddr != "" {
 			// Plane runs build their tiers internally; the admin page
 			// serves the shared span ring (plus health/pprof) while the
 			// scenario executes.
 			reg := metrics.NewRegistry()
 			metrics.RegisterTracer(reg, tracer)
+			metrics.RegisterSLO(reg, ps.slo)
 			admin := metrics.NewAdmin(reg)
 			if tracer.Enabled() {
 				admin.AttachTracer(tracer)
+			}
+			if ps.slo != nil {
+				admin.Handle("/debug/watch", ps.slo)
 			}
 			aaddr, err := admin.Start(*adminAddr)
 			if err != nil {
@@ -216,6 +239,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *faultSpec != "" {
 		return fmt.Errorf("-faults needs a -plane mode (external -servers cannot be injected)")
+	}
+	if *sloSpec != "" {
+		return fmt.Errorf("-slo needs a -plane mode (external servers arm their own watchdog via memcached-server/mcproxy -slo)")
 	}
 	if *extstoreSpec != "" {
 		return fmt.Errorf("-extstore needs a -plane mode (external servers run their own tier via memcached-server -extstore-dir)")
@@ -497,6 +523,48 @@ type planeScenario struct {
 	extstore                 *plane.ExtstoreSpec
 	valueDist                string
 	valueSigma               float64
+	slo                      *slo.Watchdog
+}
+
+// scenario builds the plane.Scenario the flags describe. It is pure
+// (no side effects), so run() can evaluate it once to anchor the SLO
+// watchdog's bands and runPlane can rebuild it for the actual run.
+func (ps planeScenario) scenario() plane.Scenario {
+	s := plane.Scenario{
+		Name:         "mcbench",
+		N:            ps.n,
+		LoadRatios:   core.BalancedLoad(ps.servers),
+		TotalKeyRate: ps.lambda,
+		Q:            ps.q,
+		Xi:           ps.xi,
+		MuS:          ps.mus,
+		MissRatio:    ps.missRatio,
+		MuD:          ps.mud,
+		Requests:     ps.ops,
+		Ops:          ps.ops,
+		Workers:      ps.workers,
+		Duration:     ps.timeout,
+		Seed:         ps.seed,
+		Faults:       ps.faults,
+		Resilience:   ps.resilience,
+		Proxy:        ps.proxy,
+		Tracer:       ps.tracer,
+		Coalesce:     ps.coalesce,
+		ZipfS:        ps.zipfS,
+		FillTTL:      ps.fillTTL,
+		Keys:         ps.keys,
+		DBQueueDepth: ps.dbQueue,
+		Tenants:      ps.tenants,
+		Extstore:     ps.extstore,
+		SLO:          ps.slo,
+		ValueDist:    ps.valueDist,
+		ValueSigma:   ps.valueSigma,
+	}
+	if s.ValueDist == loadgen.ValueDistFixed {
+		// The flag default; the Scenario treats "" as fixed.
+		s.ValueDist = ""
+	}
+	return s
 }
 
 // parseExtstoreSpec reads the -extstore tier description:
@@ -587,39 +655,7 @@ func runPlane(name string, ps planeScenario, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	s := plane.Scenario{
-		Name:         "mcbench",
-		N:            ps.n,
-		LoadRatios:   core.BalancedLoad(ps.servers),
-		TotalKeyRate: ps.lambda,
-		Q:            ps.q,
-		Xi:           ps.xi,
-		MuS:          ps.mus,
-		MissRatio:    ps.missRatio,
-		MuD:          ps.mud,
-		Requests:     ps.ops,
-		Ops:          ps.ops,
-		Workers:      ps.workers,
-		Duration:     ps.timeout,
-		Seed:         ps.seed,
-		Faults:       ps.faults,
-		Resilience:   ps.resilience,
-		Proxy:        ps.proxy,
-		Tracer:       ps.tracer,
-		Coalesce:     ps.coalesce,
-		ZipfS:        ps.zipfS,
-		FillTTL:      ps.fillTTL,
-		Keys:         ps.keys,
-		DBQueueDepth: ps.dbQueue,
-		Tenants:      ps.tenants,
-		Extstore:     ps.extstore,
-		ValueDist:    ps.valueDist,
-		ValueSigma:   ps.valueSigma,
-	}
-	if s.ValueDist == loadgen.ValueDistFixed {
-		// The flag default; the Scenario treats "" as fixed.
-		s.ValueDist = ""
-	}
+	s := ps.scenario()
 	if ps.proxy != nil {
 		fmt.Fprintf(out, "interposing proxy tier (%s routing)\n", ps.proxy.Policy)
 	}
@@ -681,9 +717,34 @@ func runPlane(name string, ps planeScenario, out io.Writer) error {
 	if res.Sample != nil && res.Sample.Count() > 0 {
 		printSample(out, res.Sample, res.MeanCI)
 	}
+	printSLO(out, res.SLO)
 	printBreakdown(out, res.Breakdown)
 	fmt.Fprintf(out, "plane run completed in %v\n", res.Elapsed.Round(time.Millisecond))
 	return nil
+}
+
+// printSLO is the one-line watchdog verdict of a plane run: windows
+// evaluated, alert counts, the attributed stage (if any drifted) and
+// the burn-rate pair. Runs without -slo stay silent.
+func printSLO(out io.Writer, st *slo.Status) {
+	if st == nil {
+		return
+	}
+	line := fmt.Sprintf("slo         %d windows, %d drift alerts, %d burn alerts",
+		st.WindowsClosed, st.DriftAlerts, st.BurnAlerts)
+	if st.TopDrift != "" {
+		mag := 0.0
+		for _, ss := range st.Stages {
+			if ss.Stage == st.TopDrift {
+				mag = ss.Magnitude
+			}
+		}
+		line += fmt.Sprintf(", top drift %s (%.1fx band center)", st.TopDrift, mag)
+	}
+	if st.Target > 0 {
+		line += fmt.Sprintf(", burn %.2f/%.2f", st.BurnShort, st.BurnLong)
+	}
+	fmt.Fprintln(out, line)
 }
 
 func printSample(out io.Writer, h *stats.Histogram, ci stats.Interval) {

@@ -28,10 +28,13 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"memqlat/internal/metrics"
 	"memqlat/internal/otrace"
+	"memqlat/internal/plane"
 	"memqlat/internal/proxy"
+	"memqlat/internal/slo"
 	"memqlat/internal/tenant"
 )
 
@@ -53,6 +56,7 @@ func run(args []string) error {
 		adminAddr = fs.String("admin", "", "observability listener address for /metrics, /healthz, /debug/pprof (empty = off)")
 		traceRing = fs.Int("trace-ring", 0, "retain this many proxy-hop spans of in-band-traced requests, served on <admin>/trace (0 = off)")
 		tenants   = fs.String("tenants", "", `tenant QoS specs, e.g. "acme:class=gold,rate=500;evil:rate=200,share=0.5" (empty = QoS off)`)
+		sloSpec   = fs.String("slo", "", "arm the model-anchored SLO watchdog on the proxy_hop stage, e.g. 'lambda=2000,mus=8000,window=1s,k=2' (needs lambda and mus; empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,7 +79,25 @@ func run(args []string) error {
 			return err
 		}
 	}
-	p, err := proxy.New(proxy.Options{
+	// The watchdog judges the proxy_hop stage against the single
+	// GI^X/M/1 band the -slo parameters imply, on wall-clock rolling
+	// windows from process start.
+	var wd *slo.Watchdog
+	if *sloSpec != "" {
+		cfg, m, err := slo.ParseSpec(*sloSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Predicted, err = plane.ProxyHopBand(m)
+		if err != nil {
+			return err
+		}
+		cfg.AlertWriter = os.Stderr
+		if wd, err = slo.NewWatchdog(cfg); err != nil {
+			return err
+		}
+	}
+	popts := proxy.Options{
 		Upstreams:     strings.Split(*servers, ","),
 		Policy:        pol,
 		Replicas:      *replicas,
@@ -83,18 +105,38 @@ func run(args []string) error {
 		Tracer:        tracer,
 		Tenants:       lim,
 		Logger:        log.New(os.Stderr, "mcproxy: ", log.LstdFlags),
-	})
+	}
+	if wd != nil {
+		popts.Recorder = wd
+	}
+	p, err := proxy.New(popts)
 	if err != nil {
 		return err
+	}
+	if wd != nil {
+		wd.Arm()
+		start := time.Now()
+		go func() {
+			t := time.NewTicker(time.Duration(wd.Window() * float64(time.Second)))
+			defer t.Stop()
+			for range t.C {
+				wd.Advance(time.Since(start).Seconds())
+			}
+		}()
+		log.Printf("mcproxy: slo watchdog armed (window %gs, alerts on stderr)", wd.Window())
 	}
 	if *adminAddr != "" {
 		reg := metrics.NewRegistry()
 		metrics.RegisterProxy(reg, p)
 		metrics.RegisterTenants(reg, lim)
 		metrics.RegisterTracer(reg, tracer)
+		metrics.RegisterSLO(reg, wd)
 		admin := metrics.NewAdmin(reg)
 		if tracer.Enabled() {
 			admin.AttachTracer(tracer)
+		}
+		if wd != nil {
+			admin.Handle("/debug/watch", wd)
 		}
 		aaddr, err := admin.Start(*adminAddr)
 		if err != nil {

@@ -30,12 +30,16 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"memqlat/internal/cache"
 	"memqlat/internal/extstore"
 	"memqlat/internal/metrics"
 	"memqlat/internal/otrace"
+	"memqlat/internal/plane"
 	"memqlat/internal/server"
+	"memqlat/internal/slo"
+	"memqlat/internal/telemetry"
 )
 
 func main() {
@@ -66,6 +70,8 @@ func run(args []string) error {
 		adminAddr   = fs.String("admin", "", "observability listener address for /metrics, /healthz, /debug/pprof (empty = off)")
 		traceRing   = fs.Int("trace-ring", 0, "retain this many spans of in-band-traced requests, served on <admin>/trace (0 = tracing off)")
 		slow        = fs.Duration("slow", 0, "log the span tree of traced requests at least this slow (0 = off; needs -trace-ring)")
+		sloSpec     = fs.String("slo", "", "arm the model-anchored SLO watchdog, e.g. 'lambda=2000,mus=4000,miss=0.2,mud=500,window=1s,k=2,band=2' (needs lambda; mus defaults to -service-rate; empty = off)")
+		exemplars   = fs.Bool("exemplars", false, "attach OpenMetrics exemplars (trace_id of the latest traced command) to the /metrics stage histograms; needs -trace-ring")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +86,35 @@ func run(args []string) error {
 		})
 	} else if *slow > 0 {
 		return fmt.Errorf("-slow needs -trace-ring (no tracer to watch)")
+	}
+	var exStore *telemetry.ExemplarStore
+	if *exemplars {
+		if tracer == nil {
+			return fmt.Errorf("-exemplars needs -trace-ring (exemplars come from traced commands)")
+		}
+		exStore = telemetry.NewExemplarStore()
+	}
+	// The watchdog judges this server's queue_wait/service stages
+	// against the Theorem-1 bands its -slo parameters imply, on
+	// wall-clock rolling windows from process start.
+	var wd *slo.Watchdog
+	if *sloSpec != "" {
+		cfg, m, err := slo.ParseSpec(*sloSpec)
+		if err != nil {
+			return err
+		}
+		if m.MuS == 0 {
+			m.MuS = *serviceRate
+		}
+		cfg.Predicted, err = plane.BandsFromModel(m)
+		if err != nil {
+			return err
+		}
+		cfg.AlertWriter = os.Stderr
+		wd, err = slo.NewWatchdog(cfg)
+		if err != nil {
+			return err
+		}
 	}
 	c, err := cache.New(cache.Options{
 		MaxBytes:    *memoryMB << 20,
@@ -106,7 +141,7 @@ func run(args []string) error {
 		log.Printf("memcached-server: extstore tier on %s (%d MiB budget, %d keys recovered in %d segments)",
 			*extDir, *extMB, ext.Len(), ext.Stats().Segments)
 	}
-	srv, err := server.New(server.Options{
+	sopts := server.Options{
 		Cache:           c,
 		Extstore:        ext,
 		MaxConns:        *maxConns,
@@ -115,22 +150,46 @@ func run(args []string) error {
 		Seed:            *seed,
 		TimingSample:    *timingSmpl,
 		Tracer:          tracer,
+		Exemplars:       exStore,
 		ConnCore:        *connCore,
 		LoopWorkers:     *loopWorkers,
 		IdleTimeout:     *idleTimeout,
 		Logger:          log.New(os.Stderr, "memcached-server: ", log.LstdFlags),
-	})
+	}
+	if wd != nil {
+		// The server tees Options.Recorder with its own collector, so
+		// the watchdog sees every queue_wait/service observation the
+		// stats page sees.
+		sopts.Recorder = wd
+	}
+	srv, err := server.New(sopts)
 	if err != nil {
 		return err
+	}
+	if wd != nil {
+		wd.Arm()
+		start := time.Now()
+		go func() {
+			t := time.NewTicker(time.Duration(wd.Window() * float64(time.Second)))
+			defer t.Stop()
+			for range t.C {
+				wd.Advance(time.Since(start).Seconds())
+			}
+		}()
+		log.Printf("memcached-server: slo watchdog armed (window %gs, alerts on stderr)", wd.Window())
 	}
 	if *adminAddr != "" {
 		reg := metrics.NewRegistry()
 		metrics.RegisterServers(reg, []*server.Server{srv})
-		metrics.RegisterTelemetry(reg, srv.Telemetry())
+		metrics.RegisterTelemetryExemplars(reg, srv.Telemetry(), exStore)
 		metrics.RegisterTracer(reg, tracer)
+		metrics.RegisterSLO(reg, wd)
 		admin := metrics.NewAdmin(reg)
 		if tracer.Enabled() {
 			admin.AttachTracer(tracer)
+		}
+		if wd != nil {
+			admin.Handle("/debug/watch", wd)
 		}
 		aaddr, err := admin.Start(*adminAddr)
 		if err != nil {

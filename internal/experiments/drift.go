@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"memqlat/internal/core"
+	"memqlat/internal/fault"
+	"memqlat/internal/plane"
+	"memqlat/internal/slo"
+	"memqlat/internal/telemetry"
+)
+
+// Drift-experiment detector settings, shared across every leg so the
+// sim and live detections are judged by the same instrument.
+const (
+	driftWindow = 0.25 // rolling-window length, seconds
+	driftK      = 2    // consecutive out-of-band windows before drifting
+	driftBand   = 3.0  // multiplicative tolerance around the prediction
+
+	// driftLiveWindow is the live leg's window: longer than the sim's
+	// because the wall-clock leg runs at scaled-down rates, and each
+	// window must still hold >= MinSamples miss observations.
+	driftLiveWindow = 0.5
+
+	// The injected fault: the back-end database turns slow mid-run,
+	// stretching the miss penalty >20x past its 1/µD=2ms prediction —
+	// far outside any band, so attribution is unambiguous.
+	driftFaultFrom  = 1.0 // seconds into the run
+	driftFaultDelay = "50ms"
+
+	// Detection must land within this many windows of the fault onset
+	// (the ISSUE's acceptance bound).
+	driftDetectWithin = 5
+)
+
+// driftStage is the stage the fault perturbs; the watchdog must rank
+// it as the top drift.
+var driftStage = telemetry.StageMissPenalty.String()
+
+// driftScenario is the faulted workload: a miss-heavy mix so the
+// database stage carries enough per-window samples to be judged.
+func driftScenario(name string, seed uint64, requests int) (plane.Scenario, error) {
+	faults, err := fault.ParseSchedule(
+		fmt.Sprintf("slow:srv=db,from=%gs,delay=%s", driftFaultFrom, driftFaultDelay))
+	if err != nil {
+		return plane.Scenario{}, err
+	}
+	return plane.Scenario{
+		Name:         name,
+		N:            10,
+		LoadRatios:   core.BalancedLoad(2),
+		TotalKeyRate: 2000,
+		Q:            0.1,
+		Xi:           0.15,
+		MuS:          4000,
+		MissRatio:    0.2,
+		MuD:          500,
+		Requests:     requests,
+		Seed:         seed,
+		Faults:       faults,
+	}, nil
+}
+
+// driftWatchdog anchors a fresh watchdog on the Theorem-1 bands of the
+// given scenario. Target arms burn-rate alerting (0 = drift only).
+func driftWatchdog(s plane.Scenario, window, target float64) (*slo.Watchdog, error) {
+	s.SLO = nil // bands come from the clean model run
+	pred, err := plane.PredictedBands(s)
+	if err != nil {
+		return nil, err
+	}
+	return slo.NewWatchdog(slo.Config{
+		Window:    window,
+		K:         driftK,
+		Band:      driftBand,
+		Target:    target,
+		Budget:    0.05,
+		Predicted: pred,
+	})
+}
+
+// driftRow renders one leg's outcome. faultWindow < 0 means the leg is
+// unfaulted (a false-alarm check).
+func driftRow(leg string, st *slo.Status, faultWindow int64) []string {
+	detected := st.FirstDriftWindow(driftStage)
+	det, delay := "-", "-"
+	if detected >= 0 {
+		det = fmt.Sprintf("%d", detected)
+		if faultWindow >= 0 {
+			delay = fmt.Sprintf("%d", detected-faultWindow)
+		}
+	}
+	fw := "-"
+	if faultWindow >= 0 {
+		fw = fmt.Sprintf("%d", faultWindow)
+	}
+	top, mag := st.TopDrift, 0.0
+	if top == "" {
+		top = "-"
+	}
+	for _, ss := range st.Stages {
+		if ss.Stage == st.TopDrift {
+			mag = ss.Magnitude
+		}
+	}
+	return []string{
+		leg, fw, det, delay, top, fmt.Sprintf("%.1f", mag),
+		fmt.Sprintf("%d/%d", st.DriftAlerts, st.BurnAlerts),
+	}
+}
+
+// Drift is the watchdog's end-to-end validation, an artifact the paper
+// does not have: arm the model-anchored SLO watchdog on a running
+// plane, turn the database slow mid-run, and measure how many rolling
+// windows pass before the detector fires — and whether it attributes
+// the drift to the stage that actually moved (miss_penalty). The
+// composition simulator replays the detector on the virtual timeline,
+// so the same seed must detect at the identical window (asserted by
+// running the leg twice); the live leg repeats the run on the real TCP
+// stack under wall-clock windows. A healthy λ ramp through the
+// latency-cliff region checks the opposite failure mode: bands
+// re-anchored per load point must not false-alarm on load alone.
+func Drift(b Budget) (*Report, error) {
+	start := time.Now()
+	faultWindow := int64(driftFaultFrom / driftWindow)
+	var rows [][]string
+
+	// --- sim legs: deterministic replay on the virtual timeline ---
+	var simDetected [2]int64
+	for i := 0; i < 2; i++ {
+		s, err := driftScenario("drift-sim", b.Seed, b.Requests)
+		if err != nil {
+			return nil, err
+		}
+		// Target 10ms: the faulted miss path blows the end-to-end SLO,
+		// exercising the multi-window burn-rate alert alongside drift.
+		wd, err := driftWatchdog(s, driftWindow, 10e-3)
+		if err != nil {
+			return nil, err
+		}
+		s.SLO = wd
+		res, err := plane.SimPlane{}.Run(context.Background(), s)
+		if err != nil {
+			return nil, err
+		}
+		simDetected[i] = res.SLO.FirstDriftWindow(driftStage)
+		if simDetected[i] < 0 {
+			return nil, fmt.Errorf("drift: sim run %d never detected %s drift", i+1, driftStage)
+		}
+		if res.SLO.TopDrift != driftStage {
+			return nil, fmt.Errorf("drift: sim run %d attributed drift to %q, want %s",
+				i+1, res.SLO.TopDrift, driftStage)
+		}
+		rows = append(rows, driftRow(fmt.Sprintf("sim run %d", i+1), res.SLO, faultWindow))
+	}
+	if simDetected[0] != simDetected[1] {
+		return nil, fmt.Errorf("drift: sim detection not deterministic (window %d vs %d under the same seed)",
+			simDetected[0], simDetected[1])
+	}
+	if simDetected[0] > faultWindow+driftDetectWithin {
+		return nil, fmt.Errorf("drift: sim detected at window %d, want <= fault window %d + %d",
+			simDetected[0], faultWindow, driftDetectWithin)
+	}
+
+	// --- live leg: the same fault on the real TCP stack ---
+	// Rates are scaled down until Go timer granularity is negligible
+	// against the 2ms shaped service mean; the sharpened queue-wait
+	// band then holds on real hardware and the only stage far out of
+	// band is the faulted one.
+	liveFaults, err := fault.ParseSchedule(
+		fmt.Sprintf("slow:srv=db,from=%gs,delay=%s", driftFaultFrom, driftFaultDelay))
+	if err != nil {
+		return nil, err
+	}
+	ls := plane.Scenario{
+		Name:         "drift-live",
+		N:            1, // the loadgen issues per-key gets
+		LoadRatios:   core.BalancedLoad(2),
+		TotalKeyRate: 300,
+		Q:            0.1,
+		Xi:           0.15,
+		MuS:          500,
+		MissRatio:    0.2,
+		MuD:          500,
+		Ops:          1500,
+		Workers:      32,
+		Seed:         b.Seed,
+		Faults:       liveFaults,
+	}
+	liveWd, err := driftWatchdog(ls, driftLiveWindow, 0)
+	if err != nil {
+		return nil, err
+	}
+	ls.SLO = liveWd
+	liveRes, err := plane.LivePlane{PoolSize: 16}.Run(context.Background(), ls)
+	if err != nil {
+		return nil, err
+	}
+	liveFaultWindow := int64(driftFaultFrom / driftLiveWindow)
+	liveDetected := liveRes.SLO.FirstDriftWindow(driftStage)
+	if liveDetected < 0 || liveDetected > liveFaultWindow+driftDetectWithin {
+		return nil, fmt.Errorf("drift: live leg detected %s at window %d, want within %d windows of fault window %d",
+			driftStage, liveDetected, driftDetectWithin, liveFaultWindow)
+	}
+	if liveRes.SLO.TopDrift != driftStage {
+		return nil, fmt.Errorf("drift: live leg attributed drift to %q, want %s",
+			liveRes.SLO.TopDrift, driftStage)
+	}
+	rows = append(rows, driftRow("live", liveRes.SLO, liveFaultWindow))
+
+	// --- ramp leg: healthy load sweep must stay quiet ---
+	for _, lambda := range []float64{2000, 4000, 6000} {
+		s, err := driftScenario("drift-ramp", b.Seed, b.Requests)
+		if err != nil {
+			return nil, err
+		}
+		s.Faults = fault.Schedule{}
+		s.TotalKeyRate = lambda
+		wd, err := driftWatchdog(s, driftWindow, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.SLO = wd
+		res, err := plane.SimPlane{}.Run(context.Background(), s)
+		if err != nil {
+			return nil, err
+		}
+		if res.SLO.DriftAlerts > 0 {
+			return nil, fmt.Errorf("drift: healthy ramp at λ=%g false-alarmed (%d drift alerts, top %s)",
+				lambda, res.SLO.DriftAlerts, res.SLO.TopDrift)
+		}
+		rows = append(rows, driftRow(fmt.Sprintf("ramp λ=%g (healthy)", lambda), res.SLO, -1))
+	}
+
+	return &Report{
+		ID:    "drift",
+		Title: "SLO watchdog: db-slow fault detection latency across planes, plus a healthy-load false-alarm sweep",
+		Columns: []string{"leg", "fault window", "detected window", "delay (windows)",
+			"top drift", "magnitude", "drift/burn alerts"},
+		Rows: rows,
+		Notes: []string{
+			fmt.Sprintf("detector: %gs rolling windows, K=%d consecutive windows, band ×%g around the "+
+				"Theorem-1 per-stage quantiles (plane.PredictedBands re-anchored per scenario)", driftWindow, driftK, driftBand),
+			fmt.Sprintf("fault: database service stretched by %s from t=%gs — the miss_penalty stage "+
+				"leaves its 1/µD band while every other stage stays on-model", driftFaultDelay, driftFaultFrom),
+			"the two sim runs share a seed: the composition simulator drives the watchdog on the " +
+				"virtual timeline, so the detection window is a deterministic function of the seed",
+			fmt.Sprintf("the live leg runs the same detector on %gs wall-clock windows over the real "+
+				"TCP stack at scaled-down rates; scheduler jitter can move the detection window, "+
+				"the attribution must not move", driftLiveWindow),
+			"ramp rows re-anchor the bands at each λ and must stay alert-free: load alone is not drift",
+		},
+		Elapsed: time.Since(start),
+	}, nil
+}

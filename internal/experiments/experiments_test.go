@@ -16,7 +16,7 @@ func TestAllRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "table4", "prop1", "prop2",
 		"ext-tails", "ext-arrivals", "ext-eq6", "ext-redundancy",
 		"ext-integrated", "ext-elasticity", "ext-resilience", "crossplane",
-		"hotkey", "noisy", "proxied", "tiered", "live"}
+		"hotkey", "noisy", "proxied", "tiered", "live", "drift"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
@@ -713,6 +713,30 @@ func TestFaultCrossPlaneRows(t *testing.T) {
 	for _, col := range []string{"retry", "hedge_wait", "breaker_shed"} {
 		if !strings.Contains(joined, col) {
 			t.Errorf("columns missing %s: %v", col, r.Columns)
+		}
+	}
+}
+
+func TestDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drift live leg takes ~6s of wall time")
+	}
+	r, err := Drift(tiny)
+	if err != nil {
+		// Drift enforces its own acceptance bounds (detection within 5
+		// windows, miss_penalty attribution, sim determinism, quiet
+		// ramp) and errors when any is violated.
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("drift rendered %d rows, want 6 (2 sim + live + 3 ramp)", len(r.Rows))
+	}
+	if r.Rows[0][2] != r.Rows[1][2] {
+		t.Errorf("sim detection windows differ: %s vs %s", r.Rows[0][2], r.Rows[1][2])
+	}
+	for _, row := range r.Rows[3:] {
+		if row[6] != "0/0" {
+			t.Errorf("healthy ramp row %s fired alerts: %s", row[0], row[6])
 		}
 	}
 }

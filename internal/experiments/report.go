@@ -179,6 +179,7 @@ func All() []Experiment {
 		{"proxied", "Proxy tier: direct vs proxied vs replicated on every plane", Proxied},
 		{"tiered", "Tiered storage: RAM:SSD splits at fixed cost via the shared MRC", Tiered},
 		{"live", "Live TCP stack end-to-end check", Live},
+		{"drift", "SLO watchdog: injected-fault detection latency across planes", Drift},
 	}
 }
 

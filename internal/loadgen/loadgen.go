@@ -94,6 +94,12 @@ type Options struct {
 	// fork-join join overhead. Open-loop mode only (closed loops have
 	// no batches).
 	Recorder telemetry.Recorder
+	// OnLatency, when set, receives every per-key end-to-end latency
+	// (seconds) that lands in the Latency histogram — tenant-shed
+	// refusals excluded, same as the histogram. It is called from
+	// worker goroutines and must be safe for concurrent use; the SLO
+	// watchdog's burn-rate accounting hangs off this hook.
+	OnLatency func(seconds float64)
 	// Tenants, when non-empty, draws a tenant per issued key from the
 	// Share mix (rng stream 15) and prefixes the key with "<name>:" so
 	// a QoS-armed proxy meters it against that tenant's bucket.
@@ -414,6 +420,9 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 			tenantLat[tIdx].Record(lat)
 		}
 		mu.Unlock()
+		if o.OnLatency != nil {
+			o.OnLatency(lat)
+		}
 		return lat
 	}
 	execute := func(key string, tIdx int) { executeKey(key, tIdx) }

@@ -125,6 +125,24 @@ func (r *Registry) GaugeVec(name, help string, fn func(emit func(l Labels, v flo
 // Histogram.CumulativeCount, so the page and the internal quantiles
 // describe the same distribution at bucket resolution.
 func (r *Registry) Histogram(name, help string, bounds []float64, fn func(emit func(l Labels, h *stats.Histogram))) {
+	r.HistogramWithExemplars(name, help, bounds,
+		func(emit func(l Labels, h *stats.Histogram, ex *Exemplar)) {
+			fn(func(l Labels, h *stats.Histogram) { emit(l, h, nil) })
+		})
+}
+
+// Exemplar is an OpenMetrics exemplar: one recent raw observation,
+// tagged with the trace that produced it, rendered after the bucket
+// line whose range contains Value ("# {trace_id=...} value ts").
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Unix    float64
+}
+
+// HistogramWithExemplars is Histogram for sources that can attach an
+// exemplar per series; a nil exemplar emits a plain histogram.
+func (r *Registry) HistogramWithExemplars(name, help string, bounds []float64, fn func(emit func(l Labels, h *stats.Histogram, ex *Exemplar))) {
 	if bounds == nil {
 		bounds = DefaultLatencyBounds
 	}
@@ -132,7 +150,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64, fn func(emit f
 		panic("metrics: histogram bounds not sorted for " + name)
 	}
 	r.add(&family{name: name, help: help, kind: kindHistogram, bounds: bounds, gather: func(e *emitter) {
-		fn(func(l Labels, h *stats.Histogram) { e.histogram(name, l, bounds, h) })
+		fn(func(l Labels, h *stats.Histogram, ex *Exemplar) { e.histogram(name, l, bounds, h, ex) })
 	}})
 }
 
@@ -177,14 +195,22 @@ func (e *emitter) sample(name string, l Labels, v float64) {
 	e.b.WriteByte('\n')
 }
 
-func (e *emitter) histogram(name string, l Labels, bounds []float64, h *stats.Histogram) {
+func (e *emitter) histogram(name string, l Labels, bounds []float64, h *stats.Histogram, ex *Exemplar) {
 	count := h.Count()
+	exPending := ex != nil
 	for _, ub := range bounds {
 		e.b.WriteString(name)
 		e.b.WriteString("_bucket")
 		e.labels(l, "le", formatValue(ub))
 		e.b.WriteByte(' ')
 		e.b.WriteString(strconv.FormatInt(h.CumulativeCount(ub), 10))
+		if exPending && ex.Value <= ub {
+			// The exemplar rides the first bucket whose range contains
+			// its value (OpenMetrics: one exemplar per bucket, on the
+			// bucket the observation landed in).
+			e.exemplar(ex)
+			exPending = false
+		}
 		e.b.WriteByte('\n')
 	}
 	e.b.WriteString(name)
@@ -192,6 +218,9 @@ func (e *emitter) histogram(name string, l Labels, bounds []float64, h *stats.Hi
 	e.labels(l, "le", "+Inf")
 	e.b.WriteByte(' ')
 	e.b.WriteString(strconv.FormatInt(count, 10))
+	if exPending {
+		e.exemplar(ex)
+	}
 	e.b.WriteByte('\n')
 
 	var sum float64
@@ -210,6 +239,18 @@ func (e *emitter) histogram(name string, l Labels, bounds []float64, h *stats.Hi
 	e.b.WriteByte(' ')
 	e.b.WriteString(strconv.FormatInt(count, 10))
 	e.b.WriteByte('\n')
+}
+
+// exemplar appends an OpenMetrics exemplar suffix to the current line.
+func (e *emitter) exemplar(ex *Exemplar) {
+	e.b.WriteString(` # {trace_id="`)
+	e.b.WriteString(escapeLabel(ex.TraceID))
+	e.b.WriteString(`"} `)
+	e.b.WriteString(formatValue(ex.Value))
+	if ex.Unix > 0 {
+		e.b.WriteByte(' ')
+		e.b.WriteString(strconv.FormatFloat(ex.Unix, 'f', 3, 64))
+	}
 }
 
 // labels writes {k="v",...}, appending the extra pair (the histogram

@@ -10,6 +10,7 @@ import (
 	"memqlat/internal/protocol"
 	"memqlat/internal/proxy"
 	"memqlat/internal/server"
+	"memqlat/internal/slo"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
 	"memqlat/internal/tenant"
@@ -21,15 +22,29 @@ import (
 // quantile gauge family so the page states p50/p95/p99 directly — the
 // numbers `stats telemetry` and the crossplane experiment print.
 func RegisterTelemetry(r *Registry, c *telemetry.Collector) {
+	RegisterTelemetryExemplars(r, c, nil)
+}
+
+// RegisterTelemetryExemplars is RegisterTelemetry with OpenMetrics
+// exemplars: each stage's histogram attaches the most recent traced
+// observation from ex (trace_id, value, timestamp) to the bucket that
+// contains it. A nil store emits plain histograms — binaries opt in
+// with a flag precisely because classic Prometheus text parsers may
+// reject the exemplar suffix.
+func RegisterTelemetryExemplars(r *Registry, c *telemetry.Collector, ex *telemetry.ExemplarStore) {
 	if r == nil || c == nil {
 		return
 	}
-	r.Histogram("memqlat_stage_latency_seconds",
+	r.HistogramWithExemplars("memqlat_stage_latency_seconds",
 		"Per-stage latency decomposition (Theorem 1 stages plus resilience stages).",
-		nil, func(emit func(Labels, *stats.Histogram)) {
+		nil, func(emit func(Labels, *stats.Histogram, *Exemplar)) {
 			hs := c.Histograms()
 			for _, stage := range telemetry.Stages() {
-				emit(L("stage", stage.String()), hs[stage])
+				var e *Exemplar
+				if x := ex.Stage(stage); x != nil {
+					e = &Exemplar{TraceID: x.TraceID, Value: x.Value, Unix: x.Unix}
+				}
+				emit(L("stage", stage.String()), hs[stage], e)
 			}
 		})
 	r.GaugeVec("memqlat_stage_latency_quantile_seconds",
@@ -118,10 +133,25 @@ func RegisterServers(r *Registry, srvs []*server.Server) {
 			}
 		})
 	r.Histogram("memqlat_server_command_latency_seconds",
-		"Per-command handling latency (sampled; see stats latency for the bias).",
+		"Per-command handling latency, rescaled to population counts: unshaped servers time 1 in sample_every commands, so bucket counts are multiplied by sample_every at scrape time (Horvitz-Thompson; see DESIGN.md).",
 		nil, func(emit func(Labels, *stats.Histogram)) {
 			for i, s := range srvs {
-				emit(L("server", itoa(i)), s.LatencyHistogram())
+				h := s.LatencyHistogram()
+				// LatencyHistogram returns a private copy, so the scrape
+				// can rescale it in place. Without this, a page mixing
+				// sampled (1-in-k) and always-timed (shaped/traced)
+				// servers under-weights the sampled ones k-fold.
+				if k := s.LatencySampleEvery(); k > 1 {
+					h.Scale(int64(k))
+				}
+				emit(L("server", itoa(i)), h)
+			}
+		})
+	r.GaugeVec("memqlat_server_latency_sample_every",
+		"The k of each server's 1-in-k command timing (1 = every command, 0 = timing off).",
+		func(emit func(Labels, float64)) {
+			for i, s := range srvs {
+				emit(L("server", itoa(i)), float64(s.LatencySampleEvery()))
 			}
 		})
 	// Event-loop core gauges: absent (no series) on the goroutine core,
@@ -426,6 +456,102 @@ func RegisterBackend(r *Registry, db *backend.DB) {
 	r.Gauge("memqlat_backend_queue_peak",
 		"Single-queue backlog high-watermark since start.",
 		func() float64 { return float64(db.Stats().QueuePeak) })
+}
+
+// RegisterSLO exposes the watchdog's state as the memqlat_slo_* metric
+// families: the model band anchors and last-window observed quantiles
+// per stage, the drift bookkeeping (streak, drifting flag, magnitude),
+// the burn rates and the alert counters — everything /debug/watch
+// serves, shaped for scraping. Each family snapshots the watchdog at
+// scrape time; an idle page costs the recording hot path nothing.
+func RegisterSLO(r *Registry, wd *slo.Watchdog) {
+	if r == nil || wd == nil {
+		return
+	}
+	r.Gauge("memqlat_slo_armed",
+		"1 once the watchdog is armed and ingesting observations.",
+		func() float64 {
+			if wd.Armed() {
+				return 1
+			}
+			return 0
+		})
+	r.Counter("memqlat_slo_windows_closed_total",
+		"Rolling windows closed and evaluated since arming.",
+		func() float64 { return float64(wd.Status().WindowsClosed) })
+	r.GaugeVec("memqlat_slo_stage_predicted_seconds",
+		"Theorem-1 band anchor per stage and quantile (the model's prediction).",
+		func(emit func(Labels, float64)) {
+			for _, ss := range wd.Status().Stages {
+				if ss.Predicted == nil {
+					continue
+				}
+				emit(L("stage", ss.Stage, "q", "0.5"), ss.Predicted.P50)
+				emit(L("stage", ss.Stage, "q", "0.95"), ss.Predicted.P95)
+				emit(L("stage", ss.Stage, "q", "0.99"), ss.Predicted.P99)
+			}
+		})
+	r.GaugeVec("memqlat_slo_stage_observed_seconds",
+		"Observed quantiles of the last evaluated window per stage.",
+		func(emit func(Labels, float64)) {
+			for _, ss := range wd.Status().Stages {
+				if ss.Count == 0 {
+					continue
+				}
+				emit(L("stage", ss.Stage, "q", "0.5"), ss.Observed.P50)
+				emit(L("stage", ss.Stage, "q", "0.95"), ss.Observed.P95)
+				emit(L("stage", ss.Stage, "q", "0.99"), ss.Observed.P99)
+			}
+		})
+	r.GaugeVec("memqlat_slo_stage_drift_streak",
+		"Consecutive windows the stage has sat outside its model band.",
+		func(emit func(Labels, float64)) {
+			for _, ss := range wd.Status().Stages {
+				emit(L("stage", ss.Stage), float64(ss.Streak))
+			}
+		})
+	r.GaugeVec("memqlat_slo_stage_drifting",
+		"1 while the stage's drift streak has reached K (alert condition).",
+		func(emit func(Labels, float64)) {
+			for _, ss := range wd.Status().Stages {
+				v := 0.0
+				if ss.Drifting {
+					v = 1
+				}
+				emit(L("stage", ss.Stage), v)
+			}
+		})
+	r.GaugeVec("memqlat_slo_stage_drift_magnitude",
+		"Worst observed/predicted quantile ratio of the last evaluated window (1 = on-model).",
+		func(emit func(Labels, float64)) {
+			for _, ss := range wd.Status().Stages {
+				if ss.Count == 0 {
+					continue
+				}
+				emit(L("stage", ss.Stage), ss.Magnitude)
+			}
+		})
+	r.GaugeVec("memqlat_slo_burn_rate",
+		"Error-budget burn rate over the short and long alignment windows.",
+		func(emit func(Labels, float64)) {
+			st := wd.Status()
+			emit(L("window", "short"), st.BurnShort)
+			emit(L("window", "long"), st.BurnLong)
+		})
+	r.Gauge("memqlat_slo_burn_active",
+		"1 while both burn windows exceed the alert threshold.",
+		func() float64 {
+			if wd.Status().BurnActive {
+				return 1
+			}
+			return 0
+		})
+	r.Counter("memqlat_slo_drift_alerts_total",
+		"Drift alert episodes fired since arming.",
+		func() float64 { return float64(wd.Status().DriftAlerts) })
+	r.Counter("memqlat_slo_burn_alerts_total",
+		"Burn-rate alert episodes fired since arming.",
+		func() float64 { return float64(wd.Status().BurnAlerts) })
 }
 
 // RegisterTracer exposes the trace ring's retention counters so a

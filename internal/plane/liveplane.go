@@ -90,6 +90,13 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		return nil, err
 	}
 	collector := telemetry.NewCollector()
+	// With a watchdog armed, every tier's stage observations tee into
+	// its rolling-window sketches alongside the collector; the tee
+	// preserves sharding, so hot-path recording stays lock-striped.
+	var rec telemetry.Recorder = collector
+	if s.SLO != nil {
+		rec = telemetry.Tee(collector, s.SLO)
+	}
 
 	// --- faults ---
 	// One injector shared by all servers and the backend, clocked from a
@@ -175,7 +182,7 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 			ServiceRate: s.MuS,
 			Seed:        s.Seed + uint64(i),
 			Logger:      log.New(io.Discard, "", 0),
-			Recorder:    collector,
+			Recorder:    rec,
 			Fault:       pointFor(i),
 			Tracer:      s.Tracer,
 			ID:          i,
@@ -195,7 +202,7 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	dbOpts := backend.Options{
 		MuD:      s.MuD,
 		Seed:     s.Seed,
-		Recorder: collector,
+		Recorder: rec,
 		Fault:    pointFor(fault.Database),
 		Tracer:   s.Tracer,
 	}
@@ -225,7 +232,7 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 			Upstreams: addrs,
 			Policy:    pol,
 			Replicas:  s.Proxy.Replicas,
-			Recorder:  collector,
+			Recorder:  rec,
 			Logger:    log.New(io.Discard, "", 0),
 			Tracer:    s.Tracer,
 			// The QoS buckets meter on the shared run clock: -Inf until
@@ -257,7 +264,7 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		FillTTL:    s.FillTTL,
 		PoolSize:   poolSize,
 		Resilience: client.ResilienceFromSpec(s.Resilience),
-		Recorder:   collector,
+		Recorder:   rec,
 		Tracer:     s.Tracer,
 		Seed:       s.Seed,
 	}
@@ -289,8 +296,11 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		// only RAMItems of the populated keyspace), and whatever falls
 		// past the disk tier must still read through to the backend.
 		UseGetThrough: s.MissRatio > 0 || s.Extstore != nil,
-		Recorder:      collector,
+		Recorder:      rec,
 		Tenants:       s.Tenants,
+	}
+	if s.SLO != nil {
+		opts.OnLatency = s.SLO.OnLatency
 	}
 	if err := loadgen.Populate(opts); err != nil {
 		return nil, err
@@ -303,9 +313,33 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	runCtx, cancel := context.WithTimeout(ctx, s.Duration)
 	defer cancel()
 	clock.Start()
+	if wd := s.SLO; wd != nil {
+		// Arm only once the run clock starts: populate traffic is warmup,
+		// not SLO traffic. Windows advance on the same epoch the fault
+		// schedule uses, so "fault at t=1s" and "window 4" line up.
+		wd.Arm()
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			t := time.NewTicker(time.Duration(wd.Window() * float64(time.Second)))
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					wd.Advance(clock.Now())
+				case <-stopWatch:
+					return
+				}
+			}
+		}()
+	}
 	lg, err := loadgen.Run(runCtx, opts)
 	if err != nil {
 		return nil, err
+	}
+	if wd := s.SLO; wd != nil {
+		wd.Advance(clock.Now())
+		wd.Flush()
 	}
 	if lg.Issued == 0 {
 		// A context that expired during populate yields an empty run;
@@ -355,6 +389,9 @@ func (p LivePlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	}
 	dbStats := db.Stats()
 	res.DB = &dbStats
+	if s.SLO != nil {
+		res.SLO = s.SLO.Status()
+	}
 	if s.Extstore != nil {
 		er := &ExtstoreResult{Predicted: split}
 		for _, srv := range servers {

@@ -28,6 +28,7 @@ import (
 	"memqlat/internal/otrace"
 	"memqlat/internal/proxy"
 	"memqlat/internal/sim"
+	"memqlat/internal/slo"
 	"memqlat/internal/stats"
 	"memqlat/internal/telemetry"
 	"memqlat/internal/tenant"
@@ -178,6 +179,16 @@ type Scenario struct {
 	// planes ignore it — connection handling is exactly the machinery
 	// they abstract away.
 	ConnCore string
+
+	// SLO, when set, arms the model-anchored watchdog on the measured
+	// planes. The live plane tees it into every tier's telemetry,
+	// arms it when the run clock starts and advances its rolling
+	// windows on a wall-clock ticker; the composition simulator
+	// replays the same detector on the virtual request timeline, so a
+	// given seed detects drift at an identical window index on every
+	// run. The model plane ignores it (nothing executes). Anchor its
+	// bands with PredictedBands before the run.
+	SLO *slo.Watchdog
 
 	// Tracer, when set, records request-scoped spans from every tier of
 	// the measured planes: wall-clock spans across client, proxy, server
@@ -388,6 +399,11 @@ type Result struct {
 	// Tenants carries the per-tenant QoS outcome when the scenario
 	// declares tenants (declaration order; empty otherwise).
 	Tenants []TenantResult
+	// SLO carries the watchdog's end-of-run status when the scenario
+	// arms one: per-stage bands vs observed quantiles, drift streaks,
+	// burn rates and the alert log (nil otherwise, and on the model
+	// plane).
+	SLO *slo.Status
 	// Extstore carries the tiered-storage surface when the scenario
 	// arms the SSD tier: the shared MRC prediction plus the plane's
 	// measured disk-hit counters (nil otherwise).

@@ -54,6 +54,9 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 	if len(s.Tenants) > 0 && p.Mode == SimIntegrated {
 		return nil, fmt.Errorf("plane: scenario %q: the integrated simulator does not model tenant QoS (use the composition sim)", s.Name)
 	}
+	if s.SLO != nil && p.Mode == SimIntegrated {
+		return nil, fmt.Errorf("plane: scenario %q: the integrated simulator does not replay the SLO watchdog (use the composition sim)", s.Name)
+	}
 	var split mrc.TierSplit
 	if s.Extstore != nil {
 		if p.Mode == SimIntegrated {
@@ -129,6 +132,20 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		if s.Proxy != nil && s.Proxy.Policy == "replicate" {
 			rc.ReadReplicas = s.Proxy.Replicas
 		}
+		if wd := s.SLO; wd != nil {
+			// The watchdog replays on the virtual request timeline: the
+			// composition loop advances its windows at each arrival
+			// instant and tees every request-loop stage into its
+			// sketches. The per-server streams are pre-simulated outside
+			// that timeline, so queue_wait/service stay out of the sim
+			// replay — the drift signals here are the request-scoped
+			// stages (miss_penalty, proxy_hop, fork_join, ...). The
+			// observer draws nothing, so sims with and without a watchdog
+			// are byte-identical and a given seed detects drift at the
+			// same window index on every run.
+			wd.Arm()
+			rc.Observer = wd
+		}
 		if e := s.Extstore; e != nil {
 			rc.Extstore = &sim.ExtstoreSim{
 				DiskHitFraction: split.DiskHitFraction(),
@@ -140,6 +157,10 @@ func (p SimPlane) Run(ctx context.Context, s Scenario) (*Result, error) {
 		comp, err := sim.SimulateRequests(rc)
 		if err != nil {
 			return nil, err
+		}
+		if wd := s.SLO; wd != nil {
+			wd.Flush()
+			res.SLO = wd.Status()
 		}
 		tsEst, err := comp.TSQuantileEstimate(model)
 		if err != nil {

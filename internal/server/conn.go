@@ -144,6 +144,15 @@ func (s *Server) serveCommand(w *protocol.Writer, cmd *protocol.Command, cs *con
 		cs.lat.record(total.Seconds())
 		cs.rec.Observe(telemetry.StageService, (total - waited).Seconds())
 		if srvSpan.ID != 0 {
+			// A traced command doubles as the stage histograms' exemplar:
+			// the freshest observation a scrape can link back to a trace.
+			if ex := s.opts.Exemplars; ex != nil {
+				unix := float64(time.Now().UnixNano()) / 1e9
+				if waited > 0 {
+					ex.Record(telemetry.StageQueueWait, srvSpan.Trace, waited.Seconds(), unix)
+				}
+				ex.Record(telemetry.StageService, srvSpan.Trace, (total - waited).Seconds(), unix)
+			}
 			tr := s.opts.Tracer
 			// Child spans mirror the queue_wait/service telemetry
 			// split inside the handle span's window.

@@ -86,6 +86,11 @@ type Options struct {
 	// connection sent an mq_trace header. Nil (the default) disables
 	// tracing; the per-command cost is then a single branch.
 	Tracer *otrace.Tracer
+	// Exemplars, when set alongside Tracer, retains each stage's most
+	// recent traced observation so /metrics can attach OpenMetrics
+	// exemplars (trace_id) to the stage histogram buckets. Nil (the
+	// default) records nothing; untraced commands never touch it.
+	Exemplars *telemetry.ExemplarStore
 	// ID labels this server's spans when a cluster shares one Tracer
 	// (the live plane numbers servers as the model does).
 	ID int
@@ -947,6 +952,21 @@ func (s *Server) Extstore() *extstore.Store { return s.opts.Extstore }
 // Options.Extstore.
 func (s *Server) ExtstoreCounts() (diskHits, promotions int64) {
 	return s.diskHits.Load(), s.promotions.Load()
+}
+
+// LatencySampleEvery reports the k of the server's 1-in-k command
+// timing: 1 on shaped servers (every command is timed), timingMask+1 on
+// unshaped ones, and 0 when timing is off. Scrapers use it to rescale
+// the sampled LatencyHistogram into population estimates (see
+// Histogram.Scale).
+func (s *Server) LatencySampleEvery() int {
+	switch {
+	case s.timingOff:
+		return 0
+	case s.opts.ServiceRate > 0:
+		return 1
+	}
+	return int(s.timingMask) + 1
 }
 
 // LatencyHistogram snapshots the merged per-command latency histogram

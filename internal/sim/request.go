@@ -106,6 +106,27 @@ type RequestConfig struct {
 	// should then carry the admitted Λ' the surviving streams are
 	// priced at. Zero defaults to Model.TotalKeyRate.
 	OfferedKeyRate float64
+	// Observer, when set, watches the composition loop on its virtual
+	// timeline: BeginRequest fires at each request's arrival instant
+	// (before any draw), request-loop stage observations are teed to
+	// its Observe, and RequestTotal reports each composed request's
+	// end-to-end latency. Per-server stream stages (queue_wait,
+	// service) are simulated up front outside the request timeline, so
+	// they are not replayed through the observer. Nil adds no work and
+	// draws nothing, keeping existing runs byte-identical — this is the
+	// seam the SLO watchdog replays deterministically.
+	Observer RequestObserver
+}
+
+// RequestObserver receives the composition loop's virtual-time events
+// (see RequestConfig.Observer). slo.Watchdog implements it.
+type RequestObserver interface {
+	telemetry.Recorder
+	// BeginRequest observes a request arriving at virtual time now.
+	BeginRequest(now float64)
+	// RequestTotal observes a composed request's end-to-end latency at
+	// virtual time now. Requests whose keys all shed produce no sample.
+	RequestTotal(now, total float64)
 }
 
 // ExtstoreSim parameterizes the simulated SSD tier.
@@ -320,6 +341,9 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		rngProxy  = dist.SubRand(cfg.Seed, 105)
 	)
 	rec := telemetry.OrNop(cfg.Recorder)
+	if cfg.Observer != nil {
+		rec = telemetry.Tee(rec, cfg.Observer)
+	}
 	rs := newSimResilience(cfg.Resilience, m, servers)
 	// Tenant QoS state: the limiter runs the same bucket code the live
 	// proxy runs, on the virtual request clock. The tenant rng (stream
@@ -420,6 +444,9 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 			admittedKeys               int
 		)
 		now := float64(req) / reqRate
+		if cfg.Observer != nil {
+			cfg.Observer.BeginRequest(now)
+		}
 		var tn *tenant.Tenant
 		tenantIdx := -1
 		if lim != nil {
@@ -574,6 +601,9 @@ func SimulateRequests(cfg RequestConfig) (*RequestResult, error) {
 		}
 		total := m.NetworkLatency + maxTS + maxTD + maxTP
 		out.Total.Record(total)
+		if cfg.Observer != nil {
+			cfg.Observer.RequestTotal(now, total)
+		}
 		if tenantIdx >= 0 {
 			tenantLat[tenantIdx].Record(total)
 		}

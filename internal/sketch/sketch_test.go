@@ -1,0 +1,274 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestNewRejectsBadRelativeError(t *testing.T) {
+	for _, alpha := range []float64{-0.01, 0.5, 0.9, math.NaN()} {
+		if _, err := New(Options{RelativeError: alpha}); err == nil {
+			t.Errorf("New(α=%v): want error, got nil", alpha)
+		}
+	}
+}
+
+func TestDefaultRelativeError(t *testing.T) {
+	s := MustNew(Options{})
+	if got := s.RelativeError(); got != 0.01 {
+		t.Fatalf("default relative error = %v, want 0.01", got)
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := MustNew(Options{})
+	snap := s.Snapshot()
+	if snap.Count() != 0 || snap.Quantile(0.5) != 0 || snap.FractionAbove(0) != 0 {
+		t.Fatalf("empty snapshot: count=%d p50=%v above=%v, want zeros",
+			snap.Count(), snap.Quantile(0.5), snap.FractionAbove(0))
+	}
+	if snap.Mean() != 0 {
+		t.Fatalf("empty mean = %v, want 0", snap.Mean())
+	}
+}
+
+// TestQuantileRelativeErrorProperty is the accuracy property the
+// watchdog's band math depends on: for values spanning the indexable
+// range, every sketch quantile stays within the configured relative
+// error of the exact sorted-reference value at the same rank.
+func TestQuantileRelativeErrorProperty(t *testing.T) {
+	for _, alpha := range []float64{0.01, 0.02, 0.05} {
+		s := MustNew(Options{RelativeError: alpha})
+		rng := rand.New(rand.NewSource(42))
+		const n = 20000
+		vals := make([]float64, n)
+		for i := range vals {
+			// Log-uniform between 100ns and 10s: seven decades, like a
+			// latency distribution with a heavy tail.
+			vals[i] = math.Exp(rng.Float64()*math.Log(1e8)) * 1e-7
+			s.Stripe(uint64(i)).Record(vals[i])
+		}
+		sort.Float64s(vals)
+		snap := s.Snapshot()
+		if snap.Count() != n {
+			t.Fatalf("α=%v: count=%d, want %d", alpha, snap.Count(), n)
+		}
+		for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1} {
+			rank := int(math.Ceil(q * n))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := vals[rank-1]
+			got := snap.Quantile(q)
+			if relErr := math.Abs(got-exact) / exact; relErr > alpha*1.0001 {
+				t.Errorf("α=%v q=%v: sketch=%v exact=%v relative error %v > %v",
+					alpha, q, got, exact, relErr, alpha)
+			}
+		}
+		if m, em := snap.Mean(), mean(vals); math.Abs(m-em)/em > 1e-9 {
+			t.Errorf("α=%v: mean=%v, want exact %v", alpha, m, em)
+		}
+		if snap.Min() != vals[0] || snap.Max() != vals[n-1] {
+			t.Errorf("α=%v: min/max=%v/%v, want %v/%v", alpha, snap.Min(), snap.Max(), vals[0], vals[n-1])
+		}
+	}
+}
+
+func mean(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+func TestQuantileEdgeValues(t *testing.T) {
+	s := MustNew(Options{})
+	s.Record(math.NaN()) // dropped
+	s.Record(-1)         // low bucket
+	s.Record(0)          // low bucket
+	s.Record(5e-10)      // below minValue
+	s.Record(2e3)        // overflow
+	snap := s.Snapshot()
+	if snap.Count() != 4 {
+		t.Fatalf("count=%d, want 4 (NaN dropped)", snap.Count())
+	}
+	if got := snap.Quantile(0.1); got != 0 {
+		t.Errorf("p10=%v, want the low bucket's representative 0", got)
+	}
+	// A single indexable value: min/max clamping pins every quantile to it.
+	one := MustNew(Options{})
+	one.Record(1e-3)
+	osnap := one.Snapshot()
+	if p0, p100 := osnap.Quantile(0), osnap.Quantile(1); p0 != 1e-3 || p100 != 1e-3 {
+		t.Errorf("single-value quantiles %v/%v, want exactly 1e-3", p0, p100)
+	}
+	if got := snap.Quantile(1); got != 2e3 {
+		t.Errorf("p100=%v, want overflow max 2e3", got)
+	}
+	if got := snap.Quantile(math.NaN()); got != 0 {
+		t.Errorf("Quantile(NaN)=%v, want 0", got)
+	}
+	// Out-of-range q clamps rather than errors.
+	if snap.Quantile(-1) != snap.Quantile(0) || snap.Quantile(2) != snap.Quantile(1) {
+		t.Errorf("out-of-range q should clamp")
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	s := MustNew(Options{})
+	for i := 1; i <= 100; i++ {
+		s.Record(float64(i) * 1e-3) // 1ms .. 100ms
+	}
+	snap := s.Snapshot()
+	if got := snap.FractionAbove(50e-3); math.Abs(got-0.5) > 0.03 {
+		t.Errorf("FractionAbove(50ms)=%v, want ~0.5", got)
+	}
+	if got := snap.FractionAbove(1); got != 0 {
+		t.Errorf("FractionAbove(1s)=%v, want 0", got)
+	}
+	if got := snap.FractionAbove(0); got != 1 {
+		t.Errorf("FractionAbove(0)=%v, want 1", got)
+	}
+}
+
+func TestMergeAndReset(t *testing.T) {
+	a := MustNew(Options{})
+	b := MustNew(Options{})
+	for i := 0; i < 1000; i++ {
+		a.Record(1e-3)
+		b.Stripe(uint64(i)).Record(4e-3)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("Merge(nil): %v", err)
+	}
+	if got := a.Count(); got != 2000 {
+		t.Fatalf("merged count=%d, want 2000", got)
+	}
+	snap := a.Snapshot()
+	if p50, p99 := snap.Quantile(0.5), snap.Quantile(0.99); p50 > 1.2e-3 || p99 < 3.5e-3 {
+		t.Fatalf("merged p50=%v p99=%v, want ~1ms / ~4ms", p50, p99)
+	}
+	a.Reset()
+	if got := a.Count(); got != 0 {
+		t.Fatalf("count after Reset = %d, want 0", got)
+	}
+	if snap := a.Snapshot(); snap.Quantile(0.99) != 0 {
+		t.Fatalf("p99 after Reset = %v, want 0", snap.Quantile(0.99))
+	}
+
+	other := MustNew(Options{RelativeError: 0.05})
+	if err := a.Merge(other); err == nil {
+		t.Fatalf("Merge across different α: want error")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a, b := MustNew(Options{}), MustNew(Options{})
+	for i := 0; i < 500; i++ {
+		a.Record(2e-3)
+		b.Record(8e-3)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if err := sa.Merge(sb); err != nil {
+		t.Fatalf("Snapshot.Merge: %v", err)
+	}
+	if err := sa.Merge(nil); err != nil {
+		t.Fatalf("Snapshot.Merge(nil): %v", err)
+	}
+	if sa.Count() != 1000 {
+		t.Fatalf("merged snapshot count=%d, want 1000", sa.Count())
+	}
+	if p99 := sa.Quantile(0.99); math.Abs(p99-8e-3)/8e-3 > 0.011 {
+		t.Fatalf("merged snapshot p99=%v, want ~8ms", p99)
+	}
+	mismatched := MustNew(Options{RelativeError: 0.1}).Snapshot()
+	if err := sa.Merge(mismatched); err == nil {
+		t.Fatalf("Snapshot.Merge across different α: want error")
+	}
+}
+
+// TestConcurrentRecordSnapshotMerge is the -race gauntlet: 1k goroutines
+// hammer Record through sharded stripes while snapshots, merges and
+// resets run concurrently. Correctness here is "no race, no lost
+// bookkeeping invariants", not exact counts (Reset discards in flight).
+func TestConcurrentRecordSnapshotMerge(t *testing.T) {
+	s := MustNew(Options{})
+	other := MustNew(Options{})
+	const goroutines = 1000
+	const perG = 200
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			st := s.Stripe(uint64(g))
+			for i := 0; i < perG; i++ {
+				st.Record(float64(i+1) * 1e-6)
+			}
+		}(g)
+	}
+	var aux sync.WaitGroup
+	stop := make(chan struct{})
+	aux.Add(2)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := s.Snapshot()
+			if snap.Count() < 0 {
+				t.Error("negative count")
+				return
+			}
+			_ = snap.Quantile(0.99)
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			other.Record(1e-3)
+			if err := other.Merge(s); err != nil {
+				t.Errorf("Merge: %v", err)
+				return
+			}
+			other.Reset()
+		}
+	}()
+	close(start)
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	if got := s.Count(); got != goroutines*perG {
+		t.Fatalf("count=%d, want %d", got, goroutines*perG)
+	}
+}
+
+// BenchmarkSketchRecord is benchdiff-gated in BENCH_slo.json: Record is
+// on the per-command hot path of every tier when the watchdog is armed
+// and must stay zero-alloc.
+func BenchmarkSketchRecord(b *testing.B) {
+	s := MustNew(Options{})
+	st := s.Stripe(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Record(123e-6)
+	}
+}

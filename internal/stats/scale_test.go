@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramScale(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(float64(i) * 1e-3)
+	}
+	p50, p99 := h.MustQuantile(0.5), h.MustQuantile(0.99)
+	mean := h.Mean()
+	h.Scale(8)
+	if got := h.Count(); got != 800 {
+		t.Fatalf("scaled count = %d, want 800", got)
+	}
+	// Scaling is a pure count reweighting: location statistics are
+	// invariant.
+	if h.MustQuantile(0.5) != p50 || h.MustQuantile(0.99) != p99 {
+		t.Fatalf("quantiles moved under Scale: p50 %v->%v p99 %v->%v",
+			p50, h.MustQuantile(0.5), p99, h.MustQuantile(0.99))
+	}
+	if h.Mean() != mean {
+		t.Fatalf("mean moved under Scale: %v -> %v", mean, h.Mean())
+	}
+	if got := h.CumulativeCount(50e-3); got < 350 || got > 450 {
+		t.Fatalf("scaled CumulativeCount(50ms) = %d, want ~400", got)
+	}
+	// Scale by k <= 1 is a no-op.
+	h.Scale(1)
+	h.Scale(0)
+	if h.Count() != 800 {
+		t.Fatalf("no-op scale changed count to %d", h.Count())
+	}
+}
+
+func TestMomentsScale(t *testing.T) {
+	var m Moments
+	for i := 1; i <= 10; i++ {
+		m.Add(float64(i))
+	}
+	sd := m.StdDev()
+	m.Scale(4)
+	if m.Count() != 40 || m.Mean() != 5.5 || m.Min() != 1 || m.Max() != 10 {
+		t.Fatalf("scaled moments: %v", m.String())
+	}
+	// Variance uses n-1; scaling n and m2 together keeps StdDev within
+	// the finite-sample correction of the original.
+	if math.Abs(m.StdDev()-sd)/sd > 0.05 {
+		t.Fatalf("StdDev drifted under Scale: %v -> %v", sd, m.StdDev())
+	}
+	var empty Moments
+	empty.Scale(8)
+	if empty.Count() != 0 {
+		t.Fatalf("scaling empty moments invented samples")
+	}
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+// Exemplar is one raw traced observation of a stage: the value, the
+// trace that produced it (hex-encoded, the way mq_trace headers carry
+// it), and the wall time it was observed. Metrics exposition attaches
+// it to the histogram bucket containing Value, OpenMetrics-style, so a
+// dashboard can jump from a suspicious bucket straight to the trace.
+type Exemplar struct {
+	TraceID string
+	Value   float64 // seconds
+	Unix    float64 // observation wall time, unix seconds
+}
+
+// ExemplarStore retains the most recent traced observation per stage.
+// Writes are lock-free pointer swaps and reads are loads, so recording
+// costs the hot path one allocation only on the (rare) traced commands
+// and scraping never blocks a recorder. The nil store records and
+// returns nothing, so call sites need no gating.
+type ExemplarStore struct {
+	slots [numStages]atomic.Pointer[Exemplar]
+}
+
+// NewExemplarStore returns an empty store.
+func NewExemplarStore() *ExemplarStore { return &ExemplarStore{} }
+
+// Record stores stage's latest exemplar. Zero trace IDs (untraced) and
+// out-of-range stages are dropped.
+func (s *ExemplarStore) Record(stage Stage, traceID uint64, seconds, unix float64) {
+	if s == nil || traceID == 0 || stage < 0 || stage >= numStages {
+		return
+	}
+	s.slots[stage].Store(&Exemplar{
+		TraceID: FormatTraceID(traceID),
+		Value:   seconds,
+		Unix:    unix,
+	})
+}
+
+// Stage returns stage's most recent exemplar, nil when none was ever
+// recorded (or the store is nil).
+func (s *ExemplarStore) Stage(stage Stage) *Exemplar {
+	if s == nil || stage < 0 || stage >= numStages {
+		return nil
+	}
+	return s.slots[stage].Load()
+}
+
+// FormatTraceID renders a trace ID the way exposition labels carry it:
+// 16 hex digits, zero-padded.
+func FormatTraceID(id uint64) string {
+	const zeros = "0000000000000000"
+	h := strconv.FormatUint(id, 16)
+	return zeros[len(h):] + h
+}
